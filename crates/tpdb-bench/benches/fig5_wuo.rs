@@ -1,0 +1,43 @@
+//! Figure 5 — runtime of computing the overlapping and unmatched windows
+//! (WUO) for the NJ approach vs. the Temporal Alignment baseline, on the
+//! Webkit-like (5a) and Meteo-like (5b) workloads.
+//!
+//! Cardinalities are scaled down from the paper's 50K–200K so that
+//! `cargo bench` finishes in minutes; the full-scale sweep is available via
+//! `cargo run --release -p tpdb-bench --bin experiments -- fig5 --full`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpdb_bench::{Dataset, Workload};
+use tpdb_core::{lawau, overlapping_windows};
+use tpdb_ta::ta_wuo_windows;
+
+const SIZES: [usize; 4] = [1_000, 2_000, 4_000, 8_000];
+
+fn bench_dataset(c: &mut Criterion, dataset: Dataset, figure: &str) {
+    let mut group = c.benchmark_group(figure);
+    group.sample_size(10);
+    for &n in &SIZES {
+        let w: Workload = dataset.generate(n, 42);
+        group.bench_with_input(BenchmarkId::new("NJ", n), &w, |b, w| {
+            b.iter(|| {
+                let wo = overlapping_windows(&w.r, &w.s, &w.theta).expect("θ binds");
+                lawau(&wo, &w.r)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("TA", n), &w, |b, w| {
+            b.iter(|| ta_wuo_windows(&w.r, &w.s, &w.theta).expect("θ binds"));
+        });
+    }
+    group.finish();
+}
+
+fn fig5a(c: &mut Criterion) {
+    bench_dataset(c, Dataset::WebkitLike, "fig5a_wuo_webkit");
+}
+
+fn fig5b(c: &mut Criterion) {
+    bench_dataset(c, Dataset::MeteoLike, "fig5b_wuo_meteo");
+}
+
+criterion_group!(benches, fig5a, fig5b);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 6 — runtime of computing the negating windows: NJ-WN (LAWAN only),
+//! NJ-WUON (overlap join + LAWAU + LAWAN) and TA, on the Webkit-like (6a)
+//! and Meteo-like (6b) workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpdb_bench::{Dataset, Workload};
+use tpdb_core::{lawan, lawau, overlapping_windows};
+use tpdb_ta::{ta_negating_windows, ta_wuon_windows};
+
+const SIZES: [usize; 4] = [1_000, 2_000, 4_000, 8_000];
+
+fn bench_dataset(c: &mut Criterion, dataset: Dataset, figure: &str) {
+    let mut group = c.benchmark_group(figure);
+    group.sample_size(10);
+    for &n in &SIZES {
+        let w: Workload = dataset.generate(n, 42);
+        let wuo = lawau(&overlapping_windows(&w.r, &w.s, &w.theta).expect("θ binds"), &w.r);
+        group.bench_with_input(BenchmarkId::new("NJ-WN", n), &wuo, |b, wuo| {
+            b.iter(|| lawan(wuo));
+        });
+        group.bench_with_input(BenchmarkId::new("NJ-WUON", n), &w, |b, w| {
+            b.iter(|| {
+                let wo = overlapping_windows(&w.r, &w.s, &w.theta).expect("θ binds");
+                lawan(&lawau(&wo, &w.r))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("TA", n), &w, |b, w| {
+            b.iter(|| {
+                let _n = ta_negating_windows(&w.r, &w.s, &w.theta).expect("θ binds");
+                ta_wuon_windows(&w.r, &w.s, &w.theta).expect("θ binds")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig6a(c: &mut Criterion) {
+    bench_dataset(c, Dataset::WebkitLike, "fig6a_negating_webkit");
+}
+
+fn fig6b(c: &mut Criterion) {
+    bench_dataset(c, Dataset::MeteoLike, "fig6b_negating_meteo");
+}
+
+criterion_group!(benches, fig6a, fig6b);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 7 — end-to-end runtime of the TP left outer join, NJ vs. TA, on
+//! the Webkit-like (7a) and Meteo-like (7b) workloads.
+//!
+//! TA's end-to-end plan degenerates to nested loops (it cannot exploit θ
+//! once the duplicate-eliminating union is in the plan), so the benchmark
+//! cardinalities are kept small; the gap already spans 1–2 orders of
+//! magnitude at these sizes and widens further at paper scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpdb_bench::{Dataset, Workload};
+use tpdb_core::tp_left_outer_join;
+use tpdb_ta::ta_left_outer_join;
+
+const SIZES: [usize; 3] = [500, 1_000, 2_000];
+
+fn bench_dataset(c: &mut Criterion, dataset: Dataset, figure: &str) {
+    let mut group = c.benchmark_group(figure);
+    group.sample_size(10);
+    for &n in &SIZES {
+        let w: Workload = dataset.generate(n, 42);
+        group.bench_with_input(BenchmarkId::new("NJ", n), &w, |b, w| {
+            b.iter(|| tp_left_outer_join(&w.r, &w.s, &w.theta).expect("θ binds"));
+        });
+        group.bench_with_input(BenchmarkId::new("TA", n), &w, |b, w| {
+            b.iter(|| ta_left_outer_join(&w.r, &w.s, &w.theta).expect("θ binds"));
+        });
+    }
+    group.finish();
+}
+
+fn fig7a(c: &mut Criterion) {
+    bench_dataset(c, Dataset::WebkitLike, "fig7a_left_outer_webkit");
+}
+
+fn fig7b(c: &mut Criterion) {
+    bench_dataset(c, Dataset::MeteoLike, "fig7b_left_outer_meteo");
+}
+
+criterion_group!(benches, fig7a, fig7b);
+criterion_main!(benches);

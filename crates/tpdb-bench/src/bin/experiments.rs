@@ -1,0 +1,179 @@
+//! The experiment driver regenerating the figures of the paper's evaluation
+//! section (Section IV) as result tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p tpdb-bench --bin experiments            # all figures, default scale
+//! cargo run --release -p tpdb-bench --bin experiments -- fig5    # only Fig. 5
+//! cargo run --release -p tpdb-bench --bin experiments -- fig7 --full   # paper-scale cardinalities
+//! cargo run --release -p tpdb-bench --bin experiments -- ablation
+//! ```
+//!
+//! Default cardinalities are scaled down from the paper's 40K–200K so that
+//! the whole sweep finishes in a few minutes on a laptop; `--full` switches
+//! to the paper's sizes (expect the TA series of Fig. 7 to run for a long
+//! time — the nested-loop degradation is the point of that figure).
+
+use tpdb_bench::{
+    header, run_nj_left_outer, run_nj_wn, run_nj_wuo, run_nj_wuon, run_ta_left_outer,
+    run_ta_negating, run_ta_wuo, Dataset, Measurement,
+};
+
+struct Config {
+    figures: Vec<String>,
+    full: bool,
+}
+
+fn parse_args() -> Config {
+    let mut figures = Vec::new();
+    let mut full = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--full" => full = true,
+            "fig5" | "fig6" | "fig7" | "ablation" => figures.push(arg),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: experiments [fig5] [fig6] [fig7] [ablation] [--full]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if figures.is_empty() {
+        figures = vec!["fig5".into(), "fig6".into(), "fig7".into(), "ablation".into()];
+    }
+    Config { figures, full }
+}
+
+fn print_series(title: &str, rows: &[Measurement]) {
+    println!("\n== {title} ==");
+    println!("{}", header());
+    for row in rows {
+        println!("{}", row.row());
+    }
+}
+
+fn fig5(full: bool) {
+    let sizes: &[usize] = if full {
+        &[50_000, 100_000, 150_000, 200_000]
+    } else {
+        &[5_000, 10_000, 20_000, 40_000]
+    };
+    for dataset in [Dataset::WebkitLike, Dataset::MeteoLike] {
+        let mut rows = Vec::new();
+        for &n in sizes {
+            let w = dataset.generate(n, 42);
+            rows.push(run_nj_wuo(&w));
+            rows.push(run_ta_wuo(&w));
+        }
+        print_series(
+            &format!("Fig. 5 ({}) — WUO: overlapping + unmatched windows", dataset.label()),
+            &rows,
+        );
+    }
+}
+
+fn fig6(full: bool) {
+    let sizes: &[usize] = if full {
+        &[40_000, 80_000, 120_000, 160_000, 200_000]
+    } else {
+        &[5_000, 10_000, 20_000, 40_000]
+    };
+    for dataset in [Dataset::WebkitLike, Dataset::MeteoLike] {
+        let mut rows = Vec::new();
+        for &n in sizes {
+            let w = dataset.generate(n, 42);
+            rows.push(run_nj_wn(&w));
+            rows.push(run_nj_wuon(&w));
+            rows.push(run_ta_negating(&w));
+        }
+        print_series(
+            &format!("Fig. 6 ({}) — negating windows", dataset.label()),
+            &rows,
+        );
+    }
+}
+
+fn fig7(full: bool) {
+    // TA's end-to-end plan is nested-loop; keep the default sweep small.
+    let sizes: &[usize] = if full {
+        &[40_000, 80_000, 120_000, 160_000, 200_000]
+    } else {
+        &[1_000, 2_000, 4_000, 8_000]
+    };
+    for dataset in [Dataset::WebkitLike, Dataset::MeteoLike] {
+        let mut rows = Vec::new();
+        for &n in sizes {
+            let w = dataset.generate(n, 42);
+            rows.push(run_nj_left_outer(&w));
+            rows.push(run_ta_left_outer(&w));
+        }
+        print_series(
+            &format!("Fig. 7 ({}) — TP left outer join", dataset.label()),
+            &rows,
+        );
+    }
+}
+
+/// Ablations not present in the paper: (A1) the effect of the hash overlap
+/// join vs. a nested-loop overlap join inside NJ, and (A2) the effect of the
+/// independence-decomposition shortcuts in the probability engine.
+fn ablation() {
+    use std::time::Instant;
+    use tpdb_core::{overlapping_windows_with_plan, OverlapJoinPlan};
+
+    println!("\n== A1 — overlap-join plan inside NJ (webkit-like, 20K tuples) ==");
+    let w = Dataset::WebkitLike.generate(20_000, 42);
+    let bound = w.theta.bind(w.r.schema(), w.s.schema()).expect("θ binds");
+    for (label, plan) in [
+        ("hash", OverlapJoinPlan::Hash),
+        ("nested-loop", OverlapJoinPlan::NestedLoop),
+    ] {
+        let start = Instant::now();
+        let windows = overlapping_windows_with_plan(&w.r, &w.s, &bound, plan);
+        println!(
+            "  overlap join [{label:<11}]  {:>10.2} ms   {} windows",
+            start.elapsed().as_secs_f64() * 1000.0,
+            windows.len()
+        );
+    }
+
+    println!("\n== A2 — probability computation: decomposition vs. forced Shannon ==");
+    let w = Dataset::MeteoLike.generate(5_000, 42);
+    for force in [false, true] {
+        let mut engine = tpdb_lineage::ProbabilityEngine::new();
+        w.r.register_probabilities(&mut engine);
+        w.s.register_probabilities(&mut engine);
+        engine.set_force_shannon(force);
+        let start = Instant::now();
+        let result = tpdb_core::tp_join_with_engine(
+            &w.r,
+            &w.s,
+            &w.theta,
+            tpdb_core::TpJoinKind::Anti,
+            &mut engine,
+        )
+        .expect("θ binds");
+        println!(
+            "  anti join [{}]  {:>10.2} ms   {} output tuples, {} Shannon expansions",
+            if force { "forced Shannon " } else { "decomposition  " },
+            start.elapsed().as_secs_f64() * 1000.0,
+            result.len(),
+            engine.expansions()
+        );
+    }
+}
+
+fn main() {
+    let config = parse_args();
+    println!("TPDB experiment driver (scale: {})", if config.full { "full (paper)" } else { "default (scaled down)" });
+    for figure in &config.figures {
+        match figure.as_str() {
+            "fig5" => fig5(config.full),
+            "fig6" => fig6(config.full),
+            "fig7" => fig7(config.full),
+            "ablation" => ablation(),
+            _ => unreachable!("validated in parse_args"),
+        }
+    }
+}

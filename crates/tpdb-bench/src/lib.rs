@@ -1,0 +1,273 @@
+//! # tpdb-bench
+//!
+//! Workload construction and measurement helpers shared by the Criterion
+//! benches (`benches/fig5_wuo.rs`, `benches/fig6_negating.rs`,
+//! `benches/fig7_outer_join.rs`) and the `experiments` binary that
+//! regenerates the figures of the paper's evaluation section (see
+//! EXPERIMENTS.md at the workspace root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Instant;
+use tpdb_core::{lawan, lawau, overlapping_windows, tp_left_outer_join, ThetaCondition};
+use tpdb_storage::TpRelation;
+use tpdb_ta::{ta_left_outer_join, ta_negating_windows, ta_wuo_windows, ta_wuon_windows};
+
+/// The two dataset families of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// Webkit-like: many distinct join keys, selective θ (Fig. 5a/6a/7a).
+    WebkitLike,
+    /// Meteo-like: few distinct join keys, non-selective θ (Fig. 5b/6b/7b).
+    MeteoLike,
+}
+
+impl Dataset {
+    /// Human-readable label used in result tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Dataset::WebkitLike => "webkit",
+            Dataset::MeteoLike => "meteo",
+        }
+    }
+
+    /// Generates the positive/negative relation pair and the θ condition of
+    /// the experiments, with `tuples` tuples per relation.
+    #[must_use]
+    pub fn generate(&self, tuples: usize, seed: u64) -> Workload {
+        match self {
+            Dataset::WebkitLike => {
+                let (r, s) = tpdb_datagen::webkit_like(tuples, seed);
+                Workload {
+                    dataset: *self,
+                    theta: ThetaCondition::column_equals("Key", "Key"),
+                    r,
+                    s,
+                }
+            }
+            Dataset::MeteoLike => {
+                let (r, s) = tpdb_datagen::meteo_like(tuples, seed);
+                Workload {
+                    dataset: *self,
+                    theta: ThetaCondition::column_equals("Metric", "Metric"),
+                    r,
+                    s,
+                }
+            }
+        }
+    }
+}
+
+/// A generated experiment input: two TP relations and a θ condition.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Which dataset family generated the workload.
+    pub dataset: Dataset,
+    /// The join condition of the experiments.
+    pub theta: ThetaCondition,
+    /// Positive relation.
+    pub r: TpRelation,
+    /// Negative relation.
+    pub s: TpRelation,
+}
+
+/// One measured data point of an experiment series.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Series name (e.g. `NJ`, `TA`, `NJ-WN`).
+    pub series: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Input cardinality per relation.
+    pub tuples: usize,
+    /// Wall-clock runtime in milliseconds.
+    pub millis: f64,
+    /// Number of produced windows / output tuples (sanity check that the
+    /// compared systems do the same work).
+    pub output: usize,
+}
+
+impl Measurement {
+    /// Formats the measurement as a result-table row.
+    #[must_use]
+    pub fn row(&self) -> String {
+        format!(
+            "{:<8} {:<8} {:>10} {:>12.2} {:>12}",
+            self.dataset, self.series, self.tuples, self.millis, self.output
+        )
+    }
+}
+
+/// Header matching [`Measurement::row`].
+#[must_use]
+pub fn header() -> String {
+    format!(
+        "{:<8} {:<8} {:>10} {:>12} {:>12}",
+        "dataset", "series", "tuples", "runtime_ms", "output"
+    )
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64() * 1000.0, out)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — WUO: overlapping and unmatched windows
+// ---------------------------------------------------------------------------
+
+/// NJ side of Fig. 5: overlap join + LAWAU.
+#[must_use]
+pub fn run_nj_wuo(w: &Workload) -> Measurement {
+    let (millis, windows) = time(|| {
+        let wo = overlapping_windows(&w.r, &w.s, &w.theta).expect("θ binds");
+        lawau(&wo, &w.r)
+    });
+    Measurement {
+        series: "NJ".to_owned(),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output: windows.len(),
+    }
+}
+
+/// TA side of Fig. 5: the overlap join executed twice.
+#[must_use]
+pub fn run_ta_wuo(w: &Workload) -> Measurement {
+    let (millis, windows) = time(|| ta_wuo_windows(&w.r, &w.s, &w.theta).expect("θ binds"));
+    Measurement {
+        series: "TA".to_owned(),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output: windows.len(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6 — negating windows
+// ---------------------------------------------------------------------------
+
+/// NJ-WN series of Fig. 6: LAWAN only (its input `WUO` is pre-computed and
+/// not part of the measured time).
+#[must_use]
+pub fn run_nj_wn(w: &Workload) -> Measurement {
+    let wo = overlapping_windows(&w.r, &w.s, &w.theta).expect("θ binds");
+    let wuo = lawau(&wo, &w.r);
+    let (millis, windows) = time(|| lawan(&wuo));
+    Measurement {
+        series: "NJ-WN".to_owned(),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output: windows.len(),
+    }
+}
+
+/// NJ-WUON series of Fig. 6: the full pipeline overlap join + LAWAU + LAWAN.
+#[must_use]
+pub fn run_nj_wuon(w: &Workload) -> Measurement {
+    let (millis, windows) = time(|| {
+        let wo = overlapping_windows(&w.r, &w.s, &w.theta).expect("θ binds");
+        lawan(&lawau(&wo, &w.r))
+    });
+    Measurement {
+        series: "NJ-WUON".to_owned(),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output: windows.len(),
+    }
+}
+
+/// TA series of Fig. 6: alignment-based negating windows including the
+/// duplicate-eliminating union with `WUO`.
+#[must_use]
+pub fn run_ta_negating(w: &Workload) -> Measurement {
+    let (millis, windows) = time(|| {
+        // TA recomputes WUO as part of its union-based plan.
+        let _negating = ta_negating_windows(&w.r, &w.s, &w.theta).expect("θ binds");
+        ta_wuon_windows(&w.r, &w.s, &w.theta).expect("θ binds")
+    });
+    Measurement {
+        series: "TA".to_owned(),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output: windows.len(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7 — TP left outer join end-to-end
+// ---------------------------------------------------------------------------
+
+/// NJ series of Fig. 7: the complete TP left outer join.
+#[must_use]
+pub fn run_nj_left_outer(w: &Workload) -> Measurement {
+    let (millis, rel) = time(|| tp_left_outer_join(&w.r, &w.s, &w.theta).expect("θ binds"));
+    Measurement {
+        series: "NJ".to_owned(),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output: rel.len(),
+    }
+}
+
+/// TA series of Fig. 7: the complete TP left outer join via alignment, with
+/// the nested-loop plans the paper observes for TA's end-to-end query.
+#[must_use]
+pub fn run_ta_left_outer(w: &Workload) -> Measurement {
+    let (millis, rel) = time(|| ta_left_outer_join(&w.r, &w.s, &w.theta).expect("θ binds"));
+    Measurement {
+        series: "TA".to_owned(),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output: rel.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_generation_produces_both_datasets() {
+        let w = Dataset::WebkitLike.generate(500, 1);
+        assert_eq!(w.r.len(), 500);
+        assert_eq!(w.s.len(), 500);
+        let m = Dataset::MeteoLike.generate(500, 1);
+        assert_eq!(m.r.len(), 500);
+        assert_eq!(m.theta.to_string(), "r.Metric = s.Metric");
+    }
+
+    #[test]
+    fn nj_and_ta_measure_the_same_window_counts() {
+        for dataset in [Dataset::WebkitLike, Dataset::MeteoLike] {
+            let w = dataset.generate(300, 7);
+            let nj = run_nj_wuo(&w);
+            let ta = run_ta_wuo(&w);
+            assert_eq!(nj.output, ta.output, "{dataset:?} WUO");
+            let njn = run_nj_wuon(&w);
+            let tan = run_ta_negating(&w);
+            assert_eq!(njn.output, tan.output, "{dataset:?} WUON");
+            let njj = run_nj_left_outer(&w);
+            let taj = run_ta_left_outer(&w);
+            assert_eq!(njj.output, taj.output, "{dataset:?} left outer join");
+        }
+    }
+
+    #[test]
+    fn measurement_rows_align_with_header() {
+        let w = Dataset::WebkitLike.generate(100, 1);
+        let m = run_nj_wuo(&w);
+        assert_eq!(header().split_whitespace().count(), 5);
+        assert_eq!(m.row().split_whitespace().count(), 5);
+    }
+}

@@ -1,0 +1,450 @@
+//! Temporal-probabilistic joins with negation (Table II of the paper).
+//!
+//! Every TP join with negation is the union of window sets:
+//!
+//! | operator                  | window sets used                                               |
+//! |---------------------------|----------------------------------------------------------------|
+//! | inner join `r ⋈ s`        | `WO(r;s,θ)`                                                    |
+//! | anti join `r ▷ s`         | `WU(r;s,θ)`, `WN(r;s,θ)`                                       |
+//! | left outer `r ⟕ s`        | `WU(r;s,θ)`, `WN(r;s,θ)`, `WO(r;s,θ)`                          |
+//! | right outer `r ⟖ s`       | `WO(r;s,θ)`, `WU(s;r,θ)`, `WN(s;r,θ)`                          |
+//! | full outer `r ⟗ s`        | all five sets                                                  |
+//!
+//! An output tuple is formed for each window: the facts and the interval are
+//! used in their exact form and the output lineage combines `λr` and `λs`
+//! with the window class's lineage-concatenation function (`and` for
+//! overlapping, `andNot` for negating, pass-through for unmatched). The
+//! output probability is the probability of that lineage under tuple
+//! independence.
+
+use crate::lawan::lawan;
+use crate::lawau::lawau;
+use crate::overlap::overlapping_windows;
+use crate::theta::ThetaCondition;
+use crate::window::{Window, WindowKind};
+use tpdb_lineage::{Lineage, ProbabilityEngine};
+use tpdb_storage::{Schema, StorageError, TpRelation, TpTuple, Value};
+
+/// Which TP join with negation to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpJoinKind {
+    /// `r ⋈ s` — pairs of matching, temporally overlapping tuples.
+    Inner,
+    /// `r ▷ s` — at each time point, the probability that a tuple of `r`
+    /// matches *no* tuple of `s`.
+    Anti,
+    /// `r ⟕ s` — inner join plus the anti-join part of `r`.
+    LeftOuter,
+    /// `r ⟖ s` — inner join plus the anti-join part of `s`.
+    RightOuter,
+    /// `r ⟗ s` — inner join plus both anti-join parts.
+    FullOuter,
+}
+
+impl TpJoinKind {
+    /// The operator symbol used in relation names and plan explanations.
+    #[must_use]
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            TpJoinKind::Inner => "⋈",
+            TpJoinKind::Anti => "▷",
+            TpJoinKind::LeftOuter => "⟕",
+            TpJoinKind::RightOuter => "⟖",
+            TpJoinKind::FullOuter => "⟗",
+        }
+    }
+}
+
+/// TP inner join `r ⋈_θ s`. Probabilities of base tuples are taken from the
+/// input relations themselves.
+pub fn tp_inner_join(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+) -> Result<TpRelation, StorageError> {
+    tp_join(r, s, theta, TpJoinKind::Inner)
+}
+
+/// TP anti join `r ▷_θ s`.
+pub fn tp_anti_join(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+) -> Result<TpRelation, StorageError> {
+    tp_join(r, s, theta, TpJoinKind::Anti)
+}
+
+/// TP left outer join `r ⟕_θ s` (the query of Fig. 1b).
+pub fn tp_left_outer_join(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+) -> Result<TpRelation, StorageError> {
+    tp_join(r, s, theta, TpJoinKind::LeftOuter)
+}
+
+/// TP right outer join `r ⟖_θ s`.
+pub fn tp_right_outer_join(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+) -> Result<TpRelation, StorageError> {
+    tp_join(r, s, theta, TpJoinKind::RightOuter)
+}
+
+/// TP full outer join `r ⟗_θ s`.
+pub fn tp_full_outer_join(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+) -> Result<TpRelation, StorageError> {
+    tp_join(r, s, theta, TpJoinKind::FullOuter)
+}
+
+/// Computes any TP join with negation, deriving base-tuple probabilities
+/// from the atomic lineages of the two inputs.
+pub fn tp_join(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+    kind: TpJoinKind,
+) -> Result<TpRelation, StorageError> {
+    let mut engine = ProbabilityEngine::new();
+    r.register_probabilities(&mut engine);
+    s.register_probabilities(&mut engine);
+    tp_join_with_engine(r, s, theta, kind, &mut engine)
+}
+
+/// Computes any TP join with negation using an explicit probability engine.
+/// Use this variant when the inputs are themselves derived relations whose
+/// compound lineages reference base tuples not present in `r`/`s`.
+pub fn tp_join_with_engine(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+    kind: TpJoinKind,
+    engine: &mut ProbabilityEngine,
+) -> Result<TpRelation, StorageError> {
+    // Windows of r with respect to s. The inner and right outer joins only
+    // need the overlapping windows; the operators with left null-extension
+    // additionally run LAWAU and LAWAN.
+    let wo = overlapping_windows(r, s, theta)?;
+    let left_windows = match kind {
+        TpJoinKind::Inner | TpJoinKind::RightOuter => wo,
+        TpJoinKind::Anti | TpJoinKind::LeftOuter | TpJoinKind::FullOuter => lawan(&lawau(&wo, r)),
+    };
+
+    // Windows of s with respect to r (right-hand null-extension for right
+    // and full outer joins).
+    let right_windows = if matches!(kind, TpJoinKind::RightOuter | TpJoinKind::FullOuter) {
+        let flipped = theta.flipped();
+        let wo = overlapping_windows(s, r, &flipped)?;
+        lawan(&lawau(&wo, s))
+    } else {
+        Vec::new()
+    };
+
+    Ok(assemble_join_result(
+        r,
+        s,
+        kind,
+        &left_windows,
+        &right_windows,
+        engine,
+    ))
+}
+
+/// Forms the output relation of a TP join from already-computed window sets.
+///
+/// `left_windows` are windows of `r` with respect to `s`; `right_windows`
+/// are windows of `s` with respect to `r` (only consulted by right/full
+/// outer joins, and their overlapping windows are ignored because
+/// `WO(r;s,θ) = WO(s;r,θ)` is already contained in `left_windows`). This is
+/// shared by the NJ implementation and the Temporal Alignment baseline so
+/// that the two approaches differ only in *how the windows are computed*.
+pub fn assemble_join_result(
+    r: &TpRelation,
+    s: &TpRelation,
+    kind: TpJoinKind,
+    left_windows: &[Window],
+    right_windows: &[Window],
+    engine: &mut ProbabilityEngine,
+) -> TpRelation {
+    let schema = output_schema(r, s, kind);
+    let name = format!("{}{}{}", r.name(), kind.symbol(), s.name());
+    let mut out = TpRelation::new(&name, schema);
+
+    for w in left_windows {
+        if let Some(tuple) = form_output_tuple(w, r, s, kind, Side::Left, engine) {
+            out.push_unchecked(tuple);
+        }
+    }
+    for w in right_windows {
+        if w.is_overlapping() {
+            continue;
+        }
+        if let Some(tuple) = form_output_tuple(w, s, r, kind, Side::Right, engine) {
+            out.push_unchecked(tuple);
+        }
+    }
+    out
+}
+
+/// Which input relation plays the role of the window's positive relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    /// Windows of `r` with respect to `s`.
+    Left,
+    /// Windows of `s` with respect to `r` (right/full outer joins only).
+    Right,
+}
+
+/// The fact schema of the join result.
+fn output_schema(r: &TpRelation, s: &TpRelation, kind: TpJoinKind) -> Schema {
+    match kind {
+        TpJoinKind::Anti => r.schema().clone(),
+        _ => r.schema().concat(s.schema(), &format!("{}_", s.name())),
+    }
+}
+
+/// Forms the output tuple of a window (or `None` when the window class does
+/// not participate in the operator, per Table II).
+fn form_output_tuple(
+    w: &Window,
+    pos: &TpRelation,
+    neg: &TpRelation,
+    kind: TpJoinKind,
+    side: Side,
+    engine: &mut ProbabilityEngine,
+) -> Option<TpTuple> {
+    // Which window classes participate, per operator and side (Table II).
+    let participates = match (kind, side, w.kind) {
+        // inner join: only WO(r;s,θ)
+        (TpJoinKind::Inner, _, k) => k == WindowKind::Overlapping,
+        // anti join: WU(r;s,θ) and WN(r;s,θ)
+        (TpJoinKind::Anti, Side::Left, k) => k != WindowKind::Overlapping,
+        (TpJoinKind::Anti, Side::Right, _) => false,
+        // left outer: WO ∪ WU(r;s) ∪ WN(r;s)
+        (TpJoinKind::LeftOuter, Side::Left, _) => true,
+        (TpJoinKind::LeftOuter, Side::Right, _) => false,
+        // right outer: WO plus WU(s;r) ∪ WN(s;r)
+        (TpJoinKind::RightOuter, Side::Left, k) => k == WindowKind::Overlapping,
+        (TpJoinKind::RightOuter, Side::Right, k) => k != WindowKind::Overlapping,
+        // full outer: all five sets
+        (TpJoinKind::FullOuter, Side::Left, _) => true,
+        (TpJoinKind::FullOuter, Side::Right, k) => k != WindowKind::Overlapping,
+    };
+    if !participates {
+        return None;
+    }
+
+    // Output lineage via the window class's concatenation function.
+    let lineage = match w.kind {
+        WindowKind::Overlapping => Lineage::and_concat(&w.lambda_r, w.lambda_s.as_ref().expect("λs")),
+        WindowKind::Unmatched => w.lambda_r.clone(),
+        WindowKind::Negating => Lineage::and_not_concat(&w.lambda_r, w.lambda_s.as_ref().expect("λs")),
+    };
+    let probability = engine.probability(&lineage);
+
+    // Output facts: Fr ∘ Fs with NULL padding where Fs (or Fr, on the right
+    // side) is null.
+    let pos_facts = pos.tuple(w.r_idx).facts();
+    let facts: Vec<Value> = match kind {
+        TpJoinKind::Anti => pos_facts.to_vec(),
+        _ => {
+            let neg_facts: Vec<Value> = match w.s_idx {
+                Some(si) => neg.tuple(si).facts().to_vec(),
+                None => vec![Value::Null; neg.schema().arity()],
+            };
+            match side {
+                Side::Left => pos_facts.iter().cloned().chain(neg_facts).collect(),
+                // On the right side the window's positive relation is `s`:
+                // its facts go into the right-hand columns of the output.
+                Side::Right => neg_facts.into_iter().chain(pos_facts.iter().cloned()).collect(),
+            }
+        }
+    };
+
+    Some(TpTuple::new(facts, lineage, w.interval, probability))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::booking_relations;
+    use tpdb_temporal::Interval;
+
+    fn theta() -> ThetaCondition {
+        ThetaCondition::column_equals("Loc", "Loc")
+    }
+
+    /// Finds the output tuple with the given interval and first fact value.
+    fn find<'a>(rel: &'a TpRelation, name: &str, iv: Interval) -> Option<&'a TpTuple> {
+        rel.iter()
+            .find(|t| t.fact(0) == &Value::str(name) && t.interval() == iv)
+    }
+
+    #[test]
+    fn left_outer_join_reproduces_fig_1b() {
+        let (a, b, _) = booking_relations();
+        let q = tp_left_outer_join(&a, &b, &theta()).unwrap();
+        assert_eq!(q.len(), 7, "{q}");
+
+        // ('Ann, ZAK, -', a1, [2,4), 0.70)
+        let t = find(&q, "Ann", Interval::new(2, 4)).unwrap();
+        assert!(t.fact(2).is_null());
+        assert!((t.probability() - 0.70).abs() < 1e-9);
+
+        // ('Ann, ZAK, hotel1', a1 ∧ b3, [4,6), 0.49)
+        let t = find(&q, "Ann", Interval::new(4, 6)).unwrap();
+        assert_eq!(t.fact(2), &Value::str("hotel1"));
+        assert!((t.probability() - 0.49).abs() < 1e-9);
+
+        // ('Ann, ZAK, hotel2', a1 ∧ b2, [5,8), 0.42)
+        let t = q
+            .iter()
+            .find(|t| t.fact(2) == &Value::str("hotel2"))
+            .unwrap();
+        assert_eq!(t.interval(), Interval::new(5, 8));
+        assert!((t.probability() - 0.42).abs() < 1e-9);
+
+        // ('Ann, ZAK, -', a1 ∧ ¬b3, [4,5), 0.21)
+        let t = find(&q, "Ann", Interval::new(4, 5)).unwrap();
+        assert!(t.fact(2).is_null());
+        assert!((t.probability() - 0.21).abs() < 1e-9);
+
+        // ('Ann, ZAK, -', a1 ∧ ¬(b3 ∨ b2), [5,6), 0.084)
+        let t = find(&q, "Ann", Interval::new(5, 6)).unwrap();
+        assert!(t.fact(2).is_null());
+        assert!((t.probability() - 0.084).abs() < 1e-9);
+
+        // ('Ann, ZAK, -', a1 ∧ ¬b2, [6,8), 0.28)
+        let t = find(&q, "Ann", Interval::new(6, 8)).unwrap();
+        assert!(t.fact(2).is_null());
+        assert!((t.probability() - 0.28).abs() < 1e-9);
+
+        // ('Jim, WEN, -', a2, [7,10), 0.80)
+        let t = find(&q, "Jim", Interval::new(7, 10)).unwrap();
+        assert!(t.fact(2).is_null());
+        assert!((t.probability() - 0.80).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inner_join_keeps_only_overlapping_windows() {
+        let (a, b, _) = booking_relations();
+        let q = tp_inner_join(&a, &b, &theta()).unwrap();
+        assert_eq!(q.len(), 2);
+        assert!(q.iter().all(|t| !t.fact(2).is_null()));
+        let probs: Vec<f64> = q.iter().map(|t| (t.probability() * 100.0).round() / 100.0).collect();
+        assert!(probs.contains(&0.49));
+        assert!(probs.contains(&0.42));
+    }
+
+    #[test]
+    fn anti_join_has_r_schema_and_negated_probabilities() {
+        let (a, b, _) = booking_relations();
+        let q = tp_anti_join(&a, &b, &theta()).unwrap();
+        // Output columns: only those of a.
+        assert_eq!(q.schema().arity(), 2);
+        // Five tuples: [2,4), [4,5), [5,6), [6,8) for Ann and [7,10) for Jim.
+        assert_eq!(q.len(), 5);
+        let t = q.iter().find(|t| t.interval() == Interval::new(5, 6)).unwrap();
+        assert!((t.probability() - 0.084).abs() < 1e-9);
+        let t = q.iter().find(|t| t.interval() == Interval::new(7, 10)).unwrap();
+        assert!((t.probability() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn right_outer_join_pads_left_columns() {
+        let (a, b, _) = booking_relations();
+        let q = tp_right_outer_join(&a, &b, &theta()).unwrap();
+        // Inner part: 2 tuples. Right null-extension: hotel3 (SOR) matches
+        // nothing -> unmatched [1,4); hotel2 and hotel1 have negating and
+        // unmatched windows with respect to a.
+        assert!(q.len() > 2);
+        // every inner tuple has both sides set
+        let inner: Vec<&TpTuple> = q.iter().filter(|t| !t.fact(0).is_null() && !t.fact(2).is_null()).collect();
+        assert_eq!(inner.len(), 2);
+        // hotel3 is never matched: a padded tuple over [1,4) must exist
+        let sor = q
+            .iter()
+            .find(|t| t.fact(2) == &Value::str("hotel3"))
+            .unwrap();
+        assert!(sor.fact(0).is_null());
+        assert_eq!(sor.interval(), Interval::new(1, 4));
+        assert!((sor.probability() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_outer_join_contains_left_and_right_extensions() {
+        let (a, b, _) = booking_relations();
+        let left = tp_left_outer_join(&a, &b, &theta()).unwrap();
+        let right = tp_right_outer_join(&a, &b, &theta()).unwrap();
+        let full = tp_full_outer_join(&a, &b, &theta()).unwrap();
+        // |full| = |left| + |right| - |inner| (inner tuples appear once)
+        let inner = tp_inner_join(&a, &b, &theta()).unwrap();
+        assert_eq!(full.len(), left.len() + right.len() - inner.len());
+    }
+
+    #[test]
+    fn join_name_and_schema_prefixing() {
+        let (a, b, _) = booking_relations();
+        let q = tp_left_outer_join(&a, &b, &theta()).unwrap();
+        assert_eq!(q.name(), "a⟕b");
+        // colliding column Loc from b is prefixed
+        assert!(q.schema().index_of("b_Loc").is_some());
+        assert_eq!(q.schema().arity(), 4);
+    }
+
+    #[test]
+    fn probabilities_never_exceed_input_probability() {
+        let (a, b, _) = booking_relations();
+        let q = tp_left_outer_join(&a, &b, &theta()).unwrap();
+        for t in q.iter() {
+            assert!(t.probability() <= 0.8 + 1e-12);
+            assert!(t.probability() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn self_join_with_shared_lineage_is_exact() {
+        // Joining a relation with itself produces lineages like a1 ∧ a1 and
+        // a1 ∧ ¬a1 — the probability engine must handle the correlation.
+        let (a, _, _) = booking_relations();
+        let q = tp_left_outer_join(&a, &a.renamed("a2"), &theta()).unwrap();
+        for t in q.iter() {
+            assert!((0.0..=1.0).contains(&t.probability()));
+        }
+        // the overlapping self-pair (Ann ⋈ Ann over [2,8)) has probability
+        // P(a1 ∧ a1) = P(a1) = 0.7
+        let t = q
+            .iter()
+            .find(|t| !t.fact(2).is_null() && t.fact(0) == &Value::str("Ann"))
+            .unwrap();
+        assert!((t.probability() - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (a, b, _) = booking_relations();
+        let empty_a = TpRelation::new("a", a.schema().clone());
+        let empty_b = TpRelation::new("b", b.schema().clone());
+        assert_eq!(tp_left_outer_join(&empty_a, &b, &theta()).unwrap().len(), 0);
+        let left_only = tp_left_outer_join(&a, &empty_b, &theta()).unwrap();
+        // every a tuple survives unmatched with its own probability
+        assert_eq!(left_only.len(), a.len());
+        for (t, orig) in left_only.iter().zip(a.iter()) {
+            assert_eq!(t.interval(), orig.interval());
+            assert!((t.probability() - orig.probability()).abs() < 1e-12);
+        }
+        assert_eq!(tp_anti_join(&a, &empty_b, &theta()).unwrap().len(), a.len());
+        assert_eq!(tp_inner_join(&a, &empty_b, &theta()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unknown_theta_column_is_an_error() {
+        let (a, b, _) = booking_relations();
+        let bad = ThetaCondition::column_equals("Nope", "Loc");
+        assert!(tp_left_outer_join(&a, &b, &bad).is_err());
+    }
+}

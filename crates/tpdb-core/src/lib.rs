@@ -1,0 +1,78 @@
+//! # tpdb-core
+//!
+//! Generalized lineage-aware temporal windows and temporal-probabilistic
+//! (TP) outer and anti joins — the primary contribution of *"Outer and Anti
+//! Joins in Temporal-Probabilistic Databases"* (Papaioannou, Theobald,
+//! Böhlen — ICDE 2019).
+//!
+//! The result of a TP join with negation includes, at each time point, the
+//! probability with which a tuple of the positive relation `r` matches none
+//! of the tuples of the negative relation `s` for a join condition θ. The
+//! crate computes these joins in three pipelined steps:
+//!
+//! 1. [`overlapping_windows`] — a conventional outer join with the overlap
+//!    predicate `θo ∧ θ`, producing the overlapping windows `WO(r;s,θ)` and
+//!    the whole-interval unmatched windows,
+//! 2. [`lawau`] — a sweep over each `r` tuple's windows filling the
+//!    uncovered gaps with the remaining unmatched windows `WU(r;s,θ)`,
+//! 3. [`lawan`] — a sweep with a priority queue of ending points producing
+//!    the negating windows `WN(r;s,θ)`.
+//!
+//! Output tuples are then formed per window with the appropriate
+//! lineage-concatenation function (`and`, `andNot`, pass-through) and their
+//! probabilities are computed from the combined lineage.
+//!
+//! ## Example — the query of Fig. 1
+//!
+//! ```
+//! use tpdb_core::{tp_left_outer_join, ThetaCondition};
+//! use tpdb_lineage::Lineage;
+//! use tpdb_storage::{Catalog, DataType, Schema, Value};
+//! use tpdb_temporal::Interval;
+//!
+//! let mut catalog = Catalog::new();
+//! let mut a = catalog
+//!     .create_relation("a", Schema::tp(&[("Name", DataType::Str), ("Loc", DataType::Str)]))
+//!     .unwrap();
+//! a.push(vec![Value::str("Ann"), Value::str("ZAK")], Interval::new(2, 8), 0.7);
+//! a.push(vec![Value::str("Jim"), Value::str("WEN")], Interval::new(7, 10), 0.8);
+//! let a = a.finish();
+//!
+//! let mut b = catalog
+//!     .create_relation("b", Schema::tp(&[("Hotel", DataType::Str), ("Loc", DataType::Str)]))
+//!     .unwrap();
+//! b.push(vec![Value::str("hotel3"), Value::str("SOR")], Interval::new(1, 4), 0.9);
+//! b.push(vec![Value::str("hotel2"), Value::str("ZAK")], Interval::new(5, 8), 0.6);
+//! b.push(vec![Value::str("hotel1"), Value::str("ZAK")], Interval::new(4, 6), 0.7);
+//! let b = b.finish();
+//!
+//! let q = tp_left_outer_join(&a, &b, &ThetaCondition::column_equals("Loc", "Loc")).unwrap();
+//! assert_eq!(q.len(), 7); // the seven answer tuples of Fig. 1b
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod join;
+mod lawan;
+mod lawau;
+mod overlap;
+mod pipeline;
+mod setops;
+mod theta;
+mod window;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use join::{
+    assemble_join_result, tp_anti_join, tp_full_outer_join, tp_inner_join, tp_join,
+    tp_join_with_engine, tp_left_outer_join, tp_right_outer_join, TpJoinKind,
+};
+pub use lawan::lawan;
+pub use lawau::lawau;
+pub use overlap::{overlapping_windows, overlapping_windows_with_plan, OverlapJoinPlan};
+pub use pipeline::{LawanStream, LawauStream, WindowStream};
+pub use setops::{tp_difference, tp_intersection, tp_union};
+pub use theta::{BoundTheta, CompareOp, ThetaCondition};
+pub use window::{Window, WindowKind};

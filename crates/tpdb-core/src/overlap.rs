@@ -1,0 +1,231 @@
+//! The overlap join `r ⟕_{θo ∧ θ} s` (Section III-A).
+//!
+//! The first phase of the NJ approach is a conventional left outer join with
+//! the overlap predicate `θo : r.T ∩ s.T ≠ ∅` conjoined with the θ condition
+//! on the non-temporal attributes. It produces
+//!
+//! * one **overlapping window** per qualifying pair, spanning `r.T ∩ s.T`,
+//!   and
+//! * one **unmatched window** spanning the full interval of every `r` tuple
+//!   that overlaps with no θ-matching `s` tuple at all (the "outer" part of
+//!   the join).
+//!
+//! The remaining unmatched windows — sub-intervals of partially covered `r`
+//! tuples — are added afterwards by [`lawau`](crate::lawau::lawau).
+
+use crate::theta::{BoundTheta, ThetaCondition};
+use crate::window::Window;
+use std::collections::HashMap;
+use tpdb_storage::{StorageError, TpRelation, Value};
+
+/// Which physical plan the overlap join uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlapJoinPlan {
+    /// Hash-partition `s` on the equi-join key, probe with `r`.
+    /// Only applicable when θ is a pure conjunction of equalities.
+    Hash,
+    /// Compare every pair of tuples. Always applicable.
+    NestedLoop,
+}
+
+/// Computes the overlapping windows of `r` with respect to `s` under θ,
+/// together with the whole-interval unmatched windows of `r` tuples that
+/// match nothing. The plan is chosen automatically (hash when θ is an
+/// equi-join, nested loop otherwise).
+pub fn overlapping_windows(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+) -> Result<Vec<Window>, StorageError> {
+    let bound = theta.bind(r.schema(), s.schema())?;
+    let plan = if bound.is_equi_join() {
+        OverlapJoinPlan::Hash
+    } else {
+        OverlapJoinPlan::NestedLoop
+    };
+    Ok(overlapping_windows_with_plan(r, s, &bound, plan))
+}
+
+/// Computes the overlapping + whole-interval unmatched windows with an
+/// explicitly chosen plan (exposed for the planner and the ablation
+/// benchmarks).
+#[must_use]
+pub fn overlapping_windows_with_plan(
+    r: &TpRelation,
+    s: &TpRelation,
+    bound: &BoundTheta,
+    plan: OverlapJoinPlan,
+) -> Vec<Window> {
+    let mut windows = match plan {
+        OverlapJoinPlan::Hash if bound.is_equi_join() => hash_overlap(r, s, bound),
+        _ => nested_loop_overlap(r, s, bound),
+    };
+    // Group per originating r tuple, ordered by window start — the order
+    // LAWAU and LAWAN expect.
+    windows.sort_by_key(|w| (w.r_idx, w.interval.start(), w.interval.end()));
+    windows
+}
+
+fn nested_loop_overlap(r: &TpRelation, s: &TpRelation, bound: &BoundTheta) -> Vec<Window> {
+    let mut out = Vec::new();
+    for (ri, rt) in r.iter().enumerate() {
+        let mut matched = false;
+        for (si, st) in s.iter().enumerate() {
+            if !bound.matches(rt, st) {
+                continue;
+            }
+            if let Some(inter) = rt.interval().intersect(&st.interval()) {
+                matched = true;
+                out.push(Window::overlapping(
+                    inter,
+                    ri,
+                    si,
+                    rt.lineage().clone(),
+                    st.lineage().clone(),
+                ));
+            }
+        }
+        if !matched {
+            out.push(Window::unmatched(rt.interval(), ri, rt.lineage().clone()));
+        }
+    }
+    out
+}
+
+fn hash_overlap(r: &TpRelation, s: &TpRelation, bound: &BoundTheta) -> Vec<Window> {
+    // Build side: partition s by its equi-join key.
+    let mut partitions: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (si, st) in s.iter().enumerate() {
+        partitions.entry(bound.right_key(st)).or_default().push(si);
+    }
+    let mut out = Vec::new();
+    for (ri, rt) in r.iter().enumerate() {
+        let mut matched = false;
+        if let Some(candidates) = partitions.get(&bound.left_key(rt)) {
+            for &si in candidates {
+                let st = s.tuple(si);
+                // The hash key only covers the equality part of θ; re-check
+                // the full condition for mixed conditions.
+                if !bound.matches(rt, st) {
+                    continue;
+                }
+                if let Some(inter) = rt.interval().intersect(&st.interval()) {
+                    matched = true;
+                    out.push(Window::overlapping(
+                        inter,
+                        ri,
+                        si,
+                        rt.lineage().clone(),
+                        st.lineage().clone(),
+                    ));
+                }
+            }
+        }
+        if !matched {
+            out.push(Window::unmatched(rt.interval(), ri, rt.lineage().clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::booking_relations;
+    use tpdb_storage::{DataType, Schema};
+    use tpdb_temporal::Interval;
+
+    #[test]
+    fn paper_example_overlapping_and_whole_unmatched_windows() {
+        let (a, b, syms) = booking_relations();
+        let theta = ThetaCondition::column_equals("Loc", "Loc");
+        let windows = overlapping_windows(&a, &b, &theta).unwrap();
+
+        // Expected (Fig. 2): overlapping windows w3 = (a1, b3, [4,6)) and
+        // w4 = (a1, b2, [5,8)); unmatched window w2 = (a2, null, [7,10)).
+        // (The remaining unmatched window [2,4) of a1 is produced by LAWAU.)
+        assert_eq!(windows.len(), 3);
+        let overlapping: Vec<&Window> =
+            windows.iter().filter(|w| w.is_overlapping()).collect();
+        assert_eq!(overlapping.len(), 2);
+        assert_eq!(overlapping[0].interval, Interval::new(4, 6));
+        assert_eq!(overlapping[0].lambda_s.as_ref().unwrap().display_with(&syms), "b3");
+        assert_eq!(overlapping[1].interval, Interval::new(5, 8));
+        assert_eq!(overlapping[1].lambda_s.as_ref().unwrap().display_with(&syms), "b2");
+
+        let unmatched: Vec<&Window> = windows.iter().filter(|w| w.is_unmatched()).collect();
+        assert_eq!(unmatched.len(), 1);
+        assert_eq!(unmatched[0].r_idx, 1); // Jim
+        assert_eq!(unmatched[0].interval, Interval::new(7, 10));
+    }
+
+    #[test]
+    fn hash_and_nested_loop_plans_agree() {
+        let (a, b, _) = booking_relations();
+        let theta = ThetaCondition::column_equals("Loc", "Loc");
+        let bound = theta.bind(a.schema(), b.schema()).unwrap();
+        let hash = overlapping_windows_with_plan(&a, &b, &bound, OverlapJoinPlan::Hash);
+        let nl = overlapping_windows_with_plan(&a, &b, &bound, OverlapJoinPlan::NestedLoop);
+        assert_eq!(hash, nl);
+    }
+
+    #[test]
+    fn non_selective_theta_produces_cross_product_windows() {
+        let (a, b, _) = booking_relations();
+        let theta = ThetaCondition::always();
+        let windows = overlapping_windows(&a, &b, &theta).unwrap();
+        // every temporally overlapping pair qualifies:
+        // a1[2,8) x b1[1,4), b2[5,8), b3[4,6)  -> 3 overlapping
+        // a2[7,10) x b2[5,8)                   -> 1 overlapping
+        assert_eq!(windows.iter().filter(|w| w.is_overlapping()).count(), 4);
+        assert_eq!(windows.iter().filter(|w| w.is_unmatched()).count(), 0);
+    }
+
+    #[test]
+    fn temporally_disjoint_tuples_do_not_match() {
+        let (a, b, _) = booking_relations();
+        // Jim [7,10) and hotel3 [1,4) share no time point even under θ=true;
+        // restrict to those two via a condition that only they satisfy.
+        let theta = ThetaCondition::column_equals("Name", "Hotel");
+        let windows = overlapping_windows(&a, &b, &theta).unwrap();
+        assert!(windows.iter().all(|w| w.is_unmatched()));
+        assert_eq!(windows.len(), 2);
+    }
+
+    #[test]
+    fn empty_negative_relation_yields_only_unmatched() {
+        let (a, _, _) = booking_relations();
+        let empty = TpRelation::new(
+            "b",
+            Schema::tp(&[("Hotel", DataType::Str), ("Loc", DataType::Str)]),
+        );
+        let theta = ThetaCondition::column_equals("Loc", "Loc");
+        let windows = overlapping_windows(&a, &empty, &theta).unwrap();
+        assert_eq!(windows.len(), 2);
+        assert!(windows.iter().all(|w| w.is_unmatched()));
+    }
+
+    #[test]
+    fn empty_positive_relation_yields_nothing() {
+        let (_, b, _) = booking_relations();
+        let empty = TpRelation::new(
+            "a",
+            Schema::tp(&[("Name", DataType::Str), ("Loc", DataType::Str)]),
+        );
+        let theta = ThetaCondition::column_equals("Loc", "Loc");
+        let windows = overlapping_windows(&empty, &b, &theta).unwrap();
+        assert!(windows.is_empty());
+    }
+
+    #[test]
+    fn windows_are_grouped_by_r_tuple_and_sorted_by_start() {
+        let (a, b, _) = booking_relations();
+        let theta = ThetaCondition::column_equals("Loc", "Loc");
+        let windows = overlapping_windows(&a, &b, &theta).unwrap();
+        let keys: Vec<(usize, i64)> =
+            windows.iter().map(|w| (w.r_idx, w.interval.start())).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -1,0 +1,293 @@
+//! Temporal-probabilistic set operations.
+//!
+//! The generalized lineage-aware temporal windows of this crate were
+//! introduced as the TP-join counterpart of the window mechanism the same
+//! authors used for *set operations* in temporal-probabilistic databases
+//! (Papaioannou, Theobald, Böhlen — ICDE 2018, reference [1] of the paper).
+//! This module closes the loop and expresses the three TP set operations on
+//! union-compatible relations through the join machinery:
+//!
+//! * **difference** `r ∖ s` — at each time point, the probability that the
+//!   fact is true in `r` and not true in `s`: the TP anti join with θ
+//!   requiring equality on *all* fact attributes;
+//! * **intersection** `r ∩ s` — the fact is true in both: the TP inner join
+//!   with the all-attribute equality condition, projected back to `r`'s
+//!   schema;
+//! * **union** `r ∪ s` — the fact is true in `r` or in `s`: per time point
+//!   the lineage `λr ∨ λs`, assembled from the overlapping, unmatched and
+//!   negating windows of both sides.
+
+use crate::join::{tp_join_with_engine, TpJoinKind};
+use crate::theta::ThetaCondition;
+use crate::window::{Window, WindowKind};
+use crate::{lawan, lawau, overlapping_windows};
+use tpdb_lineage::{Lineage, ProbabilityEngine};
+use tpdb_storage::{Schema, StorageError, TpRelation, TpTuple};
+
+/// Builds the θ condition equating every fact attribute of two
+/// union-compatible relations.
+fn all_columns_equal(r: &TpRelation, s: &TpRelation) -> Result<ThetaCondition, StorageError> {
+    if r.schema().arity() != s.schema().arity() {
+        return Err(StorageError::ArityMismatch {
+            expected: r.schema().arity(),
+            got: s.schema().arity(),
+        });
+    }
+    let mut theta = ThetaCondition::always();
+    for (rf, sf) in r.schema().fields().iter().zip(s.schema().fields()) {
+        theta = theta.and_compare(&rf.name, crate::theta::CompareOp::Eq, &sf.name);
+    }
+    Ok(theta)
+}
+
+/// TP set difference `r ∖Tp s` on union-compatible relations.
+///
+/// The result contains, per fact and time point, the probability that the
+/// fact holds in `r` and does not hold in `s` — i.e. the TP anti join under
+/// all-attribute equality.
+pub fn tp_difference(r: &TpRelation, s: &TpRelation) -> Result<TpRelation, StorageError> {
+    let theta = all_columns_equal(r, s)?;
+    let mut engine = ProbabilityEngine::new();
+    r.register_probabilities(&mut engine);
+    s.register_probabilities(&mut engine);
+    let mut out = tp_join_with_engine(r, s, &theta, TpJoinKind::Anti, &mut engine)?;
+    out = out.renamed(&format!("{}∖{}", r.name(), s.name()));
+    Ok(out)
+}
+
+/// TP set intersection `r ∩Tp s` on union-compatible relations: per fact and
+/// time point, the probability that the fact holds in both relations.
+pub fn tp_intersection(r: &TpRelation, s: &TpRelation) -> Result<TpRelation, StorageError> {
+    let theta = all_columns_equal(r, s)?;
+    let mut engine = ProbabilityEngine::new();
+    r.register_probabilities(&mut engine);
+    s.register_probabilities(&mut engine);
+    let joined = tp_join_with_engine(r, s, &theta, TpJoinKind::Inner, &mut engine)?;
+    // Project back to r's schema (the s-side columns duplicate the facts).
+    let mut out = TpRelation::new(
+        &format!("{}∩{}", r.name(), s.name()),
+        r.schema().clone(),
+    );
+    let arity = r.schema().arity();
+    for t in joined.iter() {
+        out.push_unchecked(TpTuple::new(
+            t.facts()[..arity].to_vec(),
+            t.lineage().clone(),
+            t.interval(),
+            t.probability(),
+        ));
+    }
+    Ok(out)
+}
+
+/// TP set union `r ∪Tp s` on union-compatible relations: per fact and time
+/// point, the probability that the fact holds in `r` **or** in `s`
+/// (lineage `λr ∨ λs` where both are valid, and the single-side lineage
+/// elsewhere).
+pub fn tp_union(r: &TpRelation, s: &TpRelation) -> Result<TpRelation, StorageError> {
+    let theta = all_columns_equal(r, s)?;
+    let mut engine = ProbabilityEngine::new();
+    r.register_probabilities(&mut engine);
+    s.register_probabilities(&mut engine);
+
+    let schema: Schema = r.schema().clone();
+    let mut out = TpRelation::new(&format!("{}∪{}", r.name(), s.name()), schema);
+
+    // Windows of r with respect to s give, per r fact, the sub-intervals
+    // where s is absent (unmatched → λr), present (negating → λr ∨ λs), and
+    // the pairings themselves (overlapping — skipped: the negating windows of
+    // the same group cover the identical sub-intervals and already carry the
+    // full disjunction λs of the matching s tuples).
+    let r_windows = lawan(&lawau(&overlapping_windows(r, s, &theta)?, r));
+    emit_union_side(&r_windows, r, &mut out, &mut engine);
+
+    // Windows of s with respect to r: only the unmatched parts are new; the
+    // overlapping/negating parts were already covered from r's perspective.
+    let flipped = theta.flipped();
+    let s_windows = lawau(&overlapping_windows(s, r, &flipped)?, s);
+    for w in s_windows.iter().filter(|w| w.kind == WindowKind::Unmatched) {
+        let st = s.tuple(w.r_idx);
+        let lineage = w.lambda_r.clone();
+        let probability = engine.probability(&lineage);
+        out.push_unchecked(TpTuple::new(
+            st.facts().to_vec(),
+            lineage,
+            w.interval,
+            probability,
+        ));
+    }
+    Ok(out)
+}
+
+fn emit_union_side(
+    windows: &[Window],
+    positive: &TpRelation,
+    out: &mut TpRelation,
+    engine: &mut ProbabilityEngine,
+) {
+    for w in windows {
+        let lineage = match w.kind {
+            WindowKind::Unmatched => w.lambda_r.clone(),
+            WindowKind::Negating => Lineage::or2(
+                w.lambda_r.clone(),
+                w.lambda_s.clone().expect("negating windows carry λs"),
+            ),
+            WindowKind::Overlapping => continue,
+        };
+        let probability = engine.probability(&lineage);
+        out.push_unchecked(TpTuple::new(
+            positive.tuple(w.r_idx).facts().to_vec(),
+            lineage,
+            w.interval,
+            probability,
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdb_lineage::{SymbolTable, VarId};
+    use tpdb_storage::{DataType, Value};
+    use tpdb_temporal::Interval;
+
+    /// Two union-compatible single-column relations:
+    /// r: (x, [0,10), 0.8), (y, [2,6), 0.5)
+    /// s: (x, [4,8), 0.5), (z, [0,4), 0.9)
+    fn fixtures() -> (TpRelation, TpRelation, SymbolTable) {
+        let mut syms = SymbolTable::new();
+        let mut r = TpRelation::new("r", Schema::tp(&[("k", DataType::Str)]));
+        r.push(TpTuple::new(
+            vec![Value::str("x")],
+            Lineage::var(syms.intern("r1")),
+            Interval::new(0, 10),
+            0.8,
+        ))
+        .unwrap();
+        r.push(TpTuple::new(
+            vec![Value::str("y")],
+            Lineage::var(syms.intern("r2")),
+            Interval::new(2, 6),
+            0.5,
+        ))
+        .unwrap();
+        let mut s = TpRelation::new("s", Schema::tp(&[("k", DataType::Str)]));
+        s.push(TpTuple::new(
+            vec![Value::str("x")],
+            Lineage::var(syms.intern("s1")),
+            Interval::new(4, 8),
+            0.5,
+        ))
+        .unwrap();
+        s.push(TpTuple::new(
+            vec![Value::str("z")],
+            Lineage::var(syms.intern("s2")),
+            Interval::new(0, 4),
+            0.9,
+        ))
+        .unwrap();
+        (r, s, syms)
+    }
+
+    #[test]
+    fn difference_keeps_r_probability_where_s_is_absent() {
+        let (r, s, _) = fixtures();
+        let d = tp_difference(&r, &s).unwrap();
+        // fact x: unmatched over [0,4) and [8,10) with p = 0.8, negated over
+        // [4,8) with p = 0.8 * 0.5 = 0.4; fact y: unmatched over [2,6).
+        let probe = |key: &str, t: i64| -> Option<f64> {
+            d.iter()
+                .find(|tp| tp.fact(0) == &Value::str(key) && tp.valid_at(t))
+                .map(|tp| tp.probability())
+        };
+        assert!((probe("x", 1).unwrap() - 0.8).abs() < 1e-9);
+        assert!((probe("x", 5).unwrap() - 0.4).abs() < 1e-9);
+        assert!((probe("x", 9).unwrap() - 0.8).abs() < 1e-9);
+        assert!((probe("y", 3).unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(probe("z", 2), None, "z only exists in s");
+    }
+
+    #[test]
+    fn intersection_multiplies_probabilities_on_shared_intervals() {
+        let (r, s, _) = fixtures();
+        let i = tp_intersection(&r, &s).unwrap();
+        assert_eq!(i.len(), 1);
+        let t = i.tuple(0);
+        assert_eq!(t.fact(0), &Value::str("x"));
+        assert_eq!(t.interval(), Interval::new(4, 8));
+        assert!((t.probability() - 0.4).abs() < 1e-9);
+        assert_eq!(i.schema().arity(), 1);
+    }
+
+    #[test]
+    fn union_covers_every_point_of_both_inputs_with_or_semantics() {
+        let (r, s, _) = fixtures();
+        let u = tp_union(&r, &s).unwrap();
+        // probability of fact x at t=5: P(r1 ∨ s1) = 1 - 0.2*0.5 = 0.9
+        let x_at_5 = u
+            .iter()
+            .find(|t| t.fact(0) == &Value::str("x") && t.valid_at(5))
+            .unwrap();
+        assert!((x_at_5.probability() - 0.9).abs() < 1e-9);
+        // every point of every input tuple is covered
+        for (rel, key_col) in [(&r, 0usize), (&s, 0usize)] {
+            for tuple in rel.iter() {
+                for t in tuple.interval().points() {
+                    assert!(
+                        u.iter().any(|o| o.fact(key_col) == tuple.fact(0) && o.valid_at(t)),
+                        "point {t} of {:?} not covered by the union",
+                        tuple.fact(0)
+                    );
+                }
+            }
+        }
+        // the union is duplicate-free per fact
+        assert!(tpdb_storage::check_duplicate_free(&u).is_empty());
+    }
+
+    #[test]
+    fn incompatible_schemas_are_rejected() {
+        let (r, _, mut syms) = fixtures();
+        let mut wide = TpRelation::new(
+            "w",
+            Schema::tp(&[("k", DataType::Str), ("extra", DataType::Int)]),
+        );
+        wide.push(TpTuple::new(
+            vec![Value::str("x"), Value::Int(1)],
+            Lineage::var(syms.intern("w1")),
+            Interval::new(0, 2),
+            0.5,
+        ))
+        .unwrap();
+        assert!(tp_difference(&r, &wide).is_err());
+        assert!(tp_intersection(&r, &wide).is_err());
+        assert!(tp_union(&r, &wide).is_err());
+    }
+
+    #[test]
+    fn difference_with_empty_negative_is_identity() {
+        let (r, _, _) = fixtures();
+        let empty = TpRelation::new("s", r.schema().clone());
+        let d = tp_difference(&r, &empty).unwrap();
+        assert_eq!(d.len(), r.len());
+        for (a, b) in d.iter().zip(r.iter()) {
+            assert_eq!(a.interval(), b.interval());
+            assert!((a.probability() - b.probability()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn set_ops_ignore_probability_of_unrelated_vars() {
+        // regression guard: lineage variables from one side must not leak
+        // into the other side's unmatched windows
+        let (r, s, _) = fixtures();
+        let u = tp_union(&r, &s).unwrap();
+        let z = u
+            .iter()
+            .find(|t| t.fact(0) == &Value::str("z"))
+            .expect("z survives the union");
+        assert_eq!(z.lineage().vars().len(), 1);
+        assert!((z.probability() - 0.9).abs() < 1e-9);
+        let _ = VarId(0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the window algebra invariants from Definition 1
+//! and Table I of the paper, on randomized duplicate-free inputs.
+
+use proptest::prelude::*;
+use tpdb_core::{lawan, lawau, overlapping_windows, ThetaCondition, Window, WindowKind};
+use tpdb_lineage::{Lineage, VarId};
+use tpdb_storage::{DataType, Schema, TpRelation, TpTuple, Value};
+use tpdb_temporal::Interval;
+
+/// Builds a duplicate-free single-key relation from raw rows, skipping rows
+/// that would overlap an existing same-key interval.
+fn build(name: &str, var_offset: u32, rows: &[(i64, i64, i64)]) -> TpRelation {
+    let mut rel = TpRelation::new(name, Schema::tp(&[("k", DataType::Int)]));
+    let mut var = var_offset;
+    for (key, start, duration) in rows {
+        let interval = Interval::new(*start, *start + *duration);
+        if rel
+            .iter()
+            .any(|t| t.fact(0) == &Value::Int(*key) && t.interval().overlaps(&interval))
+        {
+            continue;
+        }
+        rel.push(TpTuple::new(
+            vec![Value::Int(*key)],
+            Lineage::var(VarId(var)),
+            interval,
+            0.5,
+        ))
+        .unwrap();
+        var += 1;
+    }
+    rel
+}
+
+fn rows() -> impl Strategy<Value = Vec<(i64, i64, i64)>> {
+    proptest::collection::vec((0i64..5, 0i64..40, 1i64..10), 1..15)
+}
+
+fn all_windows(r: &TpRelation, s: &TpRelation) -> Vec<Window> {
+    let theta = ThetaCondition::column_equals("k", "k");
+    lawan(&lawau(&overlapping_windows(r, s, &theta).unwrap(), r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Unmatched and negating windows of one r tuple partition its interval:
+    /// every time point of the tuple is covered by exactly one of them.
+    #[test]
+    fn unmatched_and_negating_partition_each_positive_tuple(rr in rows(), ss in rows()) {
+        let r = build("r", 0, &rr);
+        let s = build("s", 1000, &ss);
+        let windows = all_windows(&r, &s);
+        for (ri, rt) in r.iter().enumerate() {
+            for t in rt.interval().points() {
+                let covering = windows
+                    .iter()
+                    .filter(|w| w.r_idx == ri && w.kind != WindowKind::Overlapping && w.interval.contains_point(t))
+                    .count();
+                prop_assert_eq!(covering, 1, "time point {} of r tuple {} covered {} times", t, ri, covering);
+            }
+        }
+    }
+
+    /// A time point lies in a negating window of an r tuple iff some
+    /// θ-matching s tuple is valid there; it lies in an unmatched window iff
+    /// none is (Table I).
+    #[test]
+    fn window_kinds_reflect_matching_validity(rr in rows(), ss in rows()) {
+        let r = build("r", 0, &rr);
+        let s = build("s", 1000, &ss);
+        let windows = all_windows(&r, &s);
+        for (ri, rt) in r.iter().enumerate() {
+            for t in rt.interval().points() {
+                let any_match = s
+                    .iter()
+                    .any(|st| st.valid_at(t) && st.fact(0) == rt.fact(0));
+                let in_negating = windows.iter().any(|w| {
+                    w.r_idx == ri && w.kind == WindowKind::Negating && w.interval.contains_point(t)
+                });
+                let in_unmatched = windows.iter().any(|w| {
+                    w.r_idx == ri && w.kind == WindowKind::Unmatched && w.interval.contains_point(t)
+                });
+                prop_assert_eq!(any_match, in_negating);
+                prop_assert_eq!(!any_match, in_unmatched);
+            }
+        }
+    }
+
+    /// λs of a negating window is exactly the disjunction of the lineages of
+    /// the θ-matching s tuples valid over the window (checked at every
+    /// point: the set of variables never changes within the window, which is
+    /// the maximality condition of Definition 1).
+    #[test]
+    fn negating_lambda_s_is_the_disjunction_of_valid_matches(rr in rows(), ss in rows()) {
+        let r = build("r", 0, &rr);
+        let s = build("s", 1000, &ss);
+        let windows = all_windows(&r, &s);
+        for w in windows.iter().filter(|w| w.kind == WindowKind::Negating) {
+            let rt = r.tuple(w.r_idx);
+            let expected_vars: std::collections::BTreeSet<_> = s
+                .iter()
+                .filter(|st| st.fact(0) == rt.fact(0) && st.interval().contains(&w.interval))
+                .flat_map(|st| st.lineage().vars())
+                .collect();
+            prop_assert_eq!(w.lambda_s.as_ref().unwrap().vars(), expected_vars);
+            for t in w.interval.points() {
+                let vars_at_t: std::collections::BTreeSet<_> = s
+                    .iter()
+                    .filter(|st| st.fact(0) == rt.fact(0) && st.valid_at(t))
+                    .flat_map(|st| st.lineage().vars())
+                    .collect();
+                prop_assert_eq!(&vars_at_t, &w.lambda_s.as_ref().unwrap().vars());
+            }
+        }
+    }
+
+    /// Overlapping windows are exactly the pairwise intersections of
+    /// θ-matching tuples.
+    #[test]
+    fn overlapping_windows_enumerate_matching_pairs(rr in rows(), ss in rows()) {
+        let r = build("r", 0, &rr);
+        let s = build("s", 1000, &ss);
+        let windows = all_windows(&r, &s);
+        let mut expected = 0usize;
+        for rt in r.iter() {
+            for st in s.iter() {
+                if rt.fact(0) == st.fact(0) && rt.interval().overlaps(&st.interval()) {
+                    expected += 1;
+                }
+            }
+        }
+        let actual = windows.iter().filter(|w| w.kind == WindowKind::Overlapping).count();
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Windows never extend past the validity interval of their positive
+    /// tuple, and negating/unmatched windows of the same tuple never overlap
+    /// each other (maximality ⇒ disjointness).
+    #[test]
+    fn windows_are_bounded_and_disjoint_per_tuple(rr in rows(), ss in rows()) {
+        let r = build("r", 0, &rr);
+        let s = build("s", 1000, &ss);
+        let windows = all_windows(&r, &s);
+        for w in &windows {
+            prop_assert!(r.tuple(w.r_idx).interval().contains(&w.interval));
+        }
+        for kind in [WindowKind::Unmatched, WindowKind::Negating] {
+            for (ri, _) in r.iter().enumerate() {
+                let of_kind: Vec<&Window> = windows
+                    .iter()
+                    .filter(|w| w.r_idx == ri && w.kind == kind)
+                    .collect();
+                for (i, w1) in of_kind.iter().enumerate() {
+                    for w2 in of_kind.iter().skip(i + 1) {
+                        prop_assert!(!w1.interval.overlaps(&w2.interval));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! The running example of the paper (Fig. 1).
+
+use tpdb_lineage::{Lineage, SymbolTable};
+use tpdb_storage::{DataType, Schema, TpRelation, TpTuple, Value};
+use tpdb_temporal::Interval;
+
+/// Builds the booking-website example of Fig. 1: relation `a`
+/// (*wantsToVisit*) with tuples `a1`, `a2` and relation `b`
+/// (*hotelAvailability*) with tuples `b1`, `b2`, `b3`.
+///
+/// ```
+/// let (a, b) = tpdb_datagen::booking_example();
+/// assert_eq!(a.len(), 2);
+/// assert_eq!(b.len(), 3);
+/// ```
+#[must_use]
+pub fn booking_example() -> (TpRelation, TpRelation) {
+    let mut syms = SymbolTable::new();
+    let mut a = TpRelation::new(
+        "a",
+        Schema::tp(&[("Name", DataType::Str), ("Loc", DataType::Str)]),
+    );
+    let rows_a = [
+        ("Ann", "ZAK", (2, 8), 0.7),
+        ("Jim", "WEN", (7, 10), 0.8),
+    ];
+    for (i, (name, loc, iv, p)) in rows_a.iter().enumerate() {
+        let var = syms.intern(&format!("a{}", i + 1));
+        a.push(TpTuple::new(
+            vec![Value::str(name), Value::str(loc)],
+            Lineage::var(var),
+            Interval::new(iv.0, iv.1),
+            *p,
+        ))
+        .expect("static example rows are valid");
+    }
+
+    let mut b = TpRelation::new(
+        "b",
+        Schema::tp(&[("Hotel", DataType::Str), ("Loc", DataType::Str)]),
+    );
+    let rows_b = [
+        ("hotel3", "SOR", (1, 4), 0.9),
+        ("hotel2", "ZAK", (5, 8), 0.6),
+        ("hotel1", "ZAK", (4, 6), 0.7),
+    ];
+    for (i, (hotel, loc, iv, p)) in rows_b.iter().enumerate() {
+        let var = syms.intern(&format!("b{}", i + 1));
+        b.push(TpTuple::new(
+            vec![Value::str(hotel), Value::str(loc)],
+            Lineage::var(var),
+            Interval::new(iv.0, iv.1),
+            *p,
+        ))
+        .expect("static example rows are valid");
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdb_storage::check_duplicate_free;
+
+    #[test]
+    fn example_matches_fig_1a() {
+        let (a, b) = booking_example();
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a.tuple(0).fact(0), &Value::str("Ann"));
+        assert_eq!(a.tuple(0).interval(), Interval::new(2, 8));
+        assert!((a.tuple(0).probability() - 0.7).abs() < 1e-12);
+        assert_eq!(b.tuple(2).fact(0), &Value::str("hotel1"));
+        assert_eq!(b.tuple(2).interval(), Interval::new(4, 6));
+    }
+
+    #[test]
+    fn example_relations_are_duplicate_free() {
+        let (a, b) = booking_example();
+        assert!(check_duplicate_free(&a).is_empty());
+        assert!(check_duplicate_free(&b).is_empty());
+    }
+}

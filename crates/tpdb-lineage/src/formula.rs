@@ -1,0 +1,496 @@
+//! Lineage formula representation.
+
+use crate::symbols::{SymbolTable, VarId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A node of a lineage formula.
+///
+/// `And`/`Or` are n-ary (flattened) to keep the formulas produced by window
+/// grouping shallow: the negating window `a1 ∧ ¬(b3 ∨ b2 ∨ b7)` is two levels
+/// deep no matter how many negative tuples participate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineageNode {
+    /// The formula that is true in every possible world.
+    True,
+    /// The formula that is false in every possible world.
+    False,
+    /// A base-tuple variable.
+    Var(VarId),
+    /// Negation of a sub-formula.
+    Not(Lineage),
+    /// Conjunction of at least two sub-formulas.
+    And(Vec<Lineage>),
+    /// Disjunction of at least two sub-formulas.
+    Or(Vec<Lineage>),
+}
+
+/// Order-preserving duplicate elimination used when flattening `And`/`Or`
+/// operand lists. Windows over wide groups (e.g. the Meteo workload) build
+/// disjunctions with hundreds of operands, so membership checks go through a
+/// hash set instead of a linear scan.
+struct Deduper {
+    ordered: Vec<Lineage>,
+    seen: std::collections::HashSet<Lineage>,
+}
+
+impl Deduper {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ordered: Vec::with_capacity(capacity),
+            seen: std::collections::HashSet::with_capacity(capacity),
+        }
+    }
+
+    fn push(&mut self, lineage: Lineage) {
+        if self.seen.insert(lineage.clone()) {
+            self.ordered.push(lineage);
+        }
+    }
+
+    fn into_vec(self) -> Vec<Lineage> {
+        self.ordered
+    }
+}
+
+/// An immutable, cheaply clonable lineage formula.
+///
+/// Lineages are shared via [`Arc`]; cloning a lineage or embedding it in a
+/// larger formula never copies the underlying tree. This is what allows the
+/// window algorithms to keep per-relation lineages "decoupled until the
+/// formation of output tuples" without any materialization cost.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lineage(Arc<LineageNode>);
+
+impl Lineage {
+    // ----- constructors -------------------------------------------------
+
+    /// The constant-true lineage.
+    #[must_use]
+    pub fn tru() -> Self {
+        Lineage(Arc::new(LineageNode::True))
+    }
+
+    /// The constant-false lineage.
+    #[must_use]
+    pub fn fls() -> Self {
+        Lineage(Arc::new(LineageNode::False))
+    }
+
+    /// An atomic lineage: a single base-tuple variable.
+    #[must_use]
+    pub fn var(v: VarId) -> Self {
+        Lineage(Arc::new(LineageNode::Var(v)))
+    }
+
+    /// Negation with structural simplification:
+    /// `¬true = false`, `¬false = true`, `¬¬φ = φ`.
+    #[must_use]
+    pub fn not(operand: Lineage) -> Self {
+        match operand.node() {
+            LineageNode::True => Self::fls(),
+            LineageNode::False => Self::tru(),
+            LineageNode::Not(inner) => inner.clone(),
+            _ => Lineage(Arc::new(LineageNode::Not(operand))),
+        }
+    }
+
+    /// N-ary conjunction with flattening, unit elimination and
+    /// deduplication. `and([])` is `true`; a conjunction containing `false`
+    /// collapses to `false`.
+    #[must_use]
+    pub fn and(operands: Vec<Lineage>) -> Self {
+        let mut flat = Deduper::with_capacity(operands.len());
+        for op in operands {
+            match op.node() {
+                LineageNode::True => {}
+                LineageNode::False => return Self::fls(),
+                LineageNode::And(children) => {
+                    for c in children {
+                        flat.push(c.clone());
+                    }
+                }
+                _ => flat.push(op),
+            }
+        }
+        let mut flat = flat.into_vec();
+        match flat.len() {
+            0 => Self::tru(),
+            1 => flat.pop().expect("len checked"),
+            _ => Lineage(Arc::new(LineageNode::And(flat))),
+        }
+    }
+
+    /// N-ary disjunction with flattening, unit elimination and
+    /// deduplication. `or([])` is `false`; a disjunction containing `true`
+    /// collapses to `true`.
+    #[must_use]
+    pub fn or(operands: Vec<Lineage>) -> Self {
+        let mut flat = Deduper::with_capacity(operands.len());
+        for op in operands {
+            match op.node() {
+                LineageNode::False => {}
+                LineageNode::True => return Self::tru(),
+                LineageNode::Or(children) => {
+                    for c in children {
+                        flat.push(c.clone());
+                    }
+                }
+                _ => flat.push(op),
+            }
+        }
+        let mut flat = flat.into_vec();
+        match flat.len() {
+            0 => Self::fls(),
+            1 => flat.pop().expect("len checked"),
+            _ => Lineage(Arc::new(LineageNode::Or(flat))),
+        }
+    }
+
+    /// Binary conjunction convenience wrapper.
+    #[must_use]
+    pub fn and2(a: Lineage, b: Lineage) -> Self {
+        Self::and(vec![a, b])
+    }
+
+    /// Binary disjunction convenience wrapper.
+    #[must_use]
+    pub fn or2(a: Lineage, b: Lineage) -> Self {
+        Self::or(vec![a, b])
+    }
+
+    // ----- the paper's lineage concatenation functions -------------------
+
+    /// The `and` concatenation function used for overlapping windows:
+    /// `λr ∧ λs`.
+    #[must_use]
+    pub fn and_concat(lambda_r: &Lineage, lambda_s: &Lineage) -> Self {
+        Self::and2(lambda_r.clone(), lambda_s.clone())
+    }
+
+    /// The `andNot` concatenation function used for negating windows:
+    /// `λr ∧ ¬λs`.
+    #[must_use]
+    pub fn and_not_concat(lambda_r: &Lineage, lambda_s: &Lineage) -> Self {
+        Self::and2(lambda_r.clone(), Self::not(lambda_s.clone()))
+    }
+
+    // ----- inspection ----------------------------------------------------
+
+    /// The root node of the formula.
+    #[must_use]
+    pub fn node(&self) -> &LineageNode {
+        &self.0
+    }
+
+    /// Is this the constant-true formula?
+    #[must_use]
+    pub fn is_true(&self) -> bool {
+        matches!(self.node(), LineageNode::True)
+    }
+
+    /// Is this the constant-false formula?
+    #[must_use]
+    pub fn is_false(&self) -> bool {
+        matches!(self.node(), LineageNode::False)
+    }
+
+    /// The set of variables mentioned anywhere in the formula.
+    #[must_use]
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<VarId>) {
+        match self.node() {
+            LineageNode::True | LineageNode::False => {}
+            LineageNode::Var(v) => {
+                out.insert(*v);
+            }
+            LineageNode::Not(c) => c.collect_vars(out),
+            LineageNode::And(cs) | LineageNode::Or(cs) => {
+                for c in cs {
+                    c.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the formula tree (a rough complexity measure used
+    /// by tests and the ablation benchmarks).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self.node() {
+            LineageNode::True | LineageNode::False | LineageNode::Var(_) => 1,
+            LineageNode::Not(c) => 1 + c.size(),
+            LineageNode::And(cs) | LineageNode::Or(cs) => {
+                1 + cs.iter().map(Lineage::size).sum::<usize>()
+            }
+        }
+    }
+
+    // ----- semantics ------------------------------------------------------
+
+    /// Evaluates the formula in the possible world described by
+    /// `assignment`.
+    pub fn evaluate<F: Fn(VarId) -> bool + Copy>(&self, assignment: F) -> bool {
+        match self.node() {
+            LineageNode::True => true,
+            LineageNode::False => false,
+            LineageNode::Var(v) => assignment(*v),
+            LineageNode::Not(c) => !c.evaluate(assignment),
+            LineageNode::And(cs) => cs.iter().all(|c| c.evaluate(assignment)),
+            LineageNode::Or(cs) => cs.iter().any(|c| c.evaluate(assignment)),
+        }
+    }
+
+    /// Conditions the formula on `var = value` (Shannon cofactor), applying
+    /// the usual structural simplifications.
+    #[must_use]
+    pub fn condition(&self, var: VarId, value: bool) -> Lineage {
+        match self.node() {
+            LineageNode::True | LineageNode::False => self.clone(),
+            LineageNode::Var(v) => {
+                if *v == var {
+                    if value {
+                        Self::tru()
+                    } else {
+                        Self::fls()
+                    }
+                } else {
+                    self.clone()
+                }
+            }
+            LineageNode::Not(c) => Self::not(c.condition(var, value)),
+            LineageNode::And(cs) => {
+                Self::and(cs.iter().map(|c| c.condition(var, value)).collect())
+            }
+            LineageNode::Or(cs) => Self::or(cs.iter().map(|c| c.condition(var, value)).collect()),
+        }
+    }
+
+    /// Renders the formula with the names from `syms` (falling back to the
+    /// raw variable id when a name is unknown).
+    #[must_use]
+    pub fn display_with(&self, syms: &SymbolTable) -> String {
+        fn go(l: &Lineage, syms: &SymbolTable, out: &mut String, parent_prec: u8) {
+            // precedences: Or = 1, And = 2, Not/atom = 3
+            match l.node() {
+                LineageNode::True => out.push('⊤'),
+                LineageNode::False => out.push('⊥'),
+                LineageNode::Var(v) => match syms.name(*v) {
+                    Some(n) => out.push_str(n),
+                    None => out.push_str(&v.to_string()),
+                },
+                LineageNode::Not(c) => {
+                    out.push('¬');
+                    go(c, syms, out, 3);
+                }
+                LineageNode::And(cs) => {
+                    let need_paren = parent_prec > 2;
+                    if need_paren {
+                        out.push('(');
+                    }
+                    for (i, c) in cs.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(" ∧ ");
+                        }
+                        go(c, syms, out, 2);
+                    }
+                    if need_paren {
+                        out.push(')');
+                    }
+                }
+                LineageNode::Or(cs) => {
+                    let need_paren = parent_prec > 1;
+                    if need_paren {
+                        out.push('(');
+                    }
+                    for (i, c) in cs.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(" ∨ ");
+                        }
+                        go(c, syms, out, 1);
+                    }
+                    if need_paren {
+                        out.push(')');
+                    }
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, syms, &mut s, 0);
+        s
+    }
+}
+
+impl fmt::Display for Lineage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(&SymbolTable::new()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(i: u32) -> Lineage {
+        Lineage::var(VarId(i))
+    }
+
+    #[test]
+    fn constants_and_atoms() {
+        assert!(Lineage::tru().is_true());
+        assert!(Lineage::fls().is_false());
+        assert!(!v(0).is_true());
+        assert_eq!(v(3).vars().into_iter().collect::<Vec<_>>(), vec![VarId(3)]);
+    }
+
+    #[test]
+    fn not_simplifications() {
+        assert!(Lineage::not(Lineage::tru()).is_false());
+        assert!(Lineage::not(Lineage::fls()).is_true());
+        assert_eq!(Lineage::not(Lineage::not(v(1))), v(1));
+    }
+
+    #[test]
+    fn and_simplifications() {
+        assert!(Lineage::and(vec![]).is_true());
+        assert_eq!(Lineage::and(vec![v(1)]), v(1));
+        assert!(Lineage::and(vec![v(1), Lineage::fls()]).is_false());
+        assert_eq!(Lineage::and(vec![v(1), Lineage::tru()]), v(1));
+        // flattening and dedup
+        let nested = Lineage::and(vec![Lineage::and(vec![v(1), v(2)]), v(2), v(3)]);
+        match nested.node() {
+            LineageNode::And(cs) => assert_eq!(cs.len(), 3),
+            other => panic!("expected And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn or_simplifications() {
+        assert!(Lineage::or(vec![]).is_false());
+        assert_eq!(Lineage::or(vec![v(1)]), v(1));
+        assert!(Lineage::or(vec![v(1), Lineage::tru()]).is_true());
+        assert_eq!(Lineage::or(vec![v(1), Lineage::fls()]), v(1));
+        let nested = Lineage::or(vec![Lineage::or(vec![v(1), v(2)]), v(1)]);
+        match nested.node() {
+            LineageNode::Or(cs) => assert_eq!(cs.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concat_functions_match_paper_shapes() {
+        let mut syms = SymbolTable::new();
+        let a1 = syms.intern("a1");
+        let b2 = syms.intern("b2");
+        let b3 = syms.intern("b3");
+
+        let overlap = Lineage::and_concat(&Lineage::var(a1), &Lineage::var(b3));
+        assert_eq!(overlap.display_with(&syms), "a1 ∧ b3");
+
+        let neg = Lineage::and_not_concat(
+            &Lineage::var(a1),
+            &Lineage::or(vec![Lineage::var(b3), Lineage::var(b2)]),
+        );
+        assert_eq!(neg.display_with(&syms), "a1 ∧ ¬(b3 ∨ b2)");
+    }
+
+    #[test]
+    fn evaluate_respects_boolean_semantics() {
+        let f = Lineage::and2(v(0), Lineage::not(Lineage::or2(v(1), v(2))));
+        // true only when x0=1, x1=0, x2=0
+        let worlds = [
+            ([true, false, false], true),
+            ([true, true, false], false),
+            ([true, false, true], false),
+            ([false, false, false], false),
+        ];
+        for (w, expected) in worlds {
+            assert_eq!(f.evaluate(|v| w[v.index() as usize]), expected);
+        }
+    }
+
+    #[test]
+    fn condition_produces_cofactors() {
+        let f = Lineage::and2(v(0), Lineage::or2(v(1), v(2)));
+        assert_eq!(f.condition(VarId(0), false), Lineage::fls());
+        assert_eq!(f.condition(VarId(0), true), Lineage::or2(v(1), v(2)));
+        assert_eq!(f.condition(VarId(1), true), v(0));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let f = Lineage::and2(v(0), Lineage::not(Lineage::or2(v(1), v(2))));
+        // And(Var, Not(Or(Var, Var))) = 1 + 1 + (1 + (1 + 1 + 1)) = 6
+        assert_eq!(f.size(), 6);
+    }
+
+    #[test]
+    fn display_uses_symbols_and_falls_back_to_ids() {
+        let mut syms = SymbolTable::new();
+        let a1 = syms.intern("a1");
+        let f = Lineage::and2(Lineage::var(a1), Lineage::var(VarId(42)));
+        assert_eq!(f.display_with(&syms), "a1 ∧ x42");
+    }
+
+    // ---- property tests -------------------------------------------------
+
+    fn arb_lineage() -> impl Strategy<Value = Lineage> {
+        let leaf = prop_oneof![
+            (0u32..6).prop_map(|i| Lineage::var(VarId(i))),
+            Just(Lineage::tru()),
+            Just(Lineage::fls()),
+        ];
+        leaf.prop_recursive(4, 32, 4, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Lineage::not),
+                proptest::collection::vec(inner.clone(), 2..4).prop_map(Lineage::and),
+                proptest::collection::vec(inner, 2..4).prop_map(Lineage::or),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_double_negation_preserves_semantics(f in arb_lineage(), world in proptest::collection::vec(any::<bool>(), 6)) {
+            let g = Lineage::not(Lineage::not(f.clone()));
+            let assign = |v: VarId| world[v.index() as usize];
+            prop_assert_eq!(f.evaluate(assign), g.evaluate(assign));
+        }
+
+        #[test]
+        fn prop_condition_agrees_with_evaluation(f in arb_lineage(), world in proptest::collection::vec(any::<bool>(), 6), var in 0u32..6) {
+            let var = VarId(var);
+            let value = world[var.index() as usize];
+            let cofactor = f.condition(var, value);
+            let assign = |v: VarId| world[v.index() as usize];
+            prop_assert_eq!(f.evaluate(assign), cofactor.evaluate(assign));
+            // the cofactor no longer depends on `var`
+            prop_assert!(!cofactor.vars().contains(&var));
+        }
+
+        #[test]
+        fn prop_de_morgan(f in arb_lineage(), g in arb_lineage(), world in proptest::collection::vec(any::<bool>(), 6)) {
+            let assign = |v: VarId| world[v.index() as usize];
+            let lhs = Lineage::not(Lineage::and2(f.clone(), g.clone()));
+            let rhs = Lineage::or2(Lineage::not(f), Lineage::not(g));
+            prop_assert_eq!(lhs.evaluate(assign), rhs.evaluate(assign));
+        }
+
+        #[test]
+        fn prop_constructors_preserve_semantics(fs in proptest::collection::vec(arb_lineage(), 0..4), world in proptest::collection::vec(any::<bool>(), 6)) {
+            let assign = |v: VarId| world[v.index() as usize];
+            let and = Lineage::and(fs.clone());
+            let or = Lineage::or(fs.clone());
+            prop_assert_eq!(and.evaluate(assign), fs.iter().all(|f| f.evaluate(assign)));
+            prop_assert_eq!(or.evaluate(assign), fs.iter().any(|f| f.evaluate(assign)));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! # tpdb-lineage
+//!
+//! Boolean lineage formulas and exact probability computation for
+//! probabilistic databases.
+//!
+//! In a temporal-probabilistic (TP) database every base tuple is annotated
+//! with a boolean random variable and a marginal probability. Derived tuples
+//! carry a *lineage*: a boolean formula over those variables describing in
+//! which possible worlds the derived tuple exists. The probability of a
+//! derived tuple is the probability that its lineage evaluates to `true`.
+//!
+//! This crate implements
+//!
+//! * the lineage formula representation ([`Lineage`]) with structural
+//!   simplification,
+//! * the lineage concatenation functions used when forming output tuples
+//!   from generalized lineage-aware temporal windows — [`and_concat`],
+//!   [`and_not_concat`] and [`pass_through`] (Section II of the paper),
+//! * exact probability computation ([`ProbabilityEngine`]) using
+//!   independence-based decomposition with a Shannon-expansion fallback,
+//! * a [`SymbolTable`] mapping human-readable base-tuple names (`a1`, `b3`,
+//!   ...) to variable identifiers.
+//!
+//! ## Example
+//!
+//! ```
+//! use tpdb_lineage::{Lineage, ProbabilityEngine, SymbolTable};
+//!
+//! let mut syms = SymbolTable::new();
+//! let a1 = syms.intern("a1");
+//! let b2 = syms.intern("b2");
+//! let b3 = syms.intern("b3");
+//!
+//! // λ = a1 ∧ ¬(b3 ∨ b2): "Ann wants to visit ZAK and no hotel is available"
+//! let lambda = Lineage::and_not_concat(
+//!     &Lineage::var(a1),
+//!     &Lineage::or(vec![Lineage::var(b3), Lineage::var(b2)]),
+//! );
+//!
+//! let mut engine = ProbabilityEngine::new();
+//! engine.set(a1, 0.7);
+//! engine.set(b2, 0.6);
+//! engine.set(b3, 0.7);
+//! let p = engine.probability(&lambda);
+//! assert!((p - 0.084).abs() < 1e-9); // matches Fig. 1b of the paper
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod formula;
+mod prob;
+mod symbols;
+
+pub use formula::{Lineage, LineageNode};
+pub use prob::{ProbabilityEngine, ProbabilityError};
+pub use symbols::{SymbolTable, VarId};
+
+/// Lineage concatenation for overlapping windows: `λr ∧ λs`.
+///
+/// Convenience free function mirroring the paper's `and` concatenation
+/// function; equivalent to [`Lineage::and_concat`].
+#[must_use]
+pub fn and_concat(lambda_r: &Lineage, lambda_s: &Lineage) -> Lineage {
+    Lineage::and_concat(lambda_r, lambda_s)
+}
+
+/// Lineage concatenation for negating windows: `λr ∧ ¬λs`.
+///
+/// Convenience free function mirroring the paper's `andNot` concatenation
+/// function; equivalent to [`Lineage::and_not_concat`].
+#[must_use]
+pub fn and_not_concat(lambda_r: &Lineage, lambda_s: &Lineage) -> Lineage {
+    Lineage::and_not_concat(lambda_r, lambda_s)
+}
+
+/// Lineage concatenation for unmatched windows: only `λr` is passed on.
+#[must_use]
+pub fn pass_through(lambda_r: &Lineage) -> Lineage {
+    lambda_r.clone()
+}

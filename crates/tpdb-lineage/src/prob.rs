@@ -1,0 +1,504 @@
+//! Exact probability computation for lineage formulas.
+
+use crate::formula::{Lineage, LineageNode};
+use crate::symbols::VarId;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Errors produced by the probability engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProbabilityError {
+    /// A variable occurring in the formula has no registered probability.
+    MissingVariable(VarId),
+    /// A probability outside `[0, 1]` was supplied.
+    OutOfRange(f64),
+}
+
+impl fmt::Display for ProbabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbabilityError::MissingVariable(v) => {
+                write!(f, "no probability registered for variable {v}")
+            }
+            ProbabilityError::OutOfRange(p) => {
+                write!(f, "probability {p} is outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbabilityError {}
+
+/// Exact probability computation under tuple independence.
+///
+/// Base tuples of a TP database are independent boolean random variables;
+/// the probability of a derived tuple is `Pr(λ)` for its lineage `λ`. The
+/// engine computes this exactly:
+///
+/// 1. structural cases (`true`, `false`, variables, negation),
+/// 2. *independent decomposition*: the children of an `And`/`Or` are grouped
+///    into connected components over shared variables; distinct components
+///    are mutually independent, so their probabilities combine by
+///    multiplication (`And`) or inclusion-exclusion on the complement (`Or`),
+/// 3. a *Shannon expansion* fallback for components whose children share
+///    variables, expanding on the most frequent variable and memoizing
+///    intermediate results.
+///
+/// The lineages produced by TP joins with negation are of the shapes
+/// `λr ∧ λs`, `λr`, and `λr ∧ ¬(s₁ ∨ s₂ ∨ …)` over *distinct base tuples*,
+/// so in practice the decomposition path answers almost every query without
+/// expansion; the Shannon fallback keeps the engine exact for arbitrarily
+/// correlated lineages (e.g. after self-joins).
+#[derive(Debug, Clone, Default)]
+pub struct ProbabilityEngine {
+    probs: HashMap<VarId, f64>,
+    memo: HashMap<Lineage, f64>,
+    /// Counts Shannon expansions performed (exposed for the ablation bench).
+    expansions: u64,
+    /// When true, the decomposition shortcuts are disabled and every
+    /// compound formula goes through Shannon expansion. Only used by the
+    /// ablation experiment; keeps results identical, only slower.
+    force_shannon: bool,
+}
+
+impl ProbabilityEngine {
+    /// Creates an engine with no registered variables.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or overwrites) the marginal probability of a variable.
+    ///
+    /// # Panics
+    /// Panics if `p` is not within `[0, 1]`. Use [`ProbabilityEngine::try_set`]
+    /// for a fallible variant.
+    pub fn set(&mut self, var: VarId, p: f64) {
+        self.try_set(var, p).expect("probability must be in [0, 1]");
+    }
+
+    /// Registers the marginal probability of a variable, validating range.
+    pub fn try_set(&mut self, var: VarId, p: f64) -> Result<(), ProbabilityError> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(ProbabilityError::OutOfRange(p));
+        }
+        self.probs.insert(var, p);
+        self.memo.clear();
+        Ok(())
+    }
+
+    /// The registered probability of a variable.
+    #[must_use]
+    pub fn get(&self, var: VarId) -> Option<f64> {
+        self.probs.get(&var).copied()
+    }
+
+    /// Number of registered variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// Is the engine empty (no variables registered)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// Number of Shannon expansions performed so far.
+    #[must_use]
+    pub fn expansions(&self) -> u64 {
+        self.expansions
+    }
+
+    /// Disables the independence-decomposition shortcuts (ablation only).
+    pub fn set_force_shannon(&mut self, force: bool) {
+        self.force_shannon = force;
+        self.memo.clear();
+    }
+
+    /// Computes `Pr(λ)`.
+    ///
+    /// # Panics
+    /// Panics if a variable of `λ` has no registered probability. Use
+    /// [`ProbabilityEngine::try_probability`] for a fallible variant.
+    #[must_use]
+    pub fn probability(&mut self, lineage: &Lineage) -> f64 {
+        self.try_probability(lineage)
+            .expect("all lineage variables must have probabilities")
+    }
+
+    /// Computes `Pr(λ)`, reporting missing variables as errors.
+    pub fn try_probability(&mut self, lineage: &Lineage) -> Result<f64, ProbabilityError> {
+        for v in lineage.vars() {
+            if !self.probs.contains_key(&v) {
+                return Err(ProbabilityError::MissingVariable(v));
+            }
+        }
+        Ok(self.prob_rec(lineage))
+    }
+
+    fn prob_rec(&mut self, f: &Lineage) -> f64 {
+        match f.node() {
+            LineageNode::True => return 1.0,
+            LineageNode::False => return 0.0,
+            LineageNode::Var(v) => return self.probs[v],
+            LineageNode::Not(c) => return 1.0 - self.prob_rec(c),
+            _ => {}
+        }
+        if let Some(&p) = self.memo.get(f) {
+            return p;
+        }
+        let p = if self.force_shannon {
+            self.shannon(f)
+        } else {
+            match f.node() {
+                LineageNode::And(children) => self.prob_nary(children, true),
+                LineageNode::Or(children) => self.prob_nary(children, false),
+                _ => unreachable!("handled above"),
+            }
+        };
+        self.memo.insert(f.clone(), p);
+        p
+    }
+
+    /// Probability of an n-ary conjunction (`is_and`) or disjunction.
+    fn prob_nary(&mut self, children: &[Lineage], is_and: bool) -> f64 {
+        // Group children into connected components over shared variables.
+        let groups = connected_components(children);
+        let mut acc = 1.0;
+        for group in groups {
+            let p_group = if group.len() == 1 {
+                self.prob_rec(&children[group[0]])
+            } else {
+                // children in this group share variables: expand the joint
+                // sub-formula with Shannon.
+                let subs: Vec<Lineage> = group.iter().map(|&i| children[i].clone()).collect();
+                let joint = if is_and {
+                    Lineage::and(subs)
+                } else {
+                    Lineage::or(subs)
+                };
+                self.shannon(&joint)
+            };
+            if is_and {
+                acc *= p_group;
+            } else {
+                acc *= 1.0 - p_group;
+            }
+        }
+        if is_and {
+            acc
+        } else {
+            1.0 - acc
+        }
+    }
+
+    /// Shannon expansion on the most frequent variable.
+    fn shannon(&mut self, f: &Lineage) -> f64 {
+        match f.node() {
+            LineageNode::True => return 1.0,
+            LineageNode::False => return 0.0,
+            LineageNode::Var(v) => return self.probs[v],
+            LineageNode::Not(c) => return 1.0 - self.shannon(c),
+            _ => {}
+        }
+        if let Some(&p) = self.memo.get(f) {
+            return p;
+        }
+        let var = most_frequent_var(f).expect("compound formula must mention a variable");
+        self.expansions += 1;
+        let p_var = self.probs[&var];
+        let pos = f.condition(var, true);
+        let neg = f.condition(var, false);
+        let p = p_var * self.shannon_or_decompose(&pos) + (1.0 - p_var) * self.shannon_or_decompose(&neg);
+        self.memo.insert(f.clone(), p);
+        p
+    }
+
+    /// After conditioning, the cofactor frequently becomes decomposable
+    /// again; route it through the main recursion unless the ablation flag
+    /// forces pure Shannon.
+    fn shannon_or_decompose(&mut self, f: &Lineage) -> f64 {
+        if self.force_shannon {
+            self.shannon(f)
+        } else {
+            self.prob_rec(f)
+        }
+    }
+
+    /// Exact probability by enumerating all assignments of the formula's
+    /// variables. Exponential; intended only for tests and documentation.
+    pub fn probability_by_enumeration(
+        &self,
+        lineage: &Lineage,
+    ) -> Result<f64, ProbabilityError> {
+        let vars: Vec<VarId> = lineage.vars().into_iter().collect();
+        for v in &vars {
+            if !self.probs.contains_key(v) {
+                return Err(ProbabilityError::MissingVariable(*v));
+            }
+        }
+        assert!(vars.len() <= 24, "enumeration is only meant for small formulas");
+        let mut total = 0.0;
+        for mask in 0u64..(1u64 << vars.len()) {
+            let assignment =
+                |v: VarId| vars.iter().position(|x| *x == v).map(|i| mask & (1 << i) != 0).unwrap_or(false);
+            if lineage.evaluate(assignment) {
+                let mut w = 1.0;
+                for (i, v) in vars.iter().enumerate() {
+                    let p = self.probs[v];
+                    w *= if mask & (1 << i) != 0 { p } else { 1.0 - p };
+                }
+                total += w;
+            }
+        }
+        Ok(total)
+    }
+}
+
+/// Groups formula indices into connected components over shared variables.
+fn connected_components(children: &[Lineage]) -> Vec<Vec<usize>> {
+    let var_sets: Vec<BTreeSet<VarId>> = children.iter().map(Lineage::vars).collect();
+    let n = children.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+
+    // Union children that share at least one variable. We link via a map
+    // from variable to the first child using it, so the cost is
+    // O(total vars · α(n)) instead of O(n²) pairwise comparisons.
+    let mut owner: HashMap<VarId, usize> = HashMap::new();
+    for (i, vs) in var_sets.iter().enumerate() {
+        for v in vs {
+            match owner.get(v) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+                None => {
+                    owner.insert(*v, i);
+                }
+            }
+        }
+    }
+
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// The variable occurring in the largest number of sub-formulas (a standard
+/// branching heuristic for Shannon expansion).
+fn most_frequent_var(f: &Lineage) -> Option<VarId> {
+    let mut counts: HashMap<VarId, usize> = HashMap::new();
+    fn walk(f: &Lineage, counts: &mut HashMap<VarId, usize>) {
+        match f.node() {
+            LineageNode::Var(v) => *counts.entry(*v).or_insert(0) += 1,
+            LineageNode::Not(c) => walk(c, counts),
+            LineageNode::And(cs) | LineageNode::Or(cs) => {
+                for c in cs {
+                    walk(c, counts);
+                }
+            }
+            _ => {}
+        }
+    }
+    walk(f, &mut counts);
+    counts
+        .into_iter()
+        .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
+        .map(|(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(i: u32) -> Lineage {
+        Lineage::var(VarId(i))
+    }
+
+    fn engine(ps: &[f64]) -> ProbabilityEngine {
+        let mut e = ProbabilityEngine::new();
+        for (i, &p) in ps.iter().enumerate() {
+            e.set(VarId(i as u32), p);
+        }
+        e
+    }
+
+    #[test]
+    fn constants_and_vars() {
+        let mut e = engine(&[0.3]);
+        assert_eq!(e.probability(&Lineage::tru()), 1.0);
+        assert_eq!(e.probability(&Lineage::fls()), 0.0);
+        assert!((e.probability(&v(0)) - 0.3).abs() < 1e-12);
+        assert!((e.probability(&Lineage::not(v(0))) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_and_or() {
+        let mut e = engine(&[0.5, 0.4]);
+        let and = Lineage::and2(v(0), v(1));
+        let or = Lineage::or2(v(0), v(1));
+        assert!((e.probability(&and) - 0.2).abs() < 1e-12);
+        assert!((e.probability(&or) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_running_example_probabilities() {
+        // a1 = 0.7, b2 = 0.6, b3 = 0.7 (Fig. 1a)
+        let mut syms = crate::SymbolTable::new();
+        let a1 = syms.intern("a1");
+        let b2 = syms.intern("b2");
+        let b3 = syms.intern("b3");
+        let mut e = ProbabilityEngine::new();
+        e.set(a1, 0.7);
+        e.set(b2, 0.6);
+        e.set(b3, 0.7);
+
+        // ('Ann, ZAK, hotel1', a1 ∧ b3) = 0.49
+        let t1 = Lineage::and_concat(&Lineage::var(a1), &Lineage::var(b3));
+        assert!((e.probability(&t1) - 0.49).abs() < 1e-12);
+        // ('Ann, ZAK, hotel2', a1 ∧ b2) = 0.42
+        let t2 = Lineage::and_concat(&Lineage::var(a1), &Lineage::var(b2));
+        assert!((e.probability(&t2) - 0.42).abs() < 1e-12);
+        // (a1 ∧ ¬b3) = 0.7 * 0.3 = 0.21
+        let t3 = Lineage::and_not_concat(&Lineage::var(a1), &Lineage::var(b3));
+        assert!((e.probability(&t3) - 0.21).abs() < 1e-12);
+        // (a1 ∧ ¬(b3 ∨ b2)) = 0.7 * 0.3 * 0.4 = 0.084
+        let t4 = Lineage::and_not_concat(
+            &Lineage::var(a1),
+            &Lineage::or(vec![Lineage::var(b3), Lineage::var(b2)]),
+        );
+        assert!((e.probability(&t4) - 0.084).abs() < 1e-12);
+        // (a1 ∧ ¬b2) = 0.7 * 0.4 = 0.28
+        let t5 = Lineage::and_not_concat(&Lineage::var(a1), &Lineage::var(b2));
+        assert!((e.probability(&t5) - 0.28).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_formula_requires_expansion() {
+        // (x0 ∧ x1) ∨ (x0 ∧ x2): components share x0.
+        let mut e = engine(&[0.5, 0.5, 0.5]);
+        let f = Lineage::or2(Lineage::and2(v(0), v(1)), Lineage::and2(v(0), v(2)));
+        let p = e.probability(&f);
+        // exact: P(x0) * P(x1 ∨ x2) = 0.5 * 0.75 = 0.375
+        assert!((p - 0.375).abs() < 1e-12);
+        assert!(e.expansions() > 0, "shared-variable formula must trigger expansion");
+    }
+
+    #[test]
+    fn decomposition_avoids_expansion_for_disjoint_children() {
+        let mut e = engine(&[0.5, 0.5, 0.5, 0.5]);
+        let f = Lineage::or2(Lineage::and2(v(0), v(1)), Lineage::and2(v(2), v(3)));
+        let p = e.probability(&f);
+        assert!((p - (1.0 - 0.75 * 0.75)).abs() < 1e-12);
+        assert_eq!(e.expansions(), 0);
+    }
+
+    #[test]
+    fn missing_variable_is_reported() {
+        let mut e = engine(&[0.5]);
+        let err = e.try_probability(&Lineage::and2(v(0), v(7))).unwrap_err();
+        assert_eq!(err, ProbabilityError::MissingVariable(VarId(7)));
+    }
+
+    #[test]
+    fn out_of_range_probability_is_rejected() {
+        let mut e = ProbabilityEngine::new();
+        assert!(e.try_set(VarId(0), 1.5).is_err());
+        assert!(e.try_set(VarId(0), -0.1).is_err());
+        assert!(e.try_set(VarId(0), f64::NAN).is_err());
+        assert!(e.try_set(VarId(0), 1.0).is_ok());
+    }
+
+    #[test]
+    fn force_shannon_gives_identical_results() {
+        let f = Lineage::or(vec![
+            Lineage::and2(v(0), v(1)),
+            Lineage::and2(v(2), Lineage::not(v(3))),
+            Lineage::and2(v(0), v(4)),
+        ]);
+        let mut fast = engine(&[0.3, 0.6, 0.2, 0.8, 0.5]);
+        let mut slow = engine(&[0.3, 0.6, 0.2, 0.8, 0.5]);
+        slow.set_force_shannon(true);
+        assert!((fast.probability(&f) - slow.probability(&f)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumeration_reference_small_formula() {
+        let f = Lineage::and_not_concat(&v(0), &Lineage::or2(v(1), v(2)));
+        let e = engine(&[0.7, 0.6, 0.7]);
+        let p = e.probability_by_enumeration(&f).unwrap();
+        assert!((p - 0.7 * 0.4 * 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memo_is_invalidated_when_probabilities_change() {
+        let mut e = engine(&[0.5, 0.5]);
+        let f = Lineage::and2(v(0), v(1));
+        assert!((e.probability(&f) - 0.25).abs() < 1e-12);
+        e.set(VarId(0), 1.0);
+        assert!((e.probability(&f) - 0.5).abs() < 1e-12);
+    }
+
+    fn arb_lineage() -> impl Strategy<Value = Lineage> {
+        let leaf = (0u32..5).prop_map(|i| Lineage::var(VarId(i)));
+        leaf.prop_recursive(3, 24, 3, |inner| {
+            prop_oneof![
+                inner.clone().prop_map(Lineage::not),
+                proptest::collection::vec(inner.clone(), 2..4).prop_map(Lineage::and),
+                proptest::collection::vec(inner, 2..4).prop_map(Lineage::or),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_probability_matches_enumeration(f in arb_lineage(), ps in proptest::collection::vec(0.0f64..=1.0, 5)) {
+            let mut e = ProbabilityEngine::new();
+            for (i, &p) in ps.iter().enumerate() {
+                e.set(VarId(i as u32), p);
+            }
+            let exact = e.probability_by_enumeration(&f).unwrap();
+            let computed = e.probability(&f);
+            prop_assert!((exact - computed).abs() < 1e-9, "exact {exact} vs computed {computed} for {f:?}");
+        }
+
+        #[test]
+        fn prop_probability_is_within_bounds(f in arb_lineage(), ps in proptest::collection::vec(0.0f64..=1.0, 5)) {
+            let mut e = ProbabilityEngine::new();
+            for (i, &p) in ps.iter().enumerate() {
+                e.set(VarId(i as u32), p);
+            }
+            let p = e.probability(&f);
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&p));
+        }
+
+        #[test]
+        fn prop_complement_rule(f in arb_lineage(), ps in proptest::collection::vec(0.0f64..=1.0, 5)) {
+            let mut e = ProbabilityEngine::new();
+            for (i, &p) in ps.iter().enumerate() {
+                e.set(VarId(i as u32), p);
+            }
+            let p = e.probability(&f);
+            let not_p = e.probability(&Lineage::not(f));
+            prop_assert!((p + not_p - 1.0).abs() < 1e-9);
+        }
+    }
+}

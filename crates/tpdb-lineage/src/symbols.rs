@@ -1,0 +1,143 @@
+//! Base-tuple variable identifiers and the symbol table.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a base-tuple boolean random variable.
+///
+/// Every base tuple of a TP relation is associated with exactly one variable
+/// (its atomic lineage, e.g. `a1` or `b3` in the paper's running example).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The raw numeric id.
+    #[must_use]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A bidirectional mapping between human-readable base-tuple names and
+/// [`VarId`]s.
+///
+/// The storage layer interns one symbol per base tuple (typically
+/// `"<relation><ordinal>"`, e.g. `a1`, `b3`); lineage formulas store only the
+/// compact [`VarId`]s.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl SymbolTable {
+    /// Creates an empty symbol table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `name`, creating a fresh one on first use.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = VarId(u32::try_from(self.names.len()).expect("too many lineage variables"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Allocates a fresh anonymous variable with a generated name.
+    pub fn fresh(&mut self, prefix: &str) -> VarId {
+        let name = format!("{prefix}{}", self.names.len());
+        self.intern(&name)
+    }
+
+    /// Looks up the id of an existing name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a variable, if it was interned through this table.
+    #[must_use]
+    pub fn name(&self, id: VarId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of interned variables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the table empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (VarId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a1");
+        let b = t.intern("b1");
+        assert_ne!(a, b);
+        assert_eq!(t.intern("a1"), a);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_name_roundtrip() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a1");
+        assert_eq!(t.lookup("a1"), Some(a));
+        assert_eq!(t.lookup("zzz"), None);
+        assert_eq!(t.name(a), Some("a1"));
+        assert_eq!(t.name(VarId(99)), None);
+    }
+
+    #[test]
+    fn fresh_generates_unique_names() {
+        let mut t = SymbolTable::new();
+        let v1 = t.fresh("t");
+        let v2 = t.fresh("t");
+        assert_ne!(v1, v2);
+        assert_ne!(t.name(v1), t.name(v2));
+    }
+
+    #[test]
+    fn iteration_is_in_id_order() {
+        let mut t = SymbolTable::new();
+        t.intern("b");
+        t.intern("a");
+        let collected: Vec<_> = t.iter().map(|(id, n)| (id.index(), n.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "b".to_owned()), (1, "a".to_owned())]);
+    }
+
+    #[test]
+    fn display_of_var_id() {
+        assert_eq!(VarId(7).to_string(), "x7");
+    }
+}

@@ -1,0 +1,114 @@
+//! The query engine façade.
+
+use crate::exec::execute_plan;
+use crate::parser::parse_query;
+use crate::plan::LogicalPlan;
+use crate::planner::explain;
+use crate::QueryError;
+use tpdb_storage::{Catalog, TpRelation};
+
+/// A TP database instance: a catalog of relations plus the query front-end.
+///
+/// The engine parses the textual query language of [`crate::parser`], plans
+/// the query against its catalog and executes it through the Volcano
+/// operator tree.
+#[derive(Debug, Default)]
+pub struct QueryEngine {
+    catalog: Catalog,
+}
+
+impl QueryEngine {
+    /// Creates an engine over an existing catalog.
+    #[must_use]
+    pub fn new(catalog: Catalog) -> Self {
+        Self { catalog }
+    }
+
+    /// The underlying catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (to register or drop relations).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Parses, plans and executes a textual query.
+    pub fn query(&self, text: &str) -> Result<TpRelation, QueryError> {
+        let plan = parse_query(text)?;
+        self.run(&plan)
+    }
+
+    /// Executes an already-built logical plan.
+    pub fn run(&self, plan: &LogicalPlan) -> Result<TpRelation, QueryError> {
+        execute_plan(&self.catalog, plan)
+    }
+
+    /// Returns the `EXPLAIN` output (logical + physical plan) of a textual
+    /// query without executing it.
+    pub fn explain(&self, text: &str) -> Result<String, QueryError> {
+        let plan = parse_query(text)?;
+        explain(&self.catalog, &plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdb_storage::Value;
+
+    fn engine() -> QueryEngine {
+        let mut catalog = Catalog::new();
+        let (a, b) = tpdb_datagen::booking_example();
+        catalog.register(a).unwrap();
+        catalog.register(b).unwrap();
+        QueryEngine::new(catalog)
+    }
+
+    #[test]
+    fn end_to_end_left_outer_join() {
+        let e = engine();
+        let result = e.query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc").unwrap();
+        assert_eq!(result.len(), 7);
+    }
+
+    #[test]
+    fn end_to_end_anti_join_with_projection() {
+        let e = engine();
+        let result = e
+            .query("SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = 'Jim'")
+            .unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuple(0).fact(0), &Value::str("Jim"));
+        assert_eq!(result.schema().arity(), 1);
+    }
+
+    #[test]
+    fn nj_and_ta_strategies_agree_through_sql() {
+        let e = engine();
+        let nj = e.query("SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc STRATEGY NJ").unwrap();
+        let ta = e.query("SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc STRATEGY TA").unwrap();
+        assert_eq!(nj.len(), ta.len());
+    }
+
+    #[test]
+    fn explain_shows_strategy() {
+        let e = engine();
+        let text = e
+            .explain("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY TA")
+            .unwrap();
+        assert!(text.contains("strategy=TA"));
+        assert!(text.contains("Scan a"));
+    }
+
+    #[test]
+    fn query_errors_are_propagated() {
+        let e = engine();
+        assert!(e.query("SELECT * FROM missing").is_err());
+        assert!(e.query("not a query").is_err());
+        let err = e.query("SELECT * FROM missing").unwrap_err();
+        assert!(err.to_string().contains("unknown relation"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Physical operators (Volcano iterator model) and plan execution.
+//!
+//! Every operator implements [`PhysicalOperator`] and produces its output
+//! one tuple at a time through `next()`. Scans, filters and projections are
+//! fully streaming. The TP join operators materialize their two inputs
+//! (joins need the complete negative relation to build windows — exactly as
+//! the hash/merge join of a conventional DBMS materializes its build side)
+//! and then produce output tuples lazily: the NJ strategy forms output
+//! tuples from the streaming window pipeline of `tpdb-core`, the TA strategy
+//! runs the alignment baseline.
+
+use crate::expr::BoundPredicate;
+use crate::plan::{JoinStrategy, LogicalPlan};
+use crate::planner::plan_query;
+use crate::QueryError;
+use std::sync::Arc;
+use tpdb_core::{ThetaCondition, TpJoinKind};
+use tpdb_storage::{Catalog, Schema, TpRelation, TpTuple};
+
+/// A Volcano-style physical operator.
+pub trait PhysicalOperator {
+    /// The fact schema of the tuples this operator produces.
+    fn schema(&self) -> &Schema;
+
+    /// Produces the next output tuple, or `None` when exhausted.
+    fn next(&mut self) -> Option<TpTuple>;
+
+    /// A short human-readable description (used by `EXPLAIN`).
+    fn describe(&self) -> String;
+
+    /// Drains the operator into a materialized relation.
+    fn collect(&mut self, name: &str) -> TpRelation {
+        let mut rel = TpRelation::new(name, self.schema().clone());
+        while let Some(t) = self.next() {
+            rel.push_unchecked(t);
+        }
+        rel
+    }
+}
+
+/// Sequential scan over a stored relation.
+pub struct ScanExec {
+    relation: Arc<TpRelation>,
+    cursor: usize,
+}
+
+impl ScanExec {
+    /// Creates a scan over `relation`.
+    #[must_use]
+    pub fn new(relation: Arc<TpRelation>) -> Self {
+        Self {
+            relation,
+            cursor: 0,
+        }
+    }
+}
+
+impl PhysicalOperator for ScanExec {
+    fn schema(&self) -> &Schema {
+        self.relation.schema()
+    }
+
+    fn next(&mut self) -> Option<TpTuple> {
+        let t = self.relation.tuples().get(self.cursor)?.clone();
+        self.cursor += 1;
+        Some(t)
+    }
+
+    fn describe(&self) -> String {
+        format!("Scan {} ({} tuples)", self.relation.name(), self.relation.len())
+    }
+}
+
+/// Streaming filter.
+pub struct FilterExec {
+    input: Box<dyn PhysicalOperator>,
+    predicates: Vec<BoundPredicate>,
+}
+
+impl FilterExec {
+    /// Creates a filter over `input`.
+    #[must_use]
+    pub fn new(input: Box<dyn PhysicalOperator>, predicates: Vec<BoundPredicate>) -> Self {
+        Self { input, predicates }
+    }
+}
+
+impl PhysicalOperator for FilterExec {
+    fn schema(&self) -> &Schema {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Option<TpTuple> {
+        loop {
+            let t = self.input.next()?;
+            if self.predicates.iter().all(|p| p.matches(&t)) {
+                return Some(t);
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("Filter ({} predicates) -> {}", self.predicates.len(), self.input.describe())
+    }
+}
+
+/// Streaming projection onto a subset of the fact columns.
+pub struct ProjectExec {
+    input: Box<dyn PhysicalOperator>,
+    indices: Vec<usize>,
+    schema: Schema,
+}
+
+impl ProjectExec {
+    /// Creates a projection keeping `indices` of the input schema.
+    #[must_use]
+    pub fn new(input: Box<dyn PhysicalOperator>, indices: Vec<usize>) -> Self {
+        let fields: Vec<tpdb_storage::Field> = indices
+            .iter()
+            .map(|&i| input.schema().fields()[i].clone())
+            .collect();
+        let schema = Schema::new(fields);
+        Self {
+            input,
+            indices,
+            schema,
+        }
+    }
+}
+
+impl PhysicalOperator for ProjectExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<TpTuple> {
+        let t = self.input.next()?;
+        let facts = self.indices.iter().map(|&i| t.fact(i).clone()).collect();
+        Some(TpTuple::new(
+            facts,
+            t.lineage().clone(),
+            t.interval(),
+            t.probability(),
+        ))
+    }
+
+    fn describe(&self) -> String {
+        format!("Project ({} cols) -> {}", self.indices.len(), self.input.describe())
+    }
+}
+
+/// TP join operator. The two inputs are materialized when the first output
+/// tuple is requested; output tuples are then streamed from the computed
+/// result.
+pub struct TpJoinExec {
+    left: Box<dyn PhysicalOperator>,
+    right: Box<dyn PhysicalOperator>,
+    theta: ThetaCondition,
+    kind: TpJoinKind,
+    strategy: JoinStrategy,
+    schema: Schema,
+    result: Option<std::vec::IntoIter<TpTuple>>,
+}
+
+impl TpJoinExec {
+    /// Creates a TP join operator.
+    #[must_use]
+    pub fn new(
+        left: Box<dyn PhysicalOperator>,
+        right: Box<dyn PhysicalOperator>,
+        theta: ThetaCondition,
+        kind: TpJoinKind,
+        strategy: JoinStrategy,
+    ) -> Self {
+        let schema = match kind {
+            TpJoinKind::Anti => left.schema().clone(),
+            _ => left.schema().concat(right.schema(), "s_"),
+        };
+        Self {
+            left,
+            right,
+            theta,
+            kind,
+            strategy,
+            schema,
+            result: None,
+        }
+    }
+
+    fn compute(&mut self) -> Result<Vec<TpTuple>, QueryError> {
+        let left = self.left.collect("left");
+        let right = self.right.collect("right");
+        let joined = match self.strategy {
+            JoinStrategy::Nj => tpdb_core::tp_join(&left, &right, &self.theta, self.kind)?,
+            JoinStrategy::Ta => tpdb_ta::ta_join(&left, &right, &self.theta, self.kind)?,
+        };
+        // Adopt the join's schema (column prefixes depend on input names).
+        self.schema = joined.schema().clone();
+        Ok(joined.tuples().to_vec())
+    }
+}
+
+impl PhysicalOperator for TpJoinExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<TpTuple> {
+        if self.result.is_none() {
+            let tuples = self.compute().ok()?;
+            self.result = Some(tuples.into_iter());
+        }
+        self.result.as_mut().and_then(Iterator::next)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "TpJoin {} [{}] ({}) over [{}; {}]",
+            self.kind.symbol(),
+            self.strategy,
+            self.theta,
+            self.left.describe(),
+            self.right.describe()
+        )
+    }
+}
+
+/// Plans and executes a logical plan against a catalog, returning the
+/// materialized result relation.
+pub fn execute_plan(catalog: &Catalog, plan: &LogicalPlan) -> Result<TpRelation, QueryError> {
+    let mut root = plan_query(catalog, plan)?;
+    Ok(root.collect("result"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{LiteralPredicate, PredicateOp};
+    use tpdb_storage::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let (a, b) = tpdb_datagen::booking_example();
+        c.register(a).unwrap();
+        c.register(b).unwrap();
+        c
+    }
+
+    #[test]
+    fn scan_filter_project_pipeline() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("a")
+            .filter(vec![LiteralPredicate::new(
+                "Loc",
+                PredicateOp::Eq,
+                Value::str("ZAK"),
+            )])
+            .project(vec!["Name".to_owned()]);
+        let result = execute_plan(&c, &plan).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuple(0).fact(0), &Value::str("Ann"));
+        assert_eq!(result.schema().arity(), 1);
+        // probability and interval survive the projection
+        assert!((result.tuple(0).probability() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nj_join_plan_produces_paper_result() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("a").tp_join(
+            LogicalPlan::scan("b"),
+            ThetaCondition::column_equals("Loc", "Loc"),
+            TpJoinKind::LeftOuter,
+            JoinStrategy::Nj,
+        );
+        let result = execute_plan(&c, &plan).unwrap();
+        assert_eq!(result.len(), 7);
+    }
+
+    #[test]
+    fn ta_strategy_gives_same_cardinality() {
+        let c = catalog();
+        let mk = |strategy| {
+            LogicalPlan::scan("a").tp_join(
+                LogicalPlan::scan("b"),
+                ThetaCondition::column_equals("Loc", "Loc"),
+                TpJoinKind::LeftOuter,
+                strategy,
+            )
+        };
+        let nj = execute_plan(&c, &mk(JoinStrategy::Nj)).unwrap();
+        let ta = execute_plan(&c, &mk(JoinStrategy::Ta)).unwrap();
+        assert_eq!(nj.len(), ta.len());
+    }
+
+    #[test]
+    fn join_then_filter_then_project() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("a")
+            .tp_join(
+                LogicalPlan::scan("b"),
+                ThetaCondition::column_equals("Loc", "Loc"),
+                TpJoinKind::LeftOuter,
+                JoinStrategy::Nj,
+            )
+            .filter(vec![LiteralPredicate::new(
+                "Hotel",
+                PredicateOp::Eq,
+                Value::str("hotel1"),
+            )])
+            .project(vec!["Name".to_owned(), "Hotel".to_owned()]);
+        let result = execute_plan(&c, &plan).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuple(0).fact(1), &Value::str("hotel1"));
+    }
+
+    #[test]
+    fn anti_join_schema_has_only_left_columns() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("a").tp_join(
+            LogicalPlan::scan("b"),
+            ThetaCondition::column_equals("Loc", "Loc"),
+            TpJoinKind::Anti,
+            JoinStrategy::Nj,
+        );
+        let result = execute_plan(&c, &plan).unwrap();
+        assert_eq!(result.schema().arity(), 2);
+        assert_eq!(result.len(), 5);
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("nope");
+        assert!(execute_plan(&c, &plan).is_err());
+    }
+
+    #[test]
+    fn describe_mentions_operators() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("a").tp_join(
+            LogicalPlan::scan("b"),
+            ThetaCondition::column_equals("Loc", "Loc"),
+            TpJoinKind::LeftOuter,
+            JoinStrategy::Ta,
+        );
+        let op = plan_query(&c, &plan).unwrap();
+        let d = op.describe();
+        assert!(d.contains("TpJoin"));
+        assert!(d.contains("TA"));
+        assert!(d.contains("Scan a"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Filter predicates over fact attributes.
+
+use tpdb_storage::{Schema, StorageError, TpTuple, Value};
+
+/// Comparison operator of a literal predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredicateOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl PredicateOp {
+    fn eval(self, l: &Value, r: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        if l.is_null() || r.is_null() {
+            return false;
+        }
+        let ord = l.cmp(r);
+        match self {
+            PredicateOp::Eq => ord == Equal,
+            PredicateOp::Ne => ord != Equal,
+            PredicateOp::Lt => ord == Less,
+            PredicateOp::Le => ord != Greater,
+            PredicateOp::Gt => ord == Greater,
+            PredicateOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// A predicate comparing a fact column with a literal value
+/// (`WHERE column op literal`). Conjunctions are represented as a list of
+/// literal predicates in the logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiteralPredicate {
+    /// Column name.
+    pub column: String,
+    /// Comparison operator.
+    pub op: PredicateOp,
+    /// Literal to compare against.
+    pub literal: Value,
+}
+
+impl LiteralPredicate {
+    /// Creates a predicate.
+    #[must_use]
+    pub fn new(column: &str, op: PredicateOp, literal: Value) -> Self {
+        Self {
+            column: column.to_owned(),
+            op,
+            literal,
+        }
+    }
+
+    /// Resolves the column index against a schema.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundPredicate, StorageError> {
+        Ok(BoundPredicate {
+            column: schema.require(&self.column)?,
+            op: self.op,
+            literal: self.literal.clone(),
+        })
+    }
+}
+
+/// A [`LiteralPredicate`] resolved to a column position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundPredicate {
+    column: usize,
+    op: PredicateOp,
+    literal: Value,
+}
+
+impl BoundPredicate {
+    /// Does the tuple satisfy the predicate?
+    #[must_use]
+    pub fn matches(&self, tuple: &TpTuple) -> bool {
+        self.op.eval(tuple.fact(self.column), &self.literal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdb_lineage::Lineage;
+    use tpdb_storage::{DataType, Schema};
+    use tpdb_temporal::Interval;
+
+    fn schema() -> Schema {
+        Schema::tp(&[("Name", DataType::Str), ("Age", DataType::Int)])
+    }
+
+    fn tup(name: &str, age: i64) -> TpTuple {
+        TpTuple::new(
+            vec![Value::str(name), Value::Int(age)],
+            Lineage::tru(),
+            Interval::new(0, 1),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn bind_and_match() {
+        let p = LiteralPredicate::new("Age", PredicateOp::Ge, Value::Int(30)).bind(&schema()).unwrap();
+        assert!(p.matches(&tup("Ann", 31)));
+        assert!(p.matches(&tup("Ann", 30)));
+        assert!(!p.matches(&tup("Ann", 29)));
+    }
+
+    #[test]
+    fn string_equality() {
+        let p = LiteralPredicate::new("Name", PredicateOp::Eq, Value::str("Ann")).bind(&schema()).unwrap();
+        assert!(p.matches(&tup("Ann", 1)));
+        assert!(!p.matches(&tup("Jim", 1)));
+    }
+
+    #[test]
+    fn unknown_column_fails_binding() {
+        assert!(LiteralPredicate::new("Nope", PredicateOp::Eq, Value::Int(0))
+            .bind(&schema())
+            .is_err());
+    }
+
+    #[test]
+    fn null_never_matches() {
+        let p = LiteralPredicate::new("Name", PredicateOp::Ne, Value::str("Ann")).bind(&schema()).unwrap();
+        let t = TpTuple::new(
+            vec![Value::Null, Value::Int(1)],
+            Lineage::tru(),
+            Interval::new(0, 1),
+            1.0,
+        );
+        assert!(!p.matches(&t));
+    }
+
+    #[test]
+    fn all_operators() {
+        let mk = |op| LiteralPredicate::new("Age", op, Value::Int(30)).bind(&schema()).unwrap();
+        assert!(mk(PredicateOp::Eq).matches(&tup("x", 30)));
+        assert!(mk(PredicateOp::Ne).matches(&tup("x", 31)));
+        assert!(mk(PredicateOp::Lt).matches(&tup("x", 29)));
+        assert!(mk(PredicateOp::Le).matches(&tup("x", 30)));
+        assert!(mk(PredicateOp::Gt).matches(&tup("x", 31)));
+        assert!(mk(PredicateOp::Ge).matches(&tup("x", 30)));
+    }
+}

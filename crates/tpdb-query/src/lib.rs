@@ -1,0 +1,77 @@
+//! # tpdb-query
+//!
+//! A pipelined (Volcano-style) query engine for TP relations: logical plans,
+//! physical operators, a rule-based planner and a small textual query
+//! language. This crate stands in for the PostgreSQL integration of the
+//! paper (parser / optimizer / executor modifications): both the NJ window
+//! approach and the Temporal Alignment baseline are exposed as join
+//! *strategies* that the planner can pick, and the NJ join is executed as a
+//! fully pipelined operator built on the streaming window adaptors of
+//! `tpdb-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use tpdb_query::QueryEngine;
+//! use tpdb_storage::Catalog;
+//!
+//! let mut catalog = Catalog::new();
+//! let (a, b) = tpdb_datagen::booking_example();
+//! catalog.register(a).unwrap();
+//! catalog.register(b).unwrap();
+//!
+//! let engine = QueryEngine::new(catalog);
+//! let result = engine
+//!     .query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+//!     .unwrap();
+//! assert_eq!(result.len(), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod exec;
+mod expr;
+mod parser;
+mod plan;
+mod planner;
+
+pub use engine::QueryEngine;
+pub use exec::{execute_plan, PhysicalOperator};
+pub use expr::{LiteralPredicate, PredicateOp};
+pub use parser::{parse_query, ParseError};
+pub use plan::{JoinStrategy, LogicalPlan};
+pub use planner::{explain, plan_query};
+
+/// Errors surfaced by the query layer.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The query text could not be parsed.
+    Parse(ParseError),
+    /// A catalog or schema error occurred while planning or executing.
+    Storage(tpdb_storage::StorageError),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "parse error: {e}"),
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+impl From<tpdb_storage::StorageError> for QueryError {
+    fn from(e: tpdb_storage::StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}

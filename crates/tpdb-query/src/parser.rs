@@ -1,0 +1,499 @@
+//! A small textual query language for TP joins with negation.
+//!
+//! Grammar (one query per string, case-insensitive keywords):
+//!
+//! ```text
+//! query   := SELECT cols FROM ident [join] [where] [strategy]
+//! cols    := '*' | ident (',' ident)*
+//! join    := TP jkind JOIN ident ON cond (AND cond)*
+//! jkind   := INNER | LEFT [OUTER] | RIGHT [OUTER] | FULL [OUTER] | ANTI
+//! cond    := ident '.' ident cmp ident '.' ident
+//! where   := WHERE pred (AND pred)*
+//! pred    := ident cmp literal
+//! cmp     := '=' | '<>' | '<' | '<=' | '>' | '>='
+//! literal := number | 'string'
+//! strategy:= STRATEGY (NJ | TA)
+//! ```
+//!
+//! Example: `SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY TA`.
+
+use crate::expr::{LiteralPredicate, PredicateOp};
+use crate::plan::{JoinStrategy, LogicalPlan};
+use std::fmt;
+use tpdb_core::{CompareOp, ThetaCondition, TpJoinKind};
+use tpdb_storage::Value;
+
+/// A parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Star,
+    Comma,
+    Dot,
+    Cmp(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Cmp("=".into()));
+                i += 1;
+            }
+            '<' | '>' => {
+                let mut op = c.to_string();
+                if i + 1 < chars.len() && (chars[i + 1] == '=' || (c == '<' && chars[i + 1] == '>')) {
+                    op.push(chars[i + 1]);
+                    i += 1;
+                }
+                tokens.push(Token::Cmp(op));
+                i += 1;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(ParseError::new("unterminated string literal"));
+                }
+                i += 1; // closing quote
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(format!("invalid number: {text}")))?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(ParseError::new(format!("unexpected character: {other}"))),
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(ParseError::new(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError::new(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_cmp(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Cmp(op)) => Ok(op),
+            other => Err(ParseError::new(format!("expected comparison operator, found {other:?}"))),
+        }
+    }
+}
+
+fn compare_op(op: &str) -> Result<CompareOp, ParseError> {
+    Ok(match op {
+        "=" => CompareOp::Eq,
+        "<>" => CompareOp::Ne,
+        "<" => CompareOp::Lt,
+        "<=" => CompareOp::Le,
+        ">" => CompareOp::Gt,
+        ">=" => CompareOp::Ge,
+        other => return Err(ParseError::new(format!("unknown comparison operator {other}"))),
+    })
+}
+
+fn predicate_op(op: &str) -> Result<PredicateOp, ParseError> {
+    Ok(match op {
+        "=" => PredicateOp::Eq,
+        "<>" => PredicateOp::Ne,
+        "<" => PredicateOp::Lt,
+        "<=" => PredicateOp::Le,
+        ">" => PredicateOp::Gt,
+        ">=" => PredicateOp::Ge,
+        other => return Err(ParseError::new(format!("unknown comparison operator {other}"))),
+    })
+}
+
+/// Parses a query string into a logical plan.
+pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
+    let mut p = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+
+    p.expect_keyword("SELECT")?;
+    // projection list
+    let mut projection: Option<Vec<String>> = None;
+    if matches!(p.peek(), Some(Token::Star)) {
+        p.next();
+    } else {
+        let mut cols = vec![p.expect_ident()?];
+        while matches!(p.peek(), Some(Token::Comma)) {
+            p.next();
+            cols.push(p.expect_ident()?);
+        }
+        projection = Some(cols);
+    }
+
+    p.expect_keyword("FROM")?;
+    let left_name = p.expect_ident()?;
+    let mut plan = LogicalPlan::scan(&left_name);
+
+    // optional TP join
+    if p.accept_keyword("TP") {
+        let kind = if p.accept_keyword("INNER") {
+            TpJoinKind::Inner
+        } else if p.accept_keyword("LEFT") {
+            let _ = p.accept_keyword("OUTER");
+            TpJoinKind::LeftOuter
+        } else if p.accept_keyword("RIGHT") {
+            let _ = p.accept_keyword("OUTER");
+            TpJoinKind::RightOuter
+        } else if p.accept_keyword("FULL") {
+            let _ = p.accept_keyword("OUTER");
+            TpJoinKind::FullOuter
+        } else if p.accept_keyword("ANTI") {
+            TpJoinKind::Anti
+        } else {
+            return Err(ParseError::new(
+                "expected INNER, LEFT, RIGHT, FULL or ANTI after TP",
+            ));
+        };
+        p.expect_keyword("JOIN")?;
+        let right_name = p.expect_ident()?;
+        p.expect_keyword("ON")?;
+
+        let mut theta = ThetaCondition::always();
+        loop {
+            // qualified column: rel.col
+            let q1 = p.expect_ident()?;
+            if !matches!(p.next(), Some(Token::Dot)) {
+                return Err(ParseError::new("join condition columns must be qualified (rel.col)"));
+            }
+            let c1 = p.expect_ident()?;
+            let op = compare_op(&p.expect_cmp()?)?;
+            let q2 = p.expect_ident()?;
+            if !matches!(p.next(), Some(Token::Dot)) {
+                return Err(ParseError::new("join condition columns must be qualified (rel.col)"));
+            }
+            let c2 = p.expect_ident()?;
+
+            // orient the comparison as left-relation column vs right-relation column
+            let (lc, op, rc) = if q1 == left_name && q2 == right_name {
+                (c1, op, c2)
+            } else if q1 == right_name && q2 == left_name {
+                (
+                    c2,
+                    match op {
+                        CompareOp::Lt => CompareOp::Gt,
+                        CompareOp::Le => CompareOp::Ge,
+                        CompareOp::Gt => CompareOp::Lt,
+                        CompareOp::Ge => CompareOp::Le,
+                        other => other,
+                    },
+                    c1,
+                )
+            } else {
+                return Err(ParseError::new(format!(
+                    "join condition must reference {left_name} and {right_name}"
+                )));
+            };
+            theta = theta.and_compare(&lc, op, &rc);
+
+            if !p.accept_keyword("AND") {
+                break;
+            }
+        }
+
+        // optional strategy suffix can appear after WHERE too; look ahead later
+        plan = plan.tp_join(LogicalPlan::scan(&right_name), theta, kind, JoinStrategy::Nj);
+    }
+
+    // optional WHERE
+    if p.accept_keyword("WHERE") {
+        let mut predicates = Vec::new();
+        loop {
+            let column = p.expect_ident()?;
+            let op = predicate_op(&p.expect_cmp()?)?;
+            let literal = match p.next() {
+                Some(Token::Number(n)) => {
+                    if n.fract() == 0.0 {
+                        Value::Int(n as i64)
+                    } else {
+                        Value::Float(n)
+                    }
+                }
+                Some(Token::Str(s)) => Value::str(&s),
+                other => {
+                    return Err(ParseError::new(format!(
+                        "expected literal in WHERE clause, found {other:?}"
+                    )))
+                }
+            };
+            predicates.push(LiteralPredicate::new(&column, op, literal));
+            if !p.accept_keyword("AND") {
+                break;
+            }
+        }
+        plan = plan.filter(predicates);
+    }
+
+    // optional STRATEGY
+    if p.accept_keyword("STRATEGY") {
+        let name = p.expect_ident()?;
+        let strategy = if name.eq_ignore_ascii_case("NJ") {
+            JoinStrategy::Nj
+        } else if name.eq_ignore_ascii_case("TA") {
+            JoinStrategy::Ta
+        } else {
+            return Err(ParseError::new(format!("unknown strategy {name}")));
+        };
+        plan = set_strategy(plan, strategy)?;
+    }
+
+    if let Some(cols) = projection {
+        plan = plan.project(cols);
+    }
+
+    if p.peek().is_some() {
+        return Err(ParseError::new(format!(
+            "unexpected trailing tokens: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(plan)
+}
+
+/// Rewrites the join strategy of the (single) TP join in the plan.
+fn set_strategy(plan: LogicalPlan, strategy: JoinStrategy) -> Result<LogicalPlan, ParseError> {
+    Ok(match plan {
+        LogicalPlan::TpJoin {
+            left,
+            right,
+            theta,
+            kind,
+            ..
+        } => LogicalPlan::TpJoin {
+            left,
+            right,
+            theta,
+            kind,
+            strategy,
+        },
+        LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
+            input: Box::new(set_strategy(*input, strategy)?),
+            predicates,
+        },
+        LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+            input: Box::new(set_strategy(*input, strategy)?),
+            columns,
+        },
+        LogicalPlan::Scan { .. } => {
+            return Err(ParseError::new("STRATEGY requires a TP join in the query"))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_query() {
+        let plan = parse_query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc").unwrap();
+        match plan {
+            LogicalPlan::TpJoin { kind, strategy, theta, .. } => {
+                assert_eq!(kind, TpJoinKind::LeftOuter);
+                assert_eq!(strategy, JoinStrategy::Nj);
+                assert_eq!(theta.to_string(), "r.Loc = s.Loc");
+            }
+            other => panic!("expected TpJoin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_all_join_kinds() {
+        for (kw, kind) in [
+            ("INNER", TpJoinKind::Inner),
+            ("LEFT", TpJoinKind::LeftOuter),
+            ("LEFT OUTER", TpJoinKind::LeftOuter),
+            ("RIGHT OUTER", TpJoinKind::RightOuter),
+            ("FULL OUTER", TpJoinKind::FullOuter),
+            ("ANTI", TpJoinKind::Anti),
+        ] {
+            let q = format!("SELECT * FROM a TP {kw} JOIN b ON a.Loc = b.Loc");
+            match parse_query(&q).unwrap() {
+                LogicalPlan::TpJoin { kind: k, .. } => assert_eq!(k, kind, "{kw}"),
+                other => panic!("expected TpJoin, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parses_strategy_suffix() {
+        let plan = parse_query("SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc STRATEGY TA").unwrap();
+        match plan {
+            LogicalPlan::TpJoin { strategy, .. } => assert_eq!(strategy, JoinStrategy::Ta),
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_projection_and_where() {
+        let plan = parse_query(
+            "SELECT Name, Hotel FROM a TP LEFT JOIN b ON a.Loc = b.Loc WHERE Name = 'Ann' AND Hotel <> 'hotel2' STRATEGY NJ",
+        )
+        .unwrap();
+        // plan shape: Project(Filter(TpJoin))
+        match plan {
+            LogicalPlan::Project { columns, input } => {
+                assert_eq!(columns, vec!["Name".to_owned(), "Hotel".to_owned()]);
+                match *input {
+                    LogicalPlan::Filter { predicates, .. } => assert_eq!(predicates.len(), 2),
+                    other => panic!("expected Filter, got {other:?}"),
+                }
+            }
+            other => panic!("expected Project, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_reversed_qualifiers() {
+        let plan = parse_query("SELECT * FROM a TP LEFT JOIN b ON b.Loc = a.Loc").unwrap();
+        match plan {
+            LogicalPlan::TpJoin { theta, .. } => assert_eq!(theta.to_string(), "r.Loc = s.Loc"),
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_simple_scan_with_where() {
+        let plan = parse_query("SELECT * FROM a WHERE Loc = 'ZAK'").unwrap();
+        match plan {
+            LogicalPlan::Filter { predicates, input } => {
+                assert_eq!(predicates.len(), 1);
+                assert_eq!(*input, LogicalPlan::scan("a"));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn numeric_literals_are_typed() {
+        let plan = parse_query("SELECT * FROM a WHERE Key = 5 AND P < 0.5").unwrap();
+        match plan {
+            LogicalPlan::Filter { predicates, .. } => {
+                assert_eq!(predicates[0].literal, Value::Int(5));
+                assert_eq!(predicates[1].literal, Value::Float(0.5));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_query("FROM a").is_err());
+        assert!(parse_query("SELECT * FROM").is_err());
+        assert!(parse_query("SELECT * FROM a TP SIDEWAYS JOIN b ON a.x = b.x").is_err());
+        assert!(parse_query("SELECT * FROM a TP LEFT JOIN b ON Loc = Loc").is_err());
+        assert!(parse_query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = c.Loc").is_err());
+        assert!(parse_query("SELECT * FROM a WHERE Loc = 'unterminated").is_err());
+        assert!(parse_query("SELECT * FROM a STRATEGY TA").is_err());
+        assert!(parse_query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY PG").is_err());
+        assert!(parse_query("SELECT * FROM a extra tokens here").is_err());
+    }
+
+    #[test]
+    fn unexpected_characters_are_reported() {
+        let err = parse_query("SELECT * FROM a WHERE Loc = #").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+}

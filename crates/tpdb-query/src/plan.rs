@@ -1,0 +1,184 @@
+//! Logical query plans.
+
+use crate::expr::LiteralPredicate;
+use tpdb_core::{ThetaCondition, TpJoinKind};
+
+/// The join strategy the planner should use for a TP join with negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// The lineage-aware window approach of the paper (overlap join +
+    /// LAWAU + LAWAN), executed as a pipelined operator. This is the
+    /// default.
+    #[default]
+    Nj,
+    /// The Temporal Alignment baseline (tuple replication + repeated overlap
+    /// joins + duplicate-eliminating union).
+    Ta,
+}
+
+impl std::fmt::Display for JoinStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinStrategy::Nj => write!(f, "NJ"),
+            JoinStrategy::Ta => write!(f, "TA"),
+        }
+    }
+}
+
+/// A logical query plan over the relations of a catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a stored relation by name.
+    Scan {
+        /// Relation name in the catalog.
+        relation: String,
+    },
+    /// Keep only the tuples satisfying every predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Conjunction of literal predicates.
+        predicates: Vec<LiteralPredicate>,
+    },
+    /// Project a subset of the fact columns (lineage, interval and
+    /// probability are always retained).
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Column names to keep, in output order.
+        columns: Vec<String>,
+    },
+    /// A TP join with negation between two sub-plans.
+    TpJoin {
+        /// Left (positive) input.
+        left: Box<LogicalPlan>,
+        /// Right (negative) input.
+        right: Box<LogicalPlan>,
+        /// Join condition on the non-temporal attributes.
+        theta: ThetaCondition,
+        /// Which TP join to compute.
+        kind: TpJoinKind,
+        /// Which algorithm to use.
+        strategy: JoinStrategy,
+    },
+}
+
+impl LogicalPlan {
+    /// Convenience constructor for a scan.
+    #[must_use]
+    pub fn scan(relation: &str) -> Self {
+        LogicalPlan::Scan {
+            relation: relation.to_owned(),
+        }
+    }
+
+    /// Wraps the plan in a filter.
+    #[must_use]
+    pub fn filter(self, predicates: Vec<LiteralPredicate>) -> Self {
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicates,
+        }
+    }
+
+    /// Wraps the plan in a projection.
+    #[must_use]
+    pub fn project(self, columns: Vec<String>) -> Self {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            columns,
+        }
+    }
+
+    /// Joins this plan (as the positive side) with another plan.
+    #[must_use]
+    pub fn tp_join(
+        self,
+        right: LogicalPlan,
+        theta: ThetaCondition,
+        kind: TpJoinKind,
+        strategy: JoinStrategy,
+    ) -> Self {
+        LogicalPlan::TpJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            theta,
+            kind,
+            strategy,
+        }
+    }
+
+    /// Renders the plan as an indented tree (similar to `EXPLAIN`).
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        fn go(plan: &LogicalPlan, indent: usize, out: &mut String) {
+            let pad = "  ".repeat(indent);
+            match plan {
+                LogicalPlan::Scan { relation } => {
+                    out.push_str(&format!("{pad}Scan {relation}\n"));
+                }
+                LogicalPlan::Filter { input, predicates } => {
+                    out.push_str(&format!("{pad}Filter ({} predicates)\n", predicates.len()));
+                    go(input, indent + 1, out);
+                }
+                LogicalPlan::Project { input, columns } => {
+                    out.push_str(&format!("{pad}Project [{}]\n", columns.join(", ")));
+                    go(input, indent + 1, out);
+                }
+                LogicalPlan::TpJoin {
+                    left,
+                    right,
+                    theta,
+                    kind,
+                    strategy,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}TpJoin {} ({theta}) strategy={strategy}\n",
+                        kind.symbol()
+                    ));
+                    go(left, indent + 1, out);
+                    go(right, indent + 1, out);
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, 0, &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::PredicateOp;
+    use tpdb_storage::Value;
+
+    #[test]
+    fn builders_compose() {
+        let plan = LogicalPlan::scan("a")
+            .filter(vec![LiteralPredicate::new(
+                "Loc",
+                PredicateOp::Eq,
+                Value::str("ZAK"),
+            )])
+            .tp_join(
+                LogicalPlan::scan("b"),
+                ThetaCondition::column_equals("Loc", "Loc"),
+                TpJoinKind::LeftOuter,
+                JoinStrategy::Nj,
+            )
+            .project(vec!["Name".to_owned(), "Hotel".to_owned()]);
+        let text = plan.pretty();
+        assert!(text.contains("Project [Name, Hotel]"));
+        assert!(text.contains("TpJoin ⟕"));
+        assert!(text.contains("strategy=NJ"));
+        assert!(text.contains("Scan a"));
+        assert!(text.contains("Scan b"));
+    }
+
+    #[test]
+    fn default_strategy_is_nj() {
+        assert_eq!(JoinStrategy::default(), JoinStrategy::Nj);
+        assert_eq!(JoinStrategy::Ta.to_string(), "TA");
+    }
+}

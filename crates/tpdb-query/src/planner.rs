@@ -1,0 +1,115 @@
+//! Lowering of logical plans to physical operator trees.
+
+use crate::exec::{FilterExec, PhysicalOperator, ProjectExec, ScanExec, TpJoinExec};
+use crate::plan::LogicalPlan;
+use crate::QueryError;
+use tpdb_storage::Catalog;
+
+/// Lowers a logical plan to a tree of physical operators, resolving relation
+/// names and column references against the catalog.
+pub fn plan_query(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+) -> Result<Box<dyn PhysicalOperator>, QueryError> {
+    match plan {
+        LogicalPlan::Scan { relation } => {
+            let rel = catalog.relation(relation)?;
+            Ok(Box::new(ScanExec::new(rel)))
+        }
+        LogicalPlan::Filter { input, predicates } => {
+            let child = plan_query(catalog, input)?;
+            let bound = predicates
+                .iter()
+                .map(|p| p.bind(child.schema()))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Box::new(FilterExec::new(child, bound)))
+        }
+        LogicalPlan::Project { input, columns } => {
+            let child = plan_query(catalog, input)?;
+            let indices = columns
+                .iter()
+                .map(|c| child.schema().require(c))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Box::new(ProjectExec::new(child, indices)))
+        }
+        LogicalPlan::TpJoin {
+            left,
+            right,
+            theta,
+            kind,
+            strategy,
+        } => {
+            let left = plan_query(catalog, left)?;
+            let right = plan_query(catalog, right)?;
+            // Validate θ against the child schemas at plan time so that
+            // errors surface before execution.
+            theta.bind(left.schema(), right.schema())?;
+            Ok(Box::new(TpJoinExec::new(
+                left,
+                right,
+                theta.clone(),
+                *kind,
+                *strategy,
+            )))
+        }
+    }
+}
+
+/// Returns the physical plan description for a logical plan — the moral
+/// equivalent of `EXPLAIN`.
+pub fn explain(catalog: &Catalog, plan: &LogicalPlan) -> Result<String, QueryError> {
+    Ok(format!(
+        "Logical plan:\n{}\nPhysical plan:\n  {}\n",
+        plan.pretty(),
+        plan_query(catalog, plan)?.describe()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::JoinStrategy;
+    use tpdb_core::{ThetaCondition, TpJoinKind};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let (a, b) = tpdb_datagen::booking_example();
+        c.register(a).unwrap();
+        c.register(b).unwrap();
+        c
+    }
+
+    #[test]
+    fn planning_validates_theta_columns() {
+        let c = catalog();
+        let bad = LogicalPlan::scan("a").tp_join(
+            LogicalPlan::scan("b"),
+            ThetaCondition::column_equals("Missing", "Loc"),
+            TpJoinKind::LeftOuter,
+            JoinStrategy::Nj,
+        );
+        assert!(plan_query(&c, &bad).is_err());
+    }
+
+    #[test]
+    fn planning_validates_projection_columns() {
+        let c = catalog();
+        let bad = LogicalPlan::scan("a").project(vec!["Missing".to_owned()]);
+        assert!(plan_query(&c, &bad).is_err());
+    }
+
+    #[test]
+    fn explain_contains_both_plans() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("a").tp_join(
+            LogicalPlan::scan("b"),
+            ThetaCondition::column_equals("Loc", "Loc"),
+            TpJoinKind::Anti,
+            JoinStrategy::Nj,
+        );
+        let text = explain(&c, &plan).unwrap();
+        assert!(text.contains("Logical plan:"));
+        assert!(text.contains("Physical plan:"));
+        assert!(text.contains("▷"));
+    }
+}

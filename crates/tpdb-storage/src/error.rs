@@ -1,0 +1,85 @@
+//! Error types of the storage layer.
+
+use crate::schema::DataType;
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A tuple had the wrong number of fact attributes.
+    ArityMismatch {
+        /// Arity required by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// A fact value did not match the column type.
+    TypeMismatch {
+        /// Offending column.
+        column: String,
+        /// Type required by the schema.
+        expected: DataType,
+        /// Rendering of the offending value.
+        got: String,
+    },
+    /// A probability outside `[0, 1]` was supplied.
+    InvalidProbability(f64),
+    /// A relation with this name already exists in the catalog.
+    RelationExists(String),
+    /// No relation with this name exists in the catalog.
+    UnknownRelation(String),
+    /// A textual import line could not be parsed.
+    ParseError {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected} fact attributes, got {got}")
+            }
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(f, "type mismatch in column {column}: expected {expected}, got {got}"),
+            StorageError::InvalidProbability(p) => {
+                write!(f, "invalid probability {p}: must be within [0, 1]")
+            }
+            StorageError::RelationExists(n) => write!(f, "relation already exists: {n}"),
+            StorageError::UnknownRelation(n) => write!(f, "unknown relation: {n}"),
+            StorageError::ParseError { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(StorageError::UnknownColumn("Loc".into())
+            .to_string()
+            .contains("Loc"));
+        assert!(StorageError::ArityMismatch { expected: 2, got: 3 }
+            .to_string()
+            .contains("expected 2"));
+        assert!(StorageError::InvalidProbability(1.2).to_string().contains("1.2"));
+        assert!(StorageError::ParseError { line: 4, message: "bad interval".into() }
+            .to_string()
+            .contains("line 4"));
+    }
+}

@@ -1,0 +1,304 @@
+//! TP relations: named, schema-typed collections of TP tuples.
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::tuple::TpTuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tpdb_lineage::{Lineage, LineageNode, ProbabilityEngine};
+use tpdb_temporal::TimePoint;
+
+/// A temporal-probabilistic relation with schema `(F, λ, T, p)`.
+///
+/// A `TpRelation` is an ordered, in-memory collection of [`TpTuple`]s sharing
+/// a fact [`Schema`]. Base relations are created through the
+/// [`Catalog`](crate::Catalog) (which assigns atomic lineage variables);
+/// derived relations are produced by the join operators.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpRelation {
+    name: String,
+    schema: Schema,
+    tuples: Vec<TpTuple>,
+}
+
+impl TpRelation {
+    /// Creates an empty relation.
+    #[must_use]
+    pub fn new(name: &str, schema: Schema) -> Self {
+        Self {
+            name: name.to_owned(),
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// The relation name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fact schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All tuples, in insertion order.
+    #[must_use]
+    pub fn tuples(&self) -> &[TpTuple] {
+        &self.tuples
+    }
+
+    /// The tuple at position `idx`.
+    #[must_use]
+    pub fn tuple(&self, idx: usize) -> &TpTuple {
+        &self.tuples[idx]
+    }
+
+    /// Iterates over the tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &TpTuple> {
+        self.tuples.iter()
+    }
+
+    /// Appends a tuple after validating it against the schema and checking
+    /// the probability range.
+    pub fn push(&mut self, tuple: TpTuple) -> Result<(), StorageError> {
+        self.schema.validate(tuple.facts())?;
+        let p = tuple.probability();
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(StorageError::InvalidProbability(p));
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Appends a tuple without validation (used by operators whose inputs
+    /// are already validated relations).
+    pub fn push_unchecked(&mut self, tuple: TpTuple) {
+        self.tuples.push(tuple);
+    }
+
+    /// Returns a new relation containing the tuples satisfying `predicate`.
+    #[must_use]
+    pub fn filter<F: Fn(&TpTuple) -> bool>(&self, predicate: F) -> TpRelation {
+        TpRelation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            tuples: self.tuples.iter().filter(|t| predicate(t)).cloned().collect(),
+        }
+    }
+
+    /// Sorts the tuples in place by the given fact columns, breaking ties by
+    /// interval start and end. This is the ordering LAWAU/LAWAN expect.
+    pub fn sort_by_columns(&mut self, columns: &[usize]) {
+        self.tuples.sort_by(|a, b| {
+            for &c in columns {
+                let ord = a.fact(c).cmp(b.fact(c));
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            (a.interval().start(), a.interval().end())
+                .cmp(&(b.interval().start(), b.interval().end()))
+        });
+    }
+
+    /// The distinct values of a fact column (used by the data generators and
+    /// by selectivity statistics in the planner).
+    #[must_use]
+    pub fn distinct_values(&self, column: usize) -> Vec<Value> {
+        let mut vals: Vec<Value> = self.tuples.iter().map(|t| t.fact(column).clone()).collect();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Registers the probability of every *base* tuple (atomic lineage) with
+    /// the probability engine. Derived (compound) lineages are skipped: their
+    /// probabilities are derived quantities.
+    pub fn register_probabilities(&self, engine: &mut ProbabilityEngine) {
+        for t in &self.tuples {
+            if let LineageNode::Var(v) = t.lineage().node() {
+                engine.set(*v, t.probability());
+            }
+        }
+    }
+
+    /// The tuples valid at time point `t` (point-wise semantics; used by the
+    /// semantic equivalence checks in tests).
+    #[must_use]
+    pub fn valid_at(&self, t: TimePoint) -> Vec<&TpTuple> {
+        self.tuples.iter().filter(|tp| tp.valid_at(t)).collect()
+    }
+
+    /// The disjunction of the lineages of all tuples valid at `t` whose fact
+    /// equals `facts`. This is the λ<sub>r,θ</sub><sup>t</sup> notation of
+    /// Definition 1, restricted to one fact.
+    #[must_use]
+    pub fn lineage_at(&self, facts: &[Value], t: TimePoint) -> Lineage {
+        let parts: Vec<Lineage> = self
+            .tuples
+            .iter()
+            .filter(|tp| tp.valid_at(t) && tp.facts() == facts)
+            .map(|tp| tp.lineage().clone())
+            .collect();
+        Lineage::or(parts)
+    }
+
+    /// Renames the relation (used when the same stored relation is scanned
+    /// twice under different correlation names).
+    #[must_use]
+    pub fn renamed(&self, name: &str) -> TpRelation {
+        TpRelation {
+            name: name.to_owned(),
+            schema: self.schema.clone(),
+            tuples: self.tuples.clone(),
+        }
+    }
+}
+
+impl fmt::Display for TpRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {}", self.name, self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use tpdb_lineage::VarId;
+    use tpdb_temporal::Interval;
+
+    fn rel() -> TpRelation {
+        let mut r = TpRelation::new(
+            "a",
+            Schema::tp(&[("Name", DataType::Str), ("Loc", DataType::Str)]),
+        );
+        r.push(TpTuple::new(
+            vec![Value::str("Ann"), Value::str("ZAK")],
+            Lineage::var(VarId(0)),
+            Interval::new(2, 8),
+            0.7,
+        ))
+        .unwrap();
+        r.push(TpTuple::new(
+            vec![Value::str("Jim"), Value::str("WEN")],
+            Lineage::var(VarId(1)),
+            Interval::new(7, 10),
+            0.8,
+        ))
+        .unwrap();
+        r
+    }
+
+    #[test]
+    fn push_validates_schema_and_probability() {
+        let mut r = rel();
+        assert_eq!(r.len(), 2);
+        let bad_arity = TpTuple::new(
+            vec![Value::str("x")],
+            Lineage::var(VarId(9)),
+            Interval::new(0, 1),
+            0.5,
+        );
+        assert!(matches!(r.push(bad_arity), Err(StorageError::ArityMismatch { .. })));
+        let bad_prob = TpTuple::new(
+            vec![Value::str("x"), Value::str("y")],
+            Lineage::var(VarId(9)),
+            Interval::new(0, 1),
+            1.5,
+        );
+        assert!(matches!(r.push(bad_prob), Err(StorageError::InvalidProbability(_))));
+    }
+
+    #[test]
+    fn filter_and_distinct() {
+        let r = rel();
+        let only_ann = r.filter(|t| t.fact(0) == &Value::str("Ann"));
+        assert_eq!(only_ann.len(), 1);
+        assert_eq!(r.distinct_values(1), vec![Value::str("WEN"), Value::str("ZAK")]);
+    }
+
+    #[test]
+    fn sort_by_columns_orders_by_value_then_interval() {
+        let mut r = TpRelation::new("b", Schema::tp(&[("k", DataType::Int)]));
+        for (k, s, e) in [(2, 5, 9), (1, 4, 6), (1, 1, 3), (2, 0, 2)] {
+            r.push(TpTuple::new(
+                vec![Value::Int(k)],
+                Lineage::tru(),
+                Interval::new(s, e),
+                1.0,
+            ))
+            .unwrap();
+        }
+        r.sort_by_columns(&[0]);
+        let keys: Vec<(i64, i64)> = r
+            .iter()
+            .map(|t| (t.fact(0).as_int().unwrap(), t.interval().start()))
+            .collect();
+        assert_eq!(keys, vec![(1, 1), (1, 4), (2, 0), (2, 5)]);
+    }
+
+    #[test]
+    fn register_probabilities_covers_base_tuples_only() {
+        let mut r = rel();
+        // add a derived tuple with compound lineage; it must not be registered
+        r.push(TpTuple::new(
+            vec![Value::str("Ann"), Value::str("ZAK")],
+            Lineage::and2(Lineage::var(VarId(0)), Lineage::var(VarId(1))),
+            Interval::new(20, 21),
+            0.56,
+        ))
+        .unwrap();
+        let mut engine = ProbabilityEngine::new();
+        r.register_probabilities(&mut engine);
+        assert_eq!(engine.len(), 2);
+        assert_eq!(engine.get(VarId(0)), Some(0.7));
+        assert_eq!(engine.get(VarId(1)), Some(0.8));
+    }
+
+    #[test]
+    fn valid_at_and_lineage_at() {
+        let r = rel();
+        assert_eq!(r.valid_at(7).len(), 2);
+        assert_eq!(r.valid_at(9).len(), 1);
+        assert_eq!(r.valid_at(100).len(), 0);
+        let lin = r.lineage_at(&[Value::str("Ann"), Value::str("ZAK")], 3);
+        assert_eq!(lin, Lineage::var(VarId(0)));
+        let none = r.lineage_at(&[Value::str("Ann"), Value::str("ZAK")], 9);
+        assert!(none.is_false());
+    }
+
+    #[test]
+    fn renamed_keeps_contents() {
+        let r = rel().renamed("a2");
+        assert_eq!(r.name(), "a2");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn display_lists_tuples() {
+        let s = rel().to_string();
+        assert!(s.contains("Ann"));
+        assert!(s.contains("Jim"));
+    }
+}

@@ -1,0 +1,249 @@
+//! Plain-text import/export of TP relations.
+//!
+//! The format is a simple pipe-separated text table, one tuple per line:
+//!
+//! ```text
+//! # name: a
+//! # columns: Name:STR|Loc:STR
+//! Ann|ZAK|2|8|0.7
+//! Jim|WEN|7|10|0.8
+//! ```
+//!
+//! The last three fields of every data line are the interval start, the
+//! interval end and the probability. Lineages are re-created as fresh atomic
+//! variables on import (the format stores base relations, not derived
+//! results), mirroring how the paper's datasets are loaded into PostgreSQL
+//! tables before querying.
+
+use crate::catalog::Catalog;
+use crate::error::StorageError;
+use crate::relation::TpRelation;
+use crate::schema::{DataType, Field, Schema};
+use crate::value::Value;
+use std::sync::Arc;
+use tpdb_temporal::Interval;
+
+/// Serializes a relation (schema header plus one line per tuple).
+#[must_use]
+pub fn relation_to_text(relation: &TpRelation) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# name: {}\n", relation.name()));
+    let cols: Vec<String> = relation
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| format!("{}:{}", f.name, f.dtype))
+        .collect();
+    out.push_str(&format!("# columns: {}\n", cols.join("|")));
+    for t in relation.iter() {
+        let facts: Vec<String> = t.facts().iter().map(|v| v.to_string()).collect();
+        out.push_str(&format!(
+            "{}|{}|{}|{}\n",
+            facts.join("|"),
+            t.interval().start(),
+            t.interval().end(),
+            t.probability()
+        ));
+    }
+    out
+}
+
+fn parse_dtype(s: &str) -> Option<DataType> {
+    match s {
+        "BOOL" => Some(DataType::Bool),
+        "INT" => Some(DataType::Int),
+        "FLOAT" => Some(DataType::Float),
+        "STR" => Some(DataType::Str),
+        _ => None,
+    }
+}
+
+fn parse_value(s: &str, dtype: DataType, line: usize) -> Result<Value, StorageError> {
+    if s == "-" {
+        return Ok(Value::Null);
+    }
+    let err = |message: String| StorageError::ParseError { line, message };
+    Ok(match dtype {
+        DataType::Bool => Value::Bool(
+            s.parse::<bool>()
+                .map_err(|_| err(format!("invalid bool: {s}")))?,
+        ),
+        DataType::Int => Value::Int(
+            s.parse::<i64>()
+                .map_err(|_| err(format!("invalid int: {s}")))?,
+        ),
+        DataType::Float => Value::Float(
+            s.parse::<f64>()
+                .map_err(|_| err(format!("invalid float: {s}")))?,
+        ),
+        DataType::Str => Value::str(s),
+    })
+}
+
+/// Parses a relation from its textual form and registers it (with fresh
+/// atomic lineages) in `catalog`.
+pub fn relation_from_text(
+    catalog: &mut Catalog,
+    text: &str,
+) -> Result<Arc<TpRelation>, StorageError> {
+    let mut name: Option<String> = None;
+    let mut schema: Option<Schema> = None;
+    let mut rows: Vec<(Vec<Value>, Interval, f64)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# name:") {
+            name = Some(rest.trim().to_owned());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# columns:") {
+            let mut fields = Vec::new();
+            for col in rest.trim().split('|') {
+                let (n, t) = col.split_once(':').ok_or(StorageError::ParseError {
+                    line: lineno,
+                    message: format!("invalid column spec: {col}"),
+                })?;
+                let dtype = parse_dtype(t.trim()).ok_or(StorageError::ParseError {
+                    line: lineno,
+                    message: format!("unknown type: {t}"),
+                })?;
+                fields.push(Field::new(n.trim(), dtype));
+            }
+            schema = Some(Schema::new(fields));
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let schema_ref = schema.as_ref().ok_or(StorageError::ParseError {
+            line: lineno,
+            message: "data line before '# columns:' header".to_owned(),
+        })?;
+        let parts: Vec<&str> = line.split('|').collect();
+        if parts.len() != schema_ref.arity() + 3 {
+            return Err(StorageError::ParseError {
+                line: lineno,
+                message: format!(
+                    "expected {} fields, got {}",
+                    schema_ref.arity() + 3,
+                    parts.len()
+                ),
+            });
+        }
+        let mut facts = Vec::with_capacity(schema_ref.arity());
+        for (i, field) in schema_ref.fields().iter().enumerate() {
+            facts.push(parse_value(parts[i], field.dtype, lineno)?);
+        }
+        let n = parts.len();
+        let start: i64 = parts[n - 3].parse().map_err(|_| StorageError::ParseError {
+            line: lineno,
+            message: format!("invalid interval start: {}", parts[n - 3]),
+        })?;
+        let end: i64 = parts[n - 2].parse().map_err(|_| StorageError::ParseError {
+            line: lineno,
+            message: format!("invalid interval end: {}", parts[n - 2]),
+        })?;
+        let prob: f64 = parts[n - 1].parse().map_err(|_| StorageError::ParseError {
+            line: lineno,
+            message: format!("invalid probability: {}", parts[n - 1]),
+        })?;
+        let interval = Interval::try_new(start, end).map_err(|e| StorageError::ParseError {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+        rows.push((facts, interval, prob));
+    }
+
+    let name = name.ok_or(StorageError::ParseError {
+        line: 0,
+        message: "missing '# name:' header".to_owned(),
+    })?;
+    let schema = schema.ok_or(StorageError::ParseError {
+        line: 0,
+        message: "missing '# columns:' header".to_owned(),
+    })?;
+
+    let mut builder = catalog.create_relation(&name, schema)?;
+    for (facts, interval, prob) in rows {
+        builder.push(facts, interval, prob);
+    }
+    builder.try_finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# name: a
+# columns: Name:STR|Loc:STR
+Ann|ZAK|2|8|0.7
+Jim|WEN|7|10|0.8
+";
+
+    #[test]
+    fn roundtrip_import_export() {
+        let mut c = Catalog::new();
+        let rel = relation_from_text(&mut c, SAMPLE).unwrap();
+        assert_eq!(rel.name(), "a");
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.tuple(0).fact(1), &Value::str("ZAK"));
+        assert_eq!(rel.tuple(1).interval(), Interval::new(7, 10));
+
+        let text = relation_to_text(&rel);
+        let mut c2 = Catalog::new();
+        let rel2 = relation_from_text(&mut c2, &text).unwrap();
+        assert_eq!(rel2.len(), rel.len());
+        for (t1, t2) in rel.iter().zip(rel2.iter()) {
+            assert_eq!(t1.facts(), t2.facts());
+            assert_eq!(t1.interval(), t2.interval());
+            assert!((t1.probability() - t2.probability()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn missing_headers_are_errors() {
+        let mut c = Catalog::new();
+        assert!(relation_from_text(&mut c, "Ann|ZAK|2|8|0.7\n").is_err());
+        assert!(relation_from_text(&mut c, "# columns: Name:STR\nAnn|2|8|0.7\n").is_err());
+    }
+
+    #[test]
+    fn bad_field_counts_and_types_are_reported_with_line_numbers() {
+        let mut c = Catalog::new();
+        let bad = "# name: a\n# columns: Name:STR|Age:INT\nAnn|notanint|2|8|0.7\n";
+        match relation_from_text(&mut c, bad) {
+            Err(StorageError::ParseError { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let mut c = Catalog::new();
+        let bad = "# name: a\n# columns: Name:STR\nAnn|2|8\n";
+        assert!(relation_from_text(&mut c, bad).is_err());
+    }
+
+    #[test]
+    fn empty_intervals_are_rejected() {
+        let mut c = Catalog::new();
+        let bad = "# name: a\n# columns: Name:STR\nAnn|8|2|0.7\n";
+        assert!(relation_from_text(&mut c, bad).is_err());
+    }
+
+    #[test]
+    fn null_values_roundtrip_as_dash() {
+        let mut c = Catalog::new();
+        let text = "# name: a\n# columns: Name:STR|Loc:STR\n-|ZAK|1|2|0.5\n";
+        let rel = relation_from_text(&mut c, text).unwrap();
+        assert!(rel.tuple(0).fact(0).is_null());
+    }
+
+    #[test]
+    fn unknown_type_in_header_is_an_error() {
+        let mut c = Catalog::new();
+        let bad = "# name: a\n# columns: Name:TEXT\nAnn|1|2|0.5\n";
+        assert!(relation_from_text(&mut c, bad).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! TP tuples.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tpdb_lineage::Lineage;
+use tpdb_temporal::Interval;
+
+/// A temporal-probabilistic tuple `(F, λ, T, p)`.
+///
+/// * `facts` — the values of the non-temporal attributes `F`,
+/// * `lineage` — the boolean lineage formula `λ`,
+/// * `interval` — the validity interval `T = [Ts, Te)`,
+/// * `probability` — `p = Pr(λ)`, the probability that the fact holds at
+///   each time point of `T`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpTuple {
+    facts: Vec<Value>,
+    lineage: Lineage,
+    interval: Interval,
+    probability: f64,
+}
+
+impl TpTuple {
+    /// Creates a tuple. The probability is clamped into `[0, 1]` only by the
+    /// caller's validation; this constructor stores it verbatim.
+    #[must_use]
+    pub fn new(facts: Vec<Value>, lineage: Lineage, interval: Interval, probability: f64) -> Self {
+        Self {
+            facts,
+            lineage,
+            interval,
+            probability,
+        }
+    }
+
+    /// The fact attribute values.
+    #[must_use]
+    pub fn facts(&self) -> &[Value] {
+        &self.facts
+    }
+
+    /// The fact value at position `idx`.
+    #[must_use]
+    pub fn fact(&self, idx: usize) -> &Value {
+        &self.facts[idx]
+    }
+
+    /// The lineage formula.
+    #[must_use]
+    pub fn lineage(&self) -> &Lineage {
+        &self.lineage
+    }
+
+    /// The validity interval.
+    #[must_use]
+    pub fn interval(&self) -> Interval {
+        self.interval
+    }
+
+    /// The tuple probability.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+
+    /// Returns a copy of the tuple restricted to the given interval
+    /// (used by the alignment operators of the TA baseline).
+    #[must_use]
+    pub fn with_interval(&self, interval: Interval) -> Self {
+        Self {
+            facts: self.facts.clone(),
+            lineage: self.lineage.clone(),
+            interval,
+            probability: self.probability,
+        }
+    }
+
+    /// Returns a copy of the tuple with a different lineage and probability
+    /// (used when forming output tuples from windows).
+    #[must_use]
+    pub fn with_lineage(&self, lineage: Lineage, probability: f64) -> Self {
+        Self {
+            facts: self.facts.clone(),
+            lineage,
+            interval: self.interval,
+            probability,
+        }
+    }
+
+    /// Is the tuple valid at time point `t`?
+    #[must_use]
+    pub fn valid_at(&self, t: tpdb_temporal::TimePoint) -> bool {
+        self.interval.contains_point(t)
+    }
+}
+
+impl fmt::Display for TpTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.facts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, " | {} | {} | {:.4})", self.lineage, self.interval, self.probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdb_lineage::VarId;
+
+    fn tuple() -> TpTuple {
+        TpTuple::new(
+            vec![Value::str("Ann"), Value::str("ZAK")],
+            Lineage::var(VarId(0)),
+            Interval::new(2, 8),
+            0.7,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let t = tuple();
+        assert_eq!(t.facts().len(), 2);
+        assert_eq!(t.fact(0), &Value::str("Ann"));
+        assert_eq!(t.interval(), Interval::new(2, 8));
+        assert_eq!(t.probability(), 0.7);
+        assert!(t.valid_at(2));
+        assert!(t.valid_at(7));
+        assert!(!t.valid_at(8));
+    }
+
+    #[test]
+    fn with_interval_preserves_everything_else() {
+        let t = tuple().with_interval(Interval::new(4, 6));
+        assert_eq!(t.interval(), Interval::new(4, 6));
+        assert_eq!(t.fact(1), &Value::str("ZAK"));
+        assert_eq!(t.probability(), 0.7);
+    }
+
+    #[test]
+    fn with_lineage_swaps_lineage_and_probability() {
+        let new_lin = Lineage::and2(Lineage::var(VarId(0)), Lineage::var(VarId(1)));
+        let t = tuple().with_lineage(new_lin.clone(), 0.42);
+        assert_eq!(t.lineage(), &new_lin);
+        assert_eq!(t.probability(), 0.42);
+        assert_eq!(t.interval(), Interval::new(2, 8));
+    }
+
+    #[test]
+    fn display_contains_all_parts() {
+        let s = tuple().to_string();
+        assert!(s.contains("Ann"));
+        assert!(s.contains("[2,8)"));
+        assert!(s.contains("0.7000"));
+    }
+}

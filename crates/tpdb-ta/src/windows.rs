@@ -1,0 +1,328 @@
+//! Window computation the Temporal Alignment way.
+//!
+//! TA derives the same three window classes as the lineage-aware approach,
+//! but with the redundancies the paper measures:
+//!
+//! * [`ta_wuo_windows`] runs the conventional overlap join **twice** — once
+//!   to obtain the overlapping windows, and a second alignment pass to find
+//!   the unmatched sub-intervals.
+//! * [`ta_negating_windows`] aligns the positive relation yet again and then
+//!   re-scans the matching negative tuples for every aligned fragment to
+//!   assemble the disjunction `λs`.
+//! * [`ta_wuon_windows`] unions the two results and has to eliminate the
+//!   unmatched windows that were computed twice.
+
+use crate::align::align_bound;
+use tpdb_core::{
+    overlapping_windows_with_plan, OverlapJoinPlan, ThetaCondition, Window,
+};
+use tpdb_storage::{StorageError, TpRelation};
+use tpdb_temporal::{Interval, TimePoint};
+
+/// Overlapping + unmatched windows (`WUO`), computed the TA way: the overlap
+/// join runs once for the overlapping windows and the alignment pass
+/// (effectively a second overlap join) recomputes the matches to find the
+/// unmatched sub-intervals.
+pub fn ta_wuo_windows(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+) -> Result<Vec<Window>, StorageError> {
+    let bound = theta.bind(r.schema(), s.schema())?;
+    Ok(ta_wuo_with_plan(r, s, theta, bound.is_equi_join()))
+}
+
+/// [`ta_wuo_windows`] with an explicit plan choice (`use_hash = false`
+/// forces nested loops, as in the end-to-end TA join).
+#[must_use]
+pub fn ta_wuo_with_plan(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+    use_hash: bool,
+) -> Vec<Window> {
+    let bound = theta
+        .bind(r.schema(), s.schema())
+        .expect("θ condition must bind to the input schemas");
+    let plan = if use_hash {
+        OverlapJoinPlan::Hash
+    } else {
+        OverlapJoinPlan::NestedLoop
+    };
+
+    // Pass 1: conventional overlap join — overlapping windows (and the
+    // whole-interval unmatched windows of tuples with no match at all).
+    let mut windows: Vec<Window> =
+        overlapping_windows_with_plan(r, s, &bound, plan)
+            .into_iter()
+            .filter(|w| w.is_overlapping())
+            .collect();
+
+    // Pass 2: alignment — recompute the matches of every r tuple to find the
+    // uncovered fragments, which become the unmatched windows.
+    let fragments = align_bound(r, s, &bound, use_hash);
+    for frag in fragments {
+        if !frag.covered {
+            let rt = r.tuple(frag.r_idx);
+            windows.push(Window::unmatched(frag.interval, frag.r_idx, rt.lineage().clone()));
+        }
+    }
+
+    windows.sort_by_key(|w| (w.r_idx, w.interval.start(), w.interval.end()));
+    windows
+}
+
+/// Negating windows computed the TA way: align the positive relation against
+/// the negative one and, for every covered fragment, re-scan the matching
+/// negative tuples to build the disjunction of their lineages.
+pub fn ta_negating_windows(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+) -> Result<Vec<Window>, StorageError> {
+    let bound = theta.bind(r.schema(), s.schema())?;
+    Ok(ta_negating_with_plan(r, s, theta, bound.is_equi_join()))
+}
+
+/// [`ta_negating_windows`] with an explicit plan choice.
+#[must_use]
+pub fn ta_negating_with_plan(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+    use_hash: bool,
+) -> Vec<Window> {
+    let bound = theta
+        .bind(r.schema(), s.schema())
+        .expect("θ condition must bind to the input schemas");
+
+    // Candidate lookup structure (hash partition of s on the equi-join key
+    // when the plan is allowed to exploit θ).
+    let partitions: Option<std::collections::HashMap<Vec<tpdb_storage::Value>, Vec<usize>>> =
+        if use_hash && bound.is_equi_join() {
+            let mut map: std::collections::HashMap<_, Vec<usize>> =
+                std::collections::HashMap::new();
+            for (si, st) in s.iter().enumerate() {
+                map.entry(bound.right_key(st)).or_default().push(si);
+            }
+            Some(map)
+        } else {
+            None
+        };
+
+    let mut out = Vec::new();
+    let mut candidates: Vec<usize> = Vec::new();
+    for (ri, rt) in r.iter().enumerate() {
+        let r_iv = rt.interval();
+        candidates.clear();
+        match &partitions {
+            Some(map) => {
+                if let Some(list) = map.get(&bound.left_key(rt)) {
+                    candidates.extend_from_slice(list);
+                }
+            }
+            None => candidates.extend(0..s.len()),
+        }
+        // Re-derive the matching overlaps of this tuple (alignment pass),
+        // replicating the overlap computation that LAWAN gets for free from
+        // the already-computed overlapping windows.
+        let mut matches: Vec<(Interval, usize)> = Vec::new();
+        let mut boundaries: Vec<TimePoint> = vec![r_iv.start(), r_iv.end()];
+        for &si in &candidates {
+            let st = s.tuple(si);
+            if !bound.matches(rt, st) {
+                continue;
+            }
+            if let Some(overlap) = r_iv.intersect(&st.interval()) {
+                boundaries.push(overlap.start());
+                boundaries.push(overlap.end());
+                matches.push((overlap, si));
+            }
+        }
+        if matches.is_empty() {
+            continue;
+        }
+        boundaries.sort_unstable();
+        boundaries.dedup();
+        // One pass per fragment over the matches of the tuple: quadratic in
+        // the per-tuple match count, which is TA's replication overhead.
+        for pair in boundaries.windows(2) {
+            let fragment = Interval::new(pair[0], pair[1]);
+            let disjuncts: Vec<tpdb_lineage::Lineage> = matches
+                .iter()
+                .filter(|(overlap, _)| overlap.contains(&fragment))
+                .map(|(_, si)| s.tuple(*si).lineage().clone())
+                .collect();
+            if disjuncts.is_empty() {
+                continue; // uncovered fragment: an unmatched window, not a negating one
+            }
+            out.push(Window::negating(
+                fragment,
+                ri,
+                rt.lineage().clone(),
+                tpdb_lineage::Lineage::or(disjuncts),
+            ));
+        }
+    }
+    out.sort_by_key(|w| (w.r_idx, w.interval.start(), w.interval.end()));
+    out
+}
+
+/// `WUON` — all three window classes, computed the TA way and combined with
+/// a duplicate-eliminating union (the unmatched windows are produced by both
+/// sub-computations and must be de-duplicated, exactly the overhead the
+/// paper attributes to TA's union step).
+pub fn ta_wuon_windows(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+) -> Result<Vec<Window>, StorageError> {
+    let bound = theta.bind(r.schema(), s.schema())?;
+    Ok(ta_wuon_with_plan(r, s, theta, bound.is_equi_join()))
+}
+
+/// [`ta_wuon_windows`] with an explicit plan choice.
+#[must_use]
+pub fn ta_wuon_with_plan(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+    use_hash: bool,
+) -> Vec<Window> {
+    let wuo = ta_wuo_with_plan(r, s, theta, use_hash);
+    let negating = ta_negating_with_plan(r, s, theta, use_hash);
+
+    // The negating computation re-derives the unmatched fragments as part of
+    // its alignment pass; emulate TA's union by concatenating both results
+    // (including those re-derived unmatched windows) and eliminating
+    // duplicates afterwards.
+    let bound = theta
+        .bind(r.schema(), s.schema())
+        .expect("θ condition must bind to the input schemas");
+    let re_derived_unmatched: Vec<Window> = align_bound(r, s, &bound, use_hash)
+        .into_iter()
+        .filter(|f| !f.covered)
+        .map(|f| Window::unmatched(f.interval, f.r_idx, r.tuple(f.r_idx).lineage().clone()))
+        .collect();
+
+    let mut all = wuo;
+    all.extend(re_derived_unmatched);
+    all.extend(negating);
+    all.sort_by(|a, b| {
+        (a.r_idx, a.interval.start(), a.interval.end(), a.kind as u8, a.s_idx)
+            .cmp(&(b.r_idx, b.interval.start(), b.interval.end(), b.kind as u8, b.s_idx))
+    });
+    all.dedup();
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdb_core::{lawan, lawau, overlapping_windows, WindowKind};
+    use tpdb_lineage::{Lineage, SymbolTable};
+    use tpdb_storage::{DataType, Schema, TpTuple, Value};
+    use tpdb_temporal::Interval;
+
+    fn booking() -> (TpRelation, TpRelation) {
+        let mut syms = SymbolTable::new();
+        let mut a = TpRelation::new(
+            "a",
+            Schema::tp(&[("Name", DataType::Str), ("Loc", DataType::Str)]),
+        );
+        for (name, loc, iv, p) in [
+            ("Ann", "ZAK", (2, 8), 0.7),
+            ("Jim", "WEN", (7, 10), 0.8),
+        ] {
+            let var = syms.fresh("a");
+            a.push(TpTuple::new(
+                vec![Value::str(name), Value::str(loc)],
+                Lineage::var(var),
+                Interval::new(iv.0, iv.1),
+                p,
+            ))
+            .unwrap();
+        }
+        let mut b = TpRelation::new(
+            "b",
+            Schema::tp(&[("Hotel", DataType::Str), ("Loc", DataType::Str)]),
+        );
+        for (h, loc, iv, p) in [
+            ("hotel3", "SOR", (1, 4), 0.9),
+            ("hotel2", "ZAK", (5, 8), 0.6),
+            ("hotel1", "ZAK", (4, 6), 0.7),
+        ] {
+            let var = syms.fresh("b");
+            b.push(TpTuple::new(
+                vec![Value::str(h), Value::str(loc)],
+                Lineage::var(var),
+                Interval::new(iv.0, iv.1),
+                p,
+            ))
+            .unwrap();
+        }
+        (a, b)
+    }
+
+    fn theta() -> ThetaCondition {
+        ThetaCondition::column_equals("Loc", "Loc")
+    }
+
+    /// Canonical form for window-set comparison: ignore input ordering.
+    fn canon(mut ws: Vec<Window>) -> Vec<(usize, WindowKind, i64, i64)> {
+        ws.sort_by_key(|w| (w.r_idx, w.interval.start(), w.interval.end(), w.kind as u8, w.s_idx));
+        ws.iter()
+            .map(|w| (w.r_idx, w.kind, w.interval.start(), w.interval.end()))
+            .collect()
+    }
+
+    #[test]
+    fn ta_wuo_matches_nj_wuo_on_paper_example() {
+        let (a, b) = booking();
+        let nj = lawau(&overlapping_windows(&a, &b, &theta()).unwrap(), &a);
+        let ta = ta_wuo_windows(&a, &b, &theta()).unwrap();
+        assert_eq!(canon(nj), canon(ta));
+    }
+
+    #[test]
+    fn ta_negating_matches_nj_negating_on_paper_example() {
+        let (a, b) = booking();
+        let nj: Vec<Window> = lawan(&lawau(&overlapping_windows(&a, &b, &theta()).unwrap(), &a))
+            .into_iter()
+            .filter(|w| w.is_negating())
+            .collect();
+        let ta = ta_negating_windows(&a, &b, &theta()).unwrap();
+        assert_eq!(canon(nj), canon(ta.clone()));
+        // λs of the [5,6) window must be a two-way disjunction in both
+        let w = ta.iter().find(|w| w.interval == Interval::new(5, 6)).unwrap();
+        match w.lambda_s.as_ref().unwrap().node() {
+            tpdb_lineage::LineageNode::Or(cs) => assert_eq!(cs.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ta_wuon_matches_nj_wuon_on_paper_example() {
+        let (a, b) = booking();
+        let nj = lawan(&lawau(&overlapping_windows(&a, &b, &theta()).unwrap(), &a));
+        let ta = ta_wuon_windows(&a, &b, &theta()).unwrap();
+        assert_eq!(canon(nj), canon(ta));
+    }
+
+    #[test]
+    fn union_removes_duplicate_unmatched_windows() {
+        let (a, b) = booking();
+        let ta = ta_wuon_windows(&a, &b, &theta()).unwrap();
+        // unmatched windows appear exactly once despite being computed twice
+        let unmatched: Vec<&Window> = ta.iter().filter(|w| w.is_unmatched()).collect();
+        assert_eq!(unmatched.len(), 2);
+    }
+
+    #[test]
+    fn nested_loop_plan_produces_identical_windows() {
+        let (a, b) = booking();
+        let hash = ta_wuon_with_plan(&a, &b, &theta(), true);
+        let nl = ta_wuon_with_plan(&a, &b, &theta(), false);
+        assert_eq!(canon(hash), canon(nl));
+    }
+}

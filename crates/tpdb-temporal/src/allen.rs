@@ -1,0 +1,170 @@
+//! Allen's interval relations.
+
+use crate::Interval;
+use serde::{Deserialize, Serialize};
+
+/// The thirteen relations of Allen's interval algebra.
+///
+/// For two non-empty intervals `a` and `b`, exactly one relation holds. The
+/// window algorithms only need overlap/containment tests, but the full
+/// algebra is exposed because it is generally useful when reasoning about
+/// temporal data and it makes tests and examples much easier to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AllenRelation {
+    /// `a` ends before `b` starts.
+    Before,
+    /// `a` ends exactly where `b` starts.
+    Meets,
+    /// `a` starts first and they overlap, `a` ends inside `b`.
+    Overlaps,
+    /// `a` starts first and they end together.
+    FinishedBy,
+    /// `a` strictly contains `b`.
+    Contains,
+    /// they start together and `a` ends first.
+    Starts,
+    /// the intervals are identical.
+    Equals,
+    /// they start together and `b` ends first.
+    StartedBy,
+    /// `b` strictly contains `a`.
+    During,
+    /// `b` starts first and they end together.
+    Finishes,
+    /// `b` starts first and they overlap, `b` ends inside `a`.
+    OverlappedBy,
+    /// `b` ends exactly where `a` starts.
+    MetBy,
+    /// `b` ends before `a` starts.
+    After,
+}
+
+impl AllenRelation {
+    /// The inverse relation (the relation of `b` to `a`).
+    #[must_use]
+    pub fn inverse(self) -> Self {
+        use AllenRelation::*;
+        match self {
+            Before => After,
+            Meets => MetBy,
+            Overlaps => OverlappedBy,
+            FinishedBy => Finishes,
+            Contains => During,
+            Starts => StartedBy,
+            Equals => Equals,
+            StartedBy => Starts,
+            During => Contains,
+            Finishes => FinishedBy,
+            OverlappedBy => Overlaps,
+            MetBy => Meets,
+            After => Before,
+        }
+    }
+
+    /// Whether the relation implies that the two intervals share at least one
+    /// time point.
+    #[must_use]
+    pub fn implies_overlap(self) -> bool {
+        use AllenRelation::*;
+        !matches!(self, Before | Meets | MetBy | After)
+    }
+}
+
+impl Interval {
+    /// Computes the Allen relation of `self` with respect to `other`.
+    #[must_use]
+    pub fn allen_relation(&self, other: &Interval) -> AllenRelation {
+        use std::cmp::Ordering::*;
+        use AllenRelation::*;
+        let (a_s, a_e, b_s, b_e) = (self.start(), self.end(), other.start(), other.end());
+        match (a_s.cmp(&b_s), a_e.cmp(&b_e)) {
+            (Equal, Equal) => Equals,
+            (Equal, Less) => Starts,
+            (Equal, Greater) => StartedBy,
+            (Less, Equal) => FinishedBy,
+            (Greater, Equal) => Finishes,
+            (Less, Less) => {
+                if a_e < b_s {
+                    Before
+                } else if a_e == b_s {
+                    Meets
+                } else {
+                    Overlaps
+                }
+            }
+            (Less, Greater) => Contains,
+            (Greater, Less) => During,
+            (Greater, Greater) => {
+                if b_e < a_s {
+                    After
+                } else if b_e == a_s {
+                    MetBy
+                } else {
+                    OverlappedBy
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rel(a: (i64, i64), b: (i64, i64)) -> AllenRelation {
+        Interval::new(a.0, a.1).allen_relation(&Interval::new(b.0, b.1))
+    }
+
+    #[test]
+    fn all_thirteen_relations() {
+        use AllenRelation::*;
+        assert_eq!(rel((1, 2), (3, 4)), Before);
+        assert_eq!(rel((1, 3), (3, 4)), Meets);
+        assert_eq!(rel((1, 4), (3, 6)), Overlaps);
+        assert_eq!(rel((1, 6), (3, 6)), FinishedBy);
+        assert_eq!(rel((1, 8), (3, 6)), Contains);
+        assert_eq!(rel((3, 5), (3, 6)), Starts);
+        assert_eq!(rel((3, 6), (3, 6)), Equals);
+        assert_eq!(rel((3, 8), (3, 6)), StartedBy);
+        assert_eq!(rel((4, 5), (3, 6)), During);
+        assert_eq!(rel((4, 6), (3, 6)), Finishes);
+        assert_eq!(rel((4, 8), (3, 6)), OverlappedBy);
+        assert_eq!(rel((6, 8), (3, 6)), MetBy);
+        assert_eq!(rel((8, 9), (3, 6)), After);
+    }
+
+    #[test]
+    fn overlap_consistency_with_relation() {
+        let a = Interval::new(1, 4);
+        let b = Interval::new(3, 6);
+        assert!(a.allen_relation(&b).implies_overlap());
+        assert!(a.overlaps(&b));
+        let c = Interval::new(4, 6);
+        assert!(!a.allen_relation(&c).implies_overlap());
+        assert!(!a.overlaps(&c));
+    }
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        (-50i64..50, 1i64..20).prop_map(|(s, d)| Interval::new(s, s + d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inverse_is_involutive(a in arb_interval(), b in arb_interval()) {
+            let r = a.allen_relation(&b);
+            prop_assert_eq!(r.inverse(), b.allen_relation(&a));
+            prop_assert_eq!(r.inverse().inverse(), r);
+        }
+
+        #[test]
+        fn prop_relation_overlap_agrees_with_interval_overlap(a in arb_interval(), b in arb_interval()) {
+            prop_assert_eq!(a.allen_relation(&b).implies_overlap(), a.overlaps(&b));
+        }
+
+        #[test]
+        fn prop_equals_iff_identical(a in arb_interval(), b in arb_interval()) {
+            prop_assert_eq!(a.allen_relation(&b) == AllenRelation::Equals, a == b);
+        }
+    }
+}

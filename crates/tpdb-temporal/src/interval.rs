@@ -1,0 +1,390 @@
+//! Half-open time intervals `[start, end)`.
+
+use crate::point::{TimePoint, MAX_TIME, MIN_TIME};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error raised when constructing an invalid interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntervalError {
+    /// The start point was not strictly smaller than the end point.
+    Empty {
+        /// Offending start point.
+        start: TimePoint,
+        /// Offending end point.
+        end: TimePoint,
+    },
+}
+
+impl fmt::Display for IntervalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntervalError::Empty { start, end } => {
+                write!(f, "empty interval: start {start} must be < end {end}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IntervalError {}
+
+/// A half-open, non-empty time interval `[start, end)`.
+///
+/// Invariant: `start < end`. An interval is valid at every time point `t`
+/// with `start <= t < end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Interval {
+    start: TimePoint,
+    end: TimePoint,
+}
+
+impl Interval {
+    /// Creates a new interval `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `start >= end`. Use [`Interval::try_new`] for a fallible
+    /// constructor.
+    #[must_use]
+    pub fn new(start: TimePoint, end: TimePoint) -> Self {
+        Self::try_new(start, end).expect("interval start must be < end")
+    }
+
+    /// Creates a new interval `[start, end)`, returning an error when it
+    /// would be empty.
+    pub fn try_new(start: TimePoint, end: TimePoint) -> Result<Self, IntervalError> {
+        if start < end {
+            Ok(Self { start, end })
+        } else {
+            Err(IntervalError::Empty { start, end })
+        }
+    }
+
+    /// The interval spanning the whole representable timeline.
+    #[must_use]
+    pub fn always() -> Self {
+        Self {
+            start: MIN_TIME,
+            end: MAX_TIME,
+        }
+    }
+
+    /// Inclusive start point.
+    #[must_use]
+    pub fn start(&self) -> TimePoint {
+        self.start
+    }
+
+    /// Exclusive end point.
+    #[must_use]
+    pub fn end(&self) -> TimePoint {
+        self.end
+    }
+
+    /// Number of chronons covered by the interval.
+    #[must_use]
+    pub fn duration(&self) -> i64 {
+        self.end - self.start
+    }
+
+    /// Does the interval contain time point `t`?
+    #[must_use]
+    pub fn contains_point(&self, t: TimePoint) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Does `self` fully contain `other` (not necessarily strictly)?
+    #[must_use]
+    pub fn contains(&self, other: &Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Do the two intervals share at least one time point?
+    #[must_use]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Are the two intervals adjacent (they meet without overlapping)?
+    #[must_use]
+    pub fn adjacent(&self, other: &Interval) -> bool {
+        self.end == other.start || other.end == self.start
+    }
+
+    /// The intersection of the two intervals, or `None` when they are
+    /// disjoint.
+    #[must_use]
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then(|| Interval { start, end })
+    }
+
+    /// The smallest interval containing both inputs (the temporal hull).
+    #[must_use]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The union of the two intervals when they overlap or are adjacent
+    /// (i.e. when the union is itself an interval), otherwise `None`.
+    #[must_use]
+    pub fn union(&self, other: &Interval) -> Option<Interval> {
+        (self.overlaps(other) || self.adjacent(other)).then(|| self.hull(other))
+    }
+
+    /// The parts of `self` not covered by `other`: zero, one or two
+    /// intervals.
+    #[must_use]
+    pub fn difference(&self, other: &Interval) -> Vec<Interval> {
+        match self.intersect(other) {
+            None => vec![*self],
+            Some(inter) => {
+                let mut out = Vec::with_capacity(2);
+                if self.start < inter.start {
+                    out.push(Interval {
+                        start: self.start,
+                        end: inter.start,
+                    });
+                }
+                if inter.end < self.end {
+                    out.push(Interval {
+                        start: inter.end,
+                        end: self.end,
+                    });
+                }
+                out
+            }
+        }
+    }
+
+    /// Splits the interval at `t`, returning the part before and the part
+    /// from `t` on. If `t` lies outside the interval, one of the parts is
+    /// `None`.
+    #[must_use]
+    pub fn split_at(&self, t: TimePoint) -> (Option<Interval>, Option<Interval>) {
+        if t <= self.start {
+            (None, Some(*self))
+        } else if t >= self.end {
+            (Some(*self), None)
+        } else {
+            (
+                Some(Interval {
+                    start: self.start,
+                    end: t,
+                }),
+                Some(Interval {
+                    start: t,
+                    end: self.end,
+                }),
+            )
+        }
+    }
+
+    /// Iterates over every time point covered by the interval. Intended for
+    /// tests and semantic (point-wise) checks, not for production paths.
+    pub fn points(&self) -> impl Iterator<Item = TimePoint> {
+        self.start..self.end
+    }
+
+    /// Does `self` start strictly before `other` starts?
+    #[must_use]
+    pub fn starts_before(&self, other: &Interval) -> bool {
+        self.start < other.start
+    }
+
+    /// Does `self` end strictly after `other` ends?
+    #[must_use]
+    pub fn ends_after(&self, other: &Interval) -> bool {
+        self.end > other.end
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let i = Interval::new(2, 8);
+        assert_eq!(i.start(), 2);
+        assert_eq!(i.end(), 8);
+        assert_eq!(i.duration(), 6);
+        assert_eq!(i.to_string(), "[2,8)");
+    }
+
+    #[test]
+    fn empty_interval_is_rejected() {
+        assert!(Interval::try_new(5, 5).is_err());
+        assert!(Interval::try_new(6, 5).is_err());
+        let err = Interval::try_new(6, 5).unwrap_err();
+        assert!(err.to_string().contains("empty interval"));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval start must be < end")]
+    fn new_panics_on_empty() {
+        let _ = Interval::new(3, 3);
+    }
+
+    #[test]
+    fn point_containment_is_half_open() {
+        let i = Interval::new(2, 8);
+        assert!(i.contains_point(2));
+        assert!(i.contains_point(7));
+        assert!(!i.contains_point(8));
+        assert!(!i.contains_point(1));
+    }
+
+    #[test]
+    fn overlap_and_adjacency() {
+        let a = Interval::new(2, 8);
+        let b = Interval::new(5, 10);
+        let c = Interval::new(8, 12);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(a.adjacent(&c));
+        assert!(!a.adjacent(&b));
+    }
+
+    #[test]
+    fn intersection_matches_paper_example() {
+        // a1 [2,8) with b3 [4,6)  ->  [4,6)   (Fig. 1 of the paper)
+        let a1 = Interval::new(2, 8);
+        let b3 = Interval::new(4, 6);
+        assert_eq!(a1.intersect(&b3), Some(Interval::new(4, 6)));
+        // a1 [2,8) with b2 [5,8)  ->  [5,8)
+        let b2 = Interval::new(5, 8);
+        assert_eq!(a1.intersect(&b2), Some(Interval::new(5, 8)));
+        // disjoint
+        let b1 = Interval::new(1, 4);
+        let a2 = Interval::new(7, 10);
+        assert_eq!(a2.intersect(&b1), None);
+    }
+
+    #[test]
+    fn union_and_hull() {
+        let a = Interval::new(2, 5);
+        let b = Interval::new(4, 8);
+        let c = Interval::new(9, 12);
+        assert_eq!(a.union(&b), Some(Interval::new(2, 8)));
+        assert_eq!(a.union(&c), None);
+        assert_eq!(a.hull(&c), Interval::new(2, 12));
+        // adjacency unions
+        let d = Interval::new(5, 9);
+        assert_eq!(a.union(&d), Some(Interval::new(2, 9)));
+    }
+
+    #[test]
+    fn difference_cases() {
+        let a = Interval::new(2, 10);
+        // hole in the middle -> two pieces
+        assert_eq!(
+            a.difference(&Interval::new(4, 6)),
+            vec![Interval::new(2, 4), Interval::new(6, 10)]
+        );
+        // prefix removed
+        assert_eq!(a.difference(&Interval::new(0, 4)), vec![Interval::new(4, 10)]);
+        // suffix removed
+        assert_eq!(a.difference(&Interval::new(8, 12)), vec![Interval::new(2, 8)]);
+        // fully covered
+        assert_eq!(a.difference(&Interval::new(0, 12)), vec![]);
+        // disjoint
+        assert_eq!(a.difference(&Interval::new(20, 22)), vec![a]);
+    }
+
+    #[test]
+    fn split_at_cases() {
+        let a = Interval::new(2, 10);
+        assert_eq!(a.split_at(5), (Some(Interval::new(2, 5)), Some(Interval::new(5, 10))));
+        assert_eq!(a.split_at(2), (None, Some(a)));
+        assert_eq!(a.split_at(1), (None, Some(a)));
+        assert_eq!(a.split_at(10), (Some(a), None));
+        assert_eq!(a.split_at(15), (Some(a), None));
+    }
+
+    #[test]
+    fn contains_interval() {
+        let a = Interval::new(2, 10);
+        assert!(a.contains(&Interval::new(2, 10)));
+        assert!(a.contains(&Interval::new(3, 9)));
+        assert!(!a.contains(&Interval::new(1, 9)));
+        assert!(!a.contains(&Interval::new(3, 11)));
+    }
+
+    #[test]
+    fn always_spans_everything() {
+        let a = Interval::always();
+        assert!(a.contains(&Interval::new(-1_000_000, 1_000_000)));
+    }
+
+    #[test]
+    fn points_iterator_enumerates_chronons() {
+        let pts: Vec<_> = Interval::new(3, 7).points().collect();
+        assert_eq!(pts, vec![3, 4, 5, 6]);
+    }
+
+    fn arb_interval() -> impl Strategy<Value = Interval> {
+        (-1000i64..1000, 1i64..100).prop_map(|(s, d)| Interval::new(s, s + d))
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersection_is_commutative(a in arb_interval(), b in arb_interval()) {
+            prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        }
+
+        #[test]
+        fn prop_intersection_contained_in_both(a in arb_interval(), b in arb_interval()) {
+            if let Some(i) = a.intersect(&b) {
+                prop_assert!(a.contains(&i));
+                prop_assert!(b.contains(&i));
+            }
+        }
+
+        #[test]
+        fn prop_overlap_iff_nonempty_intersection(a in arb_interval(), b in arb_interval()) {
+            prop_assert_eq!(a.overlaps(&b), a.intersect(&b).is_some());
+        }
+
+        #[test]
+        fn prop_difference_plus_intersection_covers_self(a in arb_interval(), b in arb_interval()) {
+            // Every point of `a` is either in a.difference(b) or in a∩b, never both.
+            let diff = a.difference(&b);
+            let inter = a.intersect(&b);
+            for t in a.points() {
+                let in_diff = diff.iter().any(|d| d.contains_point(t));
+                let in_inter = inter.map(|i| i.contains_point(t)).unwrap_or(false);
+                prop_assert!(in_diff ^ in_inter);
+            }
+        }
+
+        #[test]
+        fn prop_split_reassembles(a in arb_interval(), t in -1200i64..1200) {
+            let (l, r) = a.split_at(t);
+            let total: i64 = l.map(|i| i.duration()).unwrap_or(0) + r.map(|i| i.duration()).unwrap_or(0);
+            prop_assert_eq!(total, a.duration());
+            if let (Some(l), Some(r)) = (l, r) {
+                prop_assert_eq!(l.end(), r.start());
+                prop_assert_eq!(l.start(), a.start());
+                prop_assert_eq!(r.end(), a.end());
+            }
+        }
+
+        #[test]
+        fn prop_hull_contains_both(a in arb_interval(), b in arb_interval()) {
+            let h = a.hull(&b);
+            prop_assert!(h.contains(&a));
+            prop_assert!(h.contains(&b));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # tpdb-temporal
+//!
+//! Interval algebra, timelines and sweep-line primitives for temporal databases.
+//!
+//! This crate provides the temporal substrate of the TPDB system: half-open
+//! validity intervals `[start, end)` over a discrete integer timeline, the
+//! classic Allen relations between intervals, coalescing interval sets, and a
+//! generic sweep-line driver that the lineage-aware window algorithms
+//! (LAWAU / LAWAN) and the Temporal Alignment baseline are built on.
+//!
+//! The time domain is a discrete, totally ordered set of [`TimePoint`]s
+//! (chronons). All intervals are half-open: a tuple with interval `[2, 8)` is
+//! valid at time points 2, 3, ..., 7 but not at 8. This matches the convention
+//! of the paper *"Outer and Anti Joins in Temporal-Probabilistic Databases"*
+//! (Papaioannou, Theobald, Böhlen — ICDE 2019).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use tpdb_temporal::{Interval, AllenRelation};
+//!
+//! let a = Interval::new(2, 8);
+//! let b = Interval::new(4, 6);
+//! assert!(a.overlaps(&b));
+//! assert_eq!(a.intersect(&b), Some(Interval::new(4, 6)));
+//! assert_eq!(a.allen_relation(&b), AllenRelation::Contains);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allen;
+mod event;
+mod interval;
+mod point;
+mod set;
+mod sweep;
+
+pub use allen::AllenRelation;
+pub use event::{events_of, sort_events, Boundary, Event, EventKind, EventQueue};
+pub use interval::{Interval, IntervalError};
+pub use point::{TimePoint, MAX_TIME, MIN_TIME};
+pub use set::IntervalSet;
+pub use sweep::{sweep_segments, ActiveSet, Segment};

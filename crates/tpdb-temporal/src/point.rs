@@ -1,0 +1,31 @@
+//! The discrete time domain.
+
+/// A discrete time point (chronon).
+///
+/// The TP data model uses a discrete, totally ordered, finite time domain.
+/// We represent it as a signed 64-bit integer, which is wide enough for
+/// second-granularity timestamps for hundreds of billions of years and keeps
+/// the arithmetic in the sweep algorithms trivially cheap.
+pub type TimePoint = i64;
+
+/// Smallest representable time point. Used as "beginning of time" when a
+/// relation-wide timeline needs a lower bound.
+pub const MIN_TIME: TimePoint = TimePoint::MIN / 4;
+
+/// Largest representable time point. Used as "end of time" / "until changed"
+/// when a relation-wide timeline needs an upper bound.
+pub const MAX_TIME: TimePoint = TimePoint::MAX / 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_do_not_overflow_on_width_arithmetic() {
+        // The sweep algorithms compute `end - start`; the sentinels must be
+        // safe to subtract without overflow.
+        let width = MAX_TIME - MIN_TIME;
+        assert!(width > 0);
+        assert!(MIN_TIME < 0 && MAX_TIME > 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! Coalescing sets of disjoint intervals.
+
+use crate::{Interval, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of time points represented as a minimal, sorted sequence of
+/// pairwise-disjoint, non-adjacent intervals.
+///
+/// `IntervalSet` is used to track coverage during the LAWAU sweep (the
+/// sub-intervals of a positive tuple already covered by overlapping windows)
+/// and to express point-wise semantics in tests: two temporal results are
+/// equivalent iff they cover the same interval set per fact with the same
+/// probability at each point.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalSet {
+    /// Sorted, coalesced intervals.
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set from arbitrary intervals (they may overlap; the result
+    /// is coalesced).
+    #[must_use]
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Is the set empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Number of maximal intervals in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Total number of chronons covered.
+    #[must_use]
+    pub fn total_duration(&self) -> i64 {
+        self.intervals.iter().map(Interval::duration).sum()
+    }
+
+    /// The maximal intervals, sorted by start point.
+    #[must_use]
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Does the set contain the given time point?
+    #[must_use]
+    pub fn contains_point(&self, t: TimePoint) -> bool {
+        // Binary search over sorted disjoint intervals.
+        match self.intervals.binary_search_by(|iv| {
+            if iv.end() <= t {
+                std::cmp::Ordering::Less
+            } else if iv.start() > t {
+                std::cmp::Ordering::Greater
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(_) => true,
+            Err(_) => false,
+        }
+    }
+
+    /// Inserts an interval, coalescing with overlapping or adjacent
+    /// intervals already in the set.
+    pub fn insert(&mut self, interval: Interval) {
+        // Find insertion window of intervals that overlap or are adjacent.
+        let mut merged = interval;
+        let mut first = self.intervals.len();
+        let mut last = first;
+        for (idx, iv) in self.intervals.iter().enumerate() {
+            if iv.overlaps(&merged) || iv.adjacent(&merged) {
+                if idx < first {
+                    first = idx;
+                }
+                last = idx + 1;
+                merged = merged.hull(iv);
+            } else if iv.start() > merged.end() {
+                if first == self.intervals.len() {
+                    first = idx;
+                    last = idx;
+                }
+                break;
+            }
+        }
+        if first == self.intervals.len() {
+            // All existing intervals end before the new one starts.
+            self.intervals.push(merged);
+        } else {
+            self.intervals.splice(first..last, std::iter::once(merged));
+        }
+    }
+
+    /// Removes the given interval from the set.
+    pub fn remove(&mut self, interval: Interval) {
+        let mut next = Vec::with_capacity(self.intervals.len() + 1);
+        for iv in &self.intervals {
+            next.extend(iv.difference(&interval));
+        }
+        self.intervals = next;
+    }
+
+    /// The complement of the set within `domain`: the maximal sub-intervals
+    /// of `domain` not covered by the set.
+    ///
+    /// This is exactly the "gap-filling" operation LAWAU performs when it
+    /// derives the remaining unmatched windows of a tuple from its
+    /// overlapping windows.
+    #[must_use]
+    pub fn gaps_within(&self, domain: Interval) -> Vec<Interval> {
+        let mut gaps = Vec::new();
+        let mut cursor = domain.start();
+        for iv in &self.intervals {
+            if iv.end() <= domain.start() {
+                continue;
+            }
+            if iv.start() >= domain.end() {
+                break;
+            }
+            if iv.start() > cursor {
+                gaps.push(Interval::new(cursor, iv.start().min(domain.end())));
+            }
+            cursor = cursor.max(iv.end());
+            if cursor >= domain.end() {
+                break;
+            }
+        }
+        if cursor < domain.end() {
+            gaps.push(Interval::new(cursor, domain.end()));
+        }
+        gaps
+    }
+
+    /// Union of two sets.
+    #[must_use]
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = self.clone();
+        for iv in &other.intervals {
+            out.insert(*iv);
+        }
+        out
+    }
+
+    /// Intersection of two sets.
+    #[must_use]
+    pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        for a in &self.intervals {
+            for b in &other.intervals {
+                if let Some(i) = a.intersect(b) {
+                    out.push(i);
+                }
+            }
+        }
+        IntervalSet::from_intervals(out)
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, iv) in self.intervals.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        Self::from_intervals(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_coalesces_overlaps_and_adjacency() {
+        let mut s = IntervalSet::new();
+        s.insert(Interval::new(1, 3));
+        s.insert(Interval::new(5, 8));
+        assert_eq!(s.len(), 2);
+        // overlapping with the first
+        s.insert(Interval::new(2, 4));
+        assert_eq!(s.intervals(), &[Interval::new(1, 4), Interval::new(5, 8)]);
+        // adjacent bridges the gap
+        s.insert(Interval::new(4, 5));
+        assert_eq!(s.intervals(), &[Interval::new(1, 8)]);
+    }
+
+    #[test]
+    fn insert_out_of_order_keeps_sorted() {
+        let s = IntervalSet::from_intervals([
+            Interval::new(10, 12),
+            Interval::new(1, 2),
+            Interval::new(5, 7),
+        ]);
+        assert_eq!(
+            s.intervals(),
+            &[Interval::new(1, 2), Interval::new(5, 7), Interval::new(10, 12)]
+        );
+        assert_eq!(s.total_duration(), 1 + 2 + 2);
+    }
+
+    #[test]
+    fn contains_point_binary_search() {
+        let s = IntervalSet::from_intervals([Interval::new(1, 3), Interval::new(6, 9)]);
+        assert!(s.contains_point(1));
+        assert!(s.contains_point(2));
+        assert!(!s.contains_point(3));
+        assert!(!s.contains_point(5));
+        assert!(s.contains_point(8));
+        assert!(!s.contains_point(9));
+    }
+
+    #[test]
+    fn gaps_within_matches_lawau_example() {
+        // Tuple a1 is valid over [2,8); overlapping windows cover [4,6) and
+        // [5,8). The remaining unmatched window must be [2,4).
+        let covered =
+            IntervalSet::from_intervals([Interval::new(4, 6), Interval::new(5, 8)]);
+        assert_eq!(covered.gaps_within(Interval::new(2, 8)), vec![Interval::new(2, 4)]);
+    }
+
+    #[test]
+    fn gaps_within_handles_holes_and_suffix() {
+        let covered = IntervalSet::from_intervals([Interval::new(3, 4), Interval::new(6, 7)]);
+        assert_eq!(
+            covered.gaps_within(Interval::new(2, 9)),
+            vec![
+                Interval::new(2, 3),
+                Interval::new(4, 6),
+                Interval::new(7, 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn gaps_within_empty_set_is_whole_domain() {
+        let s = IntervalSet::new();
+        assert_eq!(s.gaps_within(Interval::new(2, 5)), vec![Interval::new(2, 5)]);
+    }
+
+    #[test]
+    fn gaps_within_fully_covered_is_empty() {
+        let s = IntervalSet::from_intervals([Interval::new(0, 100)]);
+        assert!(s.gaps_within(Interval::new(2, 5)).is_empty());
+    }
+
+    #[test]
+    fn remove_splits_intervals() {
+        let mut s = IntervalSet::from_intervals([Interval::new(1, 10)]);
+        s.remove(Interval::new(4, 6));
+        assert_eq!(s.intervals(), &[Interval::new(1, 4), Interval::new(6, 10)]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = IntervalSet::from_intervals([Interval::new(1, 5), Interval::new(8, 10)]);
+        let b = IntervalSet::from_intervals([Interval::new(3, 9)]);
+        assert_eq!(a.union(&b).intervals(), &[Interval::new(1, 10)]);
+        assert_eq!(
+            a.intersection(&b).intervals(),
+            &[Interval::new(3, 5), Interval::new(8, 9)]
+        );
+    }
+
+    #[test]
+    fn display_formats_sets() {
+        let s = IntervalSet::from_intervals([Interval::new(1, 3), Interval::new(5, 6)]);
+        assert_eq!(s.to_string(), "{[1,3), [5,6)}");
+    }
+
+    fn arb_intervals() -> impl Strategy<Value = Vec<Interval>> {
+        proptest::collection::vec(
+            (0i64..60, 1i64..10).prop_map(|(s, d)| Interval::new(s, s + d)),
+            0..12,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_set_membership_matches_any_input(ivs in arb_intervals()) {
+            let set = IntervalSet::from_intervals(ivs.clone());
+            for t in -5i64..80 {
+                let expected = ivs.iter().any(|iv| iv.contains_point(t));
+                prop_assert_eq!(set.contains_point(t), expected);
+            }
+        }
+
+        #[test]
+        fn prop_set_is_sorted_disjoint_non_adjacent(ivs in arb_intervals()) {
+            let set = IntervalSet::from_intervals(ivs);
+            let v = set.intervals();
+            for w in v.windows(2) {
+                prop_assert!(w[0].end() < w[1].start(), "intervals must be disjoint and non-adjacent: {} {}", w[0], w[1]);
+            }
+        }
+
+        #[test]
+        fn prop_gaps_are_complement(ivs in arb_intervals(), ds in 0i64..40, dd in 1i64..40) {
+            let domain = Interval::new(ds, ds + dd);
+            let set = IntervalSet::from_intervals(ivs);
+            let gaps = set.gaps_within(domain);
+            for t in domain.points() {
+                let in_gap = gaps.iter().any(|g| g.contains_point(t));
+                prop_assert_eq!(in_gap, !set.contains_point(t));
+            }
+            // gaps lie within the domain
+            for g in &gaps {
+                prop_assert!(domain.contains(g));
+            }
+        }
+
+        #[test]
+        fn prop_remove_then_membership(ivs in arb_intervals(), rs in 0i64..60, rd in 1i64..10) {
+            let removed = Interval::new(rs, rs + rd);
+            let mut set = IntervalSet::from_intervals(ivs.clone());
+            set.remove(removed);
+            for t in -5i64..80 {
+                let expected = ivs.iter().any(|iv| iv.contains_point(t)) && !removed.contains_point(t);
+                prop_assert_eq!(set.contains_point(t), expected);
+            }
+        }
+    }
+}

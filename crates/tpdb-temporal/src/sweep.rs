@@ -1,0 +1,227 @@
+//! A generic sweep-line driver.
+//!
+//! Given a collection of intervals, [`sweep_segments`] partitions the covered
+//! part of the timeline into *elementary segments*: maximal intervals over
+//! which the set of valid items does not change. This is the primitive behind
+//! the negating-window computation (LAWAN): within a group of overlapping
+//! windows for the same positive tuple, each elementary segment yields one
+//! negating window whose `λs` is the disjunction of the lineages of the items
+//! active over that segment.
+
+use crate::event::{events_of, EventKind};
+use crate::{Interval, TimePoint};
+
+/// A maximal interval over which the same set of items is valid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// The elementary interval.
+    pub interval: Interval,
+    /// Indices (into the caller's collection) of the items valid throughout
+    /// the segment, in ascending order.
+    pub active: Vec<usize>,
+}
+
+/// The set of currently active items during a sweep, with O(1) membership
+/// updates and ordered extraction.
+#[derive(Debug, Clone, Default)]
+pub struct ActiveSet {
+    members: std::collections::BTreeSet<usize>,
+}
+
+impl ActiveSet {
+    /// Creates an empty active set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks an item as active.
+    pub fn activate(&mut self, item: usize) {
+        self.members.insert(item);
+    }
+
+    /// Marks an item as no longer active.
+    pub fn deactivate(&mut self, item: usize) {
+        self.members.remove(&item);
+    }
+
+    /// Is any item active?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of active items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Snapshot of the active item indices in ascending order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<usize> {
+        self.members.iter().copied().collect()
+    }
+
+    /// Does the set contain `item`?
+    #[must_use]
+    pub fn contains(&self, item: usize) -> bool {
+        self.members.contains(&item)
+    }
+}
+
+/// Partitions the union of `intervals` into elementary segments.
+///
+/// Segments are emitted in chronological order; time points covered by no
+/// interval produce no segment. Two consecutive segments always differ in
+/// their active sets (boundaries only occur where some item starts or ends).
+#[must_use]
+pub fn sweep_segments(intervals: &[Interval]) -> Vec<Segment> {
+    let events = events_of(intervals);
+    let mut segments = Vec::new();
+    let mut active = ActiveSet::new();
+    let mut prev: Option<TimePoint> = None;
+
+    let mut idx = 0;
+    while idx < events.len() {
+        let t = events[idx].time;
+        // Close the running segment (if any items were active since `prev`).
+        if let Some(p) = prev {
+            if p < t && !active.is_empty() {
+                segments.push(Segment {
+                    interval: Interval::new(p, t),
+                    active: active.snapshot(),
+                });
+            }
+        }
+        // Apply every event at time t (ends first, then starts — the event
+        // order guarantees this).
+        while idx < events.len() && events[idx].time == t {
+            match events[idx].kind {
+                EventKind::End => active.deactivate(events[idx].item),
+                EventKind::Start => active.activate(events[idx].item),
+            }
+            idx += 1;
+        }
+        prev = Some(t);
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_segments() {
+        // Overlapping windows of a1: with b3 over [4,6) and with b2 over [5,8).
+        // Elementary segments: [4,5){b3}, [5,6){b3,b2}, [6,8){b2} — exactly the
+        // intervals of the negating windows in Fig. 1b / Fig. 2.
+        let ivs = vec![Interval::new(4, 6), Interval::new(5, 8)];
+        let segs = sweep_segments(&ivs);
+        assert_eq!(
+            segs,
+            vec![
+                Segment { interval: Interval::new(4, 5), active: vec![0] },
+                Segment { interval: Interval::new(5, 6), active: vec![0, 1] },
+                Segment { interval: Interval::new(6, 8), active: vec![1] },
+            ]
+        );
+    }
+
+    #[test]
+    fn disjoint_intervals_produce_disjoint_segments() {
+        let ivs = vec![Interval::new(1, 3), Interval::new(5, 7)];
+        let segs = sweep_segments(&ivs);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].interval, Interval::new(1, 3));
+        assert_eq!(segs[0].active, vec![0]);
+        assert_eq!(segs[1].interval, Interval::new(5, 7));
+        assert_eq!(segs[1].active, vec![1]);
+    }
+
+    #[test]
+    fn identical_intervals_form_one_segment() {
+        let ivs = vec![Interval::new(2, 6), Interval::new(2, 6), Interval::new(2, 6)];
+        let segs = sweep_segments(&ivs);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].active, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn meeting_intervals_do_not_coexist() {
+        let ivs = vec![Interval::new(1, 4), Interval::new(4, 6)];
+        let segs = sweep_segments(&ivs);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].active, vec![0]);
+        assert_eq!(segs[1].active, vec![1]);
+    }
+
+    #[test]
+    fn empty_input_yields_no_segments() {
+        assert!(sweep_segments(&[]).is_empty());
+    }
+
+    #[test]
+    fn active_set_operations() {
+        let mut s = ActiveSet::new();
+        assert!(s.is_empty());
+        s.activate(3);
+        s.activate(1);
+        s.activate(3);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3));
+        assert_eq!(s.snapshot(), vec![1, 3]);
+        s.deactivate(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.snapshot(), vec![1]);
+    }
+
+    fn arb_intervals() -> impl Strategy<Value = Vec<Interval>> {
+        proptest::collection::vec(
+            (0i64..40, 1i64..12).prop_map(|(s, d)| Interval::new(s, s + d)),
+            1..10,
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_segments_cover_exactly_the_union(ivs in arb_intervals()) {
+            let segs = sweep_segments(&ivs);
+            for t in -2i64..60 {
+                let covered = ivs.iter().any(|iv| iv.contains_point(t));
+                let in_seg = segs.iter().any(|s| s.interval.contains_point(t));
+                prop_assert_eq!(covered, in_seg);
+            }
+        }
+
+        #[test]
+        fn prop_segment_active_sets_are_correct(ivs in arb_intervals()) {
+            let segs = sweep_segments(&ivs);
+            for seg in &segs {
+                for t in seg.interval.points() {
+                    let expected: Vec<usize> = ivs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, iv)| iv.contains_point(t))
+                        .map(|(i, _)| i)
+                        .collect();
+                    prop_assert_eq!(&expected, &seg.active);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_segments_are_ordered_and_disjoint(ivs in arb_intervals()) {
+            let segs = sweep_segments(&ivs);
+            for w in segs.windows(2) {
+                prop_assert!(w[0].interval.end() <= w[1].interval.start());
+                // consecutive touching segments must differ in their active set
+                if w[0].interval.end() == w[1].interval.start() {
+                    prop_assert_ne!(&w[0].active, &w[1].active);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Temporal-probabilistic set operations (difference, intersection, union)
+//! on two prediction feeds — the extension module built on the same window
+//! machinery as the joins.
+//!
+//! Run with: `cargo run --example set_operations`
+
+use tpdb::core::{tp_difference, tp_intersection, tp_union};
+use tpdb::lineage::Lineage;
+use tpdb::storage::{DataType, Schema, TpRelation, TpTuple, Value};
+use tpdb::temporal::Interval;
+
+fn feed(name: &str, var_prefix: u32, rows: &[(&str, (i64, i64), f64)]) -> TpRelation {
+    let mut rel = TpRelation::new(name, Schema::tp(&[("Event", DataType::Str)]));
+    for (i, (event, iv, p)) in rows.iter().enumerate() {
+        rel.push(TpTuple::new(
+            vec![Value::str(event)],
+            Lineage::var(tpdb::lineage::VarId(var_prefix + i as u32)),
+            Interval::new(iv.0, iv.1),
+            *p,
+        ))
+        .expect("example rows are valid");
+    }
+    rel
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two services predict periods during which events are likely to happen.
+    let alpha = feed(
+        "alpha",
+        0,
+        &[
+            ("maintenance", (0, 10), 0.8),
+            ("peak-load", (2, 6), 0.5),
+        ],
+    );
+    let beta = feed(
+        "beta",
+        100,
+        &[
+            ("maintenance", (4, 8), 0.5),
+            ("outage", (0, 4), 0.9),
+        ],
+    );
+
+    println!("{alpha}");
+    println!("{beta}");
+
+    // Where does alpha predict something that beta does not confirm?
+    println!("alpha ∖ beta:\n{}", tp_difference(&alpha, &beta)?);
+
+    // Where do both feeds agree (and how confident is the combination)?
+    println!("alpha ∩ beta:\n{}", tp_intersection(&alpha, &beta)?);
+
+    // The merged prediction timeline.
+    println!("alpha ∪ beta:\n{}", tp_union(&alpha, &beta)?);
+    Ok(())
+}

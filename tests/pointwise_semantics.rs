@@ -1,0 +1,155 @@
+//! Integration test: point-wise (snapshot) semantics of TP joins with
+//! negation.
+//!
+//! The defining property of the operators (first sentence of the paper): the
+//! result of a TP join with negation includes, *at each time point*, the
+//! probability with which a tuple of the positive relation matches none of
+//! the tuples in the negative relation. For duplicate-free base relations
+//! with independent tuples this probability has a closed form that we can
+//! compute directly from the inputs and compare against the join output.
+
+use proptest::prelude::*;
+use tpdb::core::{tp_anti_join, tp_inner_join, tp_left_outer_join, ThetaCondition};
+use tpdb::lineage::Lineage;
+use tpdb::storage::{DataType, Schema, TpRelation, TpTuple, Value};
+use tpdb::temporal::Interval;
+
+/// Builds a single-key-column TP relation from (key, start, duration, prob)
+/// rows, skipping rows that would violate the duplicate-free constraint.
+fn build_relation(name: &str, var_offset: u32, rows: &[(i64, i64, i64, f64)]) -> TpRelation {
+    let mut rel = TpRelation::new(name, Schema::tp(&[("k", DataType::Int)]));
+    let mut next_var = var_offset;
+    for (key, start, duration, prob) in rows {
+        let interval = Interval::new(*start, *start + *duration);
+        let clashes = rel
+            .iter()
+            .any(|t| t.fact(0) == &Value::Int(*key) && t.interval().overlaps(&interval));
+        if clashes {
+            continue;
+        }
+        rel.push(TpTuple::new(
+            vec![Value::Int(*key)],
+            Lineage::var(tpdb::lineage::VarId(next_var)),
+            interval,
+            *prob,
+        ))
+        .unwrap();
+        next_var += 1;
+    }
+    rel
+}
+
+/// The probability that, at time point `t`, the fact of `r_tuple` holds and
+/// no matching tuple of `s` holds — computed directly from the inputs under
+/// tuple independence.
+fn expected_anti_probability(r_tuple: &TpTuple, s: &TpRelation, t: i64) -> f64 {
+    let mut p = r_tuple.probability();
+    for st in s.iter() {
+        if st.valid_at(t) && st.fact(0) == r_tuple.fact(0) {
+            p *= 1.0 - st.probability();
+        }
+    }
+    p
+}
+
+/// The anti-join output probability at time point `t` for the fact of
+/// `r_tuple` (0 when no output tuple covers `t`).
+fn anti_join_probability_at(result: &TpRelation, r_tuple: &TpTuple, t: i64) -> f64 {
+    result
+        .iter()
+        .find(|out| out.fact(0) == r_tuple.fact(0) && out.valid_at(t))
+        .map(|out| out.probability())
+        .unwrap_or(0.0)
+}
+
+fn row_strategy() -> impl Strategy<Value = Vec<(i64, i64, i64, f64)>> {
+    proptest::collection::vec(
+        (0i64..4, 0i64..30, 1i64..8, 0.05f64..1.0),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn anti_join_matches_closed_form_pointwise(rows_r in row_strategy(), rows_s in row_strategy()) {
+        let r = build_relation("r", 0, &rows_r);
+        let s = build_relation("s", 1000, &rows_s);
+        let theta = ThetaCondition::column_equals("k", "k");
+        let anti = tp_anti_join(&r, &s, &theta).unwrap();
+
+        for r_tuple in r.iter() {
+            for t in r_tuple.interval().points() {
+                let expected = expected_anti_probability(r_tuple, &s, t);
+                let actual = anti_join_probability_at(&anti, r_tuple, t);
+                prop_assert!(
+                    (expected - actual).abs() < 1e-9,
+                    "anti join probability at t={t} for key {:?}: expected {expected}, got {actual}",
+                    r_tuple.fact(0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn left_outer_join_covers_every_point_of_the_positive_relation(
+        rows_r in row_strategy(),
+        rows_s in row_strategy(),
+    ) {
+        let r = build_relation("r", 0, &rows_r);
+        let s = build_relation("s", 1000, &rows_s);
+        let theta = ThetaCondition::column_equals("k", "k");
+        let left = tp_left_outer_join(&r, &s, &theta).unwrap();
+
+        // Every time point of every positive tuple is covered by at least one
+        // output tuple with the same key (the null-extension guarantees it).
+        for r_tuple in r.iter() {
+            for t in r_tuple.interval().points() {
+                let covered = left
+                    .iter()
+                    .any(|out| out.fact(0) == r_tuple.fact(0) && out.valid_at(t));
+                prop_assert!(covered, "point {t} of {:?} not covered", r_tuple.fact(0));
+            }
+        }
+    }
+
+    #[test]
+    fn inner_join_probability_is_product_of_matching_pairs(
+        rows_r in row_strategy(),
+        rows_s in row_strategy(),
+    ) {
+        let r = build_relation("r", 0, &rows_r);
+        let s = build_relation("s", 1000, &rows_s);
+        let theta = ThetaCondition::column_equals("k", "k");
+        let inner = tp_inner_join(&r, &s, &theta).unwrap();
+
+        // every output tuple corresponds to exactly one (r, s) pair, so its
+        // probability is the product of the pair's probabilities
+        for out in inner.iter() {
+            let pr = r
+                .iter()
+                .find(|t| t.fact(0) == out.fact(0) && t.interval().contains(&out.interval()))
+                .expect("originating r tuple");
+            let ps = s
+                .iter()
+                .find(|t| t.fact(0) == out.fact(1) && t.interval().contains(&out.interval()))
+                .expect("originating s tuple");
+            prop_assert!((out.probability() - pr.probability() * ps.probability()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn outputs_within_each_fact_never_overlap_in_anti_joins(
+        rows_r in row_strategy(),
+        rows_s in row_strategy(),
+    ) {
+        let r = build_relation("r", 0, &rows_r);
+        let s = build_relation("s", 1000, &rows_s);
+        let theta = ThetaCondition::column_equals("k", "k");
+        let anti = tp_anti_join(&r, &s, &theta).unwrap();
+        // the anti join of a duplicate-free relation is duplicate-free
+        let violations = tpdb::storage::check_duplicate_free(&anti);
+        prop_assert!(violations.is_empty(), "violations: {violations:?}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Integration test: the query engine on generated workloads — parsing,
+//! planning, strategy selection and result consistency across the whole
+//! stack (datagen → storage → query → core/ta).
+
+use tpdb::core::ThetaCondition;
+use tpdb::query::{parse_query, LogicalPlan, QueryEngine};
+use tpdb::storage::{Catalog, Value};
+
+fn engine_with_webkit(n: usize) -> QueryEngine {
+    let (r, s) = tpdb::datagen::webkit_like(n, 3);
+    let mut catalog = Catalog::new();
+    catalog.register(r).unwrap();
+    catalog.register(s).unwrap();
+    QueryEngine::new(catalog)
+}
+
+#[test]
+fn textual_query_equals_programmatic_plan() {
+    let engine = engine_with_webkit(400);
+    let text = "SELECT * FROM webkit_r TP ANTI JOIN webkit_s ON webkit_r.Key = webkit_s.Key";
+    let via_text = engine.query(text).unwrap();
+
+    let plan = LogicalPlan::scan("webkit_r").tp_join(
+        LogicalPlan::scan("webkit_s"),
+        ThetaCondition::column_equals("Key", "Key"),
+        tpdb::core::TpJoinKind::Anti,
+        tpdb::query::JoinStrategy::Nj,
+    );
+    let via_plan = engine.run(&plan).unwrap();
+
+    assert_eq!(via_text.len(), via_plan.len());
+    assert!(parse_query(text).is_ok());
+}
+
+#[test]
+fn strategy_choice_does_not_change_the_answer() {
+    let engine = engine_with_webkit(300);
+    let nj = engine
+        .query("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key STRATEGY NJ")
+        .unwrap();
+    let ta = engine
+        .query("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key STRATEGY TA")
+        .unwrap();
+    assert_eq!(nj.len(), ta.len());
+    // total probability mass (probability × duration) must agree
+    let mass = |rel: &tpdb::storage::TpRelation| -> f64 {
+        rel.iter()
+            .map(|t| t.probability() * t.interval().duration() as f64)
+            .sum()
+    };
+    assert!((mass(&nj) - mass(&ta)).abs() < 1e-6);
+}
+
+#[test]
+fn where_clause_filters_join_output() {
+    let engine = engine_with_webkit(200);
+    let all = engine
+        .query("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key")
+        .unwrap();
+    let filtered = engine
+        .query("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key WHERE Key = 0")
+        .unwrap();
+    assert!(filtered.len() < all.len());
+    assert!(filtered.iter().all(|t| t.fact(0) == &Value::Int(0)));
+}
+
+#[test]
+fn projection_keeps_temporal_and_probabilistic_attributes() {
+    let engine = engine_with_webkit(200);
+    let result = engine
+        .query("SELECT Key FROM webkit_r TP ANTI JOIN webkit_s ON webkit_r.Key = webkit_s.Key")
+        .unwrap();
+    assert_eq!(result.schema().arity(), 1);
+    for t in result.iter() {
+        assert!((0.0..=1.0).contains(&t.probability()));
+        assert!(t.interval().duration() > 0);
+    }
+}
+
+#[test]
+fn explain_runs_without_executing() {
+    let engine = engine_with_webkit(100);
+    let text = engine
+        .explain("SELECT * FROM webkit_r TP FULL OUTER JOIN webkit_s ON webkit_r.Key = webkit_s.Key STRATEGY TA")
+        .unwrap();
+    assert!(text.contains("⟗"));
+    assert!(text.contains("strategy=TA"));
+}
