@@ -14,7 +14,10 @@ fn bench_dataset(c: &mut Criterion, dataset: Dataset, figure: &str) {
     group.sample_size(10);
     for &n in &SIZES {
         let w: Workload = dataset.generate(n, 42);
-        let wuo = lawau(&overlapping_windows(&w.r, &w.s, &w.theta).expect("θ binds"), &w.r);
+        let wuo = lawau(
+            &overlapping_windows(&w.r, &w.s, &w.theta).expect("θ binds"),
+            &w.r,
+        );
         group.bench_with_input(BenchmarkId::new("NJ-WN", n), &wuo, |b, wuo| {
             b.iter(|| lawan(wuo));
         });

@@ -40,7 +40,12 @@ fn parse_args() -> Config {
         }
     }
     if figures.is_empty() {
-        figures = vec!["fig5".into(), "fig6".into(), "fig7".into(), "ablation".into()];
+        figures = vec![
+            "fig5".into(),
+            "fig6".into(),
+            "fig7".into(),
+            "ablation".into(),
+        ];
     }
     Config { figures, full }
 }
@@ -67,7 +72,10 @@ fn fig5(full: bool) {
             rows.push(run_ta_wuo(&w));
         }
         print_series(
-            &format!("Fig. 5 ({}) — WUO: overlapping + unmatched windows", dataset.label()),
+            &format!(
+                "Fig. 5 ({}) — WUO: overlapping + unmatched windows",
+                dataset.label()
+            ),
             &rows,
         );
     }
@@ -156,7 +164,11 @@ fn ablation() {
         .expect("θ binds");
         println!(
             "  anti join [{}]  {:>10.2} ms   {} output tuples, {} Shannon expansions",
-            if force { "forced Shannon " } else { "decomposition  " },
+            if force {
+                "forced Shannon "
+            } else {
+                "decomposition  "
+            },
             start.elapsed().as_secs_f64() * 1000.0,
             result.len(),
             engine.expansions()
@@ -166,7 +178,14 @@ fn ablation() {
 
 fn main() {
     let config = parse_args();
-    println!("TPDB experiment driver (scale: {})", if config.full { "full (paper)" } else { "default (scaled down)" });
+    println!(
+        "TPDB experiment driver (scale: {})",
+        if config.full {
+            "full (paper)"
+        } else {
+            "default (scaled down)"
+        }
+    );
     for figure in &config.figures {
         match figure.as_str() {
             "fig5" => fig5(config.full),

@@ -240,9 +240,13 @@ fn form_output_tuple(
 
     // Output lineage via the window class's concatenation function.
     let lineage = match w.kind {
-        WindowKind::Overlapping => Lineage::and_concat(&w.lambda_r, w.lambda_s.as_ref().expect("λs")),
+        WindowKind::Overlapping => {
+            Lineage::and_concat(&w.lambda_r, w.lambda_s.as_ref().expect("λs"))
+        }
         WindowKind::Unmatched => w.lambda_r.clone(),
-        WindowKind::Negating => Lineage::and_not_concat(&w.lambda_r, w.lambda_s.as_ref().expect("λs")),
+        WindowKind::Negating => {
+            Lineage::and_not_concat(&w.lambda_r, w.lambda_s.as_ref().expect("λs"))
+        }
     };
     let probability = engine.probability(&lineage);
 
@@ -260,7 +264,10 @@ fn form_output_tuple(
                 Side::Left => pos_facts.iter().cloned().chain(neg_facts).collect(),
                 // On the right side the window's positive relation is `s`:
                 // its facts go into the right-hand columns of the output.
-                Side::Right => neg_facts.into_iter().chain(pos_facts.iter().cloned()).collect(),
+                Side::Right => neg_facts
+                    .into_iter()
+                    .chain(pos_facts.iter().cloned())
+                    .collect(),
             }
         }
     };
@@ -335,7 +342,10 @@ mod tests {
         let q = tp_inner_join(&a, &b, &theta()).unwrap();
         assert_eq!(q.len(), 2);
         assert!(q.iter().all(|t| !t.fact(2).is_null()));
-        let probs: Vec<f64> = q.iter().map(|t| (t.probability() * 100.0).round() / 100.0).collect();
+        let probs: Vec<f64> = q
+            .iter()
+            .map(|t| (t.probability() * 100.0).round() / 100.0)
+            .collect();
         assert!(probs.contains(&0.49));
         assert!(probs.contains(&0.42));
     }
@@ -348,9 +358,15 @@ mod tests {
         assert_eq!(q.schema().arity(), 2);
         // Five tuples: [2,4), [4,5), [5,6), [6,8) for Ann and [7,10) for Jim.
         assert_eq!(q.len(), 5);
-        let t = q.iter().find(|t| t.interval() == Interval::new(5, 6)).unwrap();
+        let t = q
+            .iter()
+            .find(|t| t.interval() == Interval::new(5, 6))
+            .unwrap();
         assert!((t.probability() - 0.084).abs() < 1e-9);
-        let t = q.iter().find(|t| t.interval() == Interval::new(7, 10)).unwrap();
+        let t = q
+            .iter()
+            .find(|t| t.interval() == Interval::new(7, 10))
+            .unwrap();
         assert!((t.probability() - 0.8).abs() < 1e-9);
     }
 
@@ -363,7 +379,10 @@ mod tests {
         // unmatched windows with respect to a.
         assert!(q.len() > 2);
         // every inner tuple has both sides set
-        let inner: Vec<&TpTuple> = q.iter().filter(|t| !t.fact(0).is_null() && !t.fact(2).is_null()).collect();
+        let inner: Vec<&TpTuple> = q
+            .iter()
+            .filter(|t| !t.fact(0).is_null() && !t.fact(2).is_null())
+            .collect();
         assert_eq!(inner.len(), 2);
         // hotel3 is never matched: a padded tuple over [1,4) must exist
         let sor = q

@@ -70,22 +70,23 @@ pub(crate) fn sweep_group(group: &[Window], out: &mut Vec<Window>) {
     let mut wind_ts: Option<TimePoint> = None;
 
     // Emits the negating window [from, to) for the currently active set.
-    let emit = |out: &mut Vec<Window>,
-                active: &[Option<Lineage>],
-                from: TimePoint,
-                to: TimePoint| {
-        if from >= to {
-            return;
-        }
-        let lambda_s = Lineage::or(active.iter().flatten().cloned().collect());
-        debug_assert!(!lambda_s.is_false(), "negating window with empty active set");
-        out.push(Window::negating(
-            Interval::new(from, to),
-            r_idx,
-            lambda_r.clone(),
-            lambda_s,
-        ));
-    };
+    let emit =
+        |out: &mut Vec<Window>, active: &[Option<Lineage>], from: TimePoint, to: TimePoint| {
+            if from >= to {
+                return;
+            }
+            let lambda_s = Lineage::or(active.iter().flatten().cloned().collect());
+            debug_assert!(
+                !lambda_s.is_false(),
+                "negating window with empty active set"
+            );
+            out.push(Window::negating(
+                Interval::new(from, to),
+                r_idx,
+                lambda_r.clone(),
+                lambda_s,
+            ));
+        };
 
     loop {
         // Determine the next boundary: the smaller of the next start point
@@ -159,14 +160,20 @@ mod tests {
         assert_eq!(negating.len(), 3);
 
         assert_eq!(negating[0].interval, Interval::new(4, 5));
-        assert_eq!(negating[0].lambda_s.as_ref().unwrap().display_with(&syms), "b3");
+        assert_eq!(
+            negating[0].lambda_s.as_ref().unwrap().display_with(&syms),
+            "b3"
+        );
 
         assert_eq!(negating[1].interval, Interval::new(5, 6));
         let l = negating[1].lambda_s.as_ref().unwrap().display_with(&syms);
         assert!(l == "b3 ∨ b2" || l == "b2 ∨ b3", "got {l}");
 
         assert_eq!(negating[2].interval, Interval::new(6, 8));
-        assert_eq!(negating[2].lambda_s.as_ref().unwrap().display_with(&syms), "b2");
+        assert_eq!(
+            negating[2].lambda_s.as_ref().unwrap().display_with(&syms),
+            "b2"
+        );
 
         // all windows of WUO are preserved
         assert_eq!(wuon.iter().filter(|w| w.is_overlapping()).count(), 2);
@@ -178,7 +185,10 @@ mod tests {
     fn negating_windows_only_for_groups_with_overlaps() {
         let (wuon, _) = run_booking();
         // Jim (r_idx = 1) has no overlapping window, hence no negating ones.
-        assert!(wuon.iter().filter(|w| w.r_idx == 1).all(|w| w.is_unmatched()));
+        assert!(wuon
+            .iter()
+            .filter(|w| w.r_idx == 1)
+            .all(|w| w.is_unmatched()));
     }
 
     /// One positive tuple over [0, 20), several negative tuples; returns the
@@ -252,7 +262,10 @@ mod tests {
 
     #[test]
     fn identical_negative_intervals_are_disjoined() {
-        assert_eq!(negating_for(&[(3, 7), (3, 7)]), vec![(Interval::new(3, 7), 2)]);
+        assert_eq!(
+            negating_for(&[(3, 7), (3, 7)]),
+            vec![(Interval::new(3, 7), 2)]
+        );
     }
 
     #[test]

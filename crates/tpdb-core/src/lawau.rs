@@ -102,7 +102,12 @@ mod tests {
     use tpdb_lineage::Lineage;
     use tpdb_storage::{DataType, Schema, TpTuple, Value};
 
-    fn run_booking() -> (Vec<Window>, TpRelation, TpRelation, tpdb_lineage::SymbolTable) {
+    fn run_booking() -> (
+        Vec<Window>,
+        TpRelation,
+        TpRelation,
+        tpdb_lineage::SymbolTable,
+    ) {
         let (a, b, syms) = booking_relations();
         let theta = ThetaCondition::column_equals("Loc", "Loc");
         let wo = overlapping_windows(&a, &b, &theta).unwrap();
@@ -174,19 +179,13 @@ mod tests {
 
     #[test]
     fn case2_gap_between_overlaps() {
-        assert_eq!(
-            gaps_for(&[(0, 5), (10, 20)]),
-            vec![Interval::new(5, 10)]
-        );
+        assert_eq!(gaps_for(&[(0, 5), (10, 20)]), vec![Interval::new(5, 10)]);
     }
 
     #[test]
     fn case3_contained_overlap_produces_no_extra_gap() {
         // second negative interval is contained in the coverage of the first
-        assert_eq!(
-            gaps_for(&[(0, 12), (3, 6)]),
-            vec![Interval::new(12, 20)]
-        );
+        assert_eq!(gaps_for(&[(0, 12), (3, 6)]), vec![Interval::new(12, 20)]);
     }
 
     #[test]
@@ -216,10 +215,7 @@ mod tests {
     #[test]
     fn whole_interval_unmatched_windows_pass_through_unchanged() {
         let (wuo, a, _, _) = run_booking();
-        let jim = wuo
-            .iter()
-            .filter(|w| w.r_idx == 1)
-            .collect::<Vec<_>>();
+        let jim = wuo.iter().filter(|w| w.r_idx == 1).collect::<Vec<_>>();
         assert_eq!(jim.len(), 1);
         assert_eq!(jim[0].kind, WindowKind::Unmatched);
         assert_eq!(jim[0].interval, a.tuple(1).interval());

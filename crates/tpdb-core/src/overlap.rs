@@ -145,13 +145,26 @@ mod tests {
         // w4 = (a1, b2, [5,8)); unmatched window w2 = (a2, null, [7,10)).
         // (The remaining unmatched window [2,4) of a1 is produced by LAWAU.)
         assert_eq!(windows.len(), 3);
-        let overlapping: Vec<&Window> =
-            windows.iter().filter(|w| w.is_overlapping()).collect();
+        let overlapping: Vec<&Window> = windows.iter().filter(|w| w.is_overlapping()).collect();
         assert_eq!(overlapping.len(), 2);
         assert_eq!(overlapping[0].interval, Interval::new(4, 6));
-        assert_eq!(overlapping[0].lambda_s.as_ref().unwrap().display_with(&syms), "b3");
+        assert_eq!(
+            overlapping[0]
+                .lambda_s
+                .as_ref()
+                .unwrap()
+                .display_with(&syms),
+            "b3"
+        );
         assert_eq!(overlapping[1].interval, Interval::new(5, 8));
-        assert_eq!(overlapping[1].lambda_s.as_ref().unwrap().display_with(&syms), "b2");
+        assert_eq!(
+            overlapping[1]
+                .lambda_s
+                .as_ref()
+                .unwrap()
+                .display_with(&syms),
+            "b2"
+        );
 
         let unmatched: Vec<&Window> = windows.iter().filter(|w| w.is_unmatched()).collect();
         assert_eq!(unmatched.len(), 1);
@@ -222,8 +235,10 @@ mod tests {
         let (a, b, _) = booking_relations();
         let theta = ThetaCondition::column_equals("Loc", "Loc");
         let windows = overlapping_windows(&a, &b, &theta).unwrap();
-        let keys: Vec<(usize, i64)> =
-            windows.iter().map(|w| (w.r_idx, w.interval.start())).collect();
+        let keys: Vec<(usize, i64)> = windows
+            .iter()
+            .map(|w| (w.r_idx, w.interval.start()))
+            .collect();
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);

@@ -64,10 +64,7 @@ pub fn tp_intersection(r: &TpRelation, s: &TpRelation) -> Result<TpRelation, Sto
     s.register_probabilities(&mut engine);
     let joined = tp_join_with_engine(r, s, &theta, TpJoinKind::Inner, &mut engine)?;
     // Project back to r's schema (the s-side columns duplicate the facts).
-    let mut out = TpRelation::new(
-        &format!("{}∩{}", r.name(), s.name()),
-        r.schema().clone(),
-    );
+    let mut out = TpRelation::new(&format!("{}∩{}", r.name(), s.name()), r.schema().clone());
     let arity = r.schema().arity();
     for t in joined.iter() {
         out.push_unchecked(TpTuple::new(
@@ -234,7 +231,8 @@ mod tests {
             for tuple in rel.iter() {
                 for t in tuple.interval().points() {
                     assert!(
-                        u.iter().any(|o| o.fact(key_col) == tuple.fact(0) && o.valid_at(t)),
+                        u.iter()
+                            .any(|o| o.fact(key_col) == tuple.fact(0) && o.valid_at(t)),
                         "point {t} of {:?} not covered by the union",
                         tuple.fact(0)
                     );

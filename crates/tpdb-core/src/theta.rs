@@ -91,7 +91,11 @@ impl ThetaCondition {
     #[must_use]
     pub fn column_equals(left_column: &str, right_column: &str) -> Self {
         Self {
-            comparisons: vec![(left_column.to_owned(), CompareOp::Eq, right_column.to_owned())],
+            comparisons: vec![(
+                left_column.to_owned(),
+                CompareOp::Eq,
+                right_column.to_owned(),
+            )],
         }
     }
 
@@ -124,11 +128,7 @@ impl ThetaCondition {
     }
 
     /// Resolves the column names against concrete schemas.
-    pub fn bind(
-        &self,
-        left: &Schema,
-        right: &Schema,
-    ) -> Result<BoundTheta, StorageError> {
+    pub fn bind(&self, left: &Schema, right: &Schema) -> Result<BoundTheta, StorageError> {
         let mut comparisons = Vec::with_capacity(self.comparisons.len());
         let mut equi_keys = Vec::new();
         for (l, op, r) in &self.comparisons {
@@ -190,13 +190,19 @@ impl BoundTheta {
     /// The left-side key of an equi-join condition.
     #[must_use]
     pub fn left_key(&self, t: &TpTuple) -> Vec<Value> {
-        self.equi_keys.iter().map(|(l, _)| t.fact(*l).clone()).collect()
+        self.equi_keys
+            .iter()
+            .map(|(l, _)| t.fact(*l).clone())
+            .collect()
     }
 
     /// The right-side key of an equi-join condition.
     #[must_use]
     pub fn right_key(&self, t: &TpTuple) -> Vec<Value> {
-        self.equi_keys.iter().map(|(_, r)| t.fact(*r).clone()).collect()
+        self.equi_keys
+            .iter()
+            .map(|(_, r)| t.fact(*r).clone())
+            .collect()
     }
 }
 
@@ -296,11 +302,8 @@ mod tests {
 
     #[test]
     fn multi_column_conjunction() {
-        let theta = ThetaCondition::column_equals("Loc", "Loc").and_compare(
-            "Name",
-            CompareOp::Ne,
-            "Hotel",
-        );
+        let theta =
+            ThetaCondition::column_equals("Loc", "Loc").and_compare("Name", CompareOp::Ne, "Hotel");
         let bound = theta.bind(&schema_a(), &schema_b()).unwrap();
         assert!(!bound.is_equi_join()); // mixed ops: not a pure equi join
         assert!(bound.matches(

@@ -95,7 +95,12 @@ impl Window {
     /// Creates a negating window for `r[r_idx]` with the disjunction
     /// `lambda_s` of the matching negative lineages.
     #[must_use]
-    pub fn negating(interval: Interval, r_idx: usize, lambda_r: Lineage, lambda_s: Lineage) -> Self {
+    pub fn negating(
+        interval: Interval,
+        r_idx: usize,
+        lambda_r: Lineage,
+        lambda_s: Lineage,
+    ) -> Self {
         Self {
             kind: WindowKind::Negating,
             interval,
@@ -133,9 +138,20 @@ impl Window {
         s: &TpRelation,
         syms: &tpdb_lineage::SymbolTable,
     ) -> String {
-        let fr: Vec<String> = r.tuple(self.r_idx).facts().iter().map(|v| v.to_string()).collect();
+        let fr: Vec<String> = r
+            .tuple(self.r_idx)
+            .facts()
+            .iter()
+            .map(|v| v.to_string())
+            .collect();
         let fs = match self.s_idx {
-            Some(i) => s.tuple(i).facts().iter().map(|v| v.to_string()).collect::<Vec<_>>().join(","),
+            Some(i) => s
+                .tuple(i)
+                .facts()
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
             None => "null".to_owned(),
         };
         let ls = match &self.lambda_s {
@@ -173,7 +189,12 @@ mod tests {
         assert!(u.s_idx.is_none());
         assert!(u.lambda_s.is_none());
 
-        let n = Window::negating(Interval::new(5, 6), 0, lr, Lineage::or2(ls, Lineage::var(VarId(2))));
+        let n = Window::negating(
+            Interval::new(5, 6),
+            0,
+            lr,
+            Lineage::or2(ls, Lineage::var(VarId(2))),
+        );
         assert!(n.is_negating());
         assert!(n.s_idx.is_none());
         assert!(n.lambda_s.is_some());
@@ -193,12 +214,28 @@ mod tests {
         let a1 = syms.intern("a1");
         let b3 = syms.intern("b3");
         let mut r = TpRelation::new("a", Schema::tp(&[("Name", DataType::Str)]));
-        r.push(TpTuple::new(vec![Value::str("Ann")], Lineage::var(a1), Interval::new(2, 8), 0.7))
-            .unwrap();
+        r.push(TpTuple::new(
+            vec![Value::str("Ann")],
+            Lineage::var(a1),
+            Interval::new(2, 8),
+            0.7,
+        ))
+        .unwrap();
         let mut s = TpRelation::new("b", Schema::tp(&[("Hotel", DataType::Str)]));
-        s.push(TpTuple::new(vec![Value::str("hotel1")], Lineage::var(b3), Interval::new(4, 6), 0.7))
-            .unwrap();
-        let w = Window::overlapping(Interval::new(4, 6), 0, 0, Lineage::var(a1), Lineage::var(b3));
+        s.push(TpTuple::new(
+            vec![Value::str("hotel1")],
+            Lineage::var(b3),
+            Interval::new(4, 6),
+            0.7,
+        ))
+        .unwrap();
+        let w = Window::overlapping(
+            Interval::new(4, 6),
+            0,
+            0,
+            Lineage::var(a1),
+            Lineage::var(b3),
+        );
         let text = w.display_with(&r, &s, &syms);
         assert!(text.contains("WO"));
         assert!(text.contains("Ann"));

@@ -20,10 +20,7 @@ pub fn booking_example() -> (TpRelation, TpRelation) {
         "a",
         Schema::tp(&[("Name", DataType::Str), ("Loc", DataType::Str)]),
     );
-    let rows_a = [
-        ("Ann", "ZAK", (2, 8), 0.7),
-        ("Jim", "WEN", (7, 10), 0.8),
-    ];
+    let rows_a = [("Ann", "ZAK", (2, 8), 0.7), ("Jim", "WEN", (7, 10), 0.8)];
     for (i, (name, loc, iv, p)) in rows_a.iter().enumerate() {
         let var = syms.intern(&format!("a{}", i + 1));
         a.push(TpTuple::new(

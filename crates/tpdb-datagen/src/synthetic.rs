@@ -69,7 +69,6 @@ fn push_fact_history(
     rng: &mut StdRng,
     avg_duration: i64,
     avg_gap: i64,
-    symbol_prefix: &str,
     next_symbol: &mut u64,
 ) {
     let mut cursor: i64 = rng.random_range(0..avg_duration * 4 + 1);
@@ -84,9 +83,13 @@ fn push_fact_history(
             u32::try_from(*next_symbol).expect("variable id overflow"),
         ));
         *next_symbol += 1;
-        let _ = symbol_prefix; // symbols are positional; prefix kept for readability of configs
-        rel.push(TpTuple::new(facts.clone(), lineage, Interval::new(start, end), prob))
-            .expect("generated tuples are schema-valid");
+        rel.push(TpTuple::new(
+            facts.clone(),
+            lineage,
+            Interval::new(start, end),
+            prob,
+        ))
+        .expect("generated tuples are schema-valid");
     }
 }
 
@@ -115,7 +118,6 @@ pub fn uniform(config: &GeneratorConfig) -> TpRelation {
             &mut rng,
             config.avg_duration,
             config.avg_gap,
-            &config.name,
             &mut next_symbol,
         );
     }
@@ -158,7 +160,6 @@ pub fn zipf(config: &GeneratorConfig, skew: f64) -> TpRelation {
             &mut rng,
             config.avg_duration,
             config.avg_gap,
-            &config.name,
             &mut next_symbol,
         );
     }
@@ -174,26 +175,22 @@ pub fn zipf(config: &GeneratorConfig, skew: f64) -> TpRelation {
 #[must_use]
 pub fn webkit_like(tuples: usize, seed: u64) -> (TpRelation, TpRelation) {
     let keys = (tuples / 20).max(1);
-    let r = uniform(
-        &GeneratorConfig {
-            name: "webkit_r".to_owned(),
-            tuples,
-            distinct_keys: keys,
-            avg_duration: 80,
-            avg_gap: 5,
-            seed,
-        },
-    );
-    let s = uniform(
-        &GeneratorConfig {
-            name: "webkit_s".to_owned(),
-            tuples,
-            distinct_keys: keys,
-            avg_duration: 80,
-            avg_gap: 5,
-            seed: seed.wrapping_add(1),
-        },
-    );
+    let r = uniform(&GeneratorConfig {
+        name: "webkit_r".to_owned(),
+        tuples,
+        distinct_keys: keys,
+        avg_duration: 80,
+        avg_gap: 5,
+        seed,
+    });
+    let s = uniform(&GeneratorConfig {
+        name: "webkit_s".to_owned(),
+        tuples,
+        distinct_keys: keys,
+        avg_duration: 80,
+        avg_gap: 5,
+        seed: seed.wrapping_add(1),
+    });
     (r.renamed("webkit_r"), rename_keys(s, "webkit_s"))
 }
 
@@ -203,7 +200,10 @@ pub fn webkit_like(tuples: usize, seed: u64) -> (TpRelation, TpRelation) {
 /// `Metric`.
 #[must_use]
 pub fn meteo_like(tuples: usize, seed: u64) -> (TpRelation, TpRelation) {
-    (meteo_relation("meteo_r", tuples, seed, 0), meteo_relation("meteo_s", tuples, seed.wrapping_add(1), 500_000_000))
+    (
+        meteo_relation("meteo_r", tuples, seed, 0),
+        meteo_relation("meteo_s", tuples, seed.wrapping_add(1), 500_000_000),
+    )
 }
 
 fn meteo_relation(name: &str, tuples: usize, seed: u64, symbol_offset: u64) -> TpRelation {
@@ -234,7 +234,6 @@ fn meteo_relation(name: &str, tuples: usize, seed: u64, symbol_offset: u64) -> T
                 &mut rng,
                 20,
                 5,
-                name,
                 &mut next_symbol,
             );
             emitted += count;
@@ -252,7 +251,6 @@ fn meteo_relation(name: &str, tuples: usize, seed: u64, symbol_offset: u64) -> T
             &mut rng,
             20,
             5,
-            name,
             &mut next_symbol,
         );
         emitted += count;

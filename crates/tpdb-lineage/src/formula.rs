@@ -87,6 +87,9 @@ impl Lineage {
 
     /// Negation with structural simplification:
     /// `¬true = false`, `¬false = true`, `¬¬φ = φ`.
+    // An associated constructor like `and`/`or`, not a `!` overload: it
+    // consumes its operand and simplifies structurally.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn not(operand: Lineage) -> Self {
         match operand.node() {
@@ -266,9 +269,7 @@ impl Lineage {
                 }
             }
             LineageNode::Not(c) => Self::not(c.condition(var, value)),
-            LineageNode::And(cs) => {
-                Self::and(cs.iter().map(|c| c.condition(var, value)).collect())
-            }
+            LineageNode::And(cs) => Self::and(cs.iter().map(|c| c.condition(var, value)).collect()),
             LineageNode::Or(cs) => Self::or(cs.iter().map(|c| c.condition(var, value)).collect()),
         }
     }

@@ -211,7 +211,8 @@ impl ProbabilityEngine {
         let p_var = self.probs[&var];
         let pos = f.condition(var, true);
         let neg = f.condition(var, false);
-        let p = p_var * self.shannon_or_decompose(&pos) + (1.0 - p_var) * self.shannon_or_decompose(&neg);
+        let p = p_var * self.shannon_or_decompose(&pos)
+            + (1.0 - p_var) * self.shannon_or_decompose(&neg);
         self.memo.insert(f.clone(), p);
         p
     }
@@ -229,21 +230,25 @@ impl ProbabilityEngine {
 
     /// Exact probability by enumerating all assignments of the formula's
     /// variables. Exponential; intended only for tests and documentation.
-    pub fn probability_by_enumeration(
-        &self,
-        lineage: &Lineage,
-    ) -> Result<f64, ProbabilityError> {
+    pub fn probability_by_enumeration(&self, lineage: &Lineage) -> Result<f64, ProbabilityError> {
         let vars: Vec<VarId> = lineage.vars().into_iter().collect();
         for v in &vars {
             if !self.probs.contains_key(v) {
                 return Err(ProbabilityError::MissingVariable(*v));
             }
         }
-        assert!(vars.len() <= 24, "enumeration is only meant for small formulas");
+        assert!(
+            vars.len() <= 24,
+            "enumeration is only meant for small formulas"
+        );
         let mut total = 0.0;
         for mask in 0u64..(1u64 << vars.len()) {
-            let assignment =
-                |v: VarId| vars.iter().position(|x| *x == v).map(|i| mask & (1 << i) != 0).unwrap_or(false);
+            let assignment = |v: VarId| {
+                vars.iter()
+                    .position(|x| *x == v)
+                    .map(|i| mask & (1 << i) != 0)
+                    .unwrap_or(false)
+            };
             if lineage.evaluate(assignment) {
                 let mut w = 1.0;
                 for (i, v) in vars.iter().enumerate() {
@@ -399,7 +404,10 @@ mod tests {
         let p = e.probability(&f);
         // exact: P(x0) * P(x1 ∨ x2) = 0.5 * 0.75 = 0.375
         assert!((p - 0.375).abs() < 1e-12);
-        assert!(e.expansions() > 0, "shared-variable formula must trigger expansion");
+        assert!(
+            e.expansions() > 0,
+            "shared-variable formula must trigger expansion"
+        );
     }
 
     #[test]

@@ -70,7 +70,9 @@ mod tests {
     #[test]
     fn end_to_end_left_outer_join() {
         let e = engine();
-        let result = e.query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc").unwrap();
+        let result = e
+            .query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+            .unwrap();
         assert_eq!(result.len(), 7);
     }
 
@@ -88,8 +90,12 @@ mod tests {
     #[test]
     fn nj_and_ta_strategies_agree_through_sql() {
         let e = engine();
-        let nj = e.query("SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc STRATEGY NJ").unwrap();
-        let ta = e.query("SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc STRATEGY TA").unwrap();
+        let nj = e
+            .query("SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc STRATEGY NJ")
+            .unwrap();
+        let ta = e
+            .query("SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc STRATEGY TA")
+            .unwrap();
         assert_eq!(nj.len(), ta.len());
     }
 

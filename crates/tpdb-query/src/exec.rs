@@ -67,7 +67,11 @@ impl PhysicalOperator for ScanExec {
     }
 
     fn describe(&self) -> String {
-        format!("Scan {} ({} tuples)", self.relation.name(), self.relation.len())
+        format!(
+            "Scan {} ({} tuples)",
+            self.relation.name(),
+            self.relation.len()
+        )
     }
 }
 
@@ -100,7 +104,11 @@ impl PhysicalOperator for FilterExec {
     }
 
     fn describe(&self) -> String {
-        format!("Filter ({} predicates) -> {}", self.predicates.len(), self.input.describe())
+        format!(
+            "Filter ({} predicates) -> {}",
+            self.predicates.len(),
+            self.input.describe()
+        )
     }
 }
 
@@ -145,7 +153,11 @@ impl PhysicalOperator for ProjectExec {
     }
 
     fn describe(&self) -> String {
-        format!("Project ({} cols) -> {}", self.indices.len(), self.input.describe())
+        format!(
+            "Project ({} cols) -> {}",
+            self.indices.len(),
+            self.input.describe()
+        )
     }
 }
 

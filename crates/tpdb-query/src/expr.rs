@@ -109,7 +109,9 @@ mod tests {
 
     #[test]
     fn bind_and_match() {
-        let p = LiteralPredicate::new("Age", PredicateOp::Ge, Value::Int(30)).bind(&schema()).unwrap();
+        let p = LiteralPredicate::new("Age", PredicateOp::Ge, Value::Int(30))
+            .bind(&schema())
+            .unwrap();
         assert!(p.matches(&tup("Ann", 31)));
         assert!(p.matches(&tup("Ann", 30)));
         assert!(!p.matches(&tup("Ann", 29)));
@@ -117,21 +119,27 @@ mod tests {
 
     #[test]
     fn string_equality() {
-        let p = LiteralPredicate::new("Name", PredicateOp::Eq, Value::str("Ann")).bind(&schema()).unwrap();
+        let p = LiteralPredicate::new("Name", PredicateOp::Eq, Value::str("Ann"))
+            .bind(&schema())
+            .unwrap();
         assert!(p.matches(&tup("Ann", 1)));
         assert!(!p.matches(&tup("Jim", 1)));
     }
 
     #[test]
     fn unknown_column_fails_binding() {
-        assert!(LiteralPredicate::new("Nope", PredicateOp::Eq, Value::Int(0))
-            .bind(&schema())
-            .is_err());
+        assert!(
+            LiteralPredicate::new("Nope", PredicateOp::Eq, Value::Int(0))
+                .bind(&schema())
+                .is_err()
+        );
     }
 
     #[test]
     fn null_never_matches() {
-        let p = LiteralPredicate::new("Name", PredicateOp::Ne, Value::str("Ann")).bind(&schema()).unwrap();
+        let p = LiteralPredicate::new("Name", PredicateOp::Ne, Value::str("Ann"))
+            .bind(&schema())
+            .unwrap();
         let t = TpTuple::new(
             vec![Value::Null, Value::Int(1)],
             Lineage::tru(),
@@ -143,7 +151,11 @@ mod tests {
 
     #[test]
     fn all_operators() {
-        let mk = |op| LiteralPredicate::new("Age", op, Value::Int(30)).bind(&schema()).unwrap();
+        let mk = |op| {
+            LiteralPredicate::new("Age", op, Value::Int(30))
+                .bind(&schema())
+                .unwrap()
+        };
         assert!(mk(PredicateOp::Eq).matches(&tup("x", 30)));
         assert!(mk(PredicateOp::Ne).matches(&tup("x", 31)));
         assert!(mk(PredicateOp::Lt).matches(&tup("x", 29)));

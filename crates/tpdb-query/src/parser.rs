@@ -83,7 +83,8 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
             }
             '<' | '>' => {
                 let mut op = c.to_string();
-                if i + 1 < chars.len() && (chars[i + 1] == '=' || (c == '<' && chars[i + 1] == '>')) {
+                if i + 1 < chars.len() && (chars[i + 1] == '=' || (c == '<' && chars[i + 1] == '>'))
+                {
                     op.push(chars[i + 1]);
                     i += 1;
                 }
@@ -166,14 +167,18 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(ParseError::new(format!("expected identifier, found {other:?}"))),
+            other => Err(ParseError::new(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
     fn expect_cmp(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Token::Cmp(op)) => Ok(op),
-            other => Err(ParseError::new(format!("expected comparison operator, found {other:?}"))),
+            other => Err(ParseError::new(format!(
+                "expected comparison operator, found {other:?}"
+            ))),
         }
     }
 }
@@ -186,7 +191,11 @@ fn compare_op(op: &str) -> Result<CompareOp, ParseError> {
         "<=" => CompareOp::Le,
         ">" => CompareOp::Gt,
         ">=" => CompareOp::Ge,
-        other => return Err(ParseError::new(format!("unknown comparison operator {other}"))),
+        other => {
+            return Err(ParseError::new(format!(
+                "unknown comparison operator {other}"
+            )))
+        }
     })
 }
 
@@ -198,7 +207,11 @@ fn predicate_op(op: &str) -> Result<PredicateOp, ParseError> {
         "<=" => PredicateOp::Le,
         ">" => PredicateOp::Gt,
         ">=" => PredicateOp::Ge,
-        other => return Err(ParseError::new(format!("unknown comparison operator {other}"))),
+        other => {
+            return Err(ParseError::new(format!(
+                "unknown comparison operator {other}"
+            )))
+        }
     })
 }
 
@@ -256,13 +269,17 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
             // qualified column: rel.col
             let q1 = p.expect_ident()?;
             if !matches!(p.next(), Some(Token::Dot)) {
-                return Err(ParseError::new("join condition columns must be qualified (rel.col)"));
+                return Err(ParseError::new(
+                    "join condition columns must be qualified (rel.col)",
+                ));
             }
             let c1 = p.expect_ident()?;
             let op = compare_op(&p.expect_cmp()?)?;
             let q2 = p.expect_ident()?;
             if !matches!(p.next(), Some(Token::Dot)) {
-                return Err(ParseError::new("join condition columns must be qualified (rel.col)"));
+                return Err(ParseError::new(
+                    "join condition columns must be qualified (rel.col)",
+                ));
             }
             let c2 = p.expect_ident()?;
 
@@ -294,7 +311,12 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
         }
 
         // optional strategy suffix can appear after WHERE too; look ahead later
-        plan = plan.tp_join(LogicalPlan::scan(&right_name), theta, kind, JoinStrategy::Nj);
+        plan = plan.tp_join(
+            LogicalPlan::scan(&right_name),
+            theta,
+            kind,
+            JoinStrategy::Nj,
+        );
     }
 
     // optional WHERE
@@ -390,7 +412,12 @@ mod tests {
     fn parses_the_paper_query() {
         let plan = parse_query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc").unwrap();
         match plan {
-            LogicalPlan::TpJoin { kind, strategy, theta, .. } => {
+            LogicalPlan::TpJoin {
+                kind,
+                strategy,
+                theta,
+                ..
+            } => {
                 assert_eq!(kind, TpJoinKind::LeftOuter);
                 assert_eq!(strategy, JoinStrategy::Nj);
                 assert_eq!(theta.to_string(), "r.Loc = s.Loc");
@@ -419,7 +446,8 @@ mod tests {
 
     #[test]
     fn parses_strategy_suffix() {
-        let plan = parse_query("SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc STRATEGY TA").unwrap();
+        let plan =
+            parse_query("SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc STRATEGY TA").unwrap();
         match plan {
             LogicalPlan::TpJoin { strategy, .. } => assert_eq!(strategy, JoinStrategy::Ta),
             other => panic!("unexpected plan {other:?}"),
@@ -487,7 +515,9 @@ mod tests {
         assert!(parse_query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = c.Loc").is_err());
         assert!(parse_query("SELECT * FROM a WHERE Loc = 'unterminated").is_err());
         assert!(parse_query("SELECT * FROM a STRATEGY TA").is_err());
-        assert!(parse_query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY PG").is_err());
+        assert!(
+            parse_query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY PG").is_err()
+        );
         assert!(parse_query("SELECT * FROM a extra tokens here").is_err());
     }
 

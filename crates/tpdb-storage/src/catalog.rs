@@ -6,9 +6,8 @@ use crate::relation::TpRelation;
 use crate::schema::Schema;
 use crate::tuple::TpTuple;
 use crate::value::Value;
-use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use tpdb_lineage::{Lineage, ProbabilityEngine, SymbolTable, VarId};
 use tpdb_temporal::Interval;
 
@@ -47,7 +46,12 @@ impl Catalog {
         name: &str,
         schema: Schema,
     ) -> Result<RelationBuilder<'_>, StorageError> {
-        if self.relations.read().contains_key(name) {
+        if self
+            .relations
+            .read()
+            .expect("catalog lock poisoned")
+            .contains_key(name)
+        {
             return Err(StorageError::RelationExists(name.to_owned()));
         }
         Ok(RelationBuilder {
@@ -62,7 +66,12 @@ impl Catalog {
     /// in the relation are registered with their tuple probabilities.
     pub fn register(&mut self, relation: TpRelation) -> Result<(), StorageError> {
         let name = relation.name().to_owned();
-        if self.relations.read().contains_key(&name) {
+        if self
+            .relations
+            .read()
+            .expect("catalog lock poisoned")
+            .contains_key(&name)
+        {
             return Err(StorageError::RelationExists(name));
         }
         for t in relation.iter() {
@@ -70,7 +79,10 @@ impl Catalog {
                 self.probabilities.insert(*v, t.probability());
             }
         }
-        self.relations.write().insert(name, Arc::new(relation));
+        self.relations
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name, Arc::new(relation));
         Ok(())
     }
 
@@ -78,6 +90,7 @@ impl Catalog {
     pub fn relation(&self, name: &str) -> Result<Arc<TpRelation>, StorageError> {
         self.relations
             .read()
+            .expect("catalog lock poisoned")
             .get(name)
             .cloned()
             .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
@@ -87,6 +100,7 @@ impl Catalog {
     pub fn drop_relation(&mut self, name: &str) -> Result<(), StorageError> {
         self.relations
             .write()
+            .expect("catalog lock poisoned")
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
@@ -95,7 +109,13 @@ impl Catalog {
     /// Names of all registered relations (sorted).
     #[must_use]
     pub fn relation_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.relations.read().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .relations
+            .read()
+            .expect("catalog lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
         names.sort();
         names
     }
@@ -177,7 +197,11 @@ impl RelationBuilder<'_> {
         }
         let name = self.relation.name().to_owned();
         let arc = Arc::new(self.relation);
-        self.catalog.relations.write().insert(name, Arc::clone(&arc));
+        self.catalog
+            .relations
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(name, Arc::clone(&arc));
         Ok(arc)
     }
 }
@@ -195,8 +219,16 @@ mod tests {
     fn build_base_relation_with_atomic_lineages() {
         let mut c = Catalog::new();
         let mut b = c.create_relation("a", schema()).unwrap();
-        b.push(vec![Value::str("Ann"), Value::str("ZAK")], Interval::new(2, 8), 0.7)
-            .push(vec![Value::str("Jim"), Value::str("WEN")], Interval::new(7, 10), 0.8);
+        b.push(
+            vec![Value::str("Ann"), Value::str("ZAK")],
+            Interval::new(2, 8),
+            0.7,
+        )
+        .push(
+            vec![Value::str("Jim"), Value::str("WEN")],
+            Interval::new(7, 10),
+            0.8,
+        );
         let a = b.finish();
         assert_eq!(a.len(), 2);
         // symbols a1, a2 were interned and probabilities recorded
@@ -224,7 +256,10 @@ mod tests {
         assert!(c.relation("a").is_ok());
         assert_eq!(c.relation_names(), vec!["a".to_owned()]);
         c.drop_relation("a").unwrap();
-        assert!(matches!(c.relation("a"), Err(StorageError::UnknownRelation(_))));
+        assert!(matches!(
+            c.relation("a"),
+            Err(StorageError::UnknownRelation(_))
+        ));
         assert!(c.drop_relation("a").is_err());
     }
 
@@ -258,7 +293,11 @@ mod tests {
     fn probability_engine_contains_all_base_vars() {
         let mut c = Catalog::new();
         let mut b = c.create_relation("a", schema()).unwrap();
-        b.push(vec![Value::str("Ann"), Value::str("ZAK")], Interval::new(2, 8), 0.7);
+        b.push(
+            vec![Value::str("Ann"), Value::str("ZAK")],
+            Interval::new(2, 8),
+            0.7,
+        );
         let _ = b.finish();
         let mut engine = c.probability_engine();
         let a1 = c.symbols().lookup("a1").unwrap();

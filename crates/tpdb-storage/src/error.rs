@@ -44,13 +44,19 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
             StorageError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: expected {expected} fact attributes, got {got}")
+                write!(
+                    f,
+                    "arity mismatch: expected {expected} fact attributes, got {got}"
+                )
             }
             StorageError::TypeMismatch {
                 column,
                 expected,
                 got,
-            } => write!(f, "type mismatch in column {column}: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "type mismatch in column {column}: expected {expected}, got {got}"
+            ),
             StorageError::InvalidProbability(p) => {
                 write!(f, "invalid probability {p}: must be within [0, 1]")
             }
@@ -74,12 +80,20 @@ mod tests {
         assert!(StorageError::UnknownColumn("Loc".into())
             .to_string()
             .contains("Loc"));
-        assert!(StorageError::ArityMismatch { expected: 2, got: 3 }
+        assert!(StorageError::ArityMismatch {
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("expected 2"));
+        assert!(StorageError::InvalidProbability(1.2)
             .to_string()
-            .contains("expected 2"));
-        assert!(StorageError::InvalidProbability(1.2).to_string().contains("1.2"));
-        assert!(StorageError::ParseError { line: 4, message: "bad interval".into() }
-            .to_string()
-            .contains("line 4"));
+            .contains("1.2"));
+        assert!(StorageError::ParseError {
+            line: 4,
+            message: "bad interval".into()
+        }
+        .to_string()
+        .contains("line 4"));
     }
 }

@@ -98,7 +98,12 @@ impl TpRelation {
         TpRelation {
             name: self.name.clone(),
             schema: self.schema.clone(),
-            tuples: self.tuples.iter().filter(|t| predicate(t)).cloned().collect(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| predicate(t))
+                .cloned()
+                .collect(),
         }
     }
 
@@ -220,14 +225,20 @@ mod tests {
             Interval::new(0, 1),
             0.5,
         );
-        assert!(matches!(r.push(bad_arity), Err(StorageError::ArityMismatch { .. })));
+        assert!(matches!(
+            r.push(bad_arity),
+            Err(StorageError::ArityMismatch { .. })
+        ));
         let bad_prob = TpTuple::new(
             vec![Value::str("x"), Value::str("y")],
             Lineage::var(VarId(9)),
             Interval::new(0, 1),
             1.5,
         );
-        assert!(matches!(r.push(bad_prob), Err(StorageError::InvalidProbability(_))));
+        assert!(matches!(
+            r.push(bad_prob),
+            Err(StorageError::InvalidProbability(_))
+        ));
     }
 
     #[test]
@@ -235,7 +246,10 @@ mod tests {
         let r = rel();
         let only_ann = r.filter(|t| t.fact(0) == &Value::str("Ann"));
         assert_eq!(only_ann.len(), 1);
-        assert_eq!(r.distinct_values(1), vec![Value::str("WEN"), Value::str("ZAK")]);
+        assert_eq!(
+            r.distinct_values(1),
+            vec![Value::str("WEN"), Value::str("ZAK")]
+        );
     }
 
     #[test]

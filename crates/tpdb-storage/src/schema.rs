@@ -199,7 +199,10 @@ mod tests {
         assert!(s.validate(&[Value::str("Ann"), Value::Null]).is_ok());
         assert!(matches!(
             s.validate(&[Value::str("Ann")]),
-            Err(StorageError::ArityMismatch { expected: 2, got: 1 })
+            Err(StorageError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(matches!(
             s.validate(&[Value::str("Ann"), Value::str("thirty")]),

@@ -104,7 +104,11 @@ impl fmt::Display for TpTuple {
             }
             write!(f, "{v}")?;
         }
-        write!(f, " | {} | {} | {:.4})", self.lineage, self.interval, self.probability)
+        write!(
+            f,
+            " | {} | {} | {:.4})",
+            self.lineage, self.interval, self.probability
+        )
     }
 }
 

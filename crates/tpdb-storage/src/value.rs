@@ -237,7 +237,7 @@ mod tests {
 
     #[test]
     fn sorting_mixed_values_is_total() {
-        let mut vs = vec![
+        let mut vs = [
             Value::str("z"),
             Value::Null,
             Value::Int(5),

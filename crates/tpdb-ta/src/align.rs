@@ -111,7 +111,12 @@ mod tests {
     use tpdb_lineage::{Lineage, SymbolTable};
     use tpdb_storage::{DataType, Schema, TpTuple, Value};
 
-    fn one_tuple_relation(name: &str, key: i64, iv: (i64, i64), syms: &mut SymbolTable) -> TpRelation {
+    fn one_tuple_relation(
+        name: &str,
+        key: i64,
+        iv: (i64, i64),
+        syms: &mut SymbolTable,
+    ) -> TpRelation {
         let mut r = TpRelation::new(name, Schema::tp(&[("k", DataType::Int)]));
         r.push(TpTuple::new(
             vec![Value::Int(key)],
@@ -123,7 +128,12 @@ mod tests {
         r
     }
 
-    fn many_tuple_relation(name: &str, key: i64, ivs: &[(i64, i64)], syms: &mut SymbolTable) -> TpRelation {
+    fn many_tuple_relation(
+        name: &str,
+        key: i64,
+        ivs: &[(i64, i64)],
+        syms: &mut SymbolTable,
+    ) -> TpRelation {
         let mut r = TpRelation::new(name, Schema::tp(&[("k", DataType::Int)]));
         for (i, iv) in ivs.iter().enumerate() {
             r.push(TpTuple::new(
@@ -177,7 +187,14 @@ mod tests {
         let s = many_tuple_relation("s", 2, &[(3, 6)], &mut syms); // different key
         let theta = ThetaCondition::column_equals("k", "k");
         let frags = align(&r, &s, &theta).unwrap();
-        assert_eq!(frags, vec![AlignedFragment { r_idx: 0, interval: Interval::new(0, 10), covered: false }]);
+        assert_eq!(
+            frags,
+            vec![AlignedFragment {
+                r_idx: 0,
+                interval: Interval::new(0, 10),
+                covered: false
+            }]
+        );
     }
 
     #[test]

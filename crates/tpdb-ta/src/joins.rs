@@ -12,7 +12,7 @@
 //! so the optimizer falls back to nested-loop plans — which is what makes TA
 //! up to two orders of magnitude slower than NJ on the full TP outer join.
 
-use crate::windows::{ta_wuon_with_plan, ta_wuo_with_plan};
+use crate::windows::{ta_wuo_with_plan, ta_wuon_with_plan};
 use tpdb_core::{assemble_join_result, ThetaCondition, TpJoinKind, Window};
 use tpdb_lineage::ProbabilityEngine;
 use tpdb_storage::{StorageError, TpRelation};
@@ -94,12 +94,10 @@ pub fn ta_join_with_engine(
     let use_hash = false;
 
     let left_windows: Vec<Window> = match kind {
-        TpJoinKind::Inner | TpJoinKind::RightOuter => {
-            ta_wuo_with_plan(r, s, theta, use_hash)
-                .into_iter()
-                .filter(|w| w.is_overlapping())
-                .collect()
-        }
+        TpJoinKind::Inner | TpJoinKind::RightOuter => ta_wuo_with_plan(r, s, theta, use_hash)
+            .into_iter()
+            .filter(|w| w.is_overlapping())
+            .collect(),
         TpJoinKind::Anti | TpJoinKind::LeftOuter | TpJoinKind::FullOuter => {
             ta_wuon_with_plan(r, s, theta, use_hash)
         }
@@ -126,8 +124,7 @@ pub fn ta_join_with_engine(
 mod tests {
     use super::*;
     use tpdb_core::{
-        tp_anti_join, tp_full_outer_join, tp_inner_join, tp_left_outer_join,
-        tp_right_outer_join,
+        tp_anti_join, tp_full_outer_join, tp_inner_join, tp_left_outer_join, tp_right_outer_join,
     };
     use tpdb_lineage::{Lineage, SymbolTable};
     use tpdb_storage::{DataType, Schema, TpTuple, Value};

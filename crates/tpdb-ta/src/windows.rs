@@ -13,9 +13,7 @@
 //!   unmatched windows that were computed twice.
 
 use crate::align::align_bound;
-use tpdb_core::{
-    overlapping_windows_with_plan, OverlapJoinPlan, ThetaCondition, Window,
-};
+use tpdb_core::{overlapping_windows_with_plan, OverlapJoinPlan, ThetaCondition, Window};
 use tpdb_storage::{StorageError, TpRelation};
 use tpdb_temporal::{Interval, TimePoint};
 
@@ -52,11 +50,10 @@ pub fn ta_wuo_with_plan(
 
     // Pass 1: conventional overlap join — overlapping windows (and the
     // whole-interval unmatched windows of tuples with no match at all).
-    let mut windows: Vec<Window> =
-        overlapping_windows_with_plan(r, s, &bound, plan)
-            .into_iter()
-            .filter(|w| w.is_overlapping())
-            .collect();
+    let mut windows: Vec<Window> = overlapping_windows_with_plan(r, s, &bound, plan)
+        .into_iter()
+        .filter(|w| w.is_overlapping())
+        .collect();
 
     // Pass 2: alignment — recompute the matches of every r tuple to find the
     // uncovered fragments, which become the unmatched windows.
@@ -64,7 +61,11 @@ pub fn ta_wuo_with_plan(
     for frag in fragments {
         if !frag.covered {
             let rt = r.tuple(frag.r_idx);
-            windows.push(Window::unmatched(frag.interval, frag.r_idx, rt.lineage().clone()));
+            windows.push(Window::unmatched(
+                frag.interval,
+                frag.r_idx,
+                rt.lineage().clone(),
+            ));
         }
     }
 
@@ -209,8 +210,20 @@ pub fn ta_wuon_with_plan(
     all.extend(re_derived_unmatched);
     all.extend(negating);
     all.sort_by(|a, b| {
-        (a.r_idx, a.interval.start(), a.interval.end(), a.kind as u8, a.s_idx)
-            .cmp(&(b.r_idx, b.interval.start(), b.interval.end(), b.kind as u8, b.s_idx))
+        (
+            a.r_idx,
+            a.interval.start(),
+            a.interval.end(),
+            a.kind as u8,
+            a.s_idx,
+        )
+            .cmp(&(
+                b.r_idx,
+                b.interval.start(),
+                b.interval.end(),
+                b.kind as u8,
+                b.s_idx,
+            ))
     });
     all.dedup();
     all
@@ -230,10 +243,7 @@ mod tests {
             "a",
             Schema::tp(&[("Name", DataType::Str), ("Loc", DataType::Str)]),
         );
-        for (name, loc, iv, p) in [
-            ("Ann", "ZAK", (2, 8), 0.7),
-            ("Jim", "WEN", (7, 10), 0.8),
-        ] {
+        for (name, loc, iv, p) in [("Ann", "ZAK", (2, 8), 0.7), ("Jim", "WEN", (7, 10), 0.8)] {
             let var = syms.fresh("a");
             a.push(TpTuple::new(
                 vec![Value::str(name), Value::str(loc)],
@@ -270,7 +280,15 @@ mod tests {
 
     /// Canonical form for window-set comparison: ignore input ordering.
     fn canon(mut ws: Vec<Window>) -> Vec<(usize, WindowKind, i64, i64)> {
-        ws.sort_by_key(|w| (w.r_idx, w.interval.start(), w.interval.end(), w.kind as u8, w.s_idx));
+        ws.sort_by_key(|w| {
+            (
+                w.r_idx,
+                w.interval.start(),
+                w.interval.end(),
+                w.kind as u8,
+                w.s_idx,
+            )
+        });
         ws.iter()
             .map(|w| (w.r_idx, w.kind, w.interval.start(), w.interval.end()))
             .collect()
@@ -294,7 +312,10 @@ mod tests {
         let ta = ta_negating_windows(&a, &b, &theta()).unwrap();
         assert_eq!(canon(nj), canon(ta.clone()));
         // λs of the [5,6) window must be a two-way disjunction in both
-        let w = ta.iter().find(|w| w.interval == Interval::new(5, 6)).unwrap();
+        let w = ta
+            .iter()
+            .find(|w| w.interval == Interval::new(5, 6))
+            .unwrap();
         match w.lambda_s.as_ref().unwrap().node() {
             tpdb_lineage::LineageNode::Or(cs) => assert_eq!(cs.len(), 2),
             other => panic!("expected Or, got {other:?}"),

@@ -142,8 +142,22 @@ mod tests {
         let ev = events_of(&ivs);
         assert_eq!(ev.len(), 4);
         // at t=4 the End of item 0 must come before the Start of item 1
-        assert_eq!(ev[1], Event { time: 4, kind: EventKind::End, item: 0 });
-        assert_eq!(ev[2], Event { time: 4, kind: EventKind::Start, item: 1 });
+        assert_eq!(
+            ev[1],
+            Event {
+                time: 4,
+                kind: EventKind::End,
+                item: 0
+            }
+        );
+        assert_eq!(
+            ev[2],
+            Event {
+                time: 4,
+                kind: EventKind::Start,
+                item: 1
+            }
+        );
     }
 
     #[test]

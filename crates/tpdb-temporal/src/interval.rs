@@ -116,7 +116,7 @@ impl Interval {
     pub fn intersect(&self, other: &Interval) -> Option<Interval> {
         let start = self.start.max(other.start);
         let end = self.end.min(other.end);
-        (start < end).then(|| Interval { start, end })
+        (start < end).then_some(Interval { start, end })
     }
 
     /// The smallest interval containing both inputs (the temporal hull).
@@ -293,9 +293,15 @@ mod tests {
             vec![Interval::new(2, 4), Interval::new(6, 10)]
         );
         // prefix removed
-        assert_eq!(a.difference(&Interval::new(0, 4)), vec![Interval::new(4, 10)]);
+        assert_eq!(
+            a.difference(&Interval::new(0, 4)),
+            vec![Interval::new(4, 10)]
+        );
         // suffix removed
-        assert_eq!(a.difference(&Interval::new(8, 12)), vec![Interval::new(2, 8)]);
+        assert_eq!(
+            a.difference(&Interval::new(8, 12)),
+            vec![Interval::new(2, 8)]
+        );
         // fully covered
         assert_eq!(a.difference(&Interval::new(0, 12)), vec![]);
         // disjoint
@@ -305,7 +311,10 @@ mod tests {
     #[test]
     fn split_at_cases() {
         let a = Interval::new(2, 10);
-        assert_eq!(a.split_at(5), (Some(Interval::new(2, 5)), Some(Interval::new(5, 10))));
+        assert_eq!(
+            a.split_at(5),
+            (Some(Interval::new(2, 5)), Some(Interval::new(5, 10)))
+        );
         assert_eq!(a.split_at(2), (None, Some(a)));
         assert_eq!(a.split_at(1), (None, Some(a)));
         assert_eq!(a.split_at(10), (Some(a), None));

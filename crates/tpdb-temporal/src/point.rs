@@ -26,6 +26,6 @@ mod tests {
         // safe to subtract without overflow.
         let width = MAX_TIME - MIN_TIME;
         assert!(width > 0);
-        assert!(MIN_TIME < 0 && MAX_TIME > 0);
+        const { assert!(MIN_TIME < 0 && MAX_TIME > 0) };
     }
 }

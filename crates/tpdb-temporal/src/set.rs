@@ -64,18 +64,17 @@ impl IntervalSet {
     #[must_use]
     pub fn contains_point(&self, t: TimePoint) -> bool {
         // Binary search over sorted disjoint intervals.
-        match self.intervals.binary_search_by(|iv| {
-            if iv.end() <= t {
-                std::cmp::Ordering::Less
-            } else if iv.start() > t {
-                std::cmp::Ordering::Greater
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }) {
-            Ok(_) => true,
-            Err(_) => false,
-        }
+        self.intervals
+            .binary_search_by(|iv| {
+                if iv.end() <= t {
+                    std::cmp::Ordering::Less
+                } else if iv.start() > t {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 
     /// Inserts an interval, coalescing with overlapping or adjacent
@@ -220,7 +219,11 @@ mod tests {
         ]);
         assert_eq!(
             s.intervals(),
-            &[Interval::new(1, 2), Interval::new(5, 7), Interval::new(10, 12)]
+            &[
+                Interval::new(1, 2),
+                Interval::new(5, 7),
+                Interval::new(10, 12)
+            ]
         );
         assert_eq!(s.total_duration(), 1 + 2 + 2);
     }
@@ -240,9 +243,11 @@ mod tests {
     fn gaps_within_matches_lawau_example() {
         // Tuple a1 is valid over [2,8); overlapping windows cover [4,6) and
         // [5,8). The remaining unmatched window must be [2,4).
-        let covered =
-            IntervalSet::from_intervals([Interval::new(4, 6), Interval::new(5, 8)]);
-        assert_eq!(covered.gaps_within(Interval::new(2, 8)), vec![Interval::new(2, 4)]);
+        let covered = IntervalSet::from_intervals([Interval::new(4, 6), Interval::new(5, 8)]);
+        assert_eq!(
+            covered.gaps_within(Interval::new(2, 8)),
+            vec![Interval::new(2, 4)]
+        );
     }
 
     #[test]
@@ -261,7 +266,10 @@ mod tests {
     #[test]
     fn gaps_within_empty_set_is_whole_domain() {
         let s = IntervalSet::new();
-        assert_eq!(s.gaps_within(Interval::new(2, 5)), vec![Interval::new(2, 5)]);
+        assert_eq!(
+            s.gaps_within(Interval::new(2, 5)),
+            vec![Interval::new(2, 5)]
+        );
     }
 
     #[test]

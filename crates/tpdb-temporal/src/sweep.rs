@@ -123,9 +123,18 @@ mod tests {
         assert_eq!(
             segs,
             vec![
-                Segment { interval: Interval::new(4, 5), active: vec![0] },
-                Segment { interval: Interval::new(5, 6), active: vec![0, 1] },
-                Segment { interval: Interval::new(6, 8), active: vec![1] },
+                Segment {
+                    interval: Interval::new(4, 5),
+                    active: vec![0]
+                },
+                Segment {
+                    interval: Interval::new(5, 6),
+                    active: vec![0, 1]
+                },
+                Segment {
+                    interval: Interval::new(6, 8),
+                    active: vec![1]
+                },
             ]
         );
     }
@@ -143,7 +152,11 @@ mod tests {
 
     #[test]
     fn identical_intervals_form_one_segment() {
-        let ivs = vec![Interval::new(2, 6), Interval::new(2, 6), Interval::new(2, 6)];
+        let ivs = vec![
+            Interval::new(2, 6),
+            Interval::new(2, 6),
+            Interval::new(2, 6),
+        ];
         let segs = sweep_segments(&ivs);
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].active, vec![0, 1, 2]);

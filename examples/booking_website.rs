@@ -38,6 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q_ta = "SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = 'Ann' STRATEGY TA";
     let unbooked_ta = engine.query(q_ta)?;
     assert_eq!(unbooked.len(), unbooked_ta.len());
-    println!("(Temporal Alignment strategy returns the same {} tuples.)", unbooked_ta.len());
+    println!(
+        "(Temporal Alignment strategy returns the same {} tuples.)",
+        unbooked_ta.len()
+    );
     Ok(())
 }

@@ -11,7 +11,10 @@ use tpdb::ta::ta_left_outer_join;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sizes = [1_000usize, 2_000, 4_000];
-    println!("{:>8} {:>12} {:>12} {:>10}", "tuples", "NJ [ms]", "TA [ms]", "speedup");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "tuples", "NJ [ms]", "TA [ms]", "speedup"
+    );
     for n in sizes {
         let (r, s) = tpdb::datagen::webkit_like(n, 42);
         let theta = ThetaCondition::column_equals("Key", "Key");
@@ -28,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // probability mass.
         assert_eq!(nj.len(), ta.len());
         let mass = |rel: &tpdb::storage::TpRelation| -> f64 {
-            rel.iter().map(|t| t.probability() * t.interval().duration() as f64).sum()
+            rel.iter()
+                .map(|t| t.probability() * t.interval().duration() as f64)
+                .sum()
         };
         assert!((mass(&nj) - mass(&ta)).abs() < 1e-6);
 

@@ -18,8 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("Loc", tpdb::storage::DataType::Str),
         ]),
     )?;
-    a.push(vec![Value::str("Ann"), Value::str("ZAK")], Interval::new(2, 8), 0.7)
-        .push(vec![Value::str("Jim"), Value::str("WEN")], Interval::new(7, 10), 0.8);
+    a.push(
+        vec![Value::str("Ann"), Value::str("ZAK")],
+        Interval::new(2, 8),
+        0.7,
+    )
+    .push(
+        vec![Value::str("Jim"), Value::str("WEN")],
+        Interval::new(7, 10),
+        0.8,
+    );
     let a = a.finish();
 
     let mut b = catalog.create_relation(
@@ -29,9 +37,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ("Loc", tpdb::storage::DataType::Str),
         ]),
     )?;
-    b.push(vec![Value::str("hotel3"), Value::str("SOR")], Interval::new(1, 4), 0.9)
-        .push(vec![Value::str("hotel2"), Value::str("ZAK")], Interval::new(5, 8), 0.6)
-        .push(vec![Value::str("hotel1"), Value::str("ZAK")], Interval::new(4, 6), 0.7);
+    b.push(
+        vec![Value::str("hotel3"), Value::str("SOR")],
+        Interval::new(1, 4),
+        0.9,
+    )
+    .push(
+        vec![Value::str("hotel2"), Value::str("ZAK")],
+        Interval::new(5, 8),
+        0.6,
+    )
+    .push(
+        vec![Value::str("hotel1"), Value::str("ZAK")],
+        Interval::new(4, 6),
+        0.7,
+    );
     let b = b.finish();
 
     println!("{a}");
@@ -42,10 +62,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Run every TP join with negation.
     println!("TP inner join:\n{}", tp_inner_join(&a, &b, &theta)?);
-    println!("TP left outer join (the query of Fig. 1b):\n{}", tp_left_outer_join(&a, &b, &theta)?);
+    println!(
+        "TP left outer join (the query of Fig. 1b):\n{}",
+        tp_left_outer_join(&a, &b, &theta)?
+    );
     println!("TP anti join:\n{}", tp_anti_join(&a, &b, &theta)?);
-    println!("TP right outer join:\n{}", tp_right_outer_join(&a, &b, &theta)?);
-    println!("TP full outer join:\n{}", tp_full_outer_join(&a, &b, &theta)?);
+    println!(
+        "TP right outer join:\n{}",
+        tp_right_outer_join(&a, &b, &theta)?
+    );
+    println!(
+        "TP full outer join:\n{}",
+        tp_full_outer_join(&a, &b, &theta)?
+    );
 
     // 4. Look at the windows behind the left outer join.
     let windows = overlapping_windows(&a, &b, &theta)?;

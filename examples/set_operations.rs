@@ -28,18 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let alpha = feed(
         "alpha",
         0,
-        &[
-            ("maintenance", (0, 10), 0.8),
-            ("peak-load", (2, 6), 0.5),
-        ],
+        &[("maintenance", (0, 10), 0.8), ("peak-load", (2, 6), 0.5)],
     );
     let beta = feed(
         "beta",
         100,
-        &[
-            ("maintenance", (4, 8), 0.5),
-            ("outage", (0, 4), 0.9),
-        ],
+        &[("maintenance", (4, 8), 0.5), ("outage", (0, 4), 0.9)],
     );
 
     println!("{alpha}");

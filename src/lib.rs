@@ -44,7 +44,7 @@ pub use tpdb_temporal as temporal;
 /// Convenience prelude re-exporting the most commonly used items.
 pub mod prelude {
     pub use tpdb_core::{
-        lawau, lawan, overlapping_windows, tp_anti_join, tp_full_outer_join, tp_inner_join,
+        lawan, lawau, overlapping_windows, tp_anti_join, tp_full_outer_join, tp_inner_join,
         tp_left_outer_join, tp_right_outer_join, ThetaCondition, Window, WindowKind,
     };
     pub use tpdb_lineage::{Lineage, ProbabilityEngine, SymbolTable, VarId};

@@ -1,0 +1,35 @@
+//! Smoke test: every example in `examples/` builds and runs to completion.
+//!
+//! `cargo test` compiles the examples but never executes them, so a broken
+//! `main` (panic, unwrap on a changed API result, ...) would go unnoticed.
+//! This test runs each example binary through the same `cargo` that drives
+//! the test run; the example builds are cache hits since the test build
+//! already compiled them.
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 5] = [
+    "booking_website",
+    "nj_vs_ta",
+    "quickstart",
+    "sensor_monitoring",
+    "set_operations",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    for example in EXAMPLES {
+        let output = Command::new(env!("CARGO"))
+            .args(["run", "--quiet", "--example", example])
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

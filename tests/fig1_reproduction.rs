@@ -26,9 +26,8 @@ fn check_result(result: &TpRelation) {
                     None => t.fact(2).is_null(),
                 }
         });
-        let tuple = found.unwrap_or_else(|| {
-            panic!("missing expected tuple ({name}, {hotel:?}, [{ts},{te}))")
-        });
+        let tuple = found
+            .unwrap_or_else(|| panic!("missing expected tuple ({name}, {hotel:?}, [{ts},{te}))"));
         assert!(
             (tuple.probability() - p).abs() < 1e-9,
             "probability mismatch for ({name}, {hotel:?}, [{ts},{te})): expected {p}, got {}",
@@ -70,9 +69,24 @@ fn window_sets_match_fig_2() {
     let wuon = lawan(&lawau(&overlapping_windows(&a, &b, &theta).unwrap(), &a));
 
     // Fig. 2: 2 unmatched, 2 overlapping, 3 negating windows.
-    assert_eq!(wuon.iter().filter(|w| w.kind == WindowKind::Unmatched).count(), 2);
-    assert_eq!(wuon.iter().filter(|w| w.kind == WindowKind::Overlapping).count(), 2);
-    assert_eq!(wuon.iter().filter(|w| w.kind == WindowKind::Negating).count(), 3);
+    assert_eq!(
+        wuon.iter()
+            .filter(|w| w.kind == WindowKind::Unmatched)
+            .count(),
+        2
+    );
+    assert_eq!(
+        wuon.iter()
+            .filter(|w| w.kind == WindowKind::Overlapping)
+            .count(),
+        2
+    );
+    assert_eq!(
+        wuon.iter()
+            .filter(|w| w.kind == WindowKind::Negating)
+            .count(),
+        3
+    );
 
     // The negating window over [5,6) carries λs = b3 ∨ b2.
     let w6 = wuon

@@ -88,8 +88,18 @@ fn equivalence_on_meteo_like_workloads() {
 #[test]
 fn equivalence_on_skewed_workloads() {
     use tpdb::datagen::{zipf, GeneratorConfig};
-    let r = zipf(&GeneratorConfig::new("zr", 300).with_seed(11).with_distinct_keys(12), 1.1);
-    let s = zipf(&GeneratorConfig::new("zs", 300).with_seed(12).with_distinct_keys(12), 1.1);
+    let r = zipf(
+        &GeneratorConfig::new("zr", 300)
+            .with_seed(11)
+            .with_distinct_keys(12),
+        1.1,
+    );
+    let s = zipf(
+        &GeneratorConfig::new("zs", 300)
+            .with_seed(12)
+            .with_distinct_keys(12),
+        1.1,
+    );
     let theta = ThetaCondition::column_equals("Key", "Key");
     assert_equivalent(&r, &s, &theta, "zipf");
 }

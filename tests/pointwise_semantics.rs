@@ -63,10 +63,7 @@ fn anti_join_probability_at(result: &TpRelation, r_tuple: &TpTuple, t: i64) -> f
 }
 
 fn row_strategy() -> impl Strategy<Value = Vec<(i64, i64, i64, f64)>> {
-    proptest::collection::vec(
-        (0i64..4, 0i64..30, 1i64..8, 0.05f64..1.0),
-        1..12,
-    )
+    proptest::collection::vec((0i64..4, 0i64..30, 1i64..8, 0.05f64..1.0), 1..12)
 }
 
 proptest! {

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! just enough of serde's public surface for the workspace to compile: the
+//! `Serialize` / `Deserialize` traits and (behind the `derive` feature)
+//! no-op derive macros of the same names. No actual serialization format is
+//! wired up yet; swapping this for the real `serde` is a one-line change in
+//! the workspace manifest once the registry is reachable.
+
+/// A data structure that can be serialized (marker-only in this stand-in).
+pub trait Serialize {}
+
+/// A data structure that can be deserialized (marker-only in this stand-in).
+pub trait Deserialize<'de>: Sized {}
+
+/// A data structure that can be deserialized without borrowing.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde stand-in.
+//!
+//! The derives intentionally expand to nothing: the marker traits in the
+//! stand-in `serde` crate carry no methods, and no code in this workspace
+//! serializes through them yet. Deriving still validates that the attribute
+//! positions compile, so switching to the real `serde_derive` later is
+//! source-compatible.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
