@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tpdb_bench::{Dataset, Workload};
-use tpdb_core::{lawau, overlapping_windows};
+use tpdb_core::{LawauStream, OverlapWindowStream};
 use tpdb_ta::ta_wuo_windows;
 
 const SIZES: [usize; 4] = [1_000, 2_000, 4_000, 8_000];
@@ -19,9 +19,11 @@ fn bench_dataset(c: &mut Criterion, dataset: Dataset, figure: &str) {
     for &n in &SIZES {
         let w: Workload = dataset.generate(n, 42);
         group.bench_with_input(BenchmarkId::new("NJ", n), &w, |b, w| {
+            // The streaming NJ pipeline: sweep overlap join → LAWAU, windows
+            // consumed as they are produced (nothing materialized).
             b.iter(|| {
-                let wo = overlapping_windows(&w.r, &w.s, &w.theta).expect("θ binds");
-                lawau(&wo, &w.r)
+                let wo = OverlapWindowStream::new(&w.r, &w.s, &w.theta).expect("θ binds");
+                LawauStream::new(wo, &w.r).count()
             });
         });
         group.bench_with_input(BenchmarkId::new("TA", n), &w, |b, w| {

@@ -8,33 +8,62 @@
 //! cargo run --release -p tpdb-bench --bin experiments -- fig5    # only Fig. 5
 //! cargo run --release -p tpdb-bench --bin experiments -- fig7 --full   # paper-scale cardinalities
 //! cargo run --release -p tpdb-bench --bin experiments -- ablation
+//! cargo run --release -p tpdb-bench --bin experiments -- fig5 --smoke --json --check-nj-wuo
 //! ```
 //!
 //! Default cardinalities are scaled down from the paper's 40K–200K so that
 //! the whole sweep finishes in a few minutes on a laptop; `--full` switches
 //! to the paper's sizes (expect the TA series of Fig. 7 to run for a long
-//! time — the nested-loop degradation is the point of that figure).
+//! time — the nested-loop degradation is the point of that figure), and
+//! `--smoke` to the reduced CI scale.
+//!
+//! * `--json` writes each figure's measurements to `BENCH_<figure>.json` in
+//!   the current directory (the perf-trajectory format).
+//! * `--check-nj-wuo` exits non-zero when the NJ series of Fig. 5 is slower
+//!   than the TA series on the meteo workload at the largest measured scale
+//!   — the CI regression guard for the LAWAU hot path.
 
 use tpdb_bench::{
-    header, run_nj_left_outer, run_nj_wn, run_nj_wuo, run_nj_wuon, run_ta_left_outer,
-    run_ta_negating, run_ta_wuo, Dataset, Measurement,
+    header, measurements_to_json, run_nj_left_outer, run_nj_wn, run_nj_wuo, run_nj_wuon,
+    run_ta_left_outer, run_ta_negating, run_ta_wuo, Dataset, Measurement,
 };
+
+/// Input cardinalities per figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scale {
+    /// Reduced sizes for the CI smoke run.
+    Smoke,
+    /// Laptop-friendly default.
+    Default,
+    /// The paper's cardinalities.
+    Full,
+}
 
 struct Config {
     figures: Vec<String>,
-    full: bool,
+    scale: Scale,
+    json: bool,
+    check_nj_wuo: bool,
 }
 
 fn parse_args() -> Config {
     let mut figures = Vec::new();
-    let mut full = false;
+    let mut scale = Scale::Default;
+    let mut json = false;
+    let mut check_nj_wuo = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
-            "--full" => full = true,
+            "--full" => scale = Scale::Full,
+            "--smoke" => scale = Scale::Smoke,
+            "--json" => json = true,
+            "--check-nj-wuo" => check_nj_wuo = true,
             "fig5" | "fig6" | "fig7" | "ablation" => figures.push(arg),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: experiments [fig5] [fig6] [fig7] [ablation] [--full]");
+                eprintln!(
+                    "usage: experiments [fig5] [fig6] [fig7] [ablation] \
+                     [--full | --smoke] [--json] [--check-nj-wuo]"
+                );
                 std::process::exit(2);
             }
         }
@@ -47,7 +76,18 @@ fn parse_args() -> Config {
             "ablation".into(),
         ];
     }
-    Config { figures, full }
+    // The regression guard only evaluates Fig. 5 rows; passing it without
+    // running fig5 would silently skip the check.
+    if check_nj_wuo && !figures.iter().any(|f| f == "fig5") {
+        eprintln!("--check-nj-wuo requires fig5 to be among the figures run");
+        std::process::exit(2);
+    }
+    Config {
+        figures,
+        scale,
+        json,
+        check_nj_wuo,
+    }
 }
 
 fn print_series(title: &str, rows: &[Measurement]) {
@@ -58,12 +98,13 @@ fn print_series(title: &str, rows: &[Measurement]) {
     }
 }
 
-fn fig5(full: bool) {
-    let sizes: &[usize] = if full {
-        &[50_000, 100_000, 150_000, 200_000]
-    } else {
-        &[5_000, 10_000, 20_000, 40_000]
+fn fig5(scale: Scale) -> Vec<Measurement> {
+    let sizes: &[usize] = match scale {
+        Scale::Full => &[50_000, 100_000, 150_000, 200_000],
+        Scale::Default => &[5_000, 10_000, 20_000, 40_000],
+        Scale::Smoke => &[2_000, 5_000],
     };
+    let mut all = Vec::new();
     for dataset in [Dataset::WebkitLike, Dataset::MeteoLike] {
         let mut rows = Vec::new();
         for &n in sizes {
@@ -78,15 +119,18 @@ fn fig5(full: bool) {
             ),
             &rows,
         );
+        all.extend(rows);
     }
+    all
 }
 
-fn fig6(full: bool) {
-    let sizes: &[usize] = if full {
-        &[40_000, 80_000, 120_000, 160_000, 200_000]
-    } else {
-        &[5_000, 10_000, 20_000, 40_000]
+fn fig6(scale: Scale) -> Vec<Measurement> {
+    let sizes: &[usize] = match scale {
+        Scale::Full => &[40_000, 80_000, 120_000, 160_000, 200_000],
+        Scale::Default => &[5_000, 10_000, 20_000, 40_000],
+        Scale::Smoke => &[2_000, 5_000],
     };
+    let mut all = Vec::new();
     for dataset in [Dataset::WebkitLike, Dataset::MeteoLike] {
         let mut rows = Vec::new();
         for &n in sizes {
@@ -99,16 +143,19 @@ fn fig6(full: bool) {
             &format!("Fig. 6 ({}) — negating windows", dataset.label()),
             &rows,
         );
+        all.extend(rows);
     }
+    all
 }
 
-fn fig7(full: bool) {
+fn fig7(scale: Scale) -> Vec<Measurement> {
     // TA's end-to-end plan is nested-loop; keep the default sweep small.
-    let sizes: &[usize] = if full {
-        &[40_000, 80_000, 120_000, 160_000, 200_000]
-    } else {
-        &[1_000, 2_000, 4_000, 8_000]
+    let sizes: &[usize] = match scale {
+        Scale::Full => &[40_000, 80_000, 120_000, 160_000, 200_000],
+        Scale::Default => &[1_000, 2_000, 4_000, 8_000],
+        Scale::Smoke => &[500, 1_000],
     };
+    let mut all = Vec::new();
     for dataset in [Dataset::WebkitLike, Dataset::MeteoLike] {
         let mut rows = Vec::new();
         for &n in sizes {
@@ -120,11 +167,13 @@ fn fig7(full: bool) {
             &format!("Fig. 7 ({}) — TP left outer join", dataset.label()),
             &rows,
         );
+        all.extend(rows);
     }
+    all
 }
 
-/// Ablations not present in the paper: (A1) the effect of the hash overlap
-/// join vs. a nested-loop overlap join inside NJ, and (A2) the effect of the
+/// Ablations not present in the paper: (A1) the overlap-join plan inside NJ
+/// — sweep vs. hash vs. nested loop — and (A2) the effect of the
 /// independence-decomposition shortcuts in the probability engine.
 fn ablation() {
     use std::time::Instant;
@@ -133,18 +182,35 @@ fn ablation() {
     println!("\n== A1 — overlap-join plan inside NJ (webkit-like, 20K tuples) ==");
     let w = Dataset::WebkitLike.generate(20_000, 42);
     let bound = w.theta.bind(w.r.schema(), w.s.schema()).expect("θ binds");
-    for (label, plan) in [
-        ("hash", OverlapJoinPlan::Hash),
-        ("nested-loop", OverlapJoinPlan::NestedLoop),
+    let mut timings = Vec::new();
+    for plan in [
+        OverlapJoinPlan::Sweep,
+        OverlapJoinPlan::Hash,
+        OverlapJoinPlan::NestedLoop,
     ] {
         let start = Instant::now();
-        let windows = overlapping_windows_with_plan(&w.r, &w.s, &bound, plan);
+        // A forced plan either runs or errors — it can no longer silently
+        // downgrade, so each reported series is the plan it claims to be.
+        let windows = overlapping_windows_with_plan(&w.r, &w.s, &bound, plan)
+            .unwrap_or_else(|e| panic!("plan {plan} did not run: {e}"));
+        let millis = start.elapsed().as_secs_f64() * 1000.0;
         println!(
-            "  overlap join [{label:<11}]  {:>10.2} ms   {} windows",
-            start.elapsed().as_secs_f64() * 1000.0,
+            "  overlap join [{:<11}]  {:>10.2} ms   {} windows",
+            plan.label(),
+            millis,
             windows.len()
         );
+        timings.push((plan, millis));
     }
+    let ordered = timings.windows(2).all(|pair| pair[0].1 <= pair[1].1);
+    println!(
+        "  plan ordering sweep <= hash <= nested-loop: {}",
+        if ordered {
+            "holds"
+        } else {
+            "VIOLATED (timing noise? rerun on an idle machine)"
+        }
+    );
 
     println!("\n== A2 — probability computation: decomposition vs. forced Shannon ==");
     let w = Dataset::MeteoLike.generate(5_000, 42);
@@ -176,23 +242,93 @@ fn ablation() {
     }
 }
 
+/// Writes a figure's measurements to `BENCH_<figure>.json` (default scale)
+/// or `BENCH_<figure>_<scale>.json` — the reduced/full sweeps must not
+/// clobber the recorded default-scale series.
+fn write_json(figure: &str, scale: Scale, rows: &[Measurement]) {
+    let path = match scale {
+        Scale::Default => format!("BENCH_{figure}.json"),
+        Scale::Smoke => format!("BENCH_{figure}_smoke.json"),
+        Scale::Full => format!("BENCH_{figure}_full.json"),
+    };
+    match std::fs::write(&path, measurements_to_json(rows)) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The Fig. 5 regression guard: NJ must not be slower than TA on the meteo
+/// WUO series at the largest measured cardinality (this very repository once
+/// shipped NJ 3.5× *slower* — see CHANGES.md).
+fn check_nj_wuo(rows: &[Measurement]) {
+    let meteo: Vec<&Measurement> = rows.iter().filter(|m| m.dataset == "meteo").collect();
+    let largest = meteo.iter().map(|m| m.tuples).max().unwrap_or(0);
+    let series = |name: &str| {
+        meteo
+            .iter()
+            .find(|m| m.series == name && m.tuples == largest)
+            .copied()
+    };
+    let (Some(nj), Some(ta)) = (series("NJ"), series("TA")) else {
+        eprintln!("--check-nj-wuo: fig5 meteo NJ/TA series missing");
+        std::process::exit(1);
+    };
+    // Wall-clock comparisons on shared CI runners are noisy; before
+    // declaring a regression, re-measure the pair up to twice on a fresh
+    // workload. A genuine regression (the original bug was 3.5×) fails
+    // every attempt.
+    let (mut nj_ms, mut ta_ms) = (nj.millis, ta.millis);
+    for attempt in 1..=2 {
+        if nj_ms <= ta_ms {
+            break;
+        }
+        eprintln!(
+            "NJ ({nj_ms:.2} ms) slower than TA ({ta_ms:.2} ms); \
+             re-measuring (attempt {attempt}/2, noisy runner?)"
+        );
+        let w = Dataset::MeteoLike.generate(largest, 42);
+        nj_ms = run_nj_wuo(&w).millis;
+        ta_ms = run_ta_wuo(&w).millis;
+    }
+    println!("\nNJ-vs-TA guard (meteo WUO, {largest} tuples): NJ {nj_ms:.2} ms, TA {ta_ms:.2} ms");
+    if nj_ms > ta_ms {
+        eprintln!(
+            "REGRESSION: NJ ({nj_ms:.2} ms) is slower than TA ({ta_ms:.2} ms) on the \
+             meteo WUO workload at {largest} tuples"
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let config = parse_args();
     println!(
         "TPDB experiment driver (scale: {})",
-        if config.full {
-            "full (paper)"
-        } else {
-            "default (scaled down)"
+        match config.scale {
+            Scale::Full => "full (paper)",
+            Scale::Default => "default (scaled down)",
+            Scale::Smoke => "smoke (CI)",
         }
     );
     for figure in &config.figures {
-        match figure.as_str() {
-            "fig5" => fig5(config.full),
-            "fig6" => fig6(config.full),
-            "fig7" => fig7(config.full),
-            "ablation" => ablation(),
+        let rows = match figure.as_str() {
+            "fig5" => fig5(config.scale),
+            "fig6" => fig6(config.scale),
+            "fig7" => fig7(config.scale),
+            "ablation" => {
+                ablation();
+                continue;
+            }
             _ => unreachable!("validated in parse_args"),
+        };
+        if config.json {
+            write_json(figure, config.scale, &rows);
+        }
+        if config.check_nj_wuo && figure == "fig5" {
+            check_nj_wuo(&rows);
         }
     }
 }

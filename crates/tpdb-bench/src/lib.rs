@@ -10,7 +10,10 @@
 #![warn(missing_docs)]
 
 use std::time::Instant;
-use tpdb_core::{lawan, lawau, overlapping_windows, tp_left_outer_join, ThetaCondition};
+use tpdb_core::{
+    lawan, lawau, overlapping_windows, tp_left_outer_join, LawanStream, LawauStream,
+    OverlapWindowStream, ThetaCondition,
+};
 use tpdb_storage::TpRelation;
 use tpdb_ta::{ta_left_outer_join, ta_negating_windows, ta_wuo_windows, ta_wuon_windows};
 
@@ -98,6 +101,34 @@ impl Measurement {
             self.dataset, self.series, self.tuples, self.millis, self.output
         )
     }
+
+    /// Renders the measurement as a JSON object (labels are plain ASCII
+    /// identifiers, so no escaping is needed).
+    #[must_use]
+    pub fn json(&self) -> String {
+        format!(
+            r#"{{"dataset":"{}","series":"{}","tuples":{},"runtime_ms":{:.3},"output":{}}}"#,
+            self.dataset, self.series, self.tuples, self.millis, self.output
+        )
+    }
+}
+
+/// Renders a series of measurements as a JSON array (the `BENCH_*.json`
+/// format the perf-trajectory tooling reads).
+#[must_use]
+pub fn measurements_to_json(rows: &[Measurement]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&row.json());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out.push('\n');
+    out
 }
 
 /// Header matching [`Measurement::row`].
@@ -119,19 +150,21 @@ fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
 // Figure 5 — WUO: overlapping and unmatched windows
 // ---------------------------------------------------------------------------
 
-/// NJ side of Fig. 5: overlap join + LAWAU.
+/// NJ side of Fig. 5: the streaming pipeline sweep overlap join → LAWAU.
+/// Windows are consumed (counted) as they leave the pipeline, exactly as the
+/// join operator consumes them — nothing is materialized.
 #[must_use]
 pub fn run_nj_wuo(w: &Workload) -> Measurement {
-    let (millis, windows) = time(|| {
-        let wo = overlapping_windows(&w.r, &w.s, &w.theta).expect("θ binds");
-        lawau(&wo, &w.r)
+    let (millis, count) = time(|| {
+        let wo = OverlapWindowStream::new(&w.r, &w.s, &w.theta).expect("θ binds");
+        LawauStream::new(wo, &w.r).count()
     });
     Measurement {
         series: "NJ".to_owned(),
         dataset: w.dataset.label().to_owned(),
         tuples: w.r.len(),
         millis,
-        output: windows.len(),
+        output: count,
     }
 }
 
@@ -168,19 +201,20 @@ pub fn run_nj_wn(w: &Workload) -> Measurement {
     }
 }
 
-/// NJ-WUON series of Fig. 6: the full pipeline overlap join + LAWAU + LAWAN.
+/// NJ-WUON series of Fig. 6: the full streaming pipeline overlap join →
+/// LAWAU → LAWAN.
 #[must_use]
 pub fn run_nj_wuon(w: &Workload) -> Measurement {
-    let (millis, windows) = time(|| {
-        let wo = overlapping_windows(&w.r, &w.s, &w.theta).expect("θ binds");
-        lawan(&lawau(&wo, &w.r))
+    let (millis, count) = time(|| {
+        let wo = OverlapWindowStream::new(&w.r, &w.s, &w.theta).expect("θ binds");
+        LawanStream::new(LawauStream::new(wo, &w.r)).count()
     });
     Measurement {
         series: "NJ-WUON".to_owned(),
         dataset: w.dataset.label().to_owned(),
         tuples: w.r.len(),
         millis,
-        output: windows.len(),
+        output: count,
     }
 }
 

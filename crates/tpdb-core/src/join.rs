@@ -17,9 +17,14 @@
 //! output probability is the probability of that lineage under tuple
 //! independence.
 
-use crate::lawan::lawan;
-use crate::lawau::lawau;
-use crate::overlap::overlapping_windows;
+//! The NJ implementation executes the whole computation as a **streaming
+//! pipeline**: the overlap join produces windows one `r`-tuple group at a
+//! time ([`OverlapWindowStream`]), the LAWAU and LAWAN adaptors extend each
+//! group in place, and output tuples are formed as the windows come out —
+//! no intermediate window vector is ever materialized.
+
+use crate::overlap::{auto_plan, OverlapJoinPlan, OverlapWindowStream};
+use crate::pipeline::{LawanStream, LawauStream};
 use crate::theta::ThetaCondition;
 use crate::window::{Window, WindowKind};
 use tpdb_lineage::{Lineage, ProbabilityEngine};
@@ -109,10 +114,27 @@ pub fn tp_join(
     theta: &ThetaCondition,
     kind: TpJoinKind,
 ) -> Result<TpRelation, StorageError> {
+    tp_join_with_plan(r, s, theta, kind, None)
+}
+
+/// [`tp_join`] with an explicitly chosen overlap-join plan (`None` lets the
+/// engine pick: sweep for equi-joins, nested loop otherwise).
+///
+/// # Errors
+///
+/// Returns [`StorageError::PlanNotApplicable`] when a hash or sweep plan is
+/// forced but θ is not a pure equi-join.
+pub fn tp_join_with_plan(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+    kind: TpJoinKind,
+    plan: Option<OverlapJoinPlan>,
+) -> Result<TpRelation, StorageError> {
     let mut engine = ProbabilityEngine::new();
     r.register_probabilities(&mut engine);
     s.register_probabilities(&mut engine);
-    tp_join_with_engine(r, s, theta, kind, &mut engine)
+    tp_join_with_engine_and_plan(r, s, theta, kind, plan, &mut engine)
 }
 
 /// Computes any TP join with negation using an explicit probability engine.
@@ -125,33 +147,63 @@ pub fn tp_join_with_engine(
     kind: TpJoinKind,
     engine: &mut ProbabilityEngine,
 ) -> Result<TpRelation, StorageError> {
-    // Windows of r with respect to s. The inner and right outer joins only
-    // need the overlapping windows; the operators with left null-extension
-    // additionally run LAWAU and LAWAN.
-    let wo = overlapping_windows(r, s, theta)?;
-    let left_windows = match kind {
-        TpJoinKind::Inner | TpJoinKind::RightOuter => wo,
-        TpJoinKind::Anti | TpJoinKind::LeftOuter | TpJoinKind::FullOuter => lawan(&lawau(&wo, r)),
-    };
+    tp_join_with_engine_and_plan(r, s, theta, kind, None, engine)
+}
+
+/// The fully streaming NJ join: overlap join → LAWAU → LAWAN → output
+/// formation, with output tuples formed as windows leave the pipeline.
+pub fn tp_join_with_engine_and_plan(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+    kind: TpJoinKind,
+    plan: Option<OverlapJoinPlan>,
+    engine: &mut ProbabilityEngine,
+) -> Result<TpRelation, StorageError> {
+    let schema = output_schema(r, s, kind);
+    let name = format!("{}{}{}", r.name(), kind.symbol(), s.name());
+    let mut out = TpRelation::new(&name, schema);
+
+    // Windows of r with respect to s, streamed one r-tuple group at a time.
+    // The inner and right outer joins only need the overlapping windows; the
+    // operators with left null-extension pipe the stream through the LAWAU
+    // and LAWAN adaptors.
+    {
+        let bound = theta.bind(r.schema(), s.schema())?;
+        let plan = plan.unwrap_or_else(|| auto_plan(&bound));
+        let wo = OverlapWindowStream::with_plan(r, s, bound, plan)?;
+        let mut push = |w: Window| {
+            if let Some(t) = form_output_tuple(&w, r, s, kind, Side::Left, engine) {
+                out.push_unchecked(t);
+            }
+        };
+        match kind {
+            TpJoinKind::Inner | TpJoinKind::RightOuter => wo.for_each(&mut push),
+            TpJoinKind::Anti | TpJoinKind::LeftOuter | TpJoinKind::FullOuter => {
+                LawanStream::new(LawauStream::new(wo, r)).for_each(&mut push);
+            }
+        }
+    }
 
     // Windows of s with respect to r (right-hand null-extension for right
-    // and full outer joins).
-    let right_windows = if matches!(kind, TpJoinKind::RightOuter | TpJoinKind::FullOuter) {
+    // and full outer joins); their overlapping windows are skipped because
+    // `WO(r;s,θ) = WO(s;r,θ)` was already produced above.
+    if matches!(kind, TpJoinKind::RightOuter | TpJoinKind::FullOuter) {
         let flipped = theta.flipped();
-        let wo = overlapping_windows(s, r, &flipped)?;
-        lawan(&lawau(&wo, s))
-    } else {
-        Vec::new()
-    };
+        let bound = flipped.bind(s.schema(), r.schema())?;
+        let plan = plan.unwrap_or_else(|| auto_plan(&bound));
+        let wo = OverlapWindowStream::with_plan(s, r, bound, plan)?;
+        for w in LawanStream::new(LawauStream::new(wo, s)) {
+            if w.is_overlapping() {
+                continue;
+            }
+            if let Some(t) = form_output_tuple(&w, s, r, kind, Side::Right, engine) {
+                out.push_unchecked(t);
+            }
+        }
+    }
 
-    Ok(assemble_join_result(
-        r,
-        s,
-        kind,
-        &left_windows,
-        &right_windows,
-        engine,
-    ))
+    Ok(out)
 }
 
 /// Forms the output relation of a TP join from already-computed window sets.

@@ -18,9 +18,16 @@
 //! the next group. The implementation keeps the ending points of the active
 //! overlapping windows in a priority queue ([`EventQueue`]) exactly as the
 //! paper describes.
+//!
+//! The disjunction `λs` of the active lineages is maintained
+//! **incrementally** ([`IncrementalDisjunction`]): a window starting or
+//! ending at a boundary updates the flattened, reference-counted operand
+//! list in time proportional to its own lineage, and emitting a negating
+//! window only clones the live operands — the full active set is never
+//! re-flattened or re-deduplicated at a boundary.
 
-use crate::window::Window;
-use tpdb_lineage::Lineage;
+use crate::window::{Window, WindowSink};
+use tpdb_lineage::IncrementalDisjunction;
 use tpdb_temporal::{EventQueue, Interval, TimePoint};
 
 /// Runs LAWAN over the output `WUO` of [`lawau`](crate::lawau::lawau).
@@ -46,12 +53,14 @@ pub fn lawan(wuo: &[Window]) -> Vec<Window> {
 /// Sweeps one group (all `WUO` windows of a single `r` tuple): copies the
 /// unmatched and overlapping windows to the output and inserts the negating
 /// windows derived from the overlapping ones.
-pub(crate) fn sweep_group(group: &[Window], out: &mut Vec<Window>) {
+pub(crate) fn sweep_group(group: &[Window], out: &mut impl WindowSink) {
     // Copy every existing window through (Case 1 alternates these copies
     // with the creation of negating windows; emitting them up front keeps
     // the output grouped by r tuple, which is all downstream consumers
     // need).
-    out.extend_from_slice(group);
+    for w in group {
+        out.put(w.clone());
+    }
 
     let overlapping: Vec<&Window> = group.iter().filter(|w| w.is_overlapping()).collect();
     if overlapping.is_empty() {
@@ -61,32 +70,12 @@ pub(crate) fn sweep_group(group: &[Window], out: &mut Vec<Window>) {
     let lambda_r = overlapping[0].lambda_r.clone();
 
     // Sweep the overlapping windows of the group in start order, keeping the
-    // ending points (and the lineage of the corresponding s tuple) of the
-    // active windows in a priority queue.
+    // ending points of the active windows in a priority queue and their
+    // lineage disjunction in an incrementally maintained operand list.
     let mut queue = EventQueue::new();
-    let mut active: Vec<Option<Lineage>> = vec![None; overlapping.len()];
-    let mut active_count = 0usize;
+    let mut active = IncrementalDisjunction::new();
     let mut i = 0usize;
     let mut wind_ts: Option<TimePoint> = None;
-
-    // Emits the negating window [from, to) for the currently active set.
-    let emit =
-        |out: &mut Vec<Window>, active: &[Option<Lineage>], from: TimePoint, to: TimePoint| {
-            if from >= to {
-                return;
-            }
-            let lambda_s = Lineage::or(active.iter().flatten().cloned().collect());
-            debug_assert!(
-                !lambda_s.is_false(),
-                "negating window with empty active set"
-            );
-            out.push(Window::negating(
-                Interval::new(from, to),
-                r_idx,
-                lambda_r.clone(),
-                lambda_s,
-            ));
-        };
 
     loop {
         // Determine the next boundary: the smaller of the next start point
@@ -104,27 +93,35 @@ pub(crate) fn sweep_group(group: &[Window], out: &mut Vec<Window>) {
         // Close the sweeping window [wind_ts, boundary) if any s tuple was
         // active over it.
         if let Some(ts) = wind_ts {
-            if active_count > 0 {
-                emit(out, &active, ts, boundary);
+            if !active.is_empty() && ts < boundary {
+                out.put(Window::negating(
+                    Interval::new(ts, boundary),
+                    r_idx,
+                    lambda_r.clone(),
+                    active.disjunction(),
+                ));
             }
         }
 
         // Apply all events at `boundary`: expire ended windows first (their
         // intervals are half-open), then activate windows starting here.
         for item in queue.pop_expired(boundary) {
-            active[item] = None;
-            active_count -= 1;
+            active.remove(
+                overlapping[item]
+                    .lambda_s
+                    .as_ref()
+                    .expect("overlapping windows always carry λs"),
+            );
         }
         while let Some(w) = overlapping.get(i) {
             if w.interval.start() != boundary {
                 break;
             }
-            active[i] = Some(
+            active.insert(
                 w.lambda_s
-                    .clone()
+                    .as_ref()
                     .expect("overlapping windows always carry λs"),
             );
-            active_count += 1;
             queue.push(w.interval.end(), i);
             i += 1;
         }

@@ -22,7 +22,7 @@
 //!   of the `r` tuple's interval: a final unmatched window
 //!   `[cursor, r.Te)` is produced.
 
-use crate::window::Window;
+use crate::window::{Window, WindowSink};
 use tpdb_storage::TpRelation;
 use tpdb_temporal::Interval;
 
@@ -51,7 +51,7 @@ pub fn lawau(windows: &[Window], r: &TpRelation) -> Vec<Window> {
 /// Sweeps one group (all windows of a single `r` tuple), copying the
 /// existing windows to the output and inserting the gap-filling unmatched
 /// windows in chronological position.
-pub(crate) fn sweep_group(group: &[Window], r: &TpRelation, out: &mut Vec<Window>) {
+pub(crate) fn sweep_group(group: &[Window], r: &TpRelation, out: &mut impl WindowSink) {
     debug_assert!(!group.is_empty());
     let r_idx = group[0].r_idx;
     let r_tuple = r.tuple(r_idx);
@@ -61,7 +61,7 @@ pub(crate) fn sweep_group(group: &[Window], r: &TpRelation, out: &mut Vec<Window
     // Whole-interval unmatched windows (produced by the outer part of the
     // overlap join) already cover the entire tuple: copy and return.
     if group.len() == 1 && group[0].is_unmatched() && group[0].interval == r_interval {
-        out.push(group[0].clone());
+        out.put(group[0].clone());
         return;
     }
 
@@ -73,18 +73,18 @@ pub(crate) fn sweep_group(group: &[Window], r: &TpRelation, out: &mut Vec<Window
         if ws > cursor {
             // Cases 1/2: a gap [cursor, ws) not covered by any overlapping
             // window — emit an unmatched window.
-            out.push(Window::unmatched(
+            out.put(Window::unmatched(
                 Interval::new(cursor, ws),
                 r_idx,
                 lambda_r.clone(),
             ));
         }
-        out.push(w.clone());
+        out.put(w.clone());
         cursor = cursor.max(w.interval.end());
     }
     if cursor < r_interval.end() {
         // Case 5: the suffix of r.T after the last overlapping window.
-        out.push(Window::unmatched(
+        out.put(Window::unmatched(
             Interval::new(cursor, r_interval.end()),
             r_idx,
             lambda_r,

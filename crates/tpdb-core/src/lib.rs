@@ -22,6 +22,15 @@
 //! lineage-concatenation function (`and`, `andNot`, pass-through) and their
 //! probabilities are computed from the combined lineage.
 //!
+//! The [`tp_join`] family executes all of this as a **streaming pipeline**:
+//! [`OverlapWindowStream`] (an endpoint-sorted sweep join by default — see
+//! [`OverlapJoinPlan`]) yields windows one `r`-tuple group at a time,
+//! already grouped and start-ordered; [`LawauStream`] and [`LawanStream`]
+//! extend each group in place; and output tuples are formed as the windows
+//! leave the pipeline. The materializing entry points ([`lawau`],
+//! [`lawan`], [`overlapping_windows`]) remain available for callers that
+//! need whole window sets.
+//!
 //! ## Example — the query of Fig. 1
 //!
 //! ```
@@ -67,11 +76,15 @@ pub(crate) mod testutil;
 
 pub use join::{
     assemble_join_result, tp_anti_join, tp_full_outer_join, tp_inner_join, tp_join,
-    tp_join_with_engine, tp_left_outer_join, tp_right_outer_join, TpJoinKind,
+    tp_join_with_engine, tp_join_with_engine_and_plan, tp_join_with_plan, tp_left_outer_join,
+    tp_right_outer_join, TpJoinKind,
 };
 pub use lawan::lawan;
 pub use lawau::lawau;
-pub use overlap::{overlapping_windows, overlapping_windows_with_plan, OverlapJoinPlan};
+pub use overlap::{
+    auto_plan, overlapping_windows, overlapping_windows_with_plan, OverlapJoinPlan,
+    OverlapWindowStream,
+};
 pub use pipeline::{LawanStream, LawauStream, WindowStream};
 pub use setops::{tp_difference, tp_intersection, tp_union};
 pub use theta::{BoundTheta, CompareOp, ThetaCondition};

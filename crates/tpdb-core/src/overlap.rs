@@ -12,126 +12,345 @@
 //!
 //! The remaining unmatched windows — sub-intervals of partially covered `r`
 //! tuples — are added afterwards by [`lawau`](crate::lawau::lawau).
+//!
+//! ## Physical plans and output order
+//!
+//! All three plans probe the `r` tuples in index order and emit each probe's
+//! windows sorted by `(start, end)`, so the join output is always **grouped
+//! by `r_idx` and ordered by window start within each group** — the order
+//! LAWAU and LAWAN consume — without any global re-sort of the joined
+//! windows:
+//!
+//! * [`OverlapJoinPlan::Sweep`] (the default for equi-joins) partitions `s`
+//!   on the equi-join key and sorts each partition by interval start once
+//!   ([`SortedIntervalIndex`]); a probe binary-searches the first possibly
+//!   overlapping candidate and scans forward until the candidates start past
+//!   the probe interval, yielding intersections with non-decreasing starts.
+//! * [`OverlapJoinPlan::Hash`] partitions `s` on the equi-join key and scans
+//!   the whole partition per probe (the plan the TA baseline's DBMS picks).
+//! * [`OverlapJoinPlan::NestedLoop`] compares every pair; the only plan
+//!   applicable to non-equi θ conditions.
+//!
+//! [`OverlapWindowStream`] exposes the same join as an iterator producing
+//! one `r`-tuple group at a time, which is what lets the full window
+//! pipeline (overlap join → LAWAU → LAWAN → output formation) run without
+//! materializing any intermediate window vector.
 
 use crate::theta::{BoundTheta, ThetaCondition};
 use crate::window::Window;
-use std::collections::HashMap;
-use tpdb_storage::{StorageError, TpRelation, Value};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use tpdb_storage::{StorageError, TpRelation, TpTuple, Value};
+use tpdb_temporal::SortedIntervalIndex;
 
 /// Which physical plan the overlap join uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OverlapJoinPlan {
-    /// Hash-partition `s` on the equi-join key, probe with `r`.
-    /// Only applicable when θ is a pure conjunction of equalities.
+    /// Hash-partition `s` on the equi-join key, scan the whole partition per
+    /// probe. Only applicable when θ is a pure conjunction of equalities.
     Hash,
     /// Compare every pair of tuples. Always applicable.
     NestedLoop,
+    /// Hash-partition `s` on the equi-join key and sort each partition by
+    /// interval start; probe with a binary search plus bounded forward scan.
+    /// Only applicable when θ is a pure conjunction of equalities. This is
+    /// the default plan for equi-joins.
+    Sweep,
+}
+
+impl OverlapJoinPlan {
+    /// Short lower-case plan name (used in `EXPLAIN` output and benchmark
+    /// series labels).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            OverlapJoinPlan::Hash => "hash",
+            OverlapJoinPlan::NestedLoop => "nested-loop",
+            OverlapJoinPlan::Sweep => "sweep",
+        }
+    }
+
+    /// Does the plan require θ to be a pure equi-join?
+    #[must_use]
+    pub fn requires_equi_join(&self) -> bool {
+        !matches!(self, OverlapJoinPlan::NestedLoop)
+    }
+
+    /// The error returned when this plan is forced on a θ it cannot execute.
+    fn not_applicable(self) -> StorageError {
+        StorageError::PlanNotApplicable {
+            plan: self.label().to_owned(),
+            reason: "the overlap-join plan requires a pure equi-join θ condition; \
+                     use the nested-loop plan for general θ"
+                .to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for OverlapJoinPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The plan [`overlapping_windows`] picks automatically: sweep when θ is a
+/// pure equi-join, nested loop otherwise.
+#[must_use]
+pub fn auto_plan(bound: &BoundTheta) -> OverlapJoinPlan {
+    if bound.is_equi_join() {
+        OverlapJoinPlan::Sweep
+    } else {
+        OverlapJoinPlan::NestedLoop
+    }
 }
 
 /// Computes the overlapping windows of `r` with respect to `s` under θ,
 /// together with the whole-interval unmatched windows of `r` tuples that
-/// match nothing. The plan is chosen automatically (hash when θ is an
-/// equi-join, nested loop otherwise).
+/// match nothing. The plan is chosen automatically ([`auto_plan`]).
 pub fn overlapping_windows(
     r: &TpRelation,
     s: &TpRelation,
     theta: &ThetaCondition,
 ) -> Result<Vec<Window>, StorageError> {
     let bound = theta.bind(r.schema(), s.schema())?;
-    let plan = if bound.is_equi_join() {
-        OverlapJoinPlan::Hash
-    } else {
-        OverlapJoinPlan::NestedLoop
-    };
-    Ok(overlapping_windows_with_plan(r, s, &bound, plan))
+    overlapping_windows_with_plan(r, s, &bound, auto_plan(&bound))
 }
 
 /// Computes the overlapping + whole-interval unmatched windows with an
 /// explicitly chosen plan (exposed for the planner and the ablation
 /// benchmarks).
-#[must_use]
+///
+/// # Errors
+///
+/// Returns [`StorageError::PlanNotApplicable`] when a hash or sweep plan is
+/// forced but θ is not a pure equi-join. A forced plan never silently
+/// downgrades to a nested loop — callers that report which plan ran can
+/// trust that it actually did.
 pub fn overlapping_windows_with_plan(
     r: &TpRelation,
     s: &TpRelation,
     bound: &BoundTheta,
     plan: OverlapJoinPlan,
-) -> Vec<Window> {
-    let mut windows = match plan {
-        OverlapJoinPlan::Hash if bound.is_equi_join() => hash_overlap(r, s, bound),
-        _ => nested_loop_overlap(r, s, bound),
-    };
-    // Group per originating r tuple, ordered by window start — the order
-    // LAWAU and LAWAN expect.
-    windows.sort_by_key(|w| (w.r_idx, w.interval.start(), w.interval.end()));
-    windows
+) -> Result<Vec<Window>, StorageError> {
+    let index = ProbeIndex::build(s, bound, plan)?;
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    for (ri, rt) in r.iter().enumerate() {
+        index.probe_into(ri, rt, s, bound, &mut scratch);
+        out.append(&mut scratch);
+    }
+    Ok(out)
 }
 
-fn nested_loop_overlap(r: &TpRelation, s: &TpRelation, bound: &BoundTheta) -> Vec<Window> {
-    let mut out = Vec::new();
-    for (ri, rt) in r.iter().enumerate() {
-        let mut matched = false;
-        for (si, st) in s.iter().enumerate() {
-            if !bound.matches(rt, st) {
-                continue;
-            }
-            if let Some(inter) = rt.interval().intersect(&st.interval()) {
-                matched = true;
-                out.push(Window::overlapping(
-                    inter,
-                    ri,
-                    si,
-                    rt.lineage().clone(),
-                    st.lineage().clone(),
-                ));
-            }
-        }
-        if !matched {
-            out.push(Window::unmatched(rt.interval(), ri, rt.lineage().clone()));
-        }
-    }
-    out
+/// The build-side structure of the overlap join, probed once per `r` tuple.
+enum ProbeIndex {
+    /// Per-key partitions sorted by interval start.
+    Sweep(HashMap<Vec<Value>, SortedIntervalIndex>),
+    /// Per-key partitions in `s` index order.
+    Hash(HashMap<Vec<Value>, Vec<usize>>),
+    /// No index: every probe scans all of `s`.
+    NestedLoop,
 }
 
-fn hash_overlap(r: &TpRelation, s: &TpRelation, bound: &BoundTheta) -> Vec<Window> {
-    // Build side: partition s by its equi-join key.
-    let mut partitions: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-    for (si, st) in s.iter().enumerate() {
-        partitions.entry(bound.right_key(st)).or_default().push(si);
-    }
-    let mut out = Vec::new();
-    for (ri, rt) in r.iter().enumerate() {
-        let mut matched = false;
-        if let Some(candidates) = partitions.get(&bound.left_key(rt)) {
-            for &si in candidates {
-                let st = s.tuple(si);
-                // The hash key only covers the equality part of θ; re-check
-                // the full condition for mixed conditions.
-                if !bound.matches(rt, st) {
-                    continue;
+impl ProbeIndex {
+    fn build(
+        s: &TpRelation,
+        bound: &BoundTheta,
+        plan: OverlapJoinPlan,
+    ) -> Result<Self, StorageError> {
+        if plan.requires_equi_join() && !bound.is_equi_join() {
+            return Err(plan.not_applicable());
+        }
+        Ok(match plan {
+            OverlapJoinPlan::Sweep => {
+                let mut raw: HashMap<Vec<Value>, Vec<_>> = HashMap::new();
+                for (si, st) in s.iter().enumerate() {
+                    raw.entry(bound.right_key(st))
+                        .or_default()
+                        .push((st.interval(), si));
                 }
-                if let Some(inter) = rt.interval().intersect(&st.interval()) {
-                    matched = true;
-                    out.push(Window::overlapping(
-                        inter,
-                        ri,
-                        si,
-                        rt.lineage().clone(),
-                        st.lineage().clone(),
-                    ));
+                ProbeIndex::Sweep(
+                    raw.into_iter()
+                        .map(|(k, items)| (k, SortedIntervalIndex::new(items)))
+                        .collect(),
+                )
+            }
+            OverlapJoinPlan::Hash => {
+                let mut partitions: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                for (si, st) in s.iter().enumerate() {
+                    partitions.entry(bound.right_key(st)).or_default().push(si);
+                }
+                ProbeIndex::Hash(partitions)
+            }
+            OverlapJoinPlan::NestedLoop => ProbeIndex::NestedLoop,
+        })
+    }
+
+    /// Appends the windows of the probe tuple `r[ri]` to `out`, sorted by
+    /// `(start, end)`: its overlapping windows, or one whole-interval
+    /// unmatched window when nothing matches.
+    fn probe_into(
+        &self,
+        ri: usize,
+        rt: &TpTuple,
+        s: &TpRelation,
+        bound: &BoundTheta,
+        out: &mut Vec<Window>,
+    ) {
+        debug_assert!(out.is_empty(), "probe scratch must be drained");
+        let r_iv = rt.interval();
+        match self {
+            ProbeIndex::Sweep(partitions) => {
+                if let Some(partition) = partitions.get(&bound.left_key(rt)) {
+                    for (s_iv, si) in partition.overlapping(r_iv) {
+                        let st = s.tuple(si);
+                        // The sorted partition covers the equality part of θ
+                        // and the temporal overlap; re-check the bound
+                        // condition for its NULL semantics (NULL keys hash
+                        // together but never satisfy θ).
+                        if !bound.matches(rt, st) {
+                            continue;
+                        }
+                        let inter = r_iv
+                            .intersect(&s_iv)
+                            .expect("sorted-partition candidates overlap the probe");
+                        out.push(Window::overlapping(
+                            inter,
+                            ri,
+                            si,
+                            rt.lineage().clone(),
+                            st.lineage().clone(),
+                        ));
+                    }
+                }
+            }
+            ProbeIndex::Hash(partitions) => {
+                if let Some(candidates) = partitions.get(&bound.left_key(rt)) {
+                    for &si in candidates {
+                        let st = s.tuple(si);
+                        if !bound.matches(rt, st) {
+                            continue;
+                        }
+                        if let Some(inter) = r_iv.intersect(&st.interval()) {
+                            out.push(Window::overlapping(
+                                inter,
+                                ri,
+                                si,
+                                rt.lineage().clone(),
+                                st.lineage().clone(),
+                            ));
+                        }
+                    }
+                }
+            }
+            ProbeIndex::NestedLoop => {
+                for (si, st) in s.iter().enumerate() {
+                    if !bound.matches(rt, st) {
+                        continue;
+                    }
+                    if let Some(inter) = r_iv.intersect(&st.interval()) {
+                        out.push(Window::overlapping(
+                            inter,
+                            ri,
+                            si,
+                            rt.lineage().clone(),
+                            st.lineage().clone(),
+                        ));
+                    }
                 }
             }
         }
-        if !matched {
-            out.push(Window::unmatched(rt.interval(), ri, rt.lineage().clone()));
+        if out.is_empty() {
+            out.push(Window::unmatched(r_iv, ri, rt.lineage().clone()));
+        } else {
+            // The sweep plan already yields non-decreasing intersection
+            // starts, so this is a near-no-op run detection; the hash and
+            // nested-loop plans emit in s-index order and genuinely sort
+            // here. Either way the sort is per probe group — the global
+            // re-sort of the whole join output is gone.
+            out.sort_by_key(|w| (w.interval.start(), w.interval.end()));
         }
     }
-    out
+}
+
+/// The overlap join as a streaming iterator: windows come out grouped by
+/// `r_idx` (in `r` index order) and sorted by `(start, end)` within each
+/// group, one probe at a time. Feeding this into
+/// [`LawauStream`](crate::pipeline::LawauStream) and
+/// [`LawanStream`](crate::pipeline::LawanStream) pipelines the entire window
+/// computation without materializing any window vector.
+pub struct OverlapWindowStream<'a> {
+    r: &'a TpRelation,
+    s: &'a TpRelation,
+    bound: BoundTheta,
+    index: ProbeIndex,
+    ri: usize,
+    ready: VecDeque<Window>,
+    scratch: Vec<Window>,
+}
+
+impl<'a> OverlapWindowStream<'a> {
+    /// Creates the stream with the automatically chosen plan
+    /// ([`auto_plan`]).
+    pub fn new(
+        r: &'a TpRelation,
+        s: &'a TpRelation,
+        theta: &ThetaCondition,
+    ) -> Result<Self, StorageError> {
+        let bound = theta.bind(r.schema(), s.schema())?;
+        let plan = auto_plan(&bound);
+        Self::with_plan(r, s, bound, plan)
+    }
+
+    /// Creates the stream with an explicitly chosen plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::PlanNotApplicable`] when a hash or sweep plan
+    /// is forced but θ is not a pure equi-join.
+    pub fn with_plan(
+        r: &'a TpRelation,
+        s: &'a TpRelation,
+        bound: BoundTheta,
+        plan: OverlapJoinPlan,
+    ) -> Result<Self, StorageError> {
+        let index = ProbeIndex::build(s, &bound, plan)?;
+        Ok(Self {
+            r,
+            s,
+            bound,
+            index,
+            ri: 0,
+            ready: VecDeque::new(),
+            scratch: Vec::new(),
+        })
+    }
+}
+
+impl Iterator for OverlapWindowStream<'_> {
+    type Item = Window;
+
+    fn next(&mut self) -> Option<Window> {
+        while self.ready.is_empty() && self.ri < self.r.len() {
+            self.index.probe_into(
+                self.ri,
+                self.r.tuple(self.ri),
+                self.s,
+                &self.bound,
+                &mut self.scratch,
+            );
+            self.ready.extend(self.scratch.drain(..));
+            self.ri += 1;
+        }
+        self.ready.pop_front()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::testutil::booking_relations;
+    use crate::theta::CompareOp;
     use tpdb_storage::{DataType, Schema};
     use tpdb_temporal::Interval;
 
@@ -172,14 +391,53 @@ mod tests {
         assert_eq!(unmatched[0].interval, Interval::new(7, 10));
     }
 
+    /// Canonical window order for plan-agreement comparisons (plans may
+    /// legitimately order windows with identical intervals differently).
+    fn canon(mut ws: Vec<Window>) -> Vec<Window> {
+        ws.sort_by_key(|w| (w.r_idx, w.interval.start(), w.interval.end(), w.s_idx));
+        ws
+    }
+
     #[test]
-    fn hash_and_nested_loop_plans_agree() {
+    fn all_plans_agree() {
         let (a, b, _) = booking_relations();
         let theta = ThetaCondition::column_equals("Loc", "Loc");
         let bound = theta.bind(a.schema(), b.schema()).unwrap();
-        let hash = overlapping_windows_with_plan(&a, &b, &bound, OverlapJoinPlan::Hash);
-        let nl = overlapping_windows_with_plan(&a, &b, &bound, OverlapJoinPlan::NestedLoop);
+        let hash = overlapping_windows_with_plan(&a, &b, &bound, OverlapJoinPlan::Hash).unwrap();
+        let nl =
+            overlapping_windows_with_plan(&a, &b, &bound, OverlapJoinPlan::NestedLoop).unwrap();
+        let sweep = overlapping_windows_with_plan(&a, &b, &bound, OverlapJoinPlan::Sweep).unwrap();
         assert_eq!(hash, nl);
+        assert_eq!(canon(sweep), canon(hash));
+    }
+
+    #[test]
+    fn forced_hash_or_sweep_on_non_equi_theta_is_an_error() {
+        let (a, b, _) = booking_relations();
+        let theta = ThetaCondition::always().and_compare("Loc", CompareOp::Lt, "Loc");
+        let bound = theta.bind(a.schema(), b.schema()).unwrap();
+        for plan in [OverlapJoinPlan::Hash, OverlapJoinPlan::Sweep] {
+            let err = overlapping_windows_with_plan(&a, &b, &bound, plan).unwrap_err();
+            match err {
+                StorageError::PlanNotApplicable { plan: p, .. } => assert_eq!(p, plan.label()),
+                other => panic!("expected PlanNotApplicable, got {other:?}"),
+            }
+        }
+        // the nested loop still runs
+        assert!(overlapping_windows_with_plan(&a, &b, &bound, OverlapJoinPlan::NestedLoop).is_ok());
+    }
+
+    #[test]
+    fn streaming_overlap_join_matches_materializing() {
+        let (a, b, _) = booking_relations();
+        for theta in [
+            ThetaCondition::column_equals("Loc", "Loc"),
+            ThetaCondition::always(),
+        ] {
+            let materialized = overlapping_windows(&a, &b, &theta).unwrap();
+            let streamed: Vec<Window> = OverlapWindowStream::new(&a, &b, &theta).unwrap().collect();
+            assert_eq!(streamed, materialized, "θ = {theta}");
+        }
     }
 
     #[test]
@@ -228,6 +486,12 @@ mod tests {
         let theta = ThetaCondition::column_equals("Loc", "Loc");
         let windows = overlapping_windows(&empty, &b, &theta).unwrap();
         assert!(windows.is_empty());
+        assert_eq!(
+            OverlapWindowStream::new(&empty, &b, &theta)
+                .unwrap()
+                .count(),
+            0
+        );
     }
 
     #[test]
@@ -242,5 +506,15 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort();
         assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn plan_labels_and_applicability() {
+        assert_eq!(OverlapJoinPlan::Sweep.to_string(), "sweep");
+        assert_eq!(OverlapJoinPlan::Hash.to_string(), "hash");
+        assert_eq!(OverlapJoinPlan::NestedLoop.to_string(), "nested-loop");
+        assert!(OverlapJoinPlan::Sweep.requires_equi_join());
+        assert!(OverlapJoinPlan::Hash.requires_equi_join());
+        assert!(!OverlapJoinPlan::NestedLoop.requires_equi_join());
     }
 }

@@ -7,14 +7,29 @@
 //! [`LawanStream`] are iterator adaptors implementing exactly that: they
 //! consume an upstream window iterator grouped by `r` tuple and emit the
 //! extended window stream, buffering at most one group (the windows of a
-//! single `r` tuple) at a time. The Volcano-style physical operators of
-//! `tpdb-query` are thin wrappers around these adaptors.
+//! single `r` tuple) at a time. Stacked on top of
+//! [`OverlapWindowStream`](crate::overlap::OverlapWindowStream) they form
+//! the fully streaming NJ pipeline that
+//! [`tp_join`](crate::join::tp_join) executes:
+//!
+//! ```text
+//! OverlapWindowStream → LawauStream → LawanStream → output formation
+//! ```
+//!
+//! Each adaptor owns two reusable buffers — the current input group and the
+//! group's output windows — so the steady-state streaming path performs no
+//! per-group allocations: buffers are cleared and refilled in place, and
+//! windows move (rather than clone) from the output buffer to the consumer.
+//!
+//! The positive relation is held through any [`Borrow`]`<TpRelation>`, so
+//! the adaptors work with plain references inside a join operator and with
+//! `Arc<TpRelation>` in long-lived cursors alike.
 
 use crate::lawan;
 use crate::lawau;
 use crate::window::Window;
+use std::borrow::Borrow;
 use std::collections::VecDeque;
-use std::sync::Arc;
 use tpdb_storage::TpRelation;
 
 /// A stream of generalized lineage-aware temporal windows grouped by the
@@ -23,21 +38,47 @@ pub trait WindowStream: Iterator<Item = Window> {}
 
 impl<T: Iterator<Item = Window>> WindowStream for T {}
 
+/// Pulls the next complete `r`-tuple group from `input` into `group`
+/// (cleared first). Returns `false` when the input is exhausted.
+fn next_group<I: Iterator<Item = Window>>(
+    input: &mut std::iter::Peekable<I>,
+    group: &mut Vec<Window>,
+) -> bool {
+    group.clear();
+    let Some(first) = input.peek() else {
+        return false;
+    };
+    let r_idx = first.r_idx;
+    while let Some(w) = input.peek() {
+        if w.r_idx != r_idx {
+            break;
+        }
+        group.push(input.next().expect("peeked"));
+    }
+    true
+}
+
 /// Streaming LAWAU: extends a stream of overlap-join windows with the
 /// remaining unmatched windows, one `r`-tuple group at a time.
 #[derive(Debug)]
-pub struct LawauStream<I: Iterator<Item = Window>> {
+pub struct LawauStream<I: Iterator<Item = Window>, P: Borrow<TpRelation>> {
     input: std::iter::Peekable<I>,
-    positive: Arc<TpRelation>,
+    positive: P,
+    /// Scratch buffer holding the current input group (reused across
+    /// groups).
+    group: Vec<Window>,
+    /// Output buffer of the current group (reused across groups); windows
+    /// are moved out of the front.
     ready: VecDeque<Window>,
 }
 
-impl<I: Iterator<Item = Window>> LawauStream<I> {
+impl<I: Iterator<Item = Window>, P: Borrow<TpRelation>> LawauStream<I, P> {
     /// Wraps `input` (grouped by `r_idx`, sorted by start within groups).
-    pub fn new(input: I, positive: Arc<TpRelation>) -> Self {
+    pub fn new(input: I, positive: P) -> Self {
         Self {
             input: input.peekable(),
             positive,
+            group: Vec::new(),
             ready: VecDeque::new(),
         }
     }
@@ -45,24 +86,13 @@ impl<I: Iterator<Item = Window>> LawauStream<I> {
     /// Pulls the next complete group from the input and runs the LAWAU sweep
     /// over it.
     fn fill(&mut self) {
-        let Some(first) = self.input.peek() else {
-            return;
-        };
-        let r_idx = first.r_idx;
-        let mut group = Vec::new();
-        while let Some(w) = self.input.peek() {
-            if w.r_idx != r_idx {
-                break;
-            }
-            group.push(self.input.next().expect("peeked"));
+        if next_group(&mut self.input, &mut self.group) {
+            lawau::sweep_group(&self.group, self.positive.borrow(), &mut self.ready);
         }
-        let mut out = Vec::with_capacity(group.len() + 2);
-        lawau::sweep_group(&group, &self.positive, &mut out);
-        self.ready.extend(out);
     }
 }
 
-impl<I: Iterator<Item = Window>> Iterator for LawauStream<I> {
+impl<I: Iterator<Item = Window>, P: Borrow<TpRelation>> Iterator for LawauStream<I, P> {
     type Item = Window;
 
     fn next(&mut self) -> Option<Window> {
@@ -78,6 +108,10 @@ impl<I: Iterator<Item = Window>> Iterator for LawauStream<I> {
 #[derive(Debug)]
 pub struct LawanStream<I: Iterator<Item = Window>> {
     input: std::iter::Peekable<I>,
+    /// Scratch buffer holding the current input group (reused across
+    /// groups).
+    group: Vec<Window>,
+    /// Output buffer of the current group (reused across groups).
     ready: VecDeque<Window>,
 }
 
@@ -86,25 +120,15 @@ impl<I: Iterator<Item = Window>> LawanStream<I> {
     pub fn new(input: I) -> Self {
         Self {
             input: input.peekable(),
+            group: Vec::new(),
             ready: VecDeque::new(),
         }
     }
 
     fn fill(&mut self) {
-        let Some(first) = self.input.peek() else {
-            return;
-        };
-        let r_idx = first.r_idx;
-        let mut group = Vec::new();
-        while let Some(w) = self.input.peek() {
-            if w.r_idx != r_idx {
-                break;
-            }
-            group.push(self.input.next().expect("peeked"));
+        if next_group(&mut self.input, &mut self.group) {
+            lawan::sweep_group(&self.group, &mut self.ready);
         }
-        let mut out = Vec::with_capacity(group.len() * 2);
-        lawan::sweep_group(&group, &mut out);
-        self.ready.extend(out);
     }
 }
 
@@ -122,9 +146,10 @@ impl<I: Iterator<Item = Window>> Iterator for LawanStream<I> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::overlap::overlapping_windows;
+    use crate::overlap::{overlapping_windows, OverlapWindowStream};
     use crate::testutil::booking_relations;
     use crate::theta::ThetaCondition;
+    use std::sync::Arc;
 
     fn setup() -> (Vec<Window>, Arc<TpRelation>) {
         let (a, b, _) = booking_relations();
@@ -156,6 +181,18 @@ mod tests {
         let expected = lawan::lawan(&lawau::lawau(&wo, &a));
         let piped: Vec<Window> =
             LawanStream::new(LawauStream::new(wo.into_iter(), Arc::clone(&a))).collect();
+        assert_eq!(piped, expected);
+    }
+
+    #[test]
+    fn streams_borrow_plain_references_too() {
+        // The fully streaming pipeline: no window vector is ever built.
+        let (a, b, _) = booking_relations();
+        let theta = ThetaCondition::column_equals("Loc", "Loc");
+        let wo = overlapping_windows(&a, &b, &theta).unwrap();
+        let expected = lawan::lawan(&lawau::lawau(&wo, &a));
+        let overlap = OverlapWindowStream::new(&a, &b, &theta).unwrap();
+        let piped: Vec<Window> = LawanStream::new(LawauStream::new(overlap, &a)).collect();
         assert_eq!(piped, expected);
     }
 

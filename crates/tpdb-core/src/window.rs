@@ -59,6 +59,27 @@ pub struct Window {
     pub lambda_s: Option<Lineage>,
 }
 
+/// A destination for produced windows: the materializing algorithms write
+/// into a `Vec`, the streaming adaptors into their reusable `VecDeque` group
+/// buffer. Keeping the sweep kernels generic over the sink is what lets the
+/// streaming path run without per-group intermediate vectors.
+pub(crate) trait WindowSink {
+    /// Accepts one produced window.
+    fn put(&mut self, w: Window);
+}
+
+impl WindowSink for Vec<Window> {
+    fn put(&mut self, w: Window) {
+        self.push(w);
+    }
+}
+
+impl WindowSink for std::collections::VecDeque<Window> {
+    fn put(&mut self, w: Window) {
+        self.push_back(w);
+    }
+}
+
 impl Window {
     /// Creates an overlapping window for the pair `(r[r_idx], s[s_idx])`.
     #[must_use]

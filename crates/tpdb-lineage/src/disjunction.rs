@@ -1,0 +1,225 @@
+//! Incremental maintenance of a disjunction over a changing multiset.
+//!
+//! The LAWAN sweep emits one negating window per elementary interval, each
+//! carrying `λs = ∨ {lineages of the currently active s tuples}`. Building
+//! that disjunction from scratch at every boundary — flattening, constant
+//! elimination and hash-based deduplication over the full active set — is
+//! what made the sweep quadratic in the active-set size. An
+//! [`IncrementalDisjunction`] maintains the flattened, deduplicated operand
+//! list *across* boundaries instead: activating or expiring a lineage costs
+//! time proportional to that lineage's own operand count, and emitting the
+//! current disjunction only clones the live operands into a fresh `Or` node
+//! (no re-flattening, no re-hashing).
+//!
+//! Operands are kept in first-activation order with reference counts, so a
+//! lineage contributed by several active tuples (shared sub-lineages are
+//! common after self-joins) is stored once and survives until its last
+//! contributor expires.
+
+use crate::formula::{Lineage, LineageNode};
+use std::collections::HashMap;
+
+/// A multiset of lineages with an incrementally maintained disjunction.
+#[derive(Debug, Clone, Default)]
+pub struct IncrementalDisjunction {
+    /// Distinct non-constant operands in first-insertion order, with their
+    /// reference counts. `None` marks a slot whose operand expired
+    /// (compacted away periodically).
+    slots: Vec<Option<(Lineage, usize)>>,
+    /// Operand → slot position.
+    index: HashMap<Lineage, usize>,
+    /// Number of live (non-tombstone) slots.
+    live: usize,
+    /// How many inserted lineages were the constant `true` (each makes the
+    /// whole disjunction `true`).
+    true_count: usize,
+}
+
+impl IncrementalDisjunction {
+    /// Creates an empty disjunction (`∨ ∅ = false`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `lineage` to the multiset. `Or` operands are flattened, constant
+    /// `false` contributes nothing and constant `true` forces the
+    /// disjunction to `true` until removed.
+    pub fn insert(&mut self, lineage: &Lineage) {
+        match lineage.node() {
+            LineageNode::False => {}
+            LineageNode::True => self.true_count += 1,
+            LineageNode::Or(children) => {
+                for c in children {
+                    self.insert(c);
+                }
+            }
+            _ => self.insert_operand(lineage),
+        }
+    }
+
+    /// Removes one previously [`insert`](Self::insert)ed occurrence of
+    /// `lineage`. Removing a lineage that was never inserted is a logic
+    /// error (debug-asserted).
+    pub fn remove(&mut self, lineage: &Lineage) {
+        match lineage.node() {
+            LineageNode::False => {}
+            LineageNode::True => {
+                debug_assert!(self.true_count > 0, "removing ⊤ that was never inserted");
+                self.true_count = self.true_count.saturating_sub(1);
+            }
+            LineageNode::Or(children) => {
+                for c in children {
+                    self.remove(c);
+                }
+            }
+            _ => self.remove_operand(lineage),
+        }
+    }
+
+    fn insert_operand(&mut self, operand: &Lineage) {
+        if let Some(&slot) = self.index.get(operand) {
+            let entry = self.slots[slot].as_mut().expect("indexed slot is live");
+            entry.1 += 1;
+        } else {
+            self.index.insert(operand.clone(), self.slots.len());
+            self.slots.push(Some((operand.clone(), 1)));
+            self.live += 1;
+        }
+    }
+
+    fn remove_operand(&mut self, operand: &Lineage) {
+        let Some(&slot) = self.index.get(operand) else {
+            debug_assert!(false, "removing operand that was never inserted");
+            return;
+        };
+        let entry = self.slots[slot].as_mut().expect("indexed slot is live");
+        entry.1 -= 1;
+        if entry.1 == 0 {
+            self.slots[slot] = None;
+            self.index.remove(operand);
+            self.live -= 1;
+            // Compact when tombstones dominate, re-pointing the index at the
+            // surviving slots (amortized O(1) per removal).
+            if self.slots.len() > 8 && self.slots.len() >= 2 * self.live.max(1) {
+                self.slots.retain(Option::is_some);
+                for (pos, s) in self.slots.iter().enumerate() {
+                    let (l, _) = s.as_ref().expect("retained slots are live");
+                    *self.index.get_mut(l).expect("live operand is indexed") = pos;
+                }
+            }
+        }
+    }
+
+    /// Is the disjunction `false` (no live operand, no `true` contributor)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0 && self.true_count == 0
+    }
+
+    /// Number of distinct live operands.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// The current disjunction as a [`Lineage`].
+    #[must_use]
+    pub fn disjunction(&self) -> Lineage {
+        if self.true_count > 0 {
+            return Lineage::tru();
+        }
+        let operands: Vec<Lineage> = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|(l, _)| l.clone())
+            .collect();
+        Lineage::or_flattened(operands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::VarId;
+
+    fn v(i: u32) -> Lineage {
+        Lineage::var(VarId(i))
+    }
+
+    #[test]
+    fn empty_is_false() {
+        let d = IncrementalDisjunction::new();
+        assert!(d.is_empty());
+        assert!(d.disjunction().is_false());
+    }
+
+    #[test]
+    fn insert_and_remove_round_trip() {
+        let mut d = IncrementalDisjunction::new();
+        d.insert(&v(1));
+        d.insert(&v(2));
+        assert_eq!(d.disjunction(), Lineage::or(vec![v(1), v(2)]));
+        d.remove(&v(1));
+        assert_eq!(d.disjunction(), v(2));
+        d.remove(&v(2));
+        assert!(d.disjunction().is_false());
+    }
+
+    #[test]
+    fn duplicates_are_reference_counted() {
+        let mut d = IncrementalDisjunction::new();
+        d.insert(&v(7));
+        d.insert(&v(7));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.disjunction(), v(7));
+        d.remove(&v(7));
+        assert_eq!(d.disjunction(), v(7), "one contributor still active");
+        d.remove(&v(7));
+        assert!(d.disjunction().is_false());
+    }
+
+    #[test]
+    fn or_operands_are_flattened() {
+        let mut d = IncrementalDisjunction::new();
+        let or = Lineage::or(vec![v(1), v(2)]);
+        d.insert(&or);
+        d.insert(&v(2));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.disjunction(), Lineage::or(vec![v(1), v(2)]));
+        d.remove(&or);
+        assert_eq!(d.disjunction(), v(2));
+    }
+
+    #[test]
+    fn constants_behave_like_or() {
+        let mut d = IncrementalDisjunction::new();
+        d.insert(&Lineage::fls());
+        assert!(d.is_empty());
+        d.insert(&v(3));
+        d.insert(&Lineage::tru());
+        assert!(d.disjunction().is_true());
+        d.remove(&Lineage::tru());
+        assert_eq!(d.disjunction(), v(3));
+    }
+
+    #[test]
+    fn heavy_churn_with_compaction_matches_rebuild() {
+        let mut d = IncrementalDisjunction::new();
+        // Activate 64 vars, expire the first 63, then compare against a
+        // from-scratch Lineage::or of the survivors plus newcomers.
+        for i in 0..64 {
+            d.insert(&v(i));
+        }
+        for i in 0..63 {
+            d.remove(&v(i));
+        }
+        for i in 100..104 {
+            d.insert(&v(i));
+        }
+        let expected = Lineage::or(vec![v(63), v(100), v(101), v(102), v(103)]);
+        assert_eq!(d.disjunction(), expected);
+        assert_eq!(d.len(), 5);
+    }
+}

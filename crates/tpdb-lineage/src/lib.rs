@@ -48,10 +48,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod disjunction;
 mod formula;
 mod prob;
 mod symbols;
 
+pub use disjunction::IncrementalDisjunction;
 pub use formula::{Lineage, LineageNode};
 pub use prob::{ProbabilityEngine, ProbabilityError};
 pub use symbols::{SymbolTable, VarId};

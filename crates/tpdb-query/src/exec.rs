@@ -14,7 +14,7 @@ use crate::plan::{JoinStrategy, LogicalPlan};
 use crate::planner::plan_query;
 use crate::QueryError;
 use std::sync::Arc;
-use tpdb_core::{ThetaCondition, TpJoinKind};
+use tpdb_core::{OverlapJoinPlan, ThetaCondition, TpJoinKind};
 use tpdb_storage::{Catalog, Schema, TpRelation, TpTuple};
 
 /// A Volcano-style physical operator.
@@ -170,12 +170,15 @@ pub struct TpJoinExec {
     theta: ThetaCondition,
     kind: TpJoinKind,
     strategy: JoinStrategy,
+    overlap_plan: Option<OverlapJoinPlan>,
     schema: Schema,
     result: Option<std::vec::IntoIter<TpTuple>>,
 }
 
 impl TpJoinExec {
-    /// Creates a TP join operator.
+    /// Creates a TP join operator. `overlap_plan` forces the NJ strategy's
+    /// overlap-join plan (`None` = automatic: sweep for equi-joins, nested
+    /// loop otherwise); the TA strategy ignores it.
     #[must_use]
     pub fn new(
         left: Box<dyn PhysicalOperator>,
@@ -183,6 +186,7 @@ impl TpJoinExec {
         theta: ThetaCondition,
         kind: TpJoinKind,
         strategy: JoinStrategy,
+        overlap_plan: Option<OverlapJoinPlan>,
     ) -> Self {
         let schema = match kind {
             TpJoinKind::Anti => left.schema().clone(),
@@ -194,6 +198,7 @@ impl TpJoinExec {
             theta,
             kind,
             strategy,
+            overlap_plan,
             schema,
             result: None,
         }
@@ -203,7 +208,13 @@ impl TpJoinExec {
         let left = self.left.collect("left");
         let right = self.right.collect("right");
         let joined = match self.strategy {
-            JoinStrategy::Nj => tpdb_core::tp_join(&left, &right, &self.theta, self.kind)?,
+            JoinStrategy::Nj => tpdb_core::tp_join_with_plan(
+                &left,
+                &right,
+                &self.theta,
+                self.kind,
+                self.overlap_plan,
+            )?,
             JoinStrategy::Ta => tpdb_ta::ta_join(&left, &right, &self.theta, self.kind)?,
         };
         // Adopt the join's schema (column prefixes depend on input names).
@@ -226,10 +237,23 @@ impl PhysicalOperator for TpJoinExec {
     }
 
     fn describe(&self) -> String {
+        // Name the overlap-join plan that will actually run: the forced one,
+        // or the automatic choice resolved against the child schemas.
+        let plan_note = match (self.strategy, self.overlap_plan) {
+            (_, Some(p)) => format!(" plan={p}"),
+            (JoinStrategy::Nj, None) => {
+                match self.theta.bind(self.left.schema(), self.right.schema()) {
+                    Ok(bound) => format!(" plan=auto({})", tpdb_core::auto_plan(&bound)),
+                    Err(_) => String::new(),
+                }
+            }
+            (JoinStrategy::Ta, None) => String::new(),
+        };
         format!(
-            "TpJoin {} [{}] ({}) over [{}; {}]",
+            "TpJoin {} [{}{}] ({}) over [{}; {}]",
             self.kind.symbol(),
             self.strategy,
+            plan_note,
             self.theta,
             self.left.describe(),
             self.right.describe()

@@ -382,6 +382,7 @@ fn set_strategy(plan: LogicalPlan, strategy: JoinStrategy) -> Result<LogicalPlan
             right,
             theta,
             kind,
+            overlap_plan,
             ..
         } => LogicalPlan::TpJoin {
             left,
@@ -389,6 +390,7 @@ fn set_strategy(plan: LogicalPlan, strategy: JoinStrategy) -> Result<LogicalPlan
             theta,
             kind,
             strategy,
+            overlap_plan,
         },
         LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
             input: Box::new(set_strategy(*input, strategy)?),

@@ -1,7 +1,7 @@
 //! Logical query plans.
 
 use crate::expr::LiteralPredicate;
-use tpdb_core::{ThetaCondition, TpJoinKind};
+use tpdb_core::{OverlapJoinPlan, ThetaCondition, TpJoinKind};
 
 /// The join strategy the planner should use for a TP join with negation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,6 +60,11 @@ pub enum LogicalPlan {
         kind: TpJoinKind,
         /// Which algorithm to use.
         strategy: JoinStrategy,
+        /// Overlap-join plan forced for the NJ strategy (`None` lets the
+        /// engine pick: sweep for equi-joins, nested loop otherwise). A
+        /// forced plan that cannot execute θ fails at planning time instead
+        /// of silently downgrading.
+        overlap_plan: Option<OverlapJoinPlan>,
     },
 }
 
@@ -105,6 +110,40 @@ impl LogicalPlan {
             theta,
             kind,
             strategy,
+            overlap_plan: None,
+        }
+    }
+
+    /// Forces the overlap-join plan of every TP join in this plan, looking
+    /// through filters and projections (ablation and regression studies pin
+    /// the physical plan this way).
+    #[must_use]
+    pub fn with_overlap_plan(self, plan: OverlapJoinPlan) -> Self {
+        match self {
+            LogicalPlan::TpJoin {
+                left,
+                right,
+                theta,
+                kind,
+                strategy,
+                ..
+            } => LogicalPlan::TpJoin {
+                left: Box::new(left.with_overlap_plan(plan)),
+                right: Box::new(right.with_overlap_plan(plan)),
+                theta,
+                kind,
+                strategy,
+                overlap_plan: Some(plan),
+            },
+            LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
+                input: Box::new(input.with_overlap_plan(plan)),
+                predicates,
+            },
+            LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+                input: Box::new(input.with_overlap_plan(plan)),
+                columns,
+            },
+            scan @ LogicalPlan::Scan { .. } => scan,
         }
     }
 
@@ -131,9 +170,14 @@ impl LogicalPlan {
                     theta,
                     kind,
                     strategy,
+                    overlap_plan,
                 } => {
+                    let plan_note = match overlap_plan {
+                        Some(p) => format!(" plan={p}"),
+                        None => String::new(),
+                    };
                     out.push_str(&format!(
-                        "{pad}TpJoin {} ({theta}) strategy={strategy}\n",
+                        "{pad}TpJoin {} ({theta}) strategy={strategy}{plan_note}\n",
                         kind.symbol()
                     ));
                     go(left, indent + 1, out);
@@ -180,5 +224,20 @@ mod tests {
     fn default_strategy_is_nj() {
         assert_eq!(JoinStrategy::default(), JoinStrategy::Nj);
         assert_eq!(JoinStrategy::Ta.to_string(), "TA");
+    }
+
+    #[test]
+    fn with_overlap_plan_reaches_joins_under_filters_and_projections() {
+        let plan = LogicalPlan::scan("a")
+            .tp_join(
+                LogicalPlan::scan("b"),
+                ThetaCondition::column_equals("Loc", "Loc"),
+                TpJoinKind::LeftOuter,
+                JoinStrategy::Nj,
+            )
+            .filter(vec![])
+            .project(vec!["Name".to_owned()])
+            .with_overlap_plan(OverlapJoinPlan::Sweep);
+        assert!(plan.pretty().contains("plan=sweep"), "{}", plan.pretty());
     }
 }

@@ -38,18 +38,32 @@ pub fn plan_query(
             theta,
             kind,
             strategy,
+            overlap_plan,
         } => {
             let left = plan_query(catalog, left)?;
             let right = plan_query(catalog, right)?;
             // Validate θ against the child schemas at plan time so that
             // errors surface before execution.
-            theta.bind(left.schema(), right.schema())?;
+            let bound = theta.bind(left.schema(), right.schema())?;
+            // A forced overlap-join plan must be executable for θ; failing
+            // here keeps EXPLAIN honest about the plan that will run.
+            if let Some(plan) = overlap_plan {
+                if plan.requires_equi_join() && !bound.is_equi_join() {
+                    return Err(QueryError::Storage(
+                        tpdb_storage::StorageError::PlanNotApplicable {
+                            plan: plan.label().to_owned(),
+                            reason: format!("θ ({theta}) is not a pure equi-join"),
+                        },
+                    ));
+                }
+            }
             Ok(Box::new(TpJoinExec::new(
                 left,
                 right,
                 theta.clone(),
                 *kind,
                 *strategy,
+                *overlap_plan,
             )))
         }
     }
@@ -96,6 +110,42 @@ mod tests {
         let c = catalog();
         let bad = LogicalPlan::scan("a").project(vec!["Missing".to_owned()]);
         assert!(plan_query(&c, &bad).is_err());
+    }
+
+    #[test]
+    fn forced_plan_on_non_equi_theta_fails_at_plan_time() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("a")
+            .tp_join(
+                LogicalPlan::scan("b"),
+                ThetaCondition::always(),
+                TpJoinKind::LeftOuter,
+                JoinStrategy::Nj,
+            )
+            .with_overlap_plan(tpdb_core::OverlapJoinPlan::Sweep);
+        let err = match plan_query(&c, &plan) {
+            Err(e) => e,
+            Ok(_) => panic!("forced sweep on non-equi θ must fail at plan time"),
+        };
+        assert!(err.to_string().contains("sweep"), "{err}");
+    }
+
+    #[test]
+    fn forced_plan_reaches_through_filters_and_executes() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("a")
+            .tp_join(
+                LogicalPlan::scan("b"),
+                ThetaCondition::column_equals("Loc", "Loc"),
+                TpJoinKind::LeftOuter,
+                JoinStrategy::Nj,
+            )
+            .filter(Vec::new())
+            .with_overlap_plan(tpdb_core::OverlapJoinPlan::Sweep);
+        let op = plan_query(&c, &plan).unwrap();
+        assert!(op.describe().contains("plan=sweep"), "{}", op.describe());
+        let result = crate::exec::execute_plan(&c, &plan).unwrap();
+        assert_eq!(result.len(), 7);
     }
 
     #[test]

@@ -37,6 +37,16 @@ pub enum StorageError {
         /// Description of the problem.
         message: String,
     },
+    /// A physical plan was forced that cannot execute the given condition
+    /// (e.g. a hash or sweep overlap join over a non-equi θ). Forced plans
+    /// fail loudly instead of silently downgrading so that benchmarks and
+    /// `EXPLAIN` never report a plan that did not actually run.
+    PlanNotApplicable {
+        /// Human-readable plan name (e.g. `sweep`).
+        plan: String,
+        /// Why the plan cannot run.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -64,6 +74,9 @@ impl fmt::Display for StorageError {
             StorageError::UnknownRelation(n) => write!(f, "unknown relation: {n}"),
             StorageError::ParseError { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            StorageError::PlanNotApplicable { plan, reason } => {
+                write!(f, "plan {plan} is not applicable: {reason}")
             }
         }
     }

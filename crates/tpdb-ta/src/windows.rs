@@ -42,7 +42,10 @@ pub fn ta_wuo_with_plan(
     let bound = theta
         .bind(r.schema(), s.schema())
         .expect("θ condition must bind to the input schemas");
-    let plan = if use_hash {
+    // TA models the plan a conventional DBMS picks inside the alignment
+    // operator: a hash join when θ is usable as an equi-join, nested loops
+    // otherwise. (The sweep plan is NJ's; TA never gets it.)
+    let plan = if use_hash && bound.is_equi_join() {
         OverlapJoinPlan::Hash
     } else {
         OverlapJoinPlan::NestedLoop
@@ -51,6 +54,7 @@ pub fn ta_wuo_with_plan(
     // Pass 1: conventional overlap join — overlapping windows (and the
     // whole-interval unmatched windows of tuples with no match at all).
     let mut windows: Vec<Window> = overlapping_windows_with_plan(r, s, &bound, plan)
+        .expect("plan is chosen to match θ")
         .into_iter()
         .filter(|w| w.is_overlapping())
         .collect();
