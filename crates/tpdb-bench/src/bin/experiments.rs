@@ -9,6 +9,7 @@
 //! cargo run --release -p tpdb-bench --bin experiments -- fig7 --full   # paper-scale cardinalities
 //! cargo run --release -p tpdb-bench --bin experiments -- ablation
 //! cargo run --release -p tpdb-bench --bin experiments -- fig5 --smoke --json --check-nj-wuo
+//! cargo run --release -p tpdb-bench --bin experiments -- scaling --json --threads 1,2,4,8
 //! ```
 //!
 //! Default cardinalities are scaled down from the paper's 40K–200K so that
@@ -22,10 +23,15 @@
 //! * `--check-nj-wuo` exits non-zero when the NJ series of Fig. 5 is slower
 //!   than the TA series on the meteo workload at the largest measured scale
 //!   — the CI regression guard for the LAWAU hot path.
+//! * `--threads 1,2,4` selects the worker counts of the `scaling` figure
+//!   (partitioned parallel NJ on the meteo WUO workload; implies `scaling`)
+//!   and prints/records speedups against the serial `NJ-P1` baseline.
+//!   Speedup is bounded by the machine — on a single-core host the curve is
+//!   flat by construction.
 
 use tpdb_bench::{
-    header, measurements_to_json, run_nj_left_outer, run_nj_wn, run_nj_wuo, run_nj_wuon,
-    run_ta_left_outer, run_ta_negating, run_ta_wuo, Dataset, Measurement,
+    header, measurements_to_json, run_nj_left_outer, run_nj_wn, run_nj_wuo, run_nj_wuo_parallel,
+    run_nj_wuon, run_ta_left_outer, run_ta_negating, run_ta_wuo, Dataset, Measurement,
 };
 
 /// Input cardinalities per figure.
@@ -44,6 +50,33 @@ struct Config {
     scale: Scale,
     json: bool,
     check_nj_wuo: bool,
+    /// Worker counts of the `scaling` figure.
+    threads: Vec<usize>,
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: experiments [fig5] [fig6] [fig7] [ablation] [scaling] \
+         [--full | --smoke] [--json] [--check-nj-wuo] [--threads 1,2,4]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_threads(list: &str) -> Vec<usize> {
+    let threads: Vec<usize> = list
+        .split(',')
+        .map(|t| match t.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--threads expects a comma-separated list of positive integers");
+                usage_and_exit();
+            }
+        })
+        .collect();
+    if threads.is_empty() {
+        usage_and_exit();
+    }
+    threads
 }
 
 fn parse_args() -> Config {
@@ -51,22 +84,31 @@ fn parse_args() -> Config {
     let mut scale = Scale::Default;
     let mut json = false;
     let mut check_nj_wuo = false;
-    for arg in std::env::args().skip(1) {
+    let mut threads: Option<Vec<usize>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
             "--smoke" => scale = Scale::Smoke,
             "--json" => json = true,
             "--check-nj-wuo" => check_nj_wuo = true,
-            "fig5" | "fig6" | "fig7" | "ablation" => figures.push(arg),
+            "--threads" => match args.next() {
+                Some(list) => threads = Some(parse_threads(&list)),
+                None => {
+                    eprintln!("--threads requires an argument (e.g. --threads 1,2,4)");
+                    usage_and_exit();
+                }
+            },
+            "fig5" | "fig6" | "fig7" | "ablation" | "scaling" => figures.push(arg),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: experiments [fig5] [fig6] [fig7] [ablation] \
-                     [--full | --smoke] [--json] [--check-nj-wuo]"
-                );
-                std::process::exit(2);
+                usage_and_exit();
             }
         }
+    }
+    // --threads implies the scaling figure.
+    if threads.is_some() && !figures.iter().any(|f| f == "scaling") {
+        figures.push("scaling".into());
     }
     if figures.is_empty() {
         figures = vec![
@@ -87,6 +129,7 @@ fn parse_args() -> Config {
         scale,
         json,
         check_nj_wuo,
+        threads: threads.unwrap_or_else(|| vec![1, 2, 4, 8]),
     }
 }
 
@@ -170,6 +213,38 @@ fn fig7(scale: Scale) -> Vec<Measurement> {
         all.extend(rows);
     }
     all
+}
+
+/// The thread-scaling sweep: the Fig. 5 NJ measurement (meteo WUO — the
+/// workload of the `--check-nj-wuo` guard) under partitioned parallel
+/// execution, one series point per worker count. `NJ-P1` is the serial
+/// baseline; the printed speedup column is `P1 time / Pn time`.
+fn scaling(scale: Scale, threads: &[usize]) -> Vec<Measurement> {
+    let size: usize = match scale {
+        Scale::Full => 200_000,
+        Scale::Default => 40_000,
+        Scale::Smoke => 5_000,
+    };
+    let w = Dataset::MeteoLike.generate(size, 42);
+    let mut rows: Vec<Measurement> = Vec::new();
+    // Always measure the serial baseline so speedups are computable even
+    // when the requested list omits 1.
+    let baseline = run_nj_wuo_parallel(&w, 1);
+    let base_ms = baseline.millis;
+    rows.push(baseline);
+    for &p in threads.iter().filter(|&&p| p != 1) {
+        rows.push(run_nj_wuo_parallel(&w, p));
+    }
+    println!(
+        "\n== Scaling — partitioned parallel NJ (meteo WUO, {size} tuples, \
+         {} hardware threads) ==",
+        tpdb_core::default_parallelism()
+    );
+    println!("{}   {:>8}", header(), "speedup");
+    for row in &rows {
+        println!("{}   {:>7.2}x", row.row(), base_ms / row.millis);
+    }
+    rows
 }
 
 /// Ablations not present in the paper: (A1) the overlap-join plan inside NJ
@@ -318,6 +393,7 @@ fn main() {
             "fig5" => fig5(config.scale),
             "fig6" => fig6(config.scale),
             "fig7" => fig7(config.scale),
+            "scaling" => scaling(config.scale, &config.threads),
             "ablation" => {
                 ablation();
                 continue;

@@ -4,15 +4,15 @@
 //! benches (`benches/fig5_wuo.rs`, `benches/fig6_negating.rs`,
 //! `benches/fig7_outer_join.rs`) and the `experiments` binary that
 //! regenerates the figures of the paper's evaluation section (see
-//! EXPERIMENTS.md at the workspace root).
+//! `docs/EXPERIMENTS.md` at the workspace root).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::Instant;
 use tpdb_core::{
-    lawan, lawau, overlapping_windows, tp_left_outer_join, LawanStream, LawauStream,
-    OverlapWindowStream, ThetaCondition,
+    lawan, lawau, overlapping_windows, parallel_wuo_count, tp_left_outer_join, LawanStream,
+    LawauStream, OverlapWindowStream, ThetaCondition,
 };
 use tpdb_storage::TpRelation;
 use tpdb_ta::{ta_left_outer_join, ta_negating_windows, ta_wuo_windows, ta_wuon_windows};
@@ -168,6 +168,24 @@ pub fn run_nj_wuo(w: &Workload) -> Measurement {
     }
 }
 
+/// The scaling series: the Fig. 5 NJ measurement (streaming sweep overlap
+/// join → LAWAU, windows consumed as they leave the pipeline) executed with
+/// partitioned parallelism at the given worker count. `threads = 1` is the
+/// serial baseline the speedups of `BENCH_scaling.json` are computed
+/// against. The series label is `NJ-P<threads>`.
+#[must_use]
+pub fn run_nj_wuo_parallel(w: &Workload, threads: usize) -> Measurement {
+    let (millis, count) =
+        time(|| parallel_wuo_count(&w.r, &w.s, &w.theta, threads).expect("θ binds"));
+    Measurement {
+        series: format!("NJ-P{threads}"),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output: count,
+    }
+}
+
 /// TA side of Fig. 5: the overlap join executed twice.
 #[must_use]
 pub fn run_ta_wuo(w: &Workload) -> Measurement {
@@ -294,6 +312,19 @@ mod tests {
             let njj = run_nj_left_outer(&w);
             let taj = run_ta_left_outer(&w);
             assert_eq!(njj.output, taj.output, "{dataset:?} left outer join");
+        }
+    }
+
+    #[test]
+    fn parallel_wuo_counts_match_the_serial_series() {
+        for dataset in [Dataset::WebkitLike, Dataset::MeteoLike] {
+            let w = dataset.generate(300, 7);
+            let serial = run_nj_wuo(&w);
+            for threads in [1, 2, 4] {
+                let parallel = run_nj_wuo_parallel(&w, threads);
+                assert_eq!(parallel.output, serial.output, "{dataset:?} P={threads}");
+                assert_eq!(parallel.series, format!("NJ-P{threads}"));
+            }
         }
     }
 

@@ -244,7 +244,7 @@ pub fn assemble_join_result(
 
 /// Which input relation plays the role of the window's positive relation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Side {
+pub(crate) enum Side {
     /// Windows of `r` with respect to `s`.
     Left,
     /// Windows of `s` with respect to `r` (right/full outer joins only).
@@ -252,7 +252,7 @@ enum Side {
 }
 
 /// The fact schema of the join result.
-fn output_schema(r: &TpRelation, s: &TpRelation, kind: TpJoinKind) -> Schema {
+pub(crate) fn output_schema(r: &TpRelation, s: &TpRelation, kind: TpJoinKind) -> Schema {
     match kind {
         TpJoinKind::Anti => r.schema().clone(),
         _ => r.schema().concat(s.schema(), &format!("{}_", s.name())),
@@ -261,7 +261,7 @@ fn output_schema(r: &TpRelation, s: &TpRelation, kind: TpJoinKind) -> Schema {
 
 /// Forms the output tuple of a window (or `None` when the window class does
 /// not participate in the operator, per Table II).
-fn form_output_tuple(
+pub(crate) fn form_output_tuple(
     w: &Window,
     pos: &TpRelation,
     neg: &TpRelation,

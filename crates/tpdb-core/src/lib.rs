@@ -31,6 +31,13 @@
 //! [`lawan`], [`overlapping_windows`]) remain available for callers that
 //! need whole window sets.
 //!
+//! On multi-core hosts the pipeline also executes as **parallel partitioned
+//! shards**: [`tp_join_parallel`] hash-partitions both inputs by join key,
+//! runs the identical pipeline per shard on scoped worker threads, and
+//! merges the shard outputs back into the serial emission order — the
+//! result is byte-identical to serial execution (see the
+//! [`parallel`](crate::tp_join_parallel) module functions).
+//!
 //! ## Example — the query of Fig. 1
 //!
 //! ```
@@ -66,6 +73,7 @@ mod join;
 mod lawan;
 mod lawau;
 mod overlap;
+mod parallel;
 mod pipeline;
 mod setops;
 mod theta;
@@ -84,6 +92,10 @@ pub use lawau::lawau;
 pub use overlap::{
     auto_plan, overlapping_windows, overlapping_windows_with_plan, OverlapJoinPlan,
     OverlapWindowStream,
+};
+pub use parallel::{
+    default_parallelism, parallel_degree, parallel_wuo_count, tp_join_parallel,
+    tp_join_parallel_with_engine_and_plan, tp_join_parallel_with_plan, MAX_PARALLELISM,
 };
 pub use pipeline::{LawanStream, LawauStream, WindowStream};
 pub use setops::{tp_difference, tp_intersection, tp_union};

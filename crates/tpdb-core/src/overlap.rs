@@ -41,9 +41,32 @@ use crate::window::Window;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use tpdb_storage::{StorageError, TpRelation, TpTuple, Value};
-use tpdb_temporal::SortedIntervalIndex;
+use tpdb_temporal::{SortedIntervalIndex, SortedIntervalIndexBuilder};
 
 /// Which physical plan the overlap join uses.
+///
+/// The keyed plans (sweep, hash) require a pure equi-join θ and are
+/// shardable — they are what the parallel partitioned driver
+/// ([`crate::tp_join_parallel`]) distributes across workers. Forcing a keyed
+/// plan on a non-equi θ is a loud error, never a silent downgrade:
+///
+/// ```
+/// use tpdb_core::{overlapping_windows_with_plan, OverlapJoinPlan, ThetaCondition};
+///
+/// let (a, b) = tpdb_datagen::booking_example();
+/// let equi = ThetaCondition::column_equals("Loc", "Loc")
+///     .bind(a.schema(), b.schema())
+///     .unwrap();
+/// let non_equi = ThetaCondition::always().bind(a.schema(), b.schema()).unwrap();
+///
+/// assert!(OverlapJoinPlan::Sweep.is_shardable());
+/// assert!(!OverlapJoinPlan::NestedLoop.is_shardable());
+///
+/// // the sweep runs on the equi-join ...
+/// assert!(overlapping_windows_with_plan(&a, &b, &equi, OverlapJoinPlan::Sweep).is_ok());
+/// // ... and refuses the non-equi θ instead of silently degrading
+/// assert!(overlapping_windows_with_plan(&a, &b, &non_equi, OverlapJoinPlan::Sweep).is_err());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OverlapJoinPlan {
     /// Hash-partition `s` on the equi-join key, scan the whole partition per
@@ -74,6 +97,17 @@ impl OverlapJoinPlan {
     #[must_use]
     pub fn requires_equi_join(&self) -> bool {
         !matches!(self, OverlapJoinPlan::NestedLoop)
+    }
+
+    /// Can the plan execute as partitioned shards? The key-partitioned plans
+    /// (hash, sweep) shard on the equi-join key: every key's build partition
+    /// and all of its probes land in the same shard, so shards are fully
+    /// independent. The nested loop compares every pair and cannot shard —
+    /// the parallel driver falls back to serial execution for it (and
+    /// `EXPLAIN` says so).
+    #[must_use]
+    pub fn is_shardable(&self) -> bool {
+        self.requires_equi_join()
     }
 
     /// The error returned when this plan is forced on a θ it cannot execute.
@@ -142,8 +176,25 @@ pub fn overlapping_windows_with_plan(
     Ok(out)
 }
 
+/// Visits the build-side tuples of the overlap join: either the subset
+/// named by `members` (in the given order) or all of `s`.
+fn for_each_member<F: FnMut(usize, &TpTuple)>(s: &TpRelation, members: Option<&[usize]>, mut f: F) {
+    match members {
+        Some(list) => {
+            for &si in list {
+                f(si, s.tuple(si));
+            }
+        }
+        None => {
+            for (si, st) in s.iter().enumerate() {
+                f(si, st);
+            }
+        }
+    }
+}
+
 /// The build-side structure of the overlap join, probed once per `r` tuple.
-enum ProbeIndex {
+pub(crate) enum ProbeIndex {
     /// Per-key partitions sorted by interval start.
     Sweep(HashMap<Vec<Value>, SortedIntervalIndex>),
     /// Per-key partitions in `s` index order.
@@ -158,28 +209,38 @@ impl ProbeIndex {
         bound: &BoundTheta,
         plan: OverlapJoinPlan,
     ) -> Result<Self, StorageError> {
+        Self::build_subset(s, bound, plan, None)
+    }
+
+    /// Builds the index over a subset of `s` (`members`, in ascending `s`
+    /// index order; `None` = all of `s`). The partitioned driver hands each
+    /// shard worker the `s` indices of its join keys, so every worker builds
+    /// — and owns — exactly the key partitions its probes will touch.
+    pub(crate) fn build_subset(
+        s: &TpRelation,
+        bound: &BoundTheta,
+        plan: OverlapJoinPlan,
+        members: Option<&[usize]>,
+    ) -> Result<Self, StorageError> {
         if plan.requires_equi_join() && !bound.is_equi_join() {
             return Err(plan.not_applicable());
         }
         Ok(match plan {
             OverlapJoinPlan::Sweep => {
-                let mut raw: HashMap<Vec<Value>, Vec<_>> = HashMap::new();
-                for (si, st) in s.iter().enumerate() {
-                    raw.entry(bound.right_key(st))
+                let mut builders: HashMap<Vec<Value>, SortedIntervalIndexBuilder> = HashMap::new();
+                for_each_member(s, members, |si, st| {
+                    builders
+                        .entry(bound.right_key(st))
                         .or_default()
-                        .push((st.interval(), si));
-                }
-                ProbeIndex::Sweep(
-                    raw.into_iter()
-                        .map(|(k, items)| (k, SortedIntervalIndex::new(items)))
-                        .collect(),
-                )
+                        .push(st.interval(), si);
+                });
+                ProbeIndex::Sweep(builders.into_iter().map(|(k, b)| (k, b.finish())).collect())
             }
             OverlapJoinPlan::Hash => {
                 let mut partitions: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                for (si, st) in s.iter().enumerate() {
+                for_each_member(s, members, |si, st| {
                     partitions.entry(bound.right_key(st)).or_default().push(si);
-                }
+                });
                 ProbeIndex::Hash(partitions)
             }
             OverlapJoinPlan::NestedLoop => ProbeIndex::NestedLoop,
@@ -284,7 +345,15 @@ pub struct OverlapWindowStream<'a> {
     s: &'a TpRelation,
     bound: BoundTheta,
     index: ProbeIndex,
-    ri: usize,
+    /// Probe cursor: the next position in `probes` (shard execution) or the
+    /// next `r` index (whole-relation execution).
+    pos: usize,
+    /// The `r` indices this stream probes, in ascending order (`None` = all
+    /// of `r`). Shard workers of the partitioned driver receive the probe
+    /// indices of their join keys here; emitted windows carry the *global*
+    /// `r_idx`, so the downstream adaptors and the merge step never need to
+    /// translate indices.
+    probes: Option<&'a [usize]>,
     ready: VecDeque<Window>,
     scratch: Vec<Window>,
 }
@@ -320,10 +389,48 @@ impl<'a> OverlapWindowStream<'a> {
             s,
             bound,
             index,
-            ri: 0,
+            pos: 0,
+            probes: None,
             ready: VecDeque::new(),
             scratch: Vec::new(),
         })
+    }
+
+    /// Creates a shard-local stream: the index is built over the `s` subset
+    /// `s_members` and only the `r` indices in `probes` are probed (both in
+    /// ascending index order). Used by the partitioned parallel driver; the
+    /// plan must be shardable ([`OverlapJoinPlan::is_shardable`]).
+    pub(crate) fn with_subset(
+        r: &'a TpRelation,
+        s: &'a TpRelation,
+        bound: BoundTheta,
+        plan: OverlapJoinPlan,
+        probes: &'a [usize],
+        s_members: &[usize],
+    ) -> Result<Self, StorageError> {
+        debug_assert!(plan.is_shardable(), "subset streams require a keyed plan");
+        let index = ProbeIndex::build_subset(s, &bound, plan, Some(s_members))?;
+        Ok(Self {
+            r,
+            s,
+            bound,
+            index,
+            pos: 0,
+            probes: Some(probes),
+            ready: VecDeque::new(),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The next `r` index to probe, advancing the cursor.
+    fn next_probe(&mut self) -> Option<usize> {
+        let ri = match &self.probes {
+            Some(list) => *list.get(self.pos)?,
+            None if self.pos < self.r.len() => self.pos,
+            None => return None,
+        };
+        self.pos += 1;
+        Some(ri)
     }
 }
 
@@ -331,16 +438,11 @@ impl Iterator for OverlapWindowStream<'_> {
     type Item = Window;
 
     fn next(&mut self) -> Option<Window> {
-        while self.ready.is_empty() && self.ri < self.r.len() {
-            self.index.probe_into(
-                self.ri,
-                self.r.tuple(self.ri),
-                self.s,
-                &self.bound,
-                &mut self.scratch,
-            );
+        while self.ready.is_empty() {
+            let Some(ri) = self.next_probe() else { break };
+            self.index
+                .probe_into(ri, self.r.tuple(ri), self.s, &self.bound, &mut self.scratch);
             self.ready.extend(self.scratch.drain(..));
-            self.ri += 1;
         }
         self.ready.pop_front()
     }

@@ -1,0 +1,549 @@
+//! Parallel partitioned execution of the TP join pipeline.
+//!
+//! The streaming NJ pipeline (overlap join → LAWAU → LAWAN → output
+//! formation) treats every `r` tuple's window group independently, and the
+//! keyed overlap-join plans (sweep, hash) confine each probe to the build
+//! partition of its equi-join key. Together these make the whole pipeline
+//! *partitionable*: hash-partition both inputs by join key into `P` shards,
+//! run the full pipeline per shard on scoped worker threads, and merge the
+//! shard outputs back into the serial emission order.
+//!
+//! ## Determinism
+//!
+//! Parallel execution is **byte-identical** to serial execution:
+//!
+//! * Every join key is assigned to exactly one shard, so each `r` tuple's
+//!   complete window group — and therefore each output tuple — is produced
+//!   by exactly one worker, by the same code the serial pipeline runs.
+//! * Workers tag output tuples with the global index of the originating
+//!   positive tuple. The serial pipeline emits output grouped by that index
+//!   in ascending order, so a stable merge on it reconstructs the serial
+//!   order exactly.
+//! * Probabilities are computed per worker by a cloned
+//!   [`ProbabilityEngine`]; the engine is a pure, deterministic function of
+//!   the registered marginals, so the floating-point results are identical
+//!   bit-for-bit regardless of which thread computes them.
+//!
+//! ## Fallback
+//!
+//! The nested-loop plan compares every pair of tuples and cannot shard by
+//! key. Requesting `parallelism > 1` for a join that resolves to a
+//! nested-loop plan (a non-equi θ) is not an error: the join runs serially
+//! and [`parallel_degree`] — which the query layer's `EXPLAIN` uses —
+//! reports degree 1.
+
+use crate::join::{form_output_tuple, output_schema, Side};
+use crate::overlap::{auto_plan, OverlapJoinPlan, OverlapWindowStream};
+use crate::pipeline::{LawanStream, LawauStream};
+use crate::theta::{BoundTheta, ThetaCondition};
+use crate::TpJoinKind;
+use std::collections::HashMap;
+use tpdb_lineage::ProbabilityEngine;
+use tpdb_storage::{StorageError, TpRelation, TpTuple, Value};
+
+/// The default degree of parallelism: the number of hardware threads the
+/// host exposes (1 when it cannot be determined).
+#[must_use]
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Upper bound on the degree of parallelism. A requested degree is clamped
+/// here instead of being handed verbatim to the OS: one worker maps to one
+/// `std::thread`, and an absurd request (`PARALLEL 500000`) must degrade to
+/// a bounded worker pool, not abort the query when thread creation fails.
+pub const MAX_PARALLELISM: usize = 256;
+
+/// The degree of parallelism a join will actually execute with: the
+/// requested degree (clamped to `1..=`[`MAX_PARALLELISM`]) for shardable
+/// (keyed) plans, 1 for the nested loop. `EXPLAIN` reports this value, so
+/// what the plan output claims is what the executor does. The driver may
+/// still run *fewer* workers when the data has fewer distinct join keys
+/// than the degree — the surplus shards would be empty.
+#[must_use]
+pub fn parallel_degree(plan: OverlapJoinPlan, requested: usize) -> usize {
+    if plan.is_shardable() {
+        requested.clamp(1, MAX_PARALLELISM)
+    } else {
+        1
+    }
+}
+
+/// One shard of the partitioned join: the member indices of both inputs, in
+/// ascending index order.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Indices into the positive relation `r` (the probe side).
+    r_members: Vec<usize>,
+    /// Indices into the negative relation `s` (the build side).
+    s_members: Vec<usize>,
+}
+
+impl Shard {
+    /// The load-balancing weight: tuples routed here from both sides.
+    fn load(&self) -> usize {
+        self.r_members.len() + self.s_members.len()
+    }
+}
+
+/// Assigns every distinct join key to a shard and routes both inputs.
+///
+/// Keys are assigned greedily, heaviest first (load = number of `r` plus `s`
+/// tuples of the key), to the least-loaded shard — plain hashing would be
+/// hostage to key skew: the meteo workload has only 40 distinct keys, and an
+/// unlucky `hash(key) % P` can leave a shard nearly empty. The assignment is
+/// deterministic (ties broken by key value and shard id), though determinism
+/// of the *output* never depends on it: the merge is ordered by tuple index.
+///
+/// Returns at most `min(degree, distinct keys)` shards — surplus shards
+/// would be empty, and every shard costs a worker thread.
+fn partition(r: &TpRelation, s: &TpRelation, bound: &BoundTheta, degree: usize) -> Vec<Shard> {
+    debug_assert!(degree >= 1);
+    // One pass per input: group member indices by join key (each key is
+    // materialized once).
+    let mut by_key: HashMap<Vec<Value>, Shard> = HashMap::new();
+    for (ri, rt) in r.iter().enumerate() {
+        by_key
+            .entry(bound.left_key(rt))
+            .or_default()
+            .r_members
+            .push(ri);
+    }
+    for (si, st) in s.iter().enumerate() {
+        by_key
+            .entry(bound.right_key(st))
+            .or_default()
+            .s_members
+            .push(si);
+    }
+
+    // Heaviest key first; ties broken by the key value for determinism.
+    let mut keyed: Vec<(Vec<Value>, Shard)> = by_key.into_iter().collect();
+    keyed.sort_unstable_by(|a, b| {
+        a.1.load()
+            .cmp(&b.1.load())
+            .reverse()
+            .then_with(|| a.0.cmp(&b.0))
+    });
+
+    let shard_count = degree.min(keyed.len()).max(1);
+    let mut shards: Vec<Shard> = (0..shard_count).map(|_| Shard::default()).collect();
+    let mut loads = vec![0usize; shard_count];
+    for (_, members) in keyed {
+        let lightest = (0..shard_count)
+            .min_by_key(|&w| loads[w])
+            .expect("shard_count >= 1");
+        loads[lightest] += members.load();
+        shards[lightest].r_members.extend(members.r_members);
+        shards[lightest].s_members.extend(members.s_members);
+    }
+    // Keys arrived heaviest-first: restore ascending index order per shard
+    // (cheap usize sorts), so each worker probes — and therefore emits — in
+    // global index order.
+    for shard in &mut shards {
+        shard.r_members.sort_unstable();
+        shard.s_members.sort_unstable();
+    }
+    shards
+}
+
+/// Runs `work` once per shard on `std::thread::scope` workers and returns
+/// the results in shard order. A worker panic propagates to the caller.
+fn run_shards<T, F>(shards: &[Shard], work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Shard) -> T + Sync,
+{
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|shard| scope.spawn(|| work(shard)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+/// Output tuples tagged with the global index of the positive tuple that
+/// produced them (the merge key).
+type TaggedTuples = Vec<(usize, TpTuple)>;
+
+/// Merges per-shard `(positive index, tuple)` streams back into the serial
+/// emission order. Each shard's vector is already ascending in the index and
+/// the index sets are disjoint across shards, so a stable sort on the index
+/// reproduces the serial order exactly (within one index, all tuples come
+/// from a single shard in their emission order).
+fn merge_in_index_order(parts: Vec<TaggedTuples>, out: &mut TpRelation) {
+    let mut all: Vec<(usize, TpTuple)> = parts.into_iter().flatten().collect();
+    all.sort_by_key(|(idx, _)| *idx);
+    for (_, tuple) in all {
+        out.push_unchecked(tuple);
+    }
+}
+
+/// [`crate::tp_join`] executed with partitioned parallelism. Base-tuple
+/// probabilities are derived from the two inputs; see
+/// [`tp_join_parallel_with_engine_and_plan`] for the full-control variant.
+///
+/// `parallelism` is the requested worker count; `1` (or a nested-loop plan)
+/// means serial execution. The result is byte-identical to the serial join.
+///
+/// ```
+/// use tpdb_core::{tp_join, tp_join_parallel, ThetaCondition, TpJoinKind};
+///
+/// let (a, b) = tpdb_datagen::booking_example();
+/// let theta = ThetaCondition::column_equals("Loc", "Loc");
+/// let serial = tp_join(&a, &b, &theta, TpJoinKind::LeftOuter).unwrap();
+/// let parallel = tp_join_parallel(&a, &b, &theta, TpJoinKind::LeftOuter, 4).unwrap();
+/// assert_eq!(parallel, serial);
+/// ```
+pub fn tp_join_parallel(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+    kind: TpJoinKind,
+    parallelism: usize,
+) -> Result<TpRelation, StorageError> {
+    tp_join_parallel_with_plan(r, s, theta, kind, None, parallelism)
+}
+
+/// [`tp_join_parallel`] with an explicitly chosen overlap-join plan (`None`
+/// lets the engine pick: sweep for equi-joins, nested loop otherwise).
+///
+/// # Errors
+///
+/// Returns [`StorageError::PlanNotApplicable`] when a hash or sweep plan is
+/// forced but θ is not a pure equi-join — the same contract as the serial
+/// [`crate::tp_join_with_plan`].
+pub fn tp_join_parallel_with_plan(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+    kind: TpJoinKind,
+    plan: Option<OverlapJoinPlan>,
+    parallelism: usize,
+) -> Result<TpRelation, StorageError> {
+    let mut engine = ProbabilityEngine::new();
+    r.register_probabilities(&mut engine);
+    s.register_probabilities(&mut engine);
+    tp_join_parallel_with_engine_and_plan(r, s, theta, kind, plan, parallelism, &engine)
+}
+
+/// The partitioned parallel TP join with an explicit probability engine
+/// (cloned into every worker) and an optional forced overlap-join plan.
+///
+/// Falls back to the serial pipeline when the effective degree is 1: the
+/// requested `parallelism` is 1, or the (resolved) plan is a nested loop,
+/// which cannot shard by key.
+pub fn tp_join_parallel_with_engine_and_plan(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+    kind: TpJoinKind,
+    plan: Option<OverlapJoinPlan>,
+    parallelism: usize,
+    engine: &ProbabilityEngine,
+) -> Result<TpRelation, StorageError> {
+    let bound = theta.bind(r.schema(), s.schema())?;
+    let plan = plan.unwrap_or_else(|| auto_plan(&bound));
+    let degree = parallel_degree(plan, parallelism);
+    // Serial fallback for everything that cannot (or should not) shard: a
+    // requested degree of 1, a non-shardable plan, or a keyed plan forced on
+    // a non-equi θ — for the latter the serial path returns the same
+    // `PlanNotApplicable` error the serial join contract promises.
+    if degree <= 1 || !bound.is_equi_join() {
+        let mut engine = engine.clone();
+        return crate::join::tp_join_with_engine_and_plan(
+            r,
+            s,
+            theta,
+            kind,
+            Some(plan),
+            &mut engine,
+        );
+    }
+
+    let schema = output_schema(r, s, kind);
+    let name = format!("{}{}{}", r.name(), kind.symbol(), s.name());
+    let mut out = TpRelation::new(&name, schema);
+
+    let needs_right_side = matches!(kind, TpJoinKind::RightOuter | TpJoinKind::FullOuter);
+    let flipped = theta.flipped();
+    let flipped_bound = if needs_right_side {
+        Some(flipped.bind(s.schema(), r.schema())?)
+    } else {
+        None
+    };
+
+    let shards = partition(r, s, &bound, degree);
+    // Each worker runs the identical streaming pipeline the serial join
+    // runs, restricted to its shard's key partitions, and tags every output
+    // tuple with the global index of its positive tuple for the merge.
+    let results: Vec<(TaggedTuples, TaggedTuples)> = run_shards(&shards, |shard| {
+        let mut engine = engine.clone();
+
+        // Windows of r with respect to s (all operators).
+        let mut left = Vec::new();
+        let wo = OverlapWindowStream::with_subset(
+            r,
+            s,
+            bound.clone(),
+            plan,
+            &shard.r_members,
+            &shard.s_members,
+        )
+        .expect("plan validated before sharding");
+        {
+            let mut push = |w: crate::Window| {
+                let r_idx = w.r_idx;
+                if let Some(t) = form_output_tuple(&w, r, s, kind, Side::Left, &mut engine) {
+                    left.push((r_idx, t));
+                }
+            };
+            match kind {
+                TpJoinKind::Inner | TpJoinKind::RightOuter => wo.for_each(&mut push),
+                TpJoinKind::Anti | TpJoinKind::LeftOuter | TpJoinKind::FullOuter => {
+                    LawanStream::new(LawauStream::new(wo, r)).for_each(&mut push);
+                }
+            }
+        }
+
+        // Windows of s with respect to r (right-hand null-extension);
+        // overlapping windows are skipped as duplicates of side one.
+        let mut right = Vec::new();
+        if let Some(fb) = &flipped_bound {
+            let wo = OverlapWindowStream::with_subset(
+                s,
+                r,
+                fb.clone(),
+                plan,
+                &shard.s_members,
+                &shard.r_members,
+            )
+            .expect("plan validated before sharding");
+            for w in LawanStream::new(LawauStream::new(wo, s)) {
+                if w.is_overlapping() {
+                    continue;
+                }
+                let s_idx = w.r_idx;
+                if let Some(t) = form_output_tuple(&w, s, r, kind, Side::Right, &mut engine) {
+                    right.push((s_idx, t));
+                }
+            }
+        }
+        (left, right)
+    });
+
+    let (lefts, rights): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    merge_in_index_order(lefts, &mut out);
+    merge_in_index_order(rights, &mut out);
+    Ok(out)
+}
+
+/// Counts the `WUO` windows (overlap join → LAWAU) of an equi-join with
+/// partitioned parallelism — the parallel counterpart of the Fig. 5
+/// measurement kernel, consuming windows exactly as the join operator does.
+/// Falls back to the serial stream when the resolved plan cannot shard or
+/// `parallelism` is 1.
+pub fn parallel_wuo_count(
+    r: &TpRelation,
+    s: &TpRelation,
+    theta: &ThetaCondition,
+    parallelism: usize,
+) -> Result<usize, StorageError> {
+    let bound = theta.bind(r.schema(), s.schema())?;
+    let plan = auto_plan(&bound);
+    let degree = parallel_degree(plan, parallelism);
+    if degree <= 1 {
+        let wo = OverlapWindowStream::with_plan(r, s, bound, plan)?;
+        return Ok(LawauStream::new(wo, r).count());
+    }
+    let shards = partition(r, s, &bound, degree);
+    let counts = run_shards(&shards, |shard| {
+        let wo = OverlapWindowStream::with_subset(
+            r,
+            s,
+            bound.clone(),
+            plan,
+            &shard.r_members,
+            &shard.s_members,
+        )
+        .expect("auto plan is applicable");
+        LawauStream::new(wo, r).count()
+    });
+    Ok(counts.into_iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::booking_relations;
+    use crate::theta::CompareOp;
+    use crate::tp_join_with_plan;
+
+    const KINDS: [TpJoinKind; 5] = [
+        TpJoinKind::Inner,
+        TpJoinKind::Anti,
+        TpJoinKind::LeftOuter,
+        TpJoinKind::RightOuter,
+        TpJoinKind::FullOuter,
+    ];
+
+    fn theta() -> ThetaCondition {
+        ThetaCondition::column_equals("Loc", "Loc")
+    }
+
+    #[test]
+    fn parallel_equals_serial_for_every_kind_and_degree() {
+        let (a, b, _) = booking_relations();
+        for kind in KINDS {
+            let serial = crate::tp_join(&a, &b, &theta(), kind).unwrap();
+            for degree in [1, 2, 3, 8] {
+                let parallel = tp_join_parallel(&a, &b, &theta(), kind, degree).unwrap();
+                assert_eq!(parallel, serial, "kind = {kind:?}, degree = {degree}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_forced_plans() {
+        let (a, b, _) = booking_relations();
+        for plan in [OverlapJoinPlan::Sweep, OverlapJoinPlan::Hash] {
+            let serial =
+                tp_join_with_plan(&a, &b, &theta(), TpJoinKind::FullOuter, Some(plan)).unwrap();
+            let parallel =
+                tp_join_parallel_with_plan(&a, &b, &theta(), TpJoinKind::FullOuter, Some(plan), 4)
+                    .unwrap();
+            assert_eq!(parallel, serial, "plan = {plan}");
+        }
+    }
+
+    #[test]
+    fn non_equi_theta_falls_back_to_serial() {
+        // θ = true resolves to the nested-loop plan, which cannot shard:
+        // the join must run (serially) instead of panicking.
+        let (a, b, _) = booking_relations();
+        let always = ThetaCondition::always();
+        let serial = crate::tp_join(&a, &b, &always, TpJoinKind::LeftOuter).unwrap();
+        let parallel = tp_join_parallel(&a, &b, &always, TpJoinKind::LeftOuter, 4).unwrap();
+        assert_eq!(parallel, serial);
+        assert_eq!(parallel_degree(OverlapJoinPlan::NestedLoop, 4), 1);
+    }
+
+    #[test]
+    fn forced_keyed_plan_on_non_equi_theta_is_still_an_error() {
+        let (a, b, _) = booking_relations();
+        let non_equi = ThetaCondition::always().and_compare("Loc", CompareOp::Lt, "Loc");
+        let err = tp_join_parallel_with_plan(
+            &a,
+            &b,
+            &non_equi,
+            TpJoinKind::Inner,
+            Some(OverlapJoinPlan::Sweep),
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::PlanNotApplicable { .. }));
+    }
+
+    #[test]
+    fn degree_exceeding_key_count_trims_to_the_keys() {
+        let (a, b, _) = booking_relations();
+        // Only three distinct Loc values exist; the driver runs (at most)
+        // three workers instead of spawning 13 idle ones.
+        let bound = theta().bind(a.schema(), b.schema()).unwrap();
+        assert_eq!(partition(&a, &b, &bound, 16).len(), 3);
+        let serial = crate::tp_join(&a, &b, &theta(), TpJoinKind::FullOuter).unwrap();
+        let parallel = tp_join_parallel(&a, &b, &theta(), TpJoinKind::FullOuter, 16).unwrap();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn absurd_degrees_are_clamped_not_crashed() {
+        let (a, b, _) = booking_relations();
+        assert_eq!(
+            parallel_degree(OverlapJoinPlan::Sweep, 500_000),
+            MAX_PARALLELISM
+        );
+        // Executes with a bounded worker pool instead of asking the OS for
+        // half a million threads.
+        let serial = crate::tp_join(&a, &b, &theta(), TpJoinKind::LeftOuter).unwrap();
+        let parallel = tp_join_parallel(&a, &b, &theta(), TpJoinKind::LeftOuter, 500_000).unwrap();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (a, b, _) = booking_relations();
+        let empty_a = TpRelation::new("a", a.schema().clone());
+        let empty_b = TpRelation::new("b", b.schema().clone());
+        assert_eq!(
+            tp_join_parallel(&empty_a, &b, &theta(), TpJoinKind::LeftOuter, 4)
+                .unwrap()
+                .len(),
+            0
+        );
+        let left_only = tp_join_parallel(&a, &empty_b, &theta(), TpJoinKind::LeftOuter, 4).unwrap();
+        assert_eq!(
+            left_only,
+            crate::tp_join(&a, &empty_b, &theta(), TpJoinKind::LeftOuter).unwrap()
+        );
+        assert_eq!(
+            tp_join_parallel(&empty_a, &empty_b, &theta(), TpJoinKind::FullOuter, 4)
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn parallel_wuo_count_matches_serial_stream() {
+        let (a, b, _) = booking_relations();
+        let serial = {
+            let wo = OverlapWindowStream::new(&a, &b, &theta()).unwrap();
+            LawauStream::new(wo, &a).count()
+        };
+        for degree in [1, 2, 4, 7] {
+            assert_eq!(
+                parallel_wuo_count(&a, &b, &theta(), degree).unwrap(),
+                serial,
+                "degree = {degree}"
+            );
+        }
+        // Non-equi θ falls back to the serial nested-loop stream.
+        let always = ThetaCondition::always();
+        let serial_nl = {
+            let wo = OverlapWindowStream::new(&a, &b, &always).unwrap();
+            LawauStream::new(wo, &a).count()
+        };
+        assert_eq!(parallel_wuo_count(&a, &b, &always, 4).unwrap(), serial_nl);
+    }
+
+    #[test]
+    fn partitioning_is_balanced_and_complete() {
+        let (a, b, _) = booking_relations();
+        let bound = theta().bind(a.schema(), b.schema()).unwrap();
+        let shards = partition(&a, &b, &bound, 2);
+        let r_total: usize = shards.iter().map(|p| p.r_members.len()).sum();
+        let s_total: usize = shards.iter().map(|p| p.s_members.len()).sum();
+        assert_eq!(r_total, a.len());
+        assert_eq!(s_total, b.len());
+        // members are ascending within each shard
+        for shard in &shards {
+            assert!(shard.r_members.windows(2).all(|w| w[0] < w[1]));
+            assert!(shard.s_members.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn default_parallelism_is_positive() {
+        assert!(default_parallelism() >= 1);
+        assert_eq!(parallel_degree(OverlapJoinPlan::Sweep, 0), 1);
+        assert_eq!(parallel_degree(OverlapJoinPlan::Sweep, 6), 6);
+        assert_eq!(parallel_degree(OverlapJoinPlan::Hash, 3), 3);
+    }
+}

@@ -24,6 +24,21 @@
 //! The positive relation is held through any [`Borrow`]`<TpRelation>`, so
 //! the adaptors work with plain references inside a join operator and with
 //! `Arc<TpRelation>` in long-lived cursors alike.
+//!
+//! ```
+//! use tpdb_core::{LawanStream, LawauStream, OverlapWindowStream, ThetaCondition};
+//!
+//! let (a, b) = tpdb_datagen::booking_example();
+//! let theta = ThetaCondition::column_equals("Loc", "Loc");
+//!
+//! // The full streaming pipeline: overlap join → LAWAU → LAWAN. For the
+//! // paper's running example it produces the seven windows behind the
+//! // seven answer tuples of Fig. 1b.
+//! let overlap = OverlapWindowStream::new(&a, &b, &theta).unwrap();
+//! let windows: Vec<_> = LawanStream::new(LawauStream::new(overlap, &a)).collect();
+//! assert_eq!(windows.len(), 7);
+//! assert_eq!(windows.iter().filter(|w| w.is_negating()).count(), 3);
+//! ```
 
 use crate::lawan;
 use crate::lawau;

@@ -1,27 +1,57 @@
 //! The query engine façade.
 
-use crate::exec::execute_plan;
+use crate::exec::execute_plan_with;
 use crate::parser::parse_query;
 use crate::plan::LogicalPlan;
-use crate::planner::explain;
+use crate::planner::{explain_with, QueryOptions};
 use crate::QueryError;
 use tpdb_storage::{Catalog, TpRelation};
 
 /// A TP database instance: a catalog of relations plus the query front-end.
 ///
-/// The engine parses the textual query language of [`crate::parser`], plans
-/// the query against its catalog and executes it through the Volcano
+/// The engine parses the textual query language of [`crate::parse_query`],
+/// plans the query against its catalog and executes it through the Volcano
 /// operator tree.
+///
+/// ## Parallelism
+///
+/// TP joins execute with partitioned parallelism by default (one worker per
+/// available core). The degree can be set per engine
+/// ([`set_parallelism`](Self::set_parallelism)), per plan
+/// ([`LogicalPlan::with_parallelism`]) or per query (the `PARALLEL n`
+/// suffix of the query language); `1` selects the serial pipeline.
+///
+/// ```
+/// use tpdb_query::QueryEngine;
+/// use tpdb_storage::Catalog;
+///
+/// let mut catalog = Catalog::new();
+/// let (a, b) = tpdb_datagen::booking_example();
+/// catalog.register(a).unwrap();
+/// catalog.register(b).unwrap();
+/// let mut engine = QueryEngine::new(catalog);
+/// engine.set_parallelism(2);
+///
+/// let result = engine
+///     .query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+///     .unwrap();
+/// assert_eq!(result.len(), 7); // identical to serial execution
+/// ```
 #[derive(Debug, Default)]
 pub struct QueryEngine {
     catalog: Catalog,
+    options: QueryOptions,
 }
 
 impl QueryEngine {
-    /// Creates an engine over an existing catalog.
+    /// Creates an engine over an existing catalog with default options
+    /// (parallelism = all available cores).
     #[must_use]
     pub fn new(catalog: Catalog) -> Self {
-        Self { catalog }
+        Self {
+            catalog,
+            options: QueryOptions::default(),
+        }
     }
 
     /// The underlying catalog.
@@ -35,6 +65,20 @@ impl QueryEngine {
         &mut self.catalog
     }
 
+    /// The default degree of parallelism for TP joins run by this engine.
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.options.parallelism
+    }
+
+    /// Sets the default degree of parallelism for TP joins (`1` = serial;
+    /// clamped to at least 1). Plans that pin a degree via
+    /// [`LogicalPlan::with_parallelism`] or the `PARALLEL n` query suffix
+    /// override this default.
+    pub fn set_parallelism(&mut self, degree: usize) {
+        self.options.parallelism = degree.max(1);
+    }
+
     /// Parses, plans and executes a textual query.
     pub fn query(&self, text: &str) -> Result<TpRelation, QueryError> {
         let plan = parse_query(text)?;
@@ -43,14 +87,14 @@ impl QueryEngine {
 
     /// Executes an already-built logical plan.
     pub fn run(&self, plan: &LogicalPlan) -> Result<TpRelation, QueryError> {
-        execute_plan(&self.catalog, plan)
+        execute_plan_with(&self.catalog, plan, &self.options)
     }
 
     /// Returns the `EXPLAIN` output (logical + physical plan) of a textual
     /// query without executing it.
     pub fn explain(&self, text: &str) -> Result<String, QueryError> {
         let plan = parse_query(text)?;
-        explain(&self.catalog, &plan)
+        explain_with(&self.catalog, &plan, &self.options)
     }
 }
 
@@ -107,6 +151,33 @@ mod tests {
             .unwrap();
         assert!(text.contains("strategy=TA"));
         assert!(text.contains("Scan a"));
+    }
+
+    #[test]
+    fn parallelism_knob_is_clamped_and_reported() {
+        let mut e = engine();
+        e.set_parallelism(3);
+        assert_eq!(e.parallelism(), 3);
+        e.set_parallelism(0);
+        assert_eq!(e.parallelism(), 1, "degree 0 clamps to serial");
+        let text = e
+            .explain("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+            .unwrap();
+        assert!(text.contains("parallel=1"), "{text}");
+    }
+
+    #[test]
+    fn per_query_parallel_overrides_engine_default() {
+        let mut e = engine();
+        e.set_parallelism(1);
+        let text = e
+            .explain("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc PARALLEL 4")
+            .unwrap();
+        assert!(text.contains("parallel=4"), "{text}");
+        let result = e
+            .query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc PARALLEL 4")
+            .unwrap();
+        assert_eq!(result.len(), 7);
     }
 
     #[test]

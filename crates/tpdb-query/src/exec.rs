@@ -11,7 +11,6 @@
 
 use crate::expr::BoundPredicate;
 use crate::plan::{JoinStrategy, LogicalPlan};
-use crate::planner::plan_query;
 use crate::QueryError;
 use std::sync::Arc;
 use tpdb_core::{OverlapJoinPlan, ThetaCondition, TpJoinKind};
@@ -171,6 +170,10 @@ pub struct TpJoinExec {
     kind: TpJoinKind,
     strategy: JoinStrategy,
     overlap_plan: Option<OverlapJoinPlan>,
+    /// Requested degree of parallelism for the NJ strategy (already resolved
+    /// against the session default by the planner). The effective degree may
+    /// be 1: nested-loop plans cannot shard.
+    parallelism: usize,
     schema: Schema,
     result: Option<std::vec::IntoIter<TpTuple>>,
 }
@@ -178,7 +181,8 @@ pub struct TpJoinExec {
 impl TpJoinExec {
     /// Creates a TP join operator. `overlap_plan` forces the NJ strategy's
     /// overlap-join plan (`None` = automatic: sweep for equi-joins, nested
-    /// loop otherwise); the TA strategy ignores it.
+    /// loop otherwise); `parallelism` is the requested worker count for the
+    /// NJ strategy (`1` = serial). The TA strategy ignores both.
     #[must_use]
     pub fn new(
         left: Box<dyn PhysicalOperator>,
@@ -187,6 +191,7 @@ impl TpJoinExec {
         kind: TpJoinKind,
         strategy: JoinStrategy,
         overlap_plan: Option<OverlapJoinPlan>,
+        parallelism: usize,
     ) -> Self {
         let schema = match kind {
             TpJoinKind::Anti => left.schema().clone(),
@@ -199,8 +204,23 @@ impl TpJoinExec {
             kind,
             strategy,
             overlap_plan,
+            parallelism: parallelism.max(1),
             schema,
             result: None,
+        }
+    }
+
+    /// The overlap-join plan that will run: the forced one, or the automatic
+    /// choice resolved against the child schemas (`None` when θ does not
+    /// bind — the error will surface at execution).
+    fn resolved_plan(&self) -> Option<OverlapJoinPlan> {
+        match self.overlap_plan {
+            Some(p) => Some(p),
+            None => self
+                .theta
+                .bind(self.left.schema(), self.right.schema())
+                .ok()
+                .map(|bound| tpdb_core::auto_plan(&bound)),
         }
     }
 
@@ -208,12 +228,13 @@ impl TpJoinExec {
         let left = self.left.collect("left");
         let right = self.right.collect("right");
         let joined = match self.strategy {
-            JoinStrategy::Nj => tpdb_core::tp_join_with_plan(
+            JoinStrategy::Nj => tpdb_core::tp_join_parallel_with_plan(
                 &left,
                 &right,
                 &self.theta,
                 self.kind,
                 self.overlap_plan,
+                self.parallelism,
             )?,
             JoinStrategy::Ta => tpdb_ta::ta_join(&left, &right, &self.theta, self.kind)?,
         };
@@ -239,21 +260,42 @@ impl PhysicalOperator for TpJoinExec {
     fn describe(&self) -> String {
         // Name the overlap-join plan that will actually run: the forced one,
         // or the automatic choice resolved against the child schemas.
+        let resolved = self.resolved_plan();
         let plan_note = match (self.strategy, self.overlap_plan) {
             (_, Some(p)) => format!(" plan={p}"),
-            (JoinStrategy::Nj, None) => {
-                match self.theta.bind(self.left.schema(), self.right.schema()) {
-                    Ok(bound) => format!(" plan=auto({})", tpdb_core::auto_plan(&bound)),
-                    Err(_) => String::new(),
-                }
-            }
+            (JoinStrategy::Nj, None) => match resolved {
+                Some(p) => format!(" plan=auto({p})"),
+                None => String::new(),
+            },
             (JoinStrategy::Ta, None) => String::new(),
         };
+        // Report the degree of parallelism that will actually be used, not
+        // merely the requested one: a nested-loop plan cannot shard, so a
+        // requested degree above 1 silently becoming serial would misreport.
+        let par_note = match self.strategy {
+            JoinStrategy::Nj => match resolved {
+                Some(plan) => {
+                    let effective = tpdb_core::parallel_degree(plan, self.parallelism);
+                    if effective == 1 && self.parallelism > 1 {
+                        format!(
+                            " parallel=1 (serial fallback: the {} plan cannot shard)",
+                            plan.label()
+                        )
+                    } else {
+                        format!(" parallel={effective}")
+                    }
+                }
+                None => String::new(),
+            },
+            // TA always runs the serial alignment baseline.
+            JoinStrategy::Ta => String::new(),
+        };
         format!(
-            "TpJoin {} [{}{}] ({}) over [{}; {}]",
+            "TpJoin {} [{}{}{}] ({}) over [{}; {}]",
             self.kind.symbol(),
             self.strategy,
             plan_note,
+            par_note,
             self.theta,
             self.left.describe(),
             self.right.describe()
@@ -261,10 +303,20 @@ impl PhysicalOperator for TpJoinExec {
     }
 }
 
-/// Plans and executes a logical plan against a catalog, returning the
-/// materialized result relation.
+/// Plans and executes a logical plan against a catalog with the default
+/// [`QueryOptions`](crate::QueryOptions), returning the materialized result
+/// relation.
 pub fn execute_plan(catalog: &Catalog, plan: &LogicalPlan) -> Result<TpRelation, QueryError> {
-    let mut root = plan_query(catalog, plan)?;
+    execute_plan_with(catalog, plan, &crate::QueryOptions::default())
+}
+
+/// [`execute_plan`] with explicit execution options.
+pub fn execute_plan_with(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    options: &crate::QueryOptions,
+) -> Result<TpRelation, QueryError> {
+    let mut root = crate::planner::plan_query_with(catalog, plan, options)?;
     Ok(root.collect("result"))
 }
 
@@ -272,6 +324,7 @@ pub fn execute_plan(catalog: &Catalog, plan: &LogicalPlan) -> Result<TpRelation,
 mod tests {
     use super::*;
     use crate::expr::{LiteralPredicate, PredicateOp};
+    use crate::planner::plan_query;
     use tpdb_storage::Value;
 
     fn catalog() -> Catalog {
@@ -362,6 +415,61 @@ mod tests {
         let result = execute_plan(&c, &plan).unwrap();
         assert_eq!(result.schema().arity(), 2);
         assert_eq!(result.len(), 5);
+    }
+
+    #[test]
+    fn parallel_plans_return_identical_results() {
+        let c = catalog();
+        let base = LogicalPlan::scan("a").tp_join(
+            LogicalPlan::scan("b"),
+            ThetaCondition::column_equals("Loc", "Loc"),
+            TpJoinKind::FullOuter,
+            JoinStrategy::Nj,
+        );
+        let serial = execute_plan(&c, &base.clone().with_parallelism(1)).unwrap();
+        for degree in [2, 4, 7] {
+            let parallel = execute_plan(&c, &base.clone().with_parallelism(degree)).unwrap();
+            assert_eq!(parallel.tuples(), serial.tuples(), "degree = {degree}");
+        }
+    }
+
+    #[test]
+    fn describe_reports_effective_parallelism() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("a")
+            .tp_join(
+                LogicalPlan::scan("b"),
+                ThetaCondition::column_equals("Loc", "Loc"),
+                TpJoinKind::LeftOuter,
+                JoinStrategy::Nj,
+            )
+            .with_parallelism(4);
+        let op = plan_query(&c, &plan).unwrap();
+        assert!(op.describe().contains("parallel=4"), "{}", op.describe());
+    }
+
+    #[test]
+    fn parallel_on_nested_loop_falls_back_to_serial_with_a_note() {
+        // θ = true resolves to the nested-loop plan, which cannot shard:
+        // the join must run serially (not panic) and EXPLAIN must say so.
+        let c = catalog();
+        let plan = LogicalPlan::scan("a")
+            .tp_join(
+                LogicalPlan::scan("b"),
+                ThetaCondition::always(),
+                TpJoinKind::LeftOuter,
+                JoinStrategy::Nj,
+            )
+            .with_parallelism(4);
+        let op = plan_query(&c, &plan).unwrap();
+        let description = op.describe();
+        assert!(
+            description.contains("parallel=1 (serial fallback: the nested-loop plan cannot shard)"),
+            "{description}"
+        );
+        let result = execute_plan(&c, &plan).unwrap();
+        let serial = execute_plan(&c, &plan.clone().with_parallelism(1)).unwrap();
+        assert_eq!(result.tuples(), serial.tuples());
     }
 
     #[test]

@@ -38,11 +38,11 @@ mod plan;
 mod planner;
 
 pub use engine::QueryEngine;
-pub use exec::{execute_plan, PhysicalOperator};
+pub use exec::{execute_plan, execute_plan_with, PhysicalOperator};
 pub use expr::{LiteralPredicate, PredicateOp};
 pub use parser::{parse_query, ParseError};
 pub use plan::{JoinStrategy, LogicalPlan};
-pub use planner::{explain, plan_query};
+pub use planner::{explain, explain_with, plan_query, plan_query_with, QueryOptions};
 
 /// Errors surfaced by the query layer.
 #[derive(Debug)]

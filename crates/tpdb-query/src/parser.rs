@@ -3,7 +3,7 @@
 //! Grammar (one query per string, case-insensitive keywords):
 //!
 //! ```text
-//! query   := SELECT cols FROM ident [join] [where] [strategy]
+//! query   := SELECT cols FROM ident [join] [where] [strategy | parallel]*
 //! cols    := '*' | ident (',' ident)*
 //! join    := TP jkind JOIN ident ON cond (AND cond)*
 //! jkind   := INNER | LEFT [OUTER] | RIGHT [OUTER] | FULL [OUTER] | ANTI
@@ -13,9 +13,11 @@
 //! cmp     := '=' | '<>' | '<' | '<=' | '>' | '>='
 //! literal := number | 'string'
 //! strategy:= STRATEGY (NJ | TA)
+//! parallel:= PARALLEL integer
 //! ```
 //!
-//! Example: `SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY TA`.
+//! Examples: `SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY TA`,
+//! `SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc PARALLEL 4`.
 
 use crate::expr::{LiteralPredicate, PredicateOp};
 use crate::plan::{JoinStrategy, LogicalPlan};
@@ -348,17 +350,31 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
         plan = plan.filter(predicates);
     }
 
-    // optional STRATEGY
-    if p.accept_keyword("STRATEGY") {
-        let name = p.expect_ident()?;
-        let strategy = if name.eq_ignore_ascii_case("NJ") {
-            JoinStrategy::Nj
-        } else if name.eq_ignore_ascii_case("TA") {
-            JoinStrategy::Ta
+    // optional STRATEGY / PARALLEL suffixes, in any order
+    loop {
+        if p.accept_keyword("STRATEGY") {
+            let name = p.expect_ident()?;
+            let strategy = if name.eq_ignore_ascii_case("NJ") {
+                JoinStrategy::Nj
+            } else if name.eq_ignore_ascii_case("TA") {
+                JoinStrategy::Ta
+            } else {
+                return Err(ParseError::new(format!("unknown strategy {name}")));
+            };
+            plan = set_strategy(plan, strategy)?;
+        } else if p.accept_keyword("PARALLEL") {
+            let degree = match p.next() {
+                Some(Token::Number(n)) if n >= 1.0 && n.fract() == 0.0 => n as usize,
+                other => {
+                    return Err(ParseError::new(format!(
+                        "PARALLEL expects a positive integer, found {other:?}"
+                    )))
+                }
+            };
+            plan = set_parallelism(plan, degree)?;
         } else {
-            return Err(ParseError::new(format!("unknown strategy {name}")));
-        };
-        plan = set_strategy(plan, strategy)?;
+            break;
+        }
     }
 
     if let Some(cols) = projection {
@@ -383,6 +399,7 @@ fn set_strategy(plan: LogicalPlan, strategy: JoinStrategy) -> Result<LogicalPlan
             theta,
             kind,
             overlap_plan,
+            parallelism,
             ..
         } => LogicalPlan::TpJoin {
             left,
@@ -391,6 +408,7 @@ fn set_strategy(plan: LogicalPlan, strategy: JoinStrategy) -> Result<LogicalPlan
             kind,
             strategy,
             overlap_plan,
+            parallelism,
         },
         LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
             input: Box::new(set_strategy(*input, strategy)?),
@@ -402,6 +420,24 @@ fn set_strategy(plan: LogicalPlan, strategy: JoinStrategy) -> Result<LogicalPlan
         },
         LogicalPlan::Scan { .. } => {
             return Err(ParseError::new("STRATEGY requires a TP join in the query"))
+        }
+    })
+}
+
+/// Pins the degree of parallelism of the (single) TP join in the plan.
+fn set_parallelism(plan: LogicalPlan, degree: usize) -> Result<LogicalPlan, ParseError> {
+    Ok(match plan {
+        join @ LogicalPlan::TpJoin { .. } => join.with_parallelism(degree),
+        LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
+            input: Box::new(set_parallelism(*input, degree)?),
+            predicates,
+        },
+        LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+            input: Box::new(set_parallelism(*input, degree)?),
+            columns,
+        },
+        LogicalPlan::Scan { .. } => {
+            return Err(ParseError::new("PARALLEL requires a TP join in the query"))
         }
     })
 }
@@ -453,6 +489,32 @@ mod tests {
         match plan {
             LogicalPlan::TpJoin { strategy, .. } => assert_eq!(strategy, JoinStrategy::Ta),
             other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_parallel_suffix_in_either_order() {
+        for q in [
+            "SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc PARALLEL 4",
+            "SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc STRATEGY NJ PARALLEL 4",
+            "SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc PARALLEL 4 STRATEGY NJ",
+        ] {
+            match parse_query(q).unwrap() {
+                LogicalPlan::TpJoin { parallelism, .. } => {
+                    assert_eq!(parallelism, Some(4), "{q}");
+                }
+                other => panic!("expected TpJoin, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_requires_a_join_and_a_positive_integer() {
+        assert!(parse_query("SELECT * FROM a PARALLEL 4").is_err());
+        assert!(parse_query("SELECT * FROM a WHERE Loc = 'ZAK' PARALLEL 4").is_err());
+        for bad in ["PARALLEL 0", "PARALLEL 2.5", "PARALLEL x", "PARALLEL"] {
+            let q = format!("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc {bad}");
+            assert!(parse_query(&q).is_err(), "{bad}");
         }
     }
 

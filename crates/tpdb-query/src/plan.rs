@@ -65,6 +65,12 @@ pub enum LogicalPlan {
         /// forced plan that cannot execute θ fails at planning time instead
         /// of silently downgrading.
         overlap_plan: Option<OverlapJoinPlan>,
+        /// Requested degree of parallelism for the NJ strategy (`None` uses
+        /// the engine's configured default — all available cores). The
+        /// degree the executor actually uses may be lower: a plan that
+        /// cannot shard (nested loop) runs serially, and `EXPLAIN` reports
+        /// the effective degree.
+        parallelism: Option<usize>,
     },
 }
 
@@ -111,6 +117,7 @@ impl LogicalPlan {
             kind,
             strategy,
             overlap_plan: None,
+            parallelism: None,
         }
     }
 
@@ -126,6 +133,7 @@ impl LogicalPlan {
                 theta,
                 kind,
                 strategy,
+                parallelism,
                 ..
             } => LogicalPlan::TpJoin {
                 left: Box::new(left.with_overlap_plan(plan)),
@@ -134,6 +142,7 @@ impl LogicalPlan {
                 kind,
                 strategy,
                 overlap_plan: Some(plan),
+                parallelism,
             },
             LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
                 input: Box::new(input.with_overlap_plan(plan)),
@@ -141,6 +150,57 @@ impl LogicalPlan {
             },
             LogicalPlan::Project { input, columns } => LogicalPlan::Project {
                 input: Box::new(input.with_overlap_plan(plan)),
+                columns,
+            },
+            scan @ LogicalPlan::Scan { .. } => scan,
+        }
+    }
+
+    /// Requests a degree of parallelism for every TP join in this plan,
+    /// looking through filters and projections. `1` forces today's serial
+    /// pipeline; values above 1 enable partitioned parallel execution for
+    /// shardable (keyed) overlap-join plans.
+    ///
+    /// ```
+    /// use tpdb_query::{JoinStrategy, LogicalPlan};
+    /// use tpdb_core::{ThetaCondition, TpJoinKind};
+    ///
+    /// let plan = LogicalPlan::scan("a")
+    ///     .tp_join(
+    ///         LogicalPlan::scan("b"),
+    ///         ThetaCondition::column_equals("Loc", "Loc"),
+    ///         TpJoinKind::LeftOuter,
+    ///         JoinStrategy::Nj,
+    ///     )
+    ///     .with_parallelism(4);
+    /// assert!(plan.pretty().contains("parallel=4"));
+    /// ```
+    #[must_use]
+    pub fn with_parallelism(self, degree: usize) -> Self {
+        match self {
+            LogicalPlan::TpJoin {
+                left,
+                right,
+                theta,
+                kind,
+                strategy,
+                overlap_plan,
+                ..
+            } => LogicalPlan::TpJoin {
+                left: Box::new(left.with_parallelism(degree)),
+                right: Box::new(right.with_parallelism(degree)),
+                theta,
+                kind,
+                strategy,
+                overlap_plan,
+                parallelism: Some(degree.max(1)),
+            },
+            LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
+                input: Box::new(input.with_parallelism(degree)),
+                predicates,
+            },
+            LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+                input: Box::new(input.with_parallelism(degree)),
                 columns,
             },
             scan @ LogicalPlan::Scan { .. } => scan,
@@ -171,13 +231,18 @@ impl LogicalPlan {
                     kind,
                     strategy,
                     overlap_plan,
+                    parallelism,
                 } => {
                     let plan_note = match overlap_plan {
                         Some(p) => format!(" plan={p}"),
                         None => String::new(),
                     };
+                    let par_note = match parallelism {
+                        Some(p) => format!(" parallel={p}"),
+                        None => String::new(),
+                    };
                     out.push_str(&format!(
-                        "{pad}TpJoin {} ({theta}) strategy={strategy}{plan_note}\n",
+                        "{pad}TpJoin {} ({theta}) strategy={strategy}{plan_note}{par_note}\n",
                         kind.symbol()
                     ));
                     go(left, indent + 1, out);
@@ -224,6 +289,30 @@ mod tests {
     fn default_strategy_is_nj() {
         assert_eq!(JoinStrategy::default(), JoinStrategy::Nj);
         assert_eq!(JoinStrategy::Ta.to_string(), "TA");
+    }
+
+    #[test]
+    fn with_parallelism_reaches_joins_and_clamps_to_one() {
+        let plan = LogicalPlan::scan("a")
+            .tp_join(
+                LogicalPlan::scan("b"),
+                ThetaCondition::column_equals("Loc", "Loc"),
+                TpJoinKind::LeftOuter,
+                JoinStrategy::Nj,
+            )
+            .filter(vec![])
+            .project(vec!["Name".to_owned()])
+            .with_parallelism(4);
+        assert!(plan.pretty().contains("parallel=4"), "{}", plan.pretty());
+        let clamped = LogicalPlan::scan("a")
+            .tp_join(
+                LogicalPlan::scan("b"),
+                ThetaCondition::column_equals("Loc", "Loc"),
+                TpJoinKind::LeftOuter,
+                JoinStrategy::Nj,
+            )
+            .with_parallelism(0);
+        assert!(clamped.pretty().contains("parallel=1"));
     }
 
     #[test]

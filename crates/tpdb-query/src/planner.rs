@@ -5,11 +5,48 @@ use crate::plan::LogicalPlan;
 use crate::QueryError;
 use tpdb_storage::Catalog;
 
-/// Lowers a logical plan to a tree of physical operators, resolving relation
-/// names and column references against the catalog.
+/// Session-level execution options the planner resolves logical plans
+/// against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOptions {
+    /// Default degree of parallelism for TP joins that do not pin one via
+    /// [`LogicalPlan::with_parallelism`]. Defaults to all available cores;
+    /// `1` selects the serial pipeline everywhere.
+    pub parallelism: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self {
+            parallelism: tpdb_core::default_parallelism(),
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Options forcing fully serial execution (used by tests and the
+    /// baseline series of the scaling experiments).
+    #[must_use]
+    pub fn serial() -> Self {
+        Self { parallelism: 1 }
+    }
+}
+
+/// Lowers a logical plan to a tree of physical operators with the default
+/// [`QueryOptions`], resolving relation names and column references against
+/// the catalog.
 pub fn plan_query(
     catalog: &Catalog,
     plan: &LogicalPlan,
+) -> Result<Box<dyn PhysicalOperator>, QueryError> {
+    plan_query_with(catalog, plan, &QueryOptions::default())
+}
+
+/// [`plan_query`] with explicit execution options.
+pub fn plan_query_with(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    options: &QueryOptions,
 ) -> Result<Box<dyn PhysicalOperator>, QueryError> {
     match plan {
         LogicalPlan::Scan { relation } => {
@@ -17,7 +54,7 @@ pub fn plan_query(
             Ok(Box::new(ScanExec::new(rel)))
         }
         LogicalPlan::Filter { input, predicates } => {
-            let child = plan_query(catalog, input)?;
+            let child = plan_query_with(catalog, input, options)?;
             let bound = predicates
                 .iter()
                 .map(|p| p.bind(child.schema()))
@@ -25,7 +62,7 @@ pub fn plan_query(
             Ok(Box::new(FilterExec::new(child, bound)))
         }
         LogicalPlan::Project { input, columns } => {
-            let child = plan_query(catalog, input)?;
+            let child = plan_query_with(catalog, input, options)?;
             let indices = columns
                 .iter()
                 .map(|c| child.schema().require(c))
@@ -39,9 +76,10 @@ pub fn plan_query(
             kind,
             strategy,
             overlap_plan,
+            parallelism,
         } => {
-            let left = plan_query(catalog, left)?;
-            let right = plan_query(catalog, right)?;
+            let left = plan_query_with(catalog, left, options)?;
+            let right = plan_query_with(catalog, right, options)?;
             // Validate θ against the child schemas at plan time so that
             // errors surface before execution.
             let bound = theta.bind(left.schema(), right.schema())?;
@@ -57,6 +95,7 @@ pub fn plan_query(
                     ));
                 }
             }
+            let requested = parallelism.unwrap_or(options.parallelism).max(1);
             Ok(Box::new(TpJoinExec::new(
                 left,
                 right,
@@ -64,18 +103,28 @@ pub fn plan_query(
                 *kind,
                 *strategy,
                 *overlap_plan,
+                requested,
             )))
         }
     }
 }
 
 /// Returns the physical plan description for a logical plan — the moral
-/// equivalent of `EXPLAIN`.
+/// equivalent of `EXPLAIN` — with the default [`QueryOptions`].
 pub fn explain(catalog: &Catalog, plan: &LogicalPlan) -> Result<String, QueryError> {
+    explain_with(catalog, plan, &QueryOptions::default())
+}
+
+/// [`explain`] with explicit execution options.
+pub fn explain_with(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    options: &QueryOptions,
+) -> Result<String, QueryError> {
     Ok(format!(
         "Logical plan:\n{}\nPhysical plan:\n  {}\n",
         plan.pretty(),
-        plan_query(catalog, plan)?.describe()
+        plan_query_with(catalog, plan, options)?.describe()
     ))
 }
 
@@ -146,6 +195,34 @@ mod tests {
         assert!(op.describe().contains("plan=sweep"), "{}", op.describe());
         let result = crate::exec::execute_plan(&c, &plan).unwrap();
         assert_eq!(result.len(), 7);
+    }
+
+    #[test]
+    fn options_supply_the_default_parallelism() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("a").tp_join(
+            LogicalPlan::scan("b"),
+            ThetaCondition::column_equals("Loc", "Loc"),
+            TpJoinKind::LeftOuter,
+            JoinStrategy::Nj,
+        );
+        let serial = plan_query_with(&c, &plan, &QueryOptions::serial()).unwrap();
+        assert!(
+            serial.describe().contains("parallel=1"),
+            "{}",
+            serial.describe()
+        );
+        let four = plan_query_with(&c, &plan, &QueryOptions { parallelism: 4 }).unwrap();
+        assert!(
+            four.describe().contains("parallel=4"),
+            "{}",
+            four.describe()
+        );
+        // a plan-pinned degree beats the session default
+        let pinned = plan.with_parallelism(2);
+        let op = plan_query_with(&c, &pinned, &QueryOptions { parallelism: 8 }).unwrap();
+        assert!(op.describe().contains("parallel=2"), "{}", op.describe());
+        assert!(QueryOptions::default().parallelism >= 1);
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub use event::{events_of, sort_events, Boundary, Event, EventKind, EventQueue};
 pub use interval::{Interval, IntervalError};
 pub use point::{TimePoint, MAX_TIME, MIN_TIME};
 pub use set::IntervalSet;
-pub use sorted::SortedIntervalIndex;
+pub use sorted::{SortedIntervalIndex, SortedIntervalIndexBuilder};
 pub use sweep::{sweep_segments, ActiveSet, Segment};

@@ -48,6 +48,27 @@ impl SortedIntervalIndex {
         }
     }
 
+    /// Starts an incremental build of an index. This is the shard-aware
+    /// construction path of the partitioned overlap join: every worker owns
+    /// the builders of the join-key partitions assigned to its shard and
+    /// streams its build-side tuples into them, so the (sorting) build work
+    /// is distributed across workers instead of happening once up front.
+    ///
+    /// ```
+    /// use tpdb_temporal::{Interval, SortedIntervalIndex};
+    ///
+    /// let mut builder = SortedIntervalIndex::builder();
+    /// builder.push(Interval::new(5, 8), 0);
+    /// builder.push(Interval::new(1, 4), 1);
+    /// let index = builder.finish();
+    /// assert_eq!(index.items()[0], (Interval::new(1, 4), 1));
+    /// assert_eq!(index.max_duration(), 3);
+    /// ```
+    #[must_use]
+    pub fn builder() -> SortedIntervalIndexBuilder {
+        SortedIntervalIndexBuilder { items: Vec::new() }
+    }
+
     /// Number of indexed intervals.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -94,6 +115,40 @@ impl SortedIntervalIndex {
     }
 }
 
+/// Incremental construction of a [`SortedIntervalIndex`] (see
+/// [`SortedIntervalIndex::builder`]). Intervals are pushed in any order; the
+/// sort and the maximum-duration computation happen once in
+/// [`finish`](Self::finish).
+#[derive(Debug, Clone, Default)]
+pub struct SortedIntervalIndexBuilder {
+    items: Vec<(Interval, usize)>,
+}
+
+impl SortedIntervalIndexBuilder {
+    /// Adds one `(interval, payload)` pair to the index under construction.
+    pub fn push(&mut self, interval: Interval, payload: usize) {
+        self.items.push((interval, payload));
+    }
+
+    /// Number of pairs pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Has nothing been pushed yet?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Sorts the accumulated pairs and produces the finished index.
+    #[must_use]
+    pub fn finish(self) -> SortedIntervalIndex {
+        SortedIntervalIndex::new(self.items)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,6 +161,20 @@ mod tests {
                 .map(|(i, (s, e))| (Interval::new(*s, *e), i))
                 .collect(),
         )
+    }
+
+    #[test]
+    fn builder_matches_batch_construction() {
+        let ivs = [(5i64, 8i64), (1, 4), (3, 9), (7, 12)];
+        let batch = idx(&ivs);
+        let mut builder = SortedIntervalIndex::builder();
+        assert!(builder.is_empty());
+        for (i, (s, e)) in ivs.iter().enumerate() {
+            builder.push(Interval::new(*s, *e), i);
+        }
+        assert_eq!(builder.len(), 4);
+        assert_eq!(builder.finish(), batch);
+        assert!(SortedIntervalIndex::builder().finish().is_empty());
     }
 
     #[test]
