@@ -10,6 +10,7 @@
 //! cargo run --release -p tpdb-bench --bin experiments -- ablation
 //! cargo run --release -p tpdb-bench --bin experiments -- fig5 --smoke --json --check-nj-wuo
 //! cargo run --release -p tpdb-bench --bin experiments -- scaling --json --threads 1,2,4,8
+//! cargo run --release -p tpdb-bench --bin experiments -- prepared --json
 //! ```
 //!
 //! Default cardinalities are scaled down from the paper's 40K–200K so that
@@ -31,7 +32,8 @@
 
 use tpdb_bench::{
     header, measurements_to_json, run_nj_left_outer, run_nj_wn, run_nj_wuo, run_nj_wuo_parallel,
-    run_nj_wuon, run_ta_left_outer, run_ta_negating, run_ta_wuo, Dataset, Measurement,
+    run_nj_wuon, run_prepared_vs_reparse, run_ta_left_outer, run_ta_negating, run_ta_wuo, Dataset,
+    Measurement,
 };
 
 /// Input cardinalities per figure.
@@ -56,7 +58,7 @@ struct Config {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: experiments [fig5] [fig6] [fig7] [ablation] [scaling] \
+        "usage: experiments [fig5] [fig6] [fig7] [ablation] [scaling] [prepared] \
          [--full | --smoke] [--json] [--check-nj-wuo] [--threads 1,2,4]"
     );
     std::process::exit(2);
@@ -99,7 +101,7 @@ fn parse_args() -> Config {
                     usage_and_exit();
                 }
             },
-            "fig5" | "fig6" | "fig7" | "ablation" | "scaling" => figures.push(arg),
+            "fig5" | "fig6" | "fig7" | "ablation" | "scaling" | "prepared" => figures.push(arg),
             other => {
                 eprintln!("unknown argument: {other}");
                 usage_and_exit();
@@ -116,6 +118,7 @@ fn parse_args() -> Config {
             "fig6".into(),
             "fig7".into(),
             "ablation".into(),
+            "prepared".into(),
         ];
     }
     // The regression guard only evaluates Fig. 5 rows; passing it without
@@ -245,6 +248,30 @@ fn scaling(scale: Scale, threads: &[usize]) -> Vec<Measurement> {
         println!("{}   {:>7.2}x", row.row(), base_ms / row.millis);
     }
     rows
+}
+
+/// The session front-end sweep: prepared-vs-reparse latency on the meteo
+/// WUO workload (the TP anti join whose answer is the unmatched/negating
+/// window mass of Fig. 5) plus a cheap parameterized scan where the
+/// parse + validate share dominates. `runtime_ms` is the mean per
+/// execution over the iteration count.
+fn prepared(scale: Scale) -> Vec<Measurement> {
+    let (sizes, iterations): (&[usize], usize) = match scale {
+        Scale::Full => (&[40_000], 5),
+        Scale::Default => (&[5_000, 20_000], 7),
+        Scale::Smoke => (&[2_000], 3),
+    };
+    let mut all = Vec::new();
+    for &n in sizes {
+        let w = Dataset::MeteoLike.generate(n, 42);
+        let rows = run_prepared_vs_reparse(&w, iterations);
+        print_series(
+            &format!("Prepared vs. reparse (meteo, {n} tuples, mean of {iterations} executions)"),
+            &rows,
+        );
+        all.extend(rows);
+    }
+    all
 }
 
 /// Ablations not present in the paper: (A1) the overlap-join plan inside NJ
@@ -394,6 +421,7 @@ fn main() {
             "fig6" => fig6(config.scale),
             "fig7" => fig7(config.scale),
             "scaling" => scaling(config.scale, &config.threads),
+            "prepared" => prepared(config.scale),
             "ablation" => {
                 ablation();
                 continue;

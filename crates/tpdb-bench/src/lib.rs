@@ -36,6 +36,15 @@ impl Dataset {
         }
     }
 
+    /// The equi-join column of the dataset's workload.
+    #[must_use]
+    pub fn key_column(&self) -> &'static str {
+        match self {
+            Dataset::WebkitLike => "Key",
+            Dataset::MeteoLike => "Metric",
+        }
+    }
+
     /// Generates the positive/negative relation pair and the θ condition of
     /// the experiments, with `tuples` tuples per relation.
     #[must_use]
@@ -285,6 +294,101 @@ pub fn run_ta_left_outer(w: &Workload) -> Measurement {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Prepared-vs-reparse: the session front-end contract
+// ---------------------------------------------------------------------------
+
+/// Builds a [`Session`](tpdb_query::Session) over the workload's two
+/// relations.
+fn session_over(w: &Workload) -> tpdb_query::Session {
+    let mut catalog = tpdb_storage::Catalog::new();
+    catalog.register(w.r.clone()).expect("fresh catalog");
+    catalog.register(w.s.clone()).expect("fresh catalog");
+    tpdb_query::Session::new(catalog)
+}
+
+/// Measures the session front-end's *prepare once, bind many* contract on
+/// the workload's WUO query (the TP anti join — the operator whose answer
+/// is exactly the unmatched/negating window mass of Fig. 5) and on a cheap
+/// parameterized scan where the parse + validate cost is a visible
+/// fraction of the per-execution time.
+///
+/// Four series, `iterations` executions each:
+///
+/// * `join-reparse` / `scan-reparse` — every execution re-parses the text,
+///   re-binds the parameters and re-plans against the catalog (the old
+///   one-shot `QueryEngine` contract, cache disabled).
+/// * `join-prepared` / `scan-prepared` — prepared once through
+///   [`tpdb_query::Session::prepare`], then bound and executed
+///   `iterations` times.
+///
+/// The recorded `runtime_ms` is the *mean per execution*; `output` is the
+/// result cardinality (identical across the paired series by
+/// construction).
+#[must_use]
+pub fn run_prepared_vs_reparse(w: &Workload, iterations: usize) -> Vec<Measurement> {
+    use tpdb_query::{execute_plan_with, parse_query, QueryOptions};
+    use tpdb_storage::Value;
+    assert!(iterations >= 1);
+    let key = w.dataset.key_column();
+    let (rname, sname) = (w.r.name(), w.s.name());
+    let join_q =
+        format!("SELECT * FROM {rname} TP ANTI JOIN {sname} ON {rname}.{key} = {sname}.{key}");
+    let scan_q = format!("SELECT * FROM {rname} WHERE {key} >= $1");
+    let scan_params = [Value::Int(0)];
+
+    let session = session_over(w);
+    let options = QueryOptions::default();
+    let mut rows = Vec::new();
+    let mut record = |series: &str, millis: f64, output: usize| {
+        rows.push(Measurement {
+            series: series.to_owned(),
+            dataset: w.dataset.label().to_owned(),
+            tuples: w.r.len(),
+            millis,
+            output,
+        });
+    };
+
+    // Re-parse + re-plan per execution (the pre-session contract).
+    let reparse = |text: &str, params: &[Value]| {
+        let (millis, output) = time(|| {
+            let mut output = 0;
+            for _ in 0..iterations {
+                let plan = parse_query(text).expect("query parses");
+                let bound = plan.bind_parameters(params).expect("parameters bind");
+                output = execute_plan_with(session.catalog(), &bound, &options)
+                    .expect("query runs")
+                    .len();
+            }
+            output
+        });
+        (millis / iterations as f64, output)
+    };
+    // Prepare once, bind and execute many times.
+    let prepared = |text: &str, params: &[Value]| {
+        let stmt = session.prepare(text).expect("query prepares");
+        let (millis, output) = time(|| {
+            let mut output = 0;
+            for _ in 0..iterations {
+                output = stmt.execute(params).expect("query runs").len();
+            }
+            output
+        });
+        (millis / iterations as f64, output)
+    };
+
+    let (millis, output) = reparse(&join_q, &[]);
+    record("join-reparse", millis, output);
+    let (millis, output) = prepared(&join_q, &[]);
+    record("join-prepared", millis, output);
+    let (millis, output) = reparse(&scan_q, &scan_params);
+    record("scan-reparse", millis, output);
+    let (millis, output) = prepared(&scan_q, &scan_params);
+    record("scan-prepared", millis, output);
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +430,28 @@ mod tests {
                 assert_eq!(parallel.series, format!("NJ-P{threads}"));
             }
         }
+    }
+
+    #[test]
+    fn prepared_and_reparse_series_agree_on_outputs() {
+        let w = Dataset::MeteoLike.generate(300, 7);
+        let rows = run_prepared_vs_reparse(&w, 2);
+        assert_eq!(rows.len(), 4);
+        let by_series = |name: &str| {
+            rows.iter()
+                .find(|m| m.series == name)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+        };
+        assert_eq!(
+            by_series("join-reparse").output,
+            by_series("join-prepared").output
+        );
+        assert_eq!(
+            by_series("scan-reparse").output,
+            by_series("scan-prepared").output
+        );
+        // the scan returns every r tuple (Metric >= 0 always holds)
+        assert_eq!(by_series("scan-prepared").output, w.r.len());
     }
 
     #[test]

@@ -23,8 +23,7 @@
 //! group in place, and output tuples are formed as the windows come out —
 //! no intermediate window vector is ever materialized.
 
-use crate::overlap::{auto_plan, OverlapJoinPlan, OverlapWindowStream};
-use crate::pipeline::{LawanStream, LawauStream};
+use crate::overlap::OverlapJoinPlan;
 use crate::theta::ThetaCondition;
 use crate::window::{Window, WindowKind};
 use tpdb_lineage::{Lineage, ProbabilityEngine};
@@ -152,6 +151,9 @@ pub fn tp_join_with_engine(
 
 /// The fully streaming NJ join: overlap join → LAWAU → LAWAN → output
 /// formation, with output tuples formed as windows leave the pipeline.
+///
+/// This is the drain-everything entry point over [`crate::TpJoinStream`];
+/// build the stream directly to consume output tuples lazily instead.
 pub fn tp_join_with_engine_and_plan(
     r: &TpRelation,
     s: &TpRelation,
@@ -160,50 +162,10 @@ pub fn tp_join_with_engine_and_plan(
     plan: Option<OverlapJoinPlan>,
     engine: &mut ProbabilityEngine,
 ) -> Result<TpRelation, StorageError> {
-    let schema = output_schema(r, s, kind);
-    let name = format!("{}{}{}", r.name(), kind.symbol(), s.name());
-    let mut out = TpRelation::new(&name, schema);
-
-    // Windows of r with respect to s, streamed one r-tuple group at a time.
-    // The inner and right outer joins only need the overlapping windows; the
-    // operators with left null-extension pipe the stream through the LAWAU
-    // and LAWAN adaptors.
-    {
-        let bound = theta.bind(r.schema(), s.schema())?;
-        let plan = plan.unwrap_or_else(|| auto_plan(&bound));
-        let wo = OverlapWindowStream::with_plan(r, s, bound, plan)?;
-        let mut push = |w: Window| {
-            if let Some(t) = form_output_tuple(&w, r, s, kind, Side::Left, engine) {
-                out.push_unchecked(t);
-            }
-        };
-        match kind {
-            TpJoinKind::Inner | TpJoinKind::RightOuter => wo.for_each(&mut push),
-            TpJoinKind::Anti | TpJoinKind::LeftOuter | TpJoinKind::FullOuter => {
-                LawanStream::new(LawauStream::new(wo, r)).for_each(&mut push);
-            }
-        }
-    }
-
-    // Windows of s with respect to r (right-hand null-extension for right
-    // and full outer joins); their overlapping windows are skipped because
-    // `WO(r;s,θ) = WO(s;r,θ)` was already produced above.
-    if matches!(kind, TpJoinKind::RightOuter | TpJoinKind::FullOuter) {
-        let flipped = theta.flipped();
-        let bound = flipped.bind(s.schema(), r.schema())?;
-        let plan = plan.unwrap_or_else(|| auto_plan(&bound));
-        let wo = OverlapWindowStream::with_plan(s, r, bound, plan)?;
-        for w in LawanStream::new(LawauStream::new(wo, s)) {
-            if w.is_overlapping() {
-                continue;
-            }
-            if let Some(t) = form_output_tuple(&w, s, r, kind, Side::Right, engine) {
-                out.push_unchecked(t);
-            }
-        }
-    }
-
-    Ok(out)
+    Ok(
+        crate::TpJoinStream::with_engine_and_plan(r, s, theta, kind, plan, engine)?
+            .collect_relation(),
+    )
 }
 
 /// Forms the output relation of a TP join from already-computed window sets.

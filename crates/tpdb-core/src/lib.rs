@@ -76,6 +76,7 @@ mod overlap;
 mod parallel;
 mod pipeline;
 mod setops;
+mod stream;
 mod theta;
 mod window;
 
@@ -99,5 +100,6 @@ pub use parallel::{
 };
 pub use pipeline::{LawanStream, LawauStream, WindowStream};
 pub use setops::{tp_difference, tp_intersection, tp_union};
+pub use stream::TpJoinStream;
 pub use theta::{BoundTheta, CompareOp, ThetaCondition};
 pub use window::{Window, WindowKind};

@@ -38,6 +38,7 @@
 
 use crate::theta::{BoundTheta, ThetaCondition};
 use crate::window::Window;
+use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use tpdb_storage::{StorageError, TpRelation, TpTuple, Value};
@@ -340,9 +341,19 @@ impl ProbeIndex {
 /// [`LawauStream`](crate::pipeline::LawauStream) and
 /// [`LawanStream`](crate::pipeline::LawanStream) pipelines the entire window
 /// computation without materializing any window vector.
-pub struct OverlapWindowStream<'a> {
-    r: &'a TpRelation,
-    s: &'a TpRelation,
+///
+/// The two relations are held through any [`Borrow`]`<TpRelation>`: plain
+/// references inside a join operator, `Arc<TpRelation>` in long-lived
+/// cursors ([`crate::TpJoinStream`]) that must own their inputs. The
+/// shard-probe list `P` is likewise generic (`AsRef<[usize]>`), so the
+/// parallel driver lends each worker its shard's member indices without
+/// copying them.
+pub struct OverlapWindowStream<R: Borrow<TpRelation>, S: Borrow<TpRelation>, P = Vec<usize>>
+where
+    P: AsRef<[usize]>,
+{
+    r: R,
+    s: S,
     bound: BoundTheta,
     index: ProbeIndex,
     /// Probe cursor: the next position in `probes` (shard execution) or the
@@ -353,20 +364,16 @@ pub struct OverlapWindowStream<'a> {
     /// indices of their join keys here; emitted windows carry the *global*
     /// `r_idx`, so the downstream adaptors and the merge step never need to
     /// translate indices.
-    probes: Option<&'a [usize]>,
+    probes: Option<P>,
     ready: VecDeque<Window>,
     scratch: Vec<Window>,
 }
 
-impl<'a> OverlapWindowStream<'a> {
+impl<R: Borrow<TpRelation>, S: Borrow<TpRelation>> OverlapWindowStream<R, S> {
     /// Creates the stream with the automatically chosen plan
     /// ([`auto_plan`]).
-    pub fn new(
-        r: &'a TpRelation,
-        s: &'a TpRelation,
-        theta: &ThetaCondition,
-    ) -> Result<Self, StorageError> {
-        let bound = theta.bind(r.schema(), s.schema())?;
+    pub fn new(r: R, s: S, theta: &ThetaCondition) -> Result<Self, StorageError> {
+        let bound = theta.bind(r.borrow().schema(), s.borrow().schema())?;
         let plan = auto_plan(&bound);
         Self::with_plan(r, s, bound, plan)
     }
@@ -378,12 +385,12 @@ impl<'a> OverlapWindowStream<'a> {
     /// Returns [`StorageError::PlanNotApplicable`] when a hash or sweep plan
     /// is forced but θ is not a pure equi-join.
     pub fn with_plan(
-        r: &'a TpRelation,
-        s: &'a TpRelation,
+        r: R,
+        s: S,
         bound: BoundTheta,
         plan: OverlapJoinPlan,
     ) -> Result<Self, StorageError> {
-        let index = ProbeIndex::build(s, &bound, plan)?;
+        let index = ProbeIndex::build(s.borrow(), &bound, plan)?;
         Ok(Self {
             r,
             s,
@@ -395,21 +402,28 @@ impl<'a> OverlapWindowStream<'a> {
             scratch: Vec::new(),
         })
     }
+}
 
+impl<R, S, P> OverlapWindowStream<R, S, P>
+where
+    R: Borrow<TpRelation>,
+    S: Borrow<TpRelation>,
+    P: AsRef<[usize]>,
+{
     /// Creates a shard-local stream: the index is built over the `s` subset
     /// `s_members` and only the `r` indices in `probes` are probed (both in
     /// ascending index order). Used by the partitioned parallel driver; the
     /// plan must be shardable ([`OverlapJoinPlan::is_shardable`]).
     pub(crate) fn with_subset(
-        r: &'a TpRelation,
-        s: &'a TpRelation,
+        r: R,
+        s: S,
         bound: BoundTheta,
         plan: OverlapJoinPlan,
-        probes: &'a [usize],
+        probes: P,
         s_members: &[usize],
     ) -> Result<Self, StorageError> {
         debug_assert!(plan.is_shardable(), "subset streams require a keyed plan");
-        let index = ProbeIndex::build_subset(s, &bound, plan, Some(s_members))?;
+        let index = ProbeIndex::build_subset(s.borrow(), &bound, plan, Some(s_members))?;
         Ok(Self {
             r,
             s,
@@ -425,8 +439,8 @@ impl<'a> OverlapWindowStream<'a> {
     /// The next `r` index to probe, advancing the cursor.
     fn next_probe(&mut self) -> Option<usize> {
         let ri = match &self.probes {
-            Some(list) => *list.get(self.pos)?,
-            None if self.pos < self.r.len() => self.pos,
+            Some(list) => *list.as_ref().get(self.pos)?,
+            None if self.pos < self.r.borrow().len() => self.pos,
             None => return None,
         };
         self.pos += 1;
@@ -434,14 +448,25 @@ impl<'a> OverlapWindowStream<'a> {
     }
 }
 
-impl Iterator for OverlapWindowStream<'_> {
+impl<R, S, P> Iterator for OverlapWindowStream<R, S, P>
+where
+    R: Borrow<TpRelation>,
+    S: Borrow<TpRelation>,
+    P: AsRef<[usize]>,
+{
     type Item = Window;
 
     fn next(&mut self) -> Option<Window> {
         while self.ready.is_empty() {
             let Some(ri) = self.next_probe() else { break };
-            self.index
-                .probe_into(ri, self.r.tuple(ri), self.s, &self.bound, &mut self.scratch);
+            let r = self.r.borrow();
+            self.index.probe_into(
+                ri,
+                r.tuple(ri),
+                self.s.borrow(),
+                &self.bound,
+                &mut self.scratch,
+            );
             self.ready.extend(self.scratch.drain(..));
         }
         self.ready.pop_front()

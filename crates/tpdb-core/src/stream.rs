@@ -1,0 +1,422 @@
+//! The TP join as a lazy tuple stream.
+//!
+//! [`TpJoinStream`] drives the full streaming window pipeline
+//! (`OverlapWindowStream → LawauStream → LawanStream → output formation`)
+//! one **output tuple** at a time, instead of collecting the join into a
+//! [`TpRelation`]. It is the engine behind the query layer's result
+//! cursors: the first output tuple is available after probing a single
+//! positive tuple's window group — the full output is never materialized
+//! unless the caller drains the stream.
+//!
+//! The input relations are held through any [`Borrow`]`<TpRelation>`, so
+//! the stream works with plain references inside a one-shot join (this is
+//! how [`crate::tp_join`] itself is implemented) and with
+//! `Arc<TpRelation>` in long-lived cursors that must own their inputs.
+//!
+//! Like a conventional hash join, the stream builds its probe index (and,
+//! for right and full outer joins, the index of the flipped second pass)
+//! eagerly at construction; everything downstream of the build side is
+//! lazy.
+//!
+//! ```
+//! use tpdb_core::{ThetaCondition, TpJoinKind, TpJoinStream};
+//!
+//! let (a, b) = tpdb_datagen::booking_example();
+//! let theta = ThetaCondition::column_equals("Loc", "Loc");
+//!
+//! let mut stream = TpJoinStream::new(&a, &b, &theta, TpJoinKind::LeftOuter).unwrap();
+//! let first = stream.next().unwrap();
+//! // Exactly one window was consumed to form the first answer tuple.
+//! assert_eq!(stream.windows_consumed(), 1);
+//! assert!((0.0..=1.0).contains(&first.probability()));
+//!
+//! // Draining the stream yields the full Fig. 1b result (7 tuples).
+//! assert_eq!(1 + stream.count(), 7);
+//! ```
+
+use crate::join::{form_output_tuple, output_schema, Side};
+use crate::overlap::{auto_plan, OverlapJoinPlan, OverlapWindowStream};
+use crate::pipeline::{LawanStream, LawauStream};
+use crate::theta::ThetaCondition;
+use crate::window::Window;
+use crate::TpJoinKind;
+use std::borrow::{Borrow, BorrowMut};
+use tpdb_lineage::ProbabilityEngine;
+use tpdb_storage::{Schema, StorageError, TpRelation, TpTuple};
+
+/// One pass of the window pipeline: either the bare overlap join (inner
+/// joins and the first pass of right outer joins need no left
+/// null-extension) or the full `WO → LAWAU → LAWAN` stack.
+// One Pipe exists per stream (two for right/full outer joins); the size
+// difference between the two variants is irrelevant at that cardinality.
+#[allow(clippy::large_enum_variant)]
+enum Pipe<P, N>
+where
+    P: Borrow<TpRelation> + Clone,
+    N: Borrow<TpRelation>,
+{
+    /// Overlapping + whole-interval unmatched windows only.
+    Wo(OverlapWindowStream<P, N>),
+    /// The full pipeline: overlap join → LAWAU → LAWAN.
+    Wuon(LawanStream<LawauStream<OverlapWindowStream<P, N>, P>>),
+}
+
+impl<P, N> Pipe<P, N>
+where
+    P: Borrow<TpRelation> + Clone,
+    N: Borrow<TpRelation>,
+{
+    /// Builds the pipe for windows of `pos` with respect to `neg`.
+    fn build(
+        pos: P,
+        neg: N,
+        theta: &ThetaCondition,
+        plan: Option<OverlapJoinPlan>,
+        full: bool,
+    ) -> Result<Self, StorageError> {
+        let bound = theta.bind(pos.borrow().schema(), neg.borrow().schema())?;
+        let plan = plan.unwrap_or_else(|| auto_plan(&bound));
+        let wo = OverlapWindowStream::with_plan(pos.clone(), neg, bound, plan)?;
+        Ok(if full {
+            Pipe::Wuon(LawanStream::new(LawauStream::new(wo, pos)))
+        } else {
+            Pipe::Wo(wo)
+        })
+    }
+}
+
+impl<P, N> Iterator for Pipe<P, N>
+where
+    P: Borrow<TpRelation> + Clone,
+    N: Borrow<TpRelation>,
+{
+    type Item = Window;
+
+    fn next(&mut self) -> Option<Window> {
+        match self {
+            Pipe::Wo(inner) => inner.next(),
+            Pipe::Wuon(inner) => inner.next(),
+        }
+    }
+}
+
+/// A TP join with negation, executed lazily: an iterator producing the
+/// output tuples of [`crate::tp_join`] one at a time, in the identical
+/// order. Collecting the stream ([`TpJoinStream::collect_relation`]) gives
+/// exactly the relation the one-shot join returns.
+///
+/// `R`/`S` hold the two input relations (`&TpRelation`, `Arc<TpRelation>`,
+/// …); `E` holds the probability engine (`ProbabilityEngine` owned, or
+/// `&mut ProbabilityEngine` borrowed from the caller).
+///
+/// Like a conventional hash join, the stream builds its probe index (and,
+/// for right and full outer joins, the index of the flipped second pass)
+/// eagerly at construction; everything downstream of the build side is
+/// lazy — [`windows_consumed`](TpJoinStream::windows_consumed) counts how
+/// much of the window pipeline an iteration has actually pulled.
+///
+/// ```
+/// use tpdb_core::{ThetaCondition, TpJoinKind, TpJoinStream};
+///
+/// let (a, b) = tpdb_datagen::booking_example();
+/// let theta = ThetaCondition::column_equals("Loc", "Loc");
+///
+/// let mut stream = TpJoinStream::new(&a, &b, &theta, TpJoinKind::LeftOuter).unwrap();
+/// let first = stream.next().unwrap();
+/// // Exactly one window was consumed to form the first answer tuple.
+/// assert_eq!(stream.windows_consumed(), 1);
+/// assert!((0.0..=1.0).contains(&first.probability()));
+///
+/// // Draining the stream yields the full Fig. 1b result (7 tuples).
+/// assert_eq!(1 + stream.count(), 7);
+/// ```
+pub struct TpJoinStream<R, S, E = ProbabilityEngine>
+where
+    R: Borrow<TpRelation> + Clone,
+    S: Borrow<TpRelation> + Clone,
+    E: BorrowMut<ProbabilityEngine>,
+{
+    r: R,
+    s: S,
+    kind: TpJoinKind,
+    engine: E,
+    schema: Schema,
+    name: String,
+    /// Windows of `r` with respect to `s` (all operators); `None` once
+    /// exhausted.
+    left: Option<Pipe<R, S>>,
+    /// Windows of `s` with respect to `r` (right/full outer joins only);
+    /// overlapping windows of this pass are skipped as duplicates.
+    right: Option<Pipe<S, R>>,
+    windows_consumed: usize,
+    produced: usize,
+}
+
+impl<R, S> TpJoinStream<R, S, ProbabilityEngine>
+where
+    R: Borrow<TpRelation> + Clone,
+    S: Borrow<TpRelation> + Clone,
+{
+    /// Creates the stream with an owned probability engine preloaded with
+    /// the base-tuple probabilities of the two inputs, and the
+    /// automatically chosen overlap-join plan.
+    pub fn new(r: R, s: S, theta: &ThetaCondition, kind: TpJoinKind) -> Result<Self, StorageError> {
+        Self::with_plan(r, s, theta, kind, None)
+    }
+
+    /// [`TpJoinStream::new`] with an explicitly chosen overlap-join plan
+    /// (`None` lets the engine pick: sweep for equi-joins, nested loop
+    /// otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::PlanNotApplicable`] when a hash or sweep
+    /// plan is forced but θ is not a pure equi-join.
+    pub fn with_plan(
+        r: R,
+        s: S,
+        theta: &ThetaCondition,
+        kind: TpJoinKind,
+        plan: Option<OverlapJoinPlan>,
+    ) -> Result<Self, StorageError> {
+        let mut engine = ProbabilityEngine::new();
+        r.borrow().register_probabilities(&mut engine);
+        s.borrow().register_probabilities(&mut engine);
+        Self::with_engine_and_plan(r, s, theta, kind, plan, engine)
+    }
+}
+
+impl<R, S, E> TpJoinStream<R, S, E>
+where
+    R: Borrow<TpRelation> + Clone,
+    S: Borrow<TpRelation> + Clone,
+    E: BorrowMut<ProbabilityEngine>,
+{
+    /// Creates the stream with an explicit probability engine (owned or
+    /// `&mut`-borrowed) and an optional forced overlap-join plan. Use this
+    /// variant when the inputs are derived relations whose compound
+    /// lineages reference base tuples not present in `r`/`s`.
+    pub fn with_engine_and_plan(
+        r: R,
+        s: S,
+        theta: &ThetaCondition,
+        kind: TpJoinKind,
+        plan: Option<OverlapJoinPlan>,
+        engine: E,
+    ) -> Result<Self, StorageError> {
+        let schema = output_schema(r.borrow(), s.borrow(), kind);
+        let name = format!(
+            "{}{}{}",
+            r.borrow().name(),
+            kind.symbol(),
+            s.borrow().name()
+        );
+        // The operators with left null-extension pipe the overlap join
+        // through the LAWAU and LAWAN adaptors; inner and right outer joins
+        // only need the overlapping windows of this pass.
+        let left_full = !matches!(kind, TpJoinKind::Inner | TpJoinKind::RightOuter);
+        let left = Pipe::build(r.clone(), s.clone(), theta, plan, left_full)?;
+        // Right-hand null-extension for right and full outer joins: the
+        // same pipeline with the roles of r and s flipped.
+        let right = if matches!(kind, TpJoinKind::RightOuter | TpJoinKind::FullOuter) {
+            Some(Pipe::build(
+                s.clone(),
+                r.clone(),
+                &theta.flipped(),
+                plan,
+                true,
+            )?)
+        } else {
+            None
+        };
+        Ok(Self {
+            r,
+            s,
+            kind,
+            engine,
+            schema,
+            name,
+            left: Some(left),
+            right,
+            windows_consumed: 0,
+            produced: 0,
+        })
+    }
+
+    /// The fact schema of the output tuples.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The name the collected result relation carries (`r⟕s`, `r▷s`, …).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How many windows have left the pipeline so far — the laziness probe:
+    /// after pulling the first output tuple of a left outer join this is
+    /// `1`, not the total window count of the join.
+    #[must_use]
+    pub fn windows_consumed(&self) -> usize {
+        self.windows_consumed
+    }
+
+    /// How many output tuples the stream has produced so far.
+    #[must_use]
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// Drains the remaining stream into a materialized relation — the exact
+    /// relation [`crate::tp_join`] returns when called on fresh inputs.
+    #[must_use]
+    pub fn collect_relation(self) -> TpRelation {
+        let name = self.name.clone();
+        let mut out = TpRelation::new(&name, self.schema.clone());
+        for t in self {
+            out.push_unchecked(t);
+        }
+        out
+    }
+}
+
+impl<R, S, E> Iterator for TpJoinStream<R, S, E>
+where
+    R: Borrow<TpRelation> + Clone,
+    S: Borrow<TpRelation> + Clone,
+    E: BorrowMut<ProbabilityEngine>,
+{
+    type Item = TpTuple;
+
+    fn next(&mut self) -> Option<TpTuple> {
+        while let Some(pipe) = &mut self.left {
+            match pipe.next() {
+                Some(w) => {
+                    self.windows_consumed += 1;
+                    if let Some(t) = form_output_tuple(
+                        &w,
+                        self.r.borrow(),
+                        self.s.borrow(),
+                        self.kind,
+                        Side::Left,
+                        self.engine.borrow_mut(),
+                    ) {
+                        self.produced += 1;
+                        return Some(t);
+                    }
+                }
+                None => self.left = None,
+            }
+        }
+        while let Some(pipe) = &mut self.right {
+            match pipe.next() {
+                Some(w) => {
+                    self.windows_consumed += 1;
+                    // WO(r;s,θ) = WO(s;r,θ) was already produced by the
+                    // first pass.
+                    if w.is_overlapping() {
+                        continue;
+                    }
+                    if let Some(t) = form_output_tuple(
+                        &w,
+                        self.s.borrow(),
+                        self.r.borrow(),
+                        self.kind,
+                        Side::Right,
+                        self.engine.borrow_mut(),
+                    ) {
+                        self.produced += 1;
+                        return Some(t);
+                    }
+                }
+                None => self.right = None,
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::booking_relations;
+    use std::sync::Arc;
+
+    const KINDS: [TpJoinKind; 5] = [
+        TpJoinKind::Inner,
+        TpJoinKind::Anti,
+        TpJoinKind::LeftOuter,
+        TpJoinKind::RightOuter,
+        TpJoinKind::FullOuter,
+    ];
+
+    fn theta() -> ThetaCondition {
+        ThetaCondition::column_equals("Loc", "Loc")
+    }
+
+    #[test]
+    fn stream_collects_to_the_one_shot_join_for_every_kind() {
+        let (a, b, _) = booking_relations();
+        for kind in KINDS {
+            let one_shot = crate::tp_join(&a, &b, &theta(), kind).unwrap();
+            let streamed = TpJoinStream::new(&a, &b, &theta(), kind)
+                .unwrap()
+                .collect_relation();
+            assert_eq!(streamed, one_shot, "kind = {kind:?}");
+        }
+    }
+
+    #[test]
+    fn stream_works_with_arc_inputs() {
+        let (a, b, _) = booking_relations();
+        let one_shot = crate::tp_join(&a, &b, &theta(), TpJoinKind::FullOuter).unwrap();
+        let (a, b) = (Arc::new(a), Arc::new(b));
+        let streamed = TpJoinStream::new(a, b, &theta(), TpJoinKind::FullOuter)
+            .unwrap()
+            .collect_relation();
+        assert_eq!(streamed, one_shot);
+    }
+
+    #[test]
+    fn first_tuple_is_produced_lazily() {
+        // A large meteo workload: the full left outer join has thousands of
+        // output tuples, but forming the first one must consume exactly one
+        // window (every window of a left outer join participates).
+        let (r, s) = tpdb_datagen::meteo_like(2_000, 7);
+        let theta = ThetaCondition::column_equals("Metric", "Metric");
+        let mut stream = TpJoinStream::new(&r, &s, &theta, TpJoinKind::LeftOuter).unwrap();
+        let first = stream.next();
+        assert!(first.is_some());
+        assert_eq!(stream.windows_consumed(), 1);
+        assert_eq!(stream.produced(), 1);
+        // Draining consumes the rest: orders of magnitude more windows.
+        let total = 1 + stream.count();
+        assert!(total > 1_000, "expected a large output, got {total}");
+    }
+
+    #[test]
+    fn forced_plan_errors_match_the_one_shot_contract() {
+        let (a, b, _) = booking_relations();
+        let non_equi = ThetaCondition::always();
+        match TpJoinStream::with_plan(
+            &a,
+            &b,
+            &non_equi,
+            TpJoinKind::Inner,
+            Some(OverlapJoinPlan::Sweep),
+        ) {
+            Err(err) => assert!(matches!(err, StorageError::PlanNotApplicable { .. })),
+            Ok(_) => panic!("forced sweep on non-equi θ must fail"),
+        }
+    }
+
+    #[test]
+    fn name_and_schema_are_available_before_iteration() {
+        let (a, b, _) = booking_relations();
+        let stream = TpJoinStream::new(&a, &b, &theta(), TpJoinKind::LeftOuter).unwrap();
+        assert_eq!(stream.name(), "a⟕b");
+        assert_eq!(stream.schema().arity(), 4);
+    }
+}

@@ -1,27 +1,23 @@
-//! The query engine façade.
+//! The legacy query-engine façade — thin deprecated shims over
+//! [`Session`].
 
-use crate::exec::execute_plan_with;
-use crate::parser::parse_query;
 use crate::plan::LogicalPlan;
-use crate::planner::{explain_with, QueryOptions};
-use crate::QueryError;
+use crate::session::Session;
+use crate::TpdbError;
 use tpdb_storage::{Catalog, TpRelation};
 
-/// A TP database instance: a catalog of relations plus the query front-end.
+/// The pre-[`Session`] entry point: a one-shot string-in/relation-out
+/// query interface.
 ///
-/// The engine parses the textual query language of [`crate::parse_query`],
-/// plans the query against its catalog and executes it through the Volcano
-/// operator tree.
-///
-/// ## Parallelism
-///
-/// TP joins execute with partitioned parallelism by default (one worker per
-/// available core). The degree can be set per engine
-/// ([`set_parallelism`](Self::set_parallelism)), per plan
-/// ([`LogicalPlan::with_parallelism`]) or per query (the `PARALLEL n`
-/// suffix of the query language); `1` selects the serial pipeline.
+/// `QueryEngine` survives as a thin wrapper over [`Session`] so existing
+/// code keeps compiling, but its entry points are **deprecated**: they
+/// re-parse nothing thanks to the session's plan cache, yet they can
+/// neither bind `$n` parameters nor stream results. New code should hold a
+/// [`Session`] and use [`Session::prepare`] / [`Session::execute`] /
+/// [`Session::query`].
 ///
 /// ```
+/// #![allow(deprecated)]
 /// use tpdb_query::QueryEngine;
 /// use tpdb_storage::Catalog;
 ///
@@ -29,18 +25,16 @@ use tpdb_storage::{Catalog, TpRelation};
 /// let (a, b) = tpdb_datagen::booking_example();
 /// catalog.register(a).unwrap();
 /// catalog.register(b).unwrap();
-/// let mut engine = QueryEngine::new(catalog);
-/// engine.set_parallelism(2);
+/// let engine = QueryEngine::new(catalog);
 ///
 /// let result = engine
 ///     .query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
 ///     .unwrap();
-/// assert_eq!(result.len(), 7); // identical to serial execution
+/// assert_eq!(result.len(), 7);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct QueryEngine {
-    catalog: Catalog,
-    options: QueryOptions,
+    session: Session,
 }
 
 impl QueryEngine {
@@ -49,56 +43,77 @@ impl QueryEngine {
     #[must_use]
     pub fn new(catalog: Catalog) -> Self {
         Self {
-            catalog,
-            options: QueryOptions::default(),
+            session: Session::new(catalog),
         }
+    }
+
+    /// The [`Session`] this engine wraps — the migration path: grab the
+    /// session and use the prepared/streaming API directly.
+    #[must_use]
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the wrapped [`Session`].
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
     }
 
     /// The underlying catalog.
     #[must_use]
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        self.session.catalog()
     }
 
     /// Mutable access to the catalog (to register or drop relations).
     pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+        self.session.catalog_mut()
     }
 
     /// The default degree of parallelism for TP joins run by this engine.
     #[must_use]
     pub fn parallelism(&self) -> usize {
-        self.options.parallelism
+        self.session.parallelism()
     }
 
     /// Sets the default degree of parallelism for TP joins (`1` = serial;
-    /// clamped to at least 1). Plans that pin a degree via
-    /// [`LogicalPlan::with_parallelism`] or the `PARALLEL n` query suffix
-    /// override this default.
+    /// clamped to at least 1).
     pub fn set_parallelism(&mut self, degree: usize) {
-        self.options.parallelism = degree.max(1);
+        self.session.set_parallelism(degree);
     }
 
     /// Parses, plans and executes a textual query.
-    pub fn query(&self, text: &str) -> Result<TpRelation, QueryError> {
-        let plan = parse_query(text)?;
-        self.run(&plan)
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Session::execute` (or `Session::prepare` + parameter binding, \
+                or `Session::query` for a streaming cursor)"
+    )]
+    pub fn query(&self, text: &str) -> Result<TpRelation, TpdbError> {
+        self.session.execute(text)
     }
 
     /// Executes an already-built logical plan.
-    pub fn run(&self, plan: &LogicalPlan) -> Result<TpRelation, QueryError> {
-        execute_plan_with(&self.catalog, plan, &self.options)
+    #[deprecated(since = "0.2.0", note = "use `Session::run`")]
+    pub fn run(&self, plan: &LogicalPlan) -> Result<TpRelation, TpdbError> {
+        self.session.run(plan)
     }
 
     /// Returns the `EXPLAIN` output (logical + physical plan) of a textual
     /// query without executing it.
-    pub fn explain(&self, text: &str) -> Result<String, QueryError> {
-        let plan = parse_query(text)?;
-        explain_with(&self.catalog, &plan, &self.options)
+    #[deprecated(since = "0.2.0", note = "use `Session::explain`")]
+    pub fn explain(&self, text: &str) -> Result<String, TpdbError> {
+        self.session.explain(text)
+    }
+}
+
+impl Default for QueryEngine {
+    fn default() -> Self {
+        Self::new(Catalog::default())
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use tpdb_storage::Value;
@@ -121,14 +136,16 @@ mod tests {
     }
 
     #[test]
-    fn end_to_end_anti_join_with_projection() {
+    fn shim_agrees_with_the_session_it_wraps() {
         let e = engine();
-        let result = e
-            .query("SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = 'Jim'")
-            .unwrap();
-        assert_eq!(result.len(), 1);
-        assert_eq!(result.tuple(0).fact(0), &Value::str("Jim"));
-        assert_eq!(result.schema().arity(), 1);
+        let q = "SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = 'Jim'";
+        let via_shim = e.query(q).unwrap();
+        let via_session = e.session().execute(q).unwrap();
+        assert_eq!(via_shim, via_session);
+        assert_eq!(via_shim.len(), 1);
+        assert_eq!(via_shim.tuple(0).fact(0), &Value::str("Jim"));
+        // the shim's queries count in the shared plan cache
+        assert!(e.session().stats().cache_hits >= 1);
     }
 
     #[test]

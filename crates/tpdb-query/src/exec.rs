@@ -2,18 +2,25 @@
 //!
 //! Every operator implements [`PhysicalOperator`] and produces its output
 //! one tuple at a time through `next()`. Scans, filters and projections are
-//! fully streaming. The TP join operators materialize their two inputs
+//! fully streaming. The TP join operator materializes its two inputs
 //! (joins need the complete negative relation to build windows — exactly as
 //! the hash/merge join of a conventional DBMS materializes its build side)
-//! and then produce output tuples lazily: the NJ strategy forms output
-//! tuples from the streaming window pipeline of `tpdb-core`, the TA strategy
-//! runs the alignment baseline.
+//! and then produces output tuples lazily: with an effective degree of
+//! parallelism of 1 the NJ strategy drives the streaming
+//! [`TpJoinStream`](tpdb_core::TpJoinStream) pipeline tuple by tuple (the
+//! path result cursors use); with a higher degree it runs the partitioned
+//! parallel driver and streams the merged result. The TA strategy runs the
+//! alignment baseline.
+//!
+//! Operators yield `Result` items: any error cuts the stream short and is
+//! reported as the single unified [`TpdbError`].
 
 use crate::expr::BoundPredicate;
 use crate::plan::{JoinStrategy, LogicalPlan};
-use crate::QueryError;
+use crate::TpdbError;
 use std::sync::Arc;
-use tpdb_core::{OverlapJoinPlan, ThetaCondition, TpJoinKind};
+use tpdb_core::{OverlapJoinPlan, ThetaCondition, TpJoinKind, TpJoinStream};
+use tpdb_lineage::ProbabilityEngine;
 use tpdb_storage::{Catalog, Schema, TpRelation, TpTuple};
 
 /// A Volcano-style physical operator.
@@ -21,19 +28,20 @@ pub trait PhysicalOperator {
     /// The fact schema of the tuples this operator produces.
     fn schema(&self) -> &Schema;
 
-    /// Produces the next output tuple, or `None` when exhausted.
-    fn next(&mut self) -> Option<TpTuple>;
+    /// Produces the next output tuple, `Some(Err(_))` when execution fails,
+    /// or `None` when exhausted.
+    fn next(&mut self) -> Option<Result<TpTuple, TpdbError>>;
 
     /// A short human-readable description (used by `EXPLAIN`).
     fn describe(&self) -> String;
 
     /// Drains the operator into a materialized relation.
-    fn collect(&mut self, name: &str) -> TpRelation {
+    fn collect(&mut self, name: &str) -> Result<TpRelation, TpdbError> {
         let mut rel = TpRelation::new(name, self.schema().clone());
         while let Some(t) = self.next() {
-            rel.push_unchecked(t);
+            rel.push_unchecked(t?);
         }
-        rel
+        Ok(rel)
     }
 }
 
@@ -59,10 +67,10 @@ impl PhysicalOperator for ScanExec {
         self.relation.schema()
     }
 
-    fn next(&mut self) -> Option<TpTuple> {
+    fn next(&mut self) -> Option<Result<TpTuple, TpdbError>> {
         let t = self.relation.tuples().get(self.cursor)?.clone();
         self.cursor += 1;
-        Some(t)
+        Some(Ok(t))
     }
 
     fn describe(&self) -> String {
@@ -93,11 +101,15 @@ impl PhysicalOperator for FilterExec {
         self.input.schema()
     }
 
-    fn next(&mut self) -> Option<TpTuple> {
+    fn next(&mut self) -> Option<Result<TpTuple, TpdbError>> {
         loop {
-            let t = self.input.next()?;
-            if self.predicates.iter().all(|p| p.matches(&t)) {
-                return Some(t);
+            match self.input.next()? {
+                Ok(t) => {
+                    if self.predicates.iter().all(|p| p.matches(&t)) {
+                        return Some(Ok(t));
+                    }
+                }
+                Err(e) => return Some(Err(e)),
             }
         }
     }
@@ -140,15 +152,18 @@ impl PhysicalOperator for ProjectExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Option<TpTuple> {
-        let t = self.input.next()?;
+    fn next(&mut self) -> Option<Result<TpTuple, TpdbError>> {
+        let t = match self.input.next()? {
+            Ok(t) => t,
+            Err(e) => return Some(Err(e)),
+        };
         let facts = self.indices.iter().map(|&i| t.fact(i).clone()).collect();
-        Some(TpTuple::new(
+        Some(Ok(TpTuple::new(
             facts,
             t.lineage().clone(),
             t.interval(),
             t.probability(),
-        ))
+        )))
     }
 
     fn describe(&self) -> String {
@@ -160,9 +175,26 @@ impl PhysicalOperator for ProjectExec {
     }
 }
 
+/// Execution state of the TP join operator.
+// One JoinState exists per join operator; the size difference between the
+// streaming and materialized variants is irrelevant at that cardinality.
+#[allow(clippy::large_enum_variant)]
+enum JoinState {
+    /// Inputs not yet materialized.
+    Pending,
+    /// Serial lazy execution: output tuples leave the streaming pipeline
+    /// one at a time (the path result cursors ride on).
+    Streaming(TpJoinStream<Arc<TpRelation>, Arc<TpRelation>, ProbabilityEngine>),
+    /// Parallel (or TA) execution: the result is materialized and streamed
+    /// from memory.
+    Materialized(std::vec::IntoIter<TpTuple>),
+    /// Exhausted, or an error was already reported.
+    Done,
+}
+
 /// TP join operator. The two inputs are materialized when the first output
-/// tuple is requested; output tuples are then streamed from the computed
-/// result.
+/// tuple is requested; output tuples are then produced lazily (serial NJ)
+/// or streamed from the computed result (parallel NJ, TA).
 pub struct TpJoinExec {
     left: Box<dyn PhysicalOperator>,
     right: Box<dyn PhysicalOperator>,
@@ -175,7 +207,7 @@ pub struct TpJoinExec {
     /// be 1: nested-loop plans cannot shard.
     parallelism: usize,
     schema: Schema,
-    result: Option<std::vec::IntoIter<TpTuple>>,
+    state: JoinState,
 }
 
 impl TpJoinExec {
@@ -206,7 +238,7 @@ impl TpJoinExec {
             overlap_plan,
             parallelism: parallelism.max(1),
             schema,
-            result: None,
+            state: JoinState::Pending,
         }
     }
 
@@ -224,23 +256,54 @@ impl TpJoinExec {
         }
     }
 
-    fn compute(&mut self) -> Result<Vec<TpTuple>, QueryError> {
-        let left = self.left.collect("left");
-        let right = self.right.collect("right");
-        let joined = match self.strategy {
-            JoinStrategy::Nj => tpdb_core::tp_join_parallel_with_plan(
-                &left,
-                &right,
-                &self.theta,
-                self.kind,
-                self.overlap_plan,
-                self.parallelism,
-            )?,
-            JoinStrategy::Ta => tpdb_ta::ta_join(&left, &right, &self.theta, self.kind)?,
-        };
-        // Adopt the join's schema (column prefixes depend on input names).
-        self.schema = joined.schema().clone();
-        Ok(joined.tuples().to_vec())
+    /// Materializes the inputs and starts the join.
+    fn start(&mut self) -> Result<JoinState, TpdbError> {
+        let left = Arc::new(self.left.collect("left")?);
+        let right = Arc::new(self.right.collect("right")?);
+        match self.strategy {
+            JoinStrategy::Nj => {
+                let effective = self
+                    .resolved_plan()
+                    .map_or(1, |p| tpdb_core::parallel_degree(p, self.parallelism));
+                if effective > 1 {
+                    let joined = tpdb_core::tp_join_parallel_with_plan(
+                        &left,
+                        &right,
+                        &self.theta,
+                        self.kind,
+                        self.overlap_plan,
+                        self.parallelism,
+                    )?;
+                    // Adopt the join's schema (column prefixes depend on
+                    // input names).
+                    self.schema = joined.schema().clone();
+                    Ok(JoinState::Materialized(
+                        joined.tuples().to_vec().into_iter(),
+                    ))
+                } else {
+                    let mut engine = ProbabilityEngine::new();
+                    left.register_probabilities(&mut engine);
+                    right.register_probabilities(&mut engine);
+                    let stream = TpJoinStream::with_engine_and_plan(
+                        left,
+                        right,
+                        &self.theta,
+                        self.kind,
+                        self.overlap_plan,
+                        engine,
+                    )?;
+                    self.schema = stream.schema().clone();
+                    Ok(JoinState::Streaming(stream))
+                }
+            }
+            JoinStrategy::Ta => {
+                let joined = tpdb_ta::ta_join(&left, &right, &self.theta, self.kind)?;
+                self.schema = joined.schema().clone();
+                Ok(JoinState::Materialized(
+                    joined.tuples().to_vec().into_iter(),
+                ))
+            }
+        }
     }
 }
 
@@ -249,12 +312,21 @@ impl PhysicalOperator for TpJoinExec {
         &self.schema
     }
 
-    fn next(&mut self) -> Option<TpTuple> {
-        if self.result.is_none() {
-            let tuples = self.compute().ok()?;
-            self.result = Some(tuples.into_iter());
+    fn next(&mut self) -> Option<Result<TpTuple, TpdbError>> {
+        if matches!(self.state, JoinState::Pending) {
+            match self.start() {
+                Ok(state) => self.state = state,
+                Err(e) => {
+                    self.state = JoinState::Done;
+                    return Some(Err(e));
+                }
+            }
         }
-        self.result.as_mut().and_then(Iterator::next)
+        match &mut self.state {
+            JoinState::Streaming(stream) => stream.next().map(Ok),
+            JoinState::Materialized(tuples) => tuples.next().map(Ok),
+            JoinState::Pending | JoinState::Done => None,
+        }
     }
 
     fn describe(&self) -> String {
@@ -306,7 +378,7 @@ impl PhysicalOperator for TpJoinExec {
 /// Plans and executes a logical plan against a catalog with the default
 /// [`QueryOptions`](crate::QueryOptions), returning the materialized result
 /// relation.
-pub fn execute_plan(catalog: &Catalog, plan: &LogicalPlan) -> Result<TpRelation, QueryError> {
+pub fn execute_plan(catalog: &Catalog, plan: &LogicalPlan) -> Result<TpRelation, TpdbError> {
     execute_plan_with(catalog, plan, &crate::QueryOptions::default())
 }
 
@@ -315,9 +387,9 @@ pub fn execute_plan_with(
     catalog: &Catalog,
     plan: &LogicalPlan,
     options: &crate::QueryOptions,
-) -> Result<TpRelation, QueryError> {
+) -> Result<TpRelation, TpdbError> {
     let mut root = crate::planner::plan_query_with(catalog, plan, options)?;
-    Ok(root.collect("result"))
+    root.collect("result")
 }
 
 #[cfg(test)]
@@ -477,6 +549,29 @@ mod tests {
         let c = catalog();
         let plan = LogicalPlan::scan("nope");
         assert!(execute_plan(&c, &plan).is_err());
+    }
+
+    #[test]
+    fn join_operator_streams_tuple_by_tuple() {
+        // Pulling from the operator directly: the serial NJ path yields
+        // tuples one at a time through the streaming pipeline.
+        let c = catalog();
+        let plan = LogicalPlan::scan("a")
+            .tp_join(
+                LogicalPlan::scan("b"),
+                ThetaCondition::column_equals("Loc", "Loc"),
+                TpJoinKind::LeftOuter,
+                JoinStrategy::Nj,
+            )
+            .with_parallelism(1);
+        let mut op = plan_query(&c, &plan).unwrap();
+        let mut n = 0;
+        while let Some(t) = op.next() {
+            assert!(t.is_ok());
+            n += 1;
+        }
+        assert_eq!(n, 7);
+        assert!(op.next().is_none(), "exhausted operators stay exhausted");
     }
 
     #[test]

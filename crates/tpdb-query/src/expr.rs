@@ -1,6 +1,8 @@
 //! Filter predicates over fact attributes.
 
-use tpdb_storage::{Schema, StorageError, TpTuple, Value};
+use crate::error::TpdbError;
+use std::fmt;
+use tpdb_storage::{Schema, TpTuple, Value};
 
 /// Comparison operator of a literal predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +22,19 @@ pub enum PredicateOp {
 }
 
 impl PredicateOp {
+    /// The operator as it appears in query text.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            PredicateOp::Eq => "=",
+            PredicateOp::Ne => "<>",
+            PredicateOp::Lt => "<",
+            PredicateOp::Le => "<=",
+            PredicateOp::Gt => ">",
+            PredicateOp::Ge => ">=",
+        }
+    }
+
     fn eval(self, l: &Value, r: &Value) -> bool {
         use std::cmp::Ordering::*;
         if l.is_null() || r.is_null() {
@@ -37,41 +52,117 @@ impl PredicateOp {
     }
 }
 
-/// A predicate comparing a fact column with a literal value
-/// (`WHERE column op literal`). Conjunctions are represented as a list of
-/// literal predicates in the logical plan.
+impl fmt::Display for PredicateOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// The right-hand side of a filter predicate: an inline literal or a `$n`
+/// placeholder bound at execution time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// An inline literal value.
+    Literal(Value),
+    /// A parameter placeholder `$n` (1-based), bound when the prepared
+    /// statement executes.
+    Param(usize),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Literal(Value::Str(s)) => write!(f, "'{s}'"),
+            Operand::Literal(v) => write!(f, "{v}"),
+            Operand::Param(i) => write!(f, "${i}"),
+        }
+    }
+}
+
+/// A predicate comparing a fact column with a literal or a parameter
+/// (`WHERE column op operand`). Conjunctions are represented as a list of
+/// these predicates in the logical plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LiteralPredicate {
     /// Column name.
     pub column: String,
     /// Comparison operator.
     pub op: PredicateOp,
-    /// Literal to compare against.
-    pub literal: Value,
+    /// Literal to compare against, or the `$n` slot supplying it.
+    pub operand: Operand,
 }
 
 impl LiteralPredicate {
-    /// Creates a predicate.
+    /// Creates a predicate comparing against an inline literal.
     #[must_use]
     pub fn new(column: &str, op: PredicateOp, literal: Value) -> Self {
         Self {
             column: column.to_owned(),
             op,
-            literal,
+            operand: Operand::Literal(literal),
         }
     }
 
-    /// Resolves the column index against a schema.
-    pub fn bind(&self, schema: &Schema) -> Result<BoundPredicate, StorageError> {
+    /// Creates a predicate comparing against the `$index` placeholder
+    /// (1-based).
+    #[must_use]
+    pub fn param(column: &str, op: PredicateOp, index: usize) -> Self {
+        Self {
+            column: column.to_owned(),
+            op,
+            operand: Operand::Param(index),
+        }
+    }
+
+    /// The 1-based placeholder index, when the operand is a parameter.
+    #[must_use]
+    pub fn parameter_index(&self) -> Option<usize> {
+        match self.operand {
+            Operand::Param(i) => Some(i),
+            Operand::Literal(_) => None,
+        }
+    }
+
+    /// Returns a copy with any `$n` placeholder replaced by `params[n-1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`TpdbError::UnboundParameter`] when the placeholder index exceeds
+    /// the supplied values.
+    pub fn with_params(&self, params: &[Value]) -> Result<LiteralPredicate, TpdbError> {
+        match &self.operand {
+            Operand::Literal(_) => Ok(self.clone()),
+            Operand::Param(i) => match params.get(i - 1) {
+                Some(v) => Ok(LiteralPredicate::new(&self.column, self.op, v.clone())),
+                None => Err(TpdbError::UnboundParameter { index: *i }),
+            },
+        }
+    }
+
+    /// Resolves the column index against a schema. The operand must be a
+    /// literal — a `$n` placeholder here means the statement was executed
+    /// without binding values ([`TpdbError::UnboundParameter`]).
+    pub fn bind(&self, schema: &Schema) -> Result<BoundPredicate, TpdbError> {
+        let literal = match &self.operand {
+            Operand::Literal(v) => v.clone(),
+            Operand::Param(i) => return Err(TpdbError::UnboundParameter { index: *i }),
+        };
         Ok(BoundPredicate {
             column: schema.require(&self.column)?,
             op: self.op,
-            literal: self.literal.clone(),
+            literal,
         })
     }
 }
 
-/// A [`LiteralPredicate`] resolved to a column position.
+impl fmt::Display for LiteralPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.column, self.op, self.operand)
+    }
+}
+
+/// A [`LiteralPredicate`] resolved to a column position and a concrete
+/// literal.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoundPredicate {
     column: usize,
@@ -132,6 +223,48 @@ mod tests {
             LiteralPredicate::new("Nope", PredicateOp::Eq, Value::Int(0))
                 .bind(&schema())
                 .is_err()
+        );
+    }
+
+    #[test]
+    fn unbound_parameter_fails_binding_with_its_index() {
+        let p = LiteralPredicate::param("Age", PredicateOp::Ge, 2);
+        assert_eq!(p.parameter_index(), Some(2));
+        match p.bind(&schema()) {
+            Err(TpdbError::UnboundParameter { index }) => assert_eq!(index, 2),
+            other => panic!("expected UnboundParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_params_substitutes_placeholders() {
+        let p = LiteralPredicate::param("Age", PredicateOp::Ge, 1);
+        let bound = p.with_params(&[Value::Int(30)]).unwrap();
+        assert_eq!(bound.operand, Operand::Literal(Value::Int(30)));
+        assert!(bound.bind(&schema()).unwrap().matches(&tup("Ann", 31)));
+        // literals pass through untouched
+        let lit = LiteralPredicate::new("Age", PredicateOp::Lt, Value::Int(5));
+        assert_eq!(lit.with_params(&[]).unwrap(), lit);
+        // missing value
+        assert!(matches!(
+            p.with_params(&[]),
+            Err(TpdbError::UnboundParameter { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn predicates_render_as_query_text() {
+        assert_eq!(
+            LiteralPredicate::new("Name", PredicateOp::Eq, Value::str("Ann")).to_string(),
+            "Name = 'Ann'"
+        );
+        assert_eq!(
+            LiteralPredicate::param("Age", PredicateOp::Ge, 3).to_string(),
+            "Age >= $3"
+        );
+        assert_eq!(
+            LiteralPredicate::new("Age", PredicateOp::Lt, Value::Int(5)).to_string(),
+            "Age < 5"
         );
     }
 

@@ -1,77 +1,80 @@
 //! # tpdb-query
 //!
-//! A pipelined (Volcano-style) query engine for TP relations: logical plans,
-//! physical operators, a rule-based planner and a small textual query
-//! language. This crate stands in for the PostgreSQL integration of the
-//! paper (parser / optimizer / executor modifications): both the NJ window
-//! approach and the Temporal Alignment baseline are exposed as join
+//! A pipelined (Volcano-style) query engine for TP relations: logical
+//! plans, physical operators, a rule-based planner and a small textual
+//! query language. This crate stands in for the PostgreSQL integration of
+//! the paper (parser / optimizer / executor modifications): both the NJ
+//! window approach and the Temporal Alignment baseline are exposed as join
 //! *strategies* that the planner can pick, and the NJ join is executed as a
 //! fully pipelined operator built on the streaming window adaptors of
 //! `tpdb-core`.
 //!
+//! The public entry point is the [`Session`], which implements the
+//! standard database front-end contract:
+//!
+//! * **prepare once** — [`Session::prepare`] parses and validates a
+//!   statement a single time, caching the plan (keyed by normalized query
+//!   text and the catalog's schema epoch);
+//! * **bind many** — the resulting [`PreparedQuery`] executes repeatedly
+//!   with different `$1..$n` parameter bindings;
+//! * **stream results** — [`Session::query`] / [`PreparedQuery::query`]
+//!   open a [`ResultCursor`] that yields tuples as they leave the
+//!   streaming window pipeline instead of materializing the result.
+//!
+//! Every API returns the unified [`TpdbError`]; parse errors carry byte
+//! spans and the offending token. The pre-session [`QueryEngine`] remains
+//! as a deprecated shim.
+//!
 //! ## Example
 //!
 //! ```
-//! use tpdb_query::QueryEngine;
-//! use tpdb_storage::Catalog;
+//! use tpdb_query::Session;
+//! use tpdb_storage::{Catalog, Value};
 //!
 //! let mut catalog = Catalog::new();
 //! let (a, b) = tpdb_datagen::booking_example();
 //! catalog.register(a).unwrap();
 //! catalog.register(b).unwrap();
 //!
-//! let engine = QueryEngine::new(catalog);
-//! let result = engine
+//! let session = Session::new(catalog);
+//!
+//! // Prepare once, bind many.
+//! let stmt = session
+//!     .prepare("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc WHERE Name = $1")
+//!     .unwrap();
+//! assert_eq!(stmt.execute(&[Value::str("Ann")]).unwrap().len(), 6);
+//!
+//! // Stream instead of materializing.
+//! let mut cursor = session
 //!     .query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
 //!     .unwrap();
-//! assert_eq!(result.len(), 7);
+//! assert!(cursor.next().unwrap().is_ok());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cursor;
 mod engine;
+mod error;
 mod exec;
 mod expr;
 mod parser;
 mod plan;
 mod planner;
+mod session;
 
+pub use cursor::ResultCursor;
+#[allow(deprecated)]
 pub use engine::QueryEngine;
+pub use error::{ParseError, Span, TpdbError};
 pub use exec::{execute_plan, execute_plan_with, PhysicalOperator};
-pub use expr::{LiteralPredicate, PredicateOp};
-pub use parser::{parse_query, ParseError};
+pub use expr::{LiteralPredicate, Operand, PredicateOp};
+pub use parser::parse_query;
 pub use plan::{JoinStrategy, LogicalPlan};
 pub use planner::{explain, explain_with, plan_query, plan_query_with, QueryOptions};
+pub use session::{PreparedQuery, Session, SessionStats};
 
-/// Errors surfaced by the query layer.
-#[derive(Debug)]
-pub enum QueryError {
-    /// The query text could not be parsed.
-    Parse(ParseError),
-    /// A catalog or schema error occurred while planning or executing.
-    Storage(tpdb_storage::StorageError),
-}
-
-impl std::fmt::Display for QueryError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            QueryError::Parse(e) => write!(f, "parse error: {e}"),
-            QueryError::Storage(e) => write!(f, "storage error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for QueryError {}
-
-impl From<ParseError> for QueryError {
-    fn from(e: ParseError) -> Self {
-        QueryError::Parse(e)
-    }
-}
-
-impl From<tpdb_storage::StorageError> for QueryError {
-    fn from(e: tpdb_storage::StorageError) -> Self {
-        QueryError::Storage(e)
-    }
-}
+/// The former name of [`TpdbError`].
+#[deprecated(since = "0.2.0", note = "renamed to `TpdbError`")]
+pub type QueryError = TpdbError;

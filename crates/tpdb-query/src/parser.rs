@@ -9,139 +9,177 @@
 //! jkind   := INNER | LEFT [OUTER] | RIGHT [OUTER] | FULL [OUTER] | ANTI
 //! cond    := ident '.' ident cmp ident '.' ident
 //! where   := WHERE pred (AND pred)*
-//! pred    := ident cmp literal
+//! pred    := ident cmp (literal | param)
 //! cmp     := '=' | '<>' | '<' | '<=' | '>' | '>='
 //! literal := number | 'string'
+//! param   := '$' integer          -- 1-based placeholder, bound at execution
 //! strategy:= STRATEGY (NJ | TA)
 //! parallel:= PARALLEL integer
 //! ```
 //!
 //! Examples: `SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY TA`,
-//! `SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc PARALLEL 4`.
+//! `SELECT Name FROM a WHERE Loc = $1` (a parameterized statement — prepare
+//! it with [`crate::Session::prepare`] and bind a value per placeholder).
+//!
+//! Parse errors ([`ParseError`]) carry the byte span of the failure and the
+//! offending token's lexeme.
 
-use crate::expr::{LiteralPredicate, PredicateOp};
+use crate::error::{ParseError, Span};
+use crate::expr::{LiteralPredicate, Operand, PredicateOp};
 use crate::plan::{JoinStrategy, LogicalPlan};
-use std::fmt;
 use tpdb_core::{CompareOp, ThetaCondition, TpJoinKind};
 use tpdb_storage::Value;
-
-/// A parse error with a human-readable message.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// What went wrong.
-    pub message: String,
-}
-
-impl ParseError {
-    fn new(message: impl Into<String>) -> Self {
-        Self {
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
 
 #[derive(Debug, Clone, PartialEq)]
 enum Token {
     Ident(String),
     Number(f64),
     Str(String),
+    /// A `$n` parameter placeholder (1-based).
+    Param(usize),
     Star,
     Comma,
     Dot,
     Cmp(String),
 }
 
-fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+impl Token {
+    /// The lexeme as it (roughly) appeared in the input, for error
+    /// messages and [`ParseError::token`].
+    fn lexeme(&self) -> String {
+        match self {
+            Token::Ident(s) => s.clone(),
+            Token::Number(n) => n.to_string(),
+            Token::Str(s) => format!("'{s}'"),
+            Token::Param(i) => format!("${i}"),
+            Token::Star => "*".to_owned(),
+            Token::Comma => ",".to_owned(),
+            Token::Dot => ".".to_owned(),
+            Token::Cmp(op) => op.clone(),
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<(Token, Span)>, ParseError> {
     let mut tokens = Vec::new();
-    let chars: Vec<char> = input.chars().collect();
+    let bytes: Vec<(usize, char)> = input.char_indices().collect();
+    let end = input.len();
+    /// Byte offset of the character at position `i`, or the input length.
+    fn offset(bytes: &[(usize, char)], i: usize, end: usize) -> usize {
+        bytes.get(i).map_or(end, |&(o, _)| o)
+    }
     let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
+    while i < bytes.len() {
+        let (start, c) = bytes[i];
         match c {
             c if c.is_whitespace() => i += 1,
-            '*' => {
-                tokens.push(Token::Star);
+            '*' | ',' | '.' | '=' => {
+                let token = match c {
+                    '*' => Token::Star,
+                    ',' => Token::Comma,
+                    '.' => Token::Dot,
+                    _ => Token::Cmp("=".into()),
+                };
                 i += 1;
-            }
-            ',' => {
-                tokens.push(Token::Comma);
-                i += 1;
-            }
-            '.' => {
-                tokens.push(Token::Dot);
-                i += 1;
-            }
-            '=' => {
-                tokens.push(Token::Cmp("=".into()));
-                i += 1;
+                tokens.push((token, Span::new(start, offset(&bytes, i, end))));
             }
             '<' | '>' => {
                 let mut op = c.to_string();
-                if i + 1 < chars.len() && (chars[i + 1] == '=' || (c == '<' && chars[i + 1] == '>'))
+                if i + 1 < bytes.len()
+                    && (bytes[i + 1].1 == '=' || (c == '<' && bytes[i + 1].1 == '>'))
                 {
-                    op.push(chars[i + 1]);
+                    op.push(bytes[i + 1].1);
                     i += 1;
                 }
-                tokens.push(Token::Cmp(op));
                 i += 1;
+                tokens.push((Token::Cmp(op), Span::new(start, offset(&bytes, i, end))));
             }
             '\'' => {
                 let mut s = String::new();
                 i += 1;
-                while i < chars.len() && chars[i] != '\'' {
-                    s.push(chars[i]);
+                while i < bytes.len() && bytes[i].1 != '\'' {
+                    s.push(bytes[i].1);
                     i += 1;
                 }
-                if i >= chars.len() {
-                    return Err(ParseError::new("unterminated string literal"));
+                if i >= bytes.len() {
+                    return Err(
+                        ParseError::new("unterminated string literal").at(Span::new(start, end))
+                    );
                 }
                 i += 1; // closing quote
-                tokens.push(Token::Str(s));
+                tokens.push((Token::Str(s), Span::new(start, offset(&bytes, i, end))));
+            }
+            '$' => {
+                i += 1;
+                let digits_start = i;
+                while i < bytes.len() && bytes[i].1.is_ascii_digit() {
+                    i += 1;
+                }
+                let span = Span::new(start, offset(&bytes, i, end));
+                let digits: String = bytes[digits_start..i].iter().map(|&(_, c)| c).collect();
+                let index: usize = digits.parse().map_err(|_| {
+                    ParseError::new("expected a parameter placeholder like $1 after '$'")
+                        .at(span)
+                        .with_token("$")
+                })?;
+                if index == 0 {
+                    return Err(ParseError::new(
+                        "parameter placeholders are 1-based ($1, $2, ...)",
+                    )
+                    .at(span)
+                    .with_token("$0"));
+                }
+                tokens.push((Token::Param(index), span));
             }
             c if c.is_ascii_digit() || c == '-' => {
-                let start = i;
+                let from = i;
                 i += 1;
-                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                while i < bytes.len() && (bytes[i].1.is_ascii_digit() || bytes[i].1 == '.') {
                     i += 1;
                 }
-                let text: String = chars[start..i].iter().collect();
-                let n: f64 = text
-                    .parse()
-                    .map_err(|_| ParseError::new(format!("invalid number: {text}")))?;
-                tokens.push(Token::Number(n));
+                let span = Span::new(start, offset(&bytes, i, end));
+                let text: String = bytes[from..i].iter().map(|&(_, c)| c).collect();
+                let n: f64 = text.parse().map_err(|_| {
+                    ParseError::new(format!("invalid number: {text}"))
+                        .at(span)
+                        .with_token(text.clone())
+                })?;
+                tokens.push((Token::Number(n), span));
             }
             c if c.is_alphanumeric() || c == '_' => {
-                let start = i;
-                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                let from = i;
+                while i < bytes.len() && (bytes[i].1.is_alphanumeric() || bytes[i].1 == '_') {
                     i += 1;
                 }
-                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+                let span = Span::new(start, offset(&bytes, i, end));
+                tokens.push((
+                    Token::Ident(bytes[from..i].iter().map(|&(_, c)| c).collect()),
+                    span,
+                ));
             }
-            other => return Err(ParseError::new(format!("unexpected character: {other}"))),
+            other => {
+                return Err(ParseError::new(format!("unexpected character: {other}"))
+                    .at(Span::new(start, start + other.len_utf8()))
+                    .with_token(other.to_string()))
+            }
         }
     }
     Ok(tokens)
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<(Token, Span)>,
     pos: usize,
+    /// Byte length of the input (end-of-input error position).
+    end: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(t, _)| t)
     }
 
-    fn next(&mut self) -> Option<Token> {
+    fn next(&mut self) -> Option<(Token, Span)> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
             self.pos += 1;
@@ -149,10 +187,43 @@ impl Parser {
         t
     }
 
+    /// The span of the *current* (not yet consumed) token, or an empty span
+    /// at the end of the input.
+    fn here(&self) -> Span {
+        self.tokens
+            .get(self.pos)
+            .map_or(Span::empty(self.end), |&(_, s)| s)
+    }
+
+    /// The span of the most recently consumed token.
+    fn previous(&self) -> Span {
+        self.pos
+            .checked_sub(1)
+            .and_then(|p| self.tokens.get(p))
+            .map_or(Span::empty(self.end), |&(_, s)| s)
+    }
+
+    /// A "expected X, found Y" error pointing at the current token (or end
+    /// of input).
+    fn expected(&self, what: &str) -> ParseError {
+        match self.tokens.get(self.pos) {
+            Some((token, span)) => {
+                ParseError::new(format!("expected {what}, found '{}'", token.lexeme()))
+                    .at(*span)
+                    .with_token(token.lexeme())
+            }
+            None => ParseError::new(format!("expected {what}, found end of input"))
+                .at(Span::empty(self.end)),
+        }
+    }
+
     fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
-        match self.next() {
-            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
-            other => Err(ParseError::new(format!("expected {kw}, found {other:?}"))),
+        match self.peek() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(self.expected(kw)),
         }
     }
 
@@ -167,25 +238,27 @@ impl Parser {
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
-        match self.next() {
-            Some(Token::Ident(s)) => Ok(s),
-            other => Err(ParseError::new(format!(
-                "expected identifier, found {other:?}"
-            ))),
+        match self.peek() {
+            Some(Token::Ident(_)) => match self.next() {
+                Some((Token::Ident(s), _)) => Ok(s),
+                _ => unreachable!("peeked an identifier"),
+            },
+            _ => Err(self.expected("identifier")),
         }
     }
 
     fn expect_cmp(&mut self) -> Result<String, ParseError> {
-        match self.next() {
-            Some(Token::Cmp(op)) => Ok(op),
-            other => Err(ParseError::new(format!(
-                "expected comparison operator, found {other:?}"
-            ))),
+        match self.peek() {
+            Some(Token::Cmp(_)) => match self.next() {
+                Some((Token::Cmp(op), _)) => Ok(op),
+                _ => unreachable!("peeked a comparison"),
+            },
+            _ => Err(self.expected("comparison operator")),
         }
     }
 }
 
-fn compare_op(op: &str) -> Result<CompareOp, ParseError> {
+fn compare_op(op: &str, at: Span) -> Result<CompareOp, ParseError> {
     Ok(match op {
         "=" => CompareOp::Eq,
         "<>" => CompareOp::Ne,
@@ -194,14 +267,16 @@ fn compare_op(op: &str) -> Result<CompareOp, ParseError> {
         ">" => CompareOp::Gt,
         ">=" => CompareOp::Ge,
         other => {
-            return Err(ParseError::new(format!(
-                "unknown comparison operator {other}"
-            )))
+            return Err(
+                ParseError::new(format!("unknown comparison operator {other}"))
+                    .at(at)
+                    .with_token(other.to_owned()),
+            )
         }
     })
 }
 
-fn predicate_op(op: &str) -> Result<PredicateOp, ParseError> {
+fn predicate_op(op: &str, at: Span) -> Result<PredicateOp, ParseError> {
     Ok(match op {
         "=" => PredicateOp::Eq,
         "<>" => PredicateOp::Ne,
@@ -210,18 +285,25 @@ fn predicate_op(op: &str) -> Result<PredicateOp, ParseError> {
         ">" => PredicateOp::Gt,
         ">=" => PredicateOp::Ge,
         other => {
-            return Err(ParseError::new(format!(
-                "unknown comparison operator {other}"
-            )))
+            return Err(
+                ParseError::new(format!("unknown comparison operator {other}"))
+                    .at(at)
+                    .with_token(other.to_owned()),
+            )
         }
     })
 }
 
 /// Parses a query string into a logical plan.
+///
+/// `$1..$n` placeholders parse into [`Operand::Param`] slots of the plan's
+/// filter predicates; bind them with [`LogicalPlan::bind_parameters`] (or
+/// prepare the statement through a [`crate::Session`]) before execution.
 pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
     let mut p = Parser {
         tokens: tokenize(input)?,
         pos: 0,
+        end: input.len(),
     };
 
     p.expect_keyword("SELECT")?;
@@ -258,9 +340,7 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
         } else if p.accept_keyword("ANTI") {
             TpJoinKind::Anti
         } else {
-            return Err(ParseError::new(
-                "expected INNER, LEFT, RIGHT, FULL or ANTI after TP",
-            ));
+            return Err(p.expected("INNER, LEFT, RIGHT, FULL or ANTI after TP"));
         };
         p.expect_keyword("JOIN")?;
         let right_name = p.expect_ident()?;
@@ -269,20 +349,20 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
         let mut theta = ThetaCondition::always();
         loop {
             // qualified column: rel.col
+            let qualifier_span = p.here();
             let q1 = p.expect_ident()?;
-            if !matches!(p.next(), Some(Token::Dot)) {
-                return Err(ParseError::new(
-                    "join condition columns must be qualified (rel.col)",
-                ));
+            if !matches!(p.peek(), Some(Token::Dot)) {
+                return Err(p.expected("'.' (join condition columns must be qualified as rel.col)"));
             }
+            p.next();
             let c1 = p.expect_ident()?;
-            let op = compare_op(&p.expect_cmp()?)?;
+            let op_span = p.here();
+            let op = compare_op(&p.expect_cmp()?, op_span)?;
             let q2 = p.expect_ident()?;
-            if !matches!(p.next(), Some(Token::Dot)) {
-                return Err(ParseError::new(
-                    "join condition columns must be qualified (rel.col)",
-                ));
+            if !matches!(p.peek(), Some(Token::Dot)) {
+                return Err(p.expected("'.' (join condition columns must be qualified as rel.col)"));
             }
+            p.next();
             let c2 = p.expect_ident()?;
 
             // orient the comparison as left-relation column vs right-relation column
@@ -303,7 +383,8 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
             } else {
                 return Err(ParseError::new(format!(
                     "join condition must reference {left_name} and {right_name}"
-                )));
+                ))
+                .at(Span::new(qualifier_span.start, p.previous().end)));
             };
             theta = theta.and_compare(&lc, op, &rc);
 
@@ -326,23 +407,30 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
         let mut predicates = Vec::new();
         loop {
             let column = p.expect_ident()?;
-            let op = predicate_op(&p.expect_cmp()?)?;
-            let literal = match p.next() {
-                Some(Token::Number(n)) => {
-                    if n.fract() == 0.0 {
-                        Value::Int(n as i64)
-                    } else {
-                        Value::Float(n)
+            let op_span = p.here();
+            let op = predicate_op(&p.expect_cmp()?, op_span)?;
+            let operand = match p.peek() {
+                Some(Token::Number(_) | Token::Str(_) | Token::Param(_)) => {
+                    match p.next().expect("peeked a literal").0 {
+                        Token::Number(n) => {
+                            if n.fract() == 0.0 {
+                                Operand::Literal(Value::Int(n as i64))
+                            } else {
+                                Operand::Literal(Value::Float(n))
+                            }
+                        }
+                        Token::Str(s) => Operand::Literal(Value::str(&s)),
+                        Token::Param(index) => Operand::Param(index),
+                        _ => unreachable!("peeked a literal"),
                     }
                 }
-                Some(Token::Str(s)) => Value::str(&s),
-                other => {
-                    return Err(ParseError::new(format!(
-                        "expected literal in WHERE clause, found {other:?}"
-                    )))
-                }
+                _ => return Err(p.expected("literal or $n placeholder in WHERE clause")),
             };
-            predicates.push(LiteralPredicate::new(&column, op, literal));
+            predicates.push(LiteralPredicate {
+                column,
+                op,
+                operand,
+            });
             if !p.accept_keyword("AND") {
                 break;
             }
@@ -353,25 +441,29 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
     // optional STRATEGY / PARALLEL suffixes, in any order
     loop {
         if p.accept_keyword("STRATEGY") {
+            let keyword_span = p.previous();
+            let name_span = p.here();
             let name = p.expect_ident()?;
             let strategy = if name.eq_ignore_ascii_case("NJ") {
                 JoinStrategy::Nj
             } else if name.eq_ignore_ascii_case("TA") {
                 JoinStrategy::Ta
             } else {
-                return Err(ParseError::new(format!("unknown strategy {name}")));
+                return Err(ParseError::new(format!("unknown strategy {name}"))
+                    .at(name_span)
+                    .with_token(name));
             };
-            plan = set_strategy(plan, strategy)?;
+            plan = set_strategy(plan, strategy, keyword_span)?;
         } else if p.accept_keyword("PARALLEL") {
-            let degree = match p.next() {
-                Some(Token::Number(n)) if n >= 1.0 && n.fract() == 0.0 => n as usize,
-                other => {
-                    return Err(ParseError::new(format!(
-                        "PARALLEL expects a positive integer, found {other:?}"
-                    )))
+            let keyword_span = p.previous();
+            let degree = match p.peek() {
+                Some(&Token::Number(n)) if n >= 1.0 && n.fract() == 0.0 => {
+                    p.next();
+                    n as usize
                 }
+                _ => return Err(p.expected("a positive integer after PARALLEL")),
             };
-            plan = set_parallelism(plan, degree)?;
+            plan = set_parallelism(plan, degree, keyword_span)?;
         } else {
             break;
         }
@@ -381,17 +473,22 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
         plan = plan.project(cols);
     }
 
-    if p.peek().is_some() {
-        return Err(ParseError::new(format!(
-            "unexpected trailing tokens: {:?}",
-            &p.tokens[p.pos..]
-        )));
+    if let Some((token, span)) = p.tokens.get(p.pos) {
+        return Err(
+            ParseError::new(format!("unexpected trailing token '{}'", token.lexeme()))
+                .at(*span)
+                .with_token(token.lexeme()),
+        );
     }
     Ok(plan)
 }
 
 /// Rewrites the join strategy of the (single) TP join in the plan.
-fn set_strategy(plan: LogicalPlan, strategy: JoinStrategy) -> Result<LogicalPlan, ParseError> {
+fn set_strategy(
+    plan: LogicalPlan,
+    strategy: JoinStrategy,
+    at: Span,
+) -> Result<LogicalPlan, ParseError> {
     Ok(match plan {
         LogicalPlan::TpJoin {
             left,
@@ -411,33 +508,37 @@ fn set_strategy(plan: LogicalPlan, strategy: JoinStrategy) -> Result<LogicalPlan
             parallelism,
         },
         LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
-            input: Box::new(set_strategy(*input, strategy)?),
+            input: Box::new(set_strategy(*input, strategy, at)?),
             predicates,
         },
         LogicalPlan::Project { input, columns } => LogicalPlan::Project {
-            input: Box::new(set_strategy(*input, strategy)?),
+            input: Box::new(set_strategy(*input, strategy, at)?),
             columns,
         },
         LogicalPlan::Scan { .. } => {
-            return Err(ParseError::new("STRATEGY requires a TP join in the query"))
+            return Err(ParseError::new("STRATEGY requires a TP join in the query")
+                .at(at)
+                .with_token("STRATEGY"))
         }
     })
 }
 
 /// Pins the degree of parallelism of the (single) TP join in the plan.
-fn set_parallelism(plan: LogicalPlan, degree: usize) -> Result<LogicalPlan, ParseError> {
+fn set_parallelism(plan: LogicalPlan, degree: usize, at: Span) -> Result<LogicalPlan, ParseError> {
     Ok(match plan {
         join @ LogicalPlan::TpJoin { .. } => join.with_parallelism(degree),
         LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
-            input: Box::new(set_parallelism(*input, degree)?),
+            input: Box::new(set_parallelism(*input, degree, at)?),
             predicates,
         },
         LogicalPlan::Project { input, columns } => LogicalPlan::Project {
-            input: Box::new(set_parallelism(*input, degree)?),
+            input: Box::new(set_parallelism(*input, degree, at)?),
             columns,
         },
         LogicalPlan::Scan { .. } => {
-            return Err(ParseError::new("PARALLEL requires a TP join in the query"))
+            return Err(ParseError::new("PARALLEL requires a TP join in the query")
+                .at(at)
+                .with_token("PARALLEL"))
         }
     })
 }
@@ -563,11 +664,61 @@ mod tests {
         let plan = parse_query("SELECT * FROM a WHERE Key = 5 AND P < 0.5").unwrap();
         match plan {
             LogicalPlan::Filter { predicates, .. } => {
-                assert_eq!(predicates[0].literal, Value::Int(5));
-                assert_eq!(predicates[1].literal, Value::Float(0.5));
+                assert_eq!(predicates[0].operand, Operand::Literal(Value::Int(5)));
+                assert_eq!(predicates[1].operand, Operand::Literal(Value::Float(0.5)));
             }
             other => panic!("unexpected plan {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_parameter_placeholders() {
+        let plan = parse_query("SELECT * FROM a WHERE Loc = $1 AND Key >= $2").unwrap();
+        match plan {
+            LogicalPlan::Filter { predicates, .. } => {
+                assert_eq!(predicates[0].operand, Operand::Param(1));
+                assert_eq!(predicates[1].operand, Operand::Param(2));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+        assert_eq!(
+            parse_query("SELECT * FROM a WHERE Loc = $1 AND Key >= $2")
+                .unwrap()
+                .parameter_count(),
+            2
+        );
+    }
+
+    #[test]
+    fn bad_placeholders_are_rejected_with_spans() {
+        let err = parse_query("SELECT * FROM a WHERE Loc = $0").unwrap_err();
+        assert!(err.message.contains("1-based"), "{err}");
+        assert_eq!(err.token.as_deref(), Some("$0"));
+        let err = parse_query("SELECT * FROM a WHERE Loc = $").unwrap_err();
+        assert!(err.message.contains("$1"), "{err}");
+        // placeholders are not allowed outside the WHERE clause
+        assert!(parse_query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = $1").is_err());
+    }
+
+    #[test]
+    fn errors_carry_byte_spans_and_offending_tokens() {
+        // 'FORM' starts at byte 9 of the input.
+        let err = parse_query("SELECT * FORM a").unwrap_err();
+        assert_eq!((err.span.start, err.span.end), (9, 13));
+        assert_eq!(err.token.as_deref(), Some("FORM"));
+        assert!(err.message.contains("expected FROM"), "{err}");
+
+        // end-of-input errors point one past the last byte and carry no token
+        let input = "SELECT * FROM a WHERE Loc = ";
+        let err = parse_query(input).unwrap_err();
+        assert_eq!(err.span, Span::empty(input.len()));
+        assert!(err.token.is_none());
+        assert!(err.message.contains("end of input"), "{err}");
+
+        // trailing garbage names the first trailing token
+        let err = parse_query("SELECT * FROM a extra tokens").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("extra"));
+        assert_eq!(err.span.start, 16);
     }
 
     #[test]
@@ -589,5 +740,6 @@ mod tests {
     fn unexpected_characters_are_reported() {
         let err = parse_query("SELECT * FROM a WHERE Loc = #").unwrap_err();
         assert!(err.to_string().contains("unexpected character"));
+        assert_eq!(err.span.start, 28);
     }
 }

@@ -1,7 +1,9 @@
 //! Logical query plans.
 
+use crate::error::TpdbError;
 use crate::expr::LiteralPredicate;
 use tpdb_core::{OverlapJoinPlan, ThetaCondition, TpJoinKind};
+use tpdb_storage::Value;
 
 /// The join strategy the planner should use for a TP join with negation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -207,7 +209,84 @@ impl LogicalPlan {
         }
     }
 
-    /// Renders the plan as an indented tree (similar to `EXPLAIN`).
+    /// The number of `$n` parameter slots the plan references: the highest
+    /// placeholder index, so `WHERE Key = $2` reports 2 slots even when
+    /// `$1` is unused (PostgreSQL semantics). Bind exactly this many values
+    /// with [`LogicalPlan::bind_parameters`] before execution.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        match self {
+            LogicalPlan::Scan { .. } => 0,
+            LogicalPlan::Filter { input, predicates } => predicates
+                .iter()
+                .filter_map(LiteralPredicate::parameter_index)
+                .max()
+                .unwrap_or(0)
+                .max(input.parameter_count()),
+            LogicalPlan::Project { input, .. } => input.parameter_count(),
+            LogicalPlan::TpJoin { left, right, .. } => {
+                left.parameter_count().max(right.parameter_count())
+            }
+        }
+    }
+
+    /// Returns a copy of the plan with every `$n` placeholder replaced by
+    /// `params[n-1]`.
+    ///
+    /// # Errors
+    ///
+    /// [`TpdbError::ParameterCount`] when `params.len()` differs from
+    /// [`parameter_count`](Self::parameter_count) — executing a prepared
+    /// statement requires binding exactly one value per slot.
+    pub fn bind_parameters(&self, params: &[Value]) -> Result<LogicalPlan, TpdbError> {
+        let expected = self.parameter_count();
+        if params.len() != expected {
+            return Err(TpdbError::ParameterCount {
+                expected,
+                got: params.len(),
+            });
+        }
+        self.substitute(params)
+    }
+
+    /// Recursively substitutes placeholders (count already validated).
+    fn substitute(&self, params: &[Value]) -> Result<LogicalPlan, TpdbError> {
+        Ok(match self {
+            scan @ LogicalPlan::Scan { .. } => scan.clone(),
+            LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
+                input: Box::new(input.substitute(params)?),
+                predicates: predicates
+                    .iter()
+                    .map(|p| p.with_params(params))
+                    .collect::<Result<Vec<_>, _>>()?,
+            },
+            LogicalPlan::Project { input, columns } => LogicalPlan::Project {
+                input: Box::new(input.substitute(params)?),
+                columns: columns.clone(),
+            },
+            LogicalPlan::TpJoin {
+                left,
+                right,
+                theta,
+                kind,
+                strategy,
+                overlap_plan,
+                parallelism,
+            } => LogicalPlan::TpJoin {
+                left: Box::new(left.substitute(params)?),
+                right: Box::new(right.substitute(params)?),
+                theta: theta.clone(),
+                kind: *kind,
+                strategy: *strategy,
+                overlap_plan: *overlap_plan,
+                parallelism: *parallelism,
+            },
+        })
+    }
+
+    /// Renders the plan as an indented tree (similar to `EXPLAIN`). Filter
+    /// predicates are printed in query syntax, with unbound parameters as
+    /// their `$n` slots and bound parameters as the bound values.
     #[must_use]
     pub fn pretty(&self) -> String {
         fn go(plan: &LogicalPlan, indent: usize, out: &mut String) {
@@ -217,7 +296,9 @@ impl LogicalPlan {
                     out.push_str(&format!("{pad}Scan {relation}\n"));
                 }
                 LogicalPlan::Filter { input, predicates } => {
-                    out.push_str(&format!("{pad}Filter ({} predicates)\n", predicates.len()));
+                    let rendered: Vec<String> =
+                        predicates.iter().map(ToString::to_string).collect();
+                    out.push_str(&format!("{pad}Filter ({})\n", rendered.join(" AND ")));
                     go(input, indent + 1, out);
                 }
                 LogicalPlan::Project { input, columns } => {
@@ -313,6 +394,49 @@ mod tests {
             )
             .with_parallelism(0);
         assert!(clamped.pretty().contains("parallel=1"));
+    }
+
+    #[test]
+    fn parameter_slots_are_counted_and_bound() {
+        let plan = LogicalPlan::scan("a").filter(vec![
+            LiteralPredicate::param("Loc", PredicateOp::Eq, 1),
+            LiteralPredicate::param("Key", PredicateOp::Ge, 2),
+        ]);
+        assert_eq!(plan.parameter_count(), 2);
+        assert!(plan.pretty().contains("Filter (Loc = $1 AND Key >= $2)"));
+
+        let bound = plan
+            .bind_parameters(&[Value::str("ZAK"), Value::Int(3)])
+            .unwrap();
+        assert_eq!(bound.parameter_count(), 0);
+        assert!(bound.pretty().contains("Filter (Loc = 'ZAK' AND Key >= 3)"));
+
+        // exact arity is required, in both directions
+        assert!(matches!(
+            plan.bind_parameters(&[Value::Int(1)]),
+            Err(TpdbError::ParameterCount {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            bound.bind_parameters(&[Value::Int(1)]),
+            Err(TpdbError::ParameterCount {
+                expected: 0,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn highest_slot_index_counts_even_when_lower_slots_are_unused() {
+        let plan =
+            LogicalPlan::scan("a").filter(vec![LiteralPredicate::param("Key", PredicateOp::Eq, 2)]);
+        assert_eq!(plan.parameter_count(), 2);
+        let bound = plan
+            .bind_parameters(&[Value::Int(0), Value::Int(7)])
+            .unwrap();
+        assert!(bound.pretty().contains("Key = 7"), "{}", bound.pretty());
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::exec::{FilterExec, PhysicalOperator, ProjectExec, ScanExec, TpJoinExec};
 use crate::plan::LogicalPlan;
-use crate::QueryError;
-use tpdb_storage::Catalog;
+use crate::TpdbError;
+use tpdb_storage::{Catalog, Value};
 
 /// Session-level execution options the planner resolves logical plans
 /// against.
@@ -38,16 +38,21 @@ impl QueryOptions {
 pub fn plan_query(
     catalog: &Catalog,
     plan: &LogicalPlan,
-) -> Result<Box<dyn PhysicalOperator>, QueryError> {
+) -> Result<Box<dyn PhysicalOperator>, TpdbError> {
     plan_query_with(catalog, plan, &QueryOptions::default())
 }
 
 /// [`plan_query`] with explicit execution options.
+///
+/// The plan must be fully bound: a `$n` placeholder in a filter predicate
+/// fails with [`TpdbError::UnboundParameter`] — substitute values first
+/// with [`LogicalPlan::bind_parameters`] (or prepare the statement through
+/// a [`crate::Session`], which does this for you).
 pub fn plan_query_with(
     catalog: &Catalog,
     plan: &LogicalPlan,
     options: &QueryOptions,
-) -> Result<Box<dyn PhysicalOperator>, QueryError> {
+) -> Result<Box<dyn PhysicalOperator>, TpdbError> {
     match plan {
         LogicalPlan::Scan { relation } => {
             let rel = catalog.relation(relation)?;
@@ -87,7 +92,7 @@ pub fn plan_query_with(
             // here keeps EXPLAIN honest about the plan that will run.
             if let Some(plan) = overlap_plan {
                 if plan.requires_equi_join() && !bound.is_equi_join() {
-                    return Err(QueryError::Storage(
+                    return Err(TpdbError::Storage(
                         tpdb_storage::StorageError::PlanNotApplicable {
                             plan: plan.label().to_owned(),
                             reason: format!("θ ({theta}) is not a pure equi-join"),
@@ -111,21 +116,40 @@ pub fn plan_query_with(
 
 /// Returns the physical plan description for a logical plan — the moral
 /// equivalent of `EXPLAIN` — with the default [`QueryOptions`].
-pub fn explain(catalog: &Catalog, plan: &LogicalPlan) -> Result<String, QueryError> {
+pub fn explain(catalog: &Catalog, plan: &LogicalPlan) -> Result<String, TpdbError> {
     explain_with(catalog, plan, &QueryOptions::default())
 }
 
 /// [`explain`] with explicit execution options.
+///
+/// A parameterized plan explains without binding: the logical plan prints
+/// the `$n` placeholder slots, the physical plan is validated with `NULL`
+/// stand-ins, and a trailing `Parameters:` line reports the open slots.
 pub fn explain_with(
     catalog: &Catalog,
     plan: &LogicalPlan,
     options: &QueryOptions,
-) -> Result<String, QueryError> {
-    Ok(format!(
+) -> Result<String, TpdbError> {
+    let slots = plan.parameter_count();
+    // Validate and describe the physical plan; placeholders are stood in
+    // by NULLs so that a parameterized query can be explained (but not
+    // executed) without binding.
+    let lowered = if slots > 0 {
+        plan.bind_parameters(&vec![Value::Null; slots])?
+    } else {
+        plan.clone()
+    };
+    let mut out = format!(
         "Logical plan:\n{}\nPhysical plan:\n  {}\n",
         plan.pretty(),
-        plan_query_with(catalog, plan, options)?.describe()
-    ))
+        plan_query_with(catalog, &lowered, options)?.describe()
+    );
+    if slots > 0 {
+        out.push_str(&format!(
+            "Parameters: {slots} unbound slot(s) $1..${slots}\n"
+        ));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -1,0 +1,713 @@
+//! Sessions: prepared statements, parameter binding, plan caching and
+//! streaming execution.
+
+use crate::cursor::ResultCursor;
+use crate::exec::execute_plan_with;
+use crate::parser::parse_query;
+use crate::plan::LogicalPlan;
+use crate::planner::{explain_with, plan_query_with, QueryOptions};
+use crate::TpdbError;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use tpdb_storage::{Catalog, TpRelation, Value};
+
+/// Upper bound on cached plans per session; the oldest entry is evicted
+/// first (FIFO) once the cache is full.
+const MAX_CACHED_PLANS: usize = 128;
+
+/// A TP database session: a catalog of relations plus the standard
+/// database front-end contract — *prepare once, bind many, stream
+/// results*.
+///
+/// * [`prepare`](Self::prepare) parses and validates a statement **once**
+///   and returns a [`PreparedQuery`] that can be executed many times with
+///   different `$n` parameter bindings.
+/// * Parsed plans are cached per session, keyed by the normalized query
+///   text and the catalog's schema epoch — re-preparing (or re-executing)
+///   the same text skips the parser and validator entirely, and any
+///   catalog mutation invalidates the affected entries automatically.
+///   [`stats`](Self::stats) exposes the hit/miss counters; `EXPLAIN`
+///   output reports them too.
+/// * [`query`](Self::query) opens a streaming [`ResultCursor`] that yields
+///   tuples as they leave the join pipeline instead of materializing the
+///   result; [`execute`](Self::execute) is the materializing counterpart.
+///
+/// Every method returns the unified [`TpdbError`].
+///
+/// ```
+/// use tpdb_query::Session;
+/// use tpdb_storage::{Catalog, Value};
+///
+/// let mut catalog = Catalog::new();
+/// let (a, b) = tpdb_datagen::booking_example();
+/// catalog.register(a).unwrap();
+/// catalog.register(b).unwrap();
+/// let session = Session::new(catalog);
+///
+/// // Prepare once; bind and execute many times.
+/// let stmt = session
+///     .prepare("SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = $1")
+///     .unwrap();
+/// let ann = stmt.execute(&[Value::str("Ann")]).unwrap();
+/// let jim = stmt.execute(&[Value::str("Jim")]).unwrap();
+/// assert_eq!(ann.len(), 4);
+/// assert_eq!(jim.len(), 1);
+///
+/// // The one-shot path shares the plan cache: this is a cache hit.
+/// let again = session
+///     .execute_with(
+///         "SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = $1",
+///         &[Value::str("Jim")],
+///     )
+///     .unwrap();
+/// assert_eq!(again, jim);
+/// assert!(session.stats().cache_hits >= 1);
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    catalog: Catalog,
+    options: QueryOptions,
+    cache: Mutex<PlanCache>,
+}
+
+/// An immutable prepared plan shared between the cache and the
+/// [`PreparedQuery`] handles cloned out of it.
+#[derive(Debug)]
+struct CachedPlan {
+    plan: LogicalPlan,
+    /// `$n` slots the statement references.
+    parameters: usize,
+    /// Schema epoch of the catalog the plan was validated against.
+    epoch: u64,
+}
+
+#[derive(Debug, Default)]
+struct PlanCache {
+    entries: HashMap<String, Arc<CachedPlan>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+    prepared: u64,
+    executions: u64,
+}
+
+/// Counters of a session's plan cache and execution activity
+/// ([`Session::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Plan-cache lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Plan-cache lookups that had to parse + validate (including lookups
+    /// invalidated by a schema-epoch change).
+    pub cache_misses: u64,
+    /// Plans currently cached.
+    pub cached_plans: usize,
+    /// `prepare` calls served (cached or not).
+    pub statements_prepared: u64,
+    /// Statements executed (materializing and cursor openings alike).
+    pub executions: u64,
+}
+
+impl Session {
+    /// Creates a session over an existing catalog with default options
+    /// (parallelism = all available cores).
+    #[must_use]
+    pub fn new(catalog: Catalog) -> Self {
+        Self {
+            catalog,
+            options: QueryOptions::default(),
+            cache: Mutex::new(PlanCache::default()),
+        }
+    }
+
+    /// The underlying catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (to register or drop relations).
+    /// Mutating the relation set bumps the catalog's schema epoch, which
+    /// invalidates every cached plan prepared before the change.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The default degree of parallelism for TP joins run by this session.
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.options.parallelism
+    }
+
+    /// Sets the default degree of parallelism for TP joins (`1` = serial;
+    /// clamped to at least 1). Plans that pin a degree via
+    /// [`LogicalPlan::with_parallelism`] or the `PARALLEL n` query suffix
+    /// override this default. Cursors opened with [`query`](Self::query)
+    /// always drive the serial streaming pipeline unless the query pins a
+    /// degree.
+    pub fn set_parallelism(&mut self, degree: usize) {
+        self.options.parallelism = degree.max(1);
+    }
+
+    /// Parses, validates and caches a statement, returning a handle that
+    /// executes it with bound parameter values. Preparing the same
+    /// (whitespace-normalized) text again is answered from the plan cache
+    /// without re-parsing, until a catalog mutation invalidates the entry.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery<'_>, TpdbError> {
+        let plan = self.cached_plan(text)?;
+        self.cache.lock().expect("plan cache poisoned").prepared += 1;
+        Ok(PreparedQuery {
+            session: self,
+            plan,
+        })
+    }
+
+    /// One-shot execution of a statement without parameters, returning the
+    /// materialized result relation. Repeated calls with the same text hit
+    /// the plan cache and skip parse + validation.
+    pub fn execute(&self, text: &str) -> Result<TpRelation, TpdbError> {
+        self.execute_with(text, &[])
+    }
+
+    /// One-shot execution with `$n` parameter values (`params[0]` binds
+    /// `$1`).
+    pub fn execute_with(&self, text: &str, params: &[Value]) -> Result<TpRelation, TpdbError> {
+        let plan = self.cached_plan(text)?;
+        self.run_prepared(&plan, params)
+    }
+
+    /// Opens a streaming [`ResultCursor`] over a statement without
+    /// parameters. See [`query_with`](Self::query_with).
+    pub fn query(&self, text: &str) -> Result<ResultCursor, TpdbError> {
+        self.query_with(text, &[])
+    }
+
+    /// Opens a streaming [`ResultCursor`] with `$n` parameter values: the
+    /// result is produced tuple by tuple from the streaming join pipeline;
+    /// nothing is materialized unless the cursor is drained.
+    pub fn query_with(&self, text: &str, params: &[Value]) -> Result<ResultCursor, TpdbError> {
+        let plan = self.cached_plan(text)?;
+        self.open_cursor(&plan, params)
+    }
+
+    /// Executes an already-built logical plan (no text, no cache).
+    pub fn run(&self, plan: &LogicalPlan) -> Result<TpRelation, TpdbError> {
+        self.cache.lock().expect("plan cache poisoned").executions += 1;
+        execute_plan_with(&self.catalog, plan, &self.options)
+    }
+
+    /// Returns the `EXPLAIN` output of a statement without executing it:
+    /// the logical and physical plans, the open `$n` parameter slots of a
+    /// parameterized statement, and the state of the session's plan cache.
+    /// The lookup itself goes through the cache, so explaining and then
+    /// executing a statement costs one parse.
+    pub fn explain(&self, text: &str) -> Result<String, TpdbError> {
+        let plan = self.cached_plan(text)?;
+        let mut out = explain_with(&self.catalog, &plan.plan, &self.options)?;
+        out.push_str(&self.cache_line());
+        Ok(out)
+    }
+
+    /// A snapshot of the session's plan-cache and execution counters.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        let cache = self.cache.lock().expect("plan cache poisoned");
+        SessionStats {
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cached_plans: cache.entries.len(),
+            statements_prepared: cache.prepared,
+            executions: cache.executions,
+        }
+    }
+
+    /// The `Plan cache:` line appended to `EXPLAIN` output.
+    fn cache_line(&self) -> String {
+        let s = self.stats();
+        format!(
+            "Plan cache: {} hit(s), {} miss(es), {} cached plan(s)\n",
+            s.cache_hits, s.cache_misses, s.cached_plans
+        )
+    }
+
+    /// Looks up (or parses, validates and caches) the plan of `text`.
+    fn cached_plan(&self, text: &str) -> Result<Arc<CachedPlan>, TpdbError> {
+        let key = normalize(text);
+        let epoch = self.catalog.schema_epoch();
+        {
+            let mut cache = self.cache.lock().expect("plan cache poisoned");
+            let cached = cache
+                .entries
+                .get(&key)
+                .filter(|entry| entry.epoch == epoch)
+                .map(Arc::clone);
+            if let Some(entry) = cached {
+                cache.hits += 1;
+                return Ok(entry);
+            }
+            cache.misses += 1;
+        }
+        // Parse and validate outside the lock; a racing prepare of the same
+        // text at worst parses twice.
+        let plan = parse_query(text)?;
+        let parameters = plan.parameter_count();
+        // Validate once against the catalog: relation names, column
+        // references, θ binding and forced physical plans all fail here, at
+        // prepare time, not at the first execution. Placeholders are stood
+        // in by NULLs — only the slots' existence matters for validation.
+        let probe = if parameters > 0 {
+            plan.bind_parameters(&vec![Value::Null; parameters])?
+        } else {
+            plan.clone()
+        };
+        plan_query_with(&self.catalog, &probe, &self.options)?;
+        let prepared = Arc::new(CachedPlan {
+            plan,
+            parameters,
+            epoch,
+        });
+        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        if !cache.entries.contains_key(&key) {
+            cache.order.push_back(key.clone());
+            if cache.order.len() > MAX_CACHED_PLANS {
+                if let Some(evicted) = cache.order.pop_front() {
+                    cache.entries.remove(&evicted);
+                }
+            }
+        }
+        cache.entries.insert(key, Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    /// Binds parameters and executes to a materialized relation.
+    fn run_prepared(
+        &self,
+        prepared: &CachedPlan,
+        params: &[Value],
+    ) -> Result<TpRelation, TpdbError> {
+        let bound = self.bound_plan(prepared, params)?;
+        self.cache.lock().expect("plan cache poisoned").executions += 1;
+        execute_plan_with(&self.catalog, &bound, &self.options)
+    }
+
+    /// Binds parameters and opens a streaming cursor. Joins under a cursor
+    /// run the serial streaming pipeline (an explicit `PARALLEL n` pin on
+    /// the query still wins), so the first tuple does not wait for the full
+    /// result.
+    fn open_cursor(
+        &self,
+        prepared: &CachedPlan,
+        params: &[Value],
+    ) -> Result<ResultCursor, TpdbError> {
+        let bound = self.bound_plan(prepared, params)?;
+        self.cache.lock().expect("plan cache poisoned").executions += 1;
+        let op = plan_query_with(&self.catalog, &bound, &QueryOptions::serial())?;
+        Ok(ResultCursor::new(op))
+    }
+
+    /// The plan with `$n` placeholders substituted (validating the value
+    /// count).
+    fn bound_plan(
+        &self,
+        prepared: &CachedPlan,
+        params: &[Value],
+    ) -> Result<LogicalPlan, TpdbError> {
+        if params.len() != prepared.parameters {
+            return Err(TpdbError::ParameterCount {
+                expected: prepared.parameters,
+                got: params.len(),
+            });
+        }
+        if prepared.parameters == 0 {
+            Ok(prepared.plan.clone())
+        } else {
+            prepared.plan.bind_parameters(params)
+        }
+    }
+}
+
+/// Normalizes query text for cache keying: surrounding whitespace is
+/// trimmed and internal whitespace runs collapse to a single space, so
+/// reformatting a query does not defeat the cache. Whitespace inside
+/// `'...'` string literals is copied verbatim — `'A  B'` and `'A B'` are
+/// different literals and must not share a cached plan. (Keywords are
+/// matched case-insensitively by the parser, but identifiers and literals
+/// are case-sensitive — case is therefore preserved here.)
+fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        if c.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        out.push(c);
+        if c == '\'' {
+            // copy the literal (including its whitespace) up to the
+            // closing quote; an unterminated literal fails at parse time,
+            // before anything is cached
+            for q in chars.by_ref() {
+                out.push(q);
+                if q == '\'' {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A statement prepared by [`Session::prepare`]: parsed and validated
+/// once, executable many times with different parameter bindings.
+///
+/// The handle borrows its session (the catalog outlives every statement).
+/// Executing binds one [`Value`] per `$n` slot, in order: `params[0]`
+/// binds `$1`.
+///
+/// ```
+/// use tpdb_query::Session;
+/// use tpdb_storage::{Catalog, Value};
+///
+/// let mut catalog = Catalog::new();
+/// let (a, b) = tpdb_datagen::booking_example();
+/// catalog.register(a).unwrap();
+/// catalog.register(b).unwrap();
+/// let session = Session::new(catalog);
+///
+/// let stmt = session.prepare("SELECT * FROM a WHERE Loc = $1").unwrap();
+/// assert_eq!(stmt.parameter_count(), 1);
+///
+/// // Materializing execution ...
+/// let zak = stmt.execute(&[Value::str("ZAK")]).unwrap();
+/// assert_eq!(zak.len(), 1);
+///
+/// // ... or a streaming cursor over the same statement.
+/// let rows: Vec<_> = stmt
+///     .query(&[Value::str("WEN")])
+///     .unwrap()
+///     .map(Result::unwrap)
+///     .collect();
+/// assert_eq!(rows.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PreparedQuery<'s> {
+    session: &'s Session,
+    plan: Arc<CachedPlan>,
+}
+
+impl PreparedQuery<'_> {
+    /// The number of `$n` parameter slots the statement expects.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.plan.parameters
+    }
+
+    /// The parsed logical plan (placeholders unbound).
+    #[must_use]
+    pub fn logical_plan(&self) -> &LogicalPlan {
+        &self.plan.plan
+    }
+
+    /// Executes the statement with the given parameter values and returns
+    /// the materialized result. No parsing or validation happens here —
+    /// both were done once, at prepare time.
+    pub fn execute(&self, params: &[Value]) -> Result<TpRelation, TpdbError> {
+        self.session.run_prepared(&self.plan, params)
+    }
+
+    /// Opens a streaming [`ResultCursor`] over the statement with the
+    /// given parameter values.
+    pub fn query(&self, params: &[Value]) -> Result<ResultCursor, TpdbError> {
+        self.session.open_cursor(&self.plan, params)
+    }
+
+    /// The `EXPLAIN` output of the statement with its placeholders
+    /// unbound: the logical plan prints the `$n` slots and a `Parameters:`
+    /// line reports how many values an execution must bind.
+    pub fn explain(&self) -> Result<String, TpdbError> {
+        let mut out = explain_with(
+            &self.session.catalog,
+            &self.plan.plan,
+            &self.session.options,
+        )?;
+        out.push_str(&self.session.cache_line());
+        Ok(out)
+    }
+
+    /// The `EXPLAIN` output of the statement with `params` bound: the plan
+    /// is printed with the bound values in place of the placeholders, and
+    /// a `Parameters:` line lists each binding.
+    pub fn explain_bound(&self, params: &[Value]) -> Result<String, TpdbError> {
+        let bound = self.session.bound_plan(&self.plan, params)?;
+        let mut out = explain_with(&self.session.catalog, &bound, &self.session.options)?;
+        if !params.is_empty() {
+            let bindings: Vec<String> = params
+                .iter()
+                .enumerate()
+                .map(|(i, v)| format!("${} = {}", i + 1, crate::expr::Operand::Literal(v.clone())))
+                .collect();
+            out.push_str(&format!("Parameters: {}\n", bindings.join(", ")));
+        }
+        out.push_str(&self.session.cache_line());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdb_storage::{DataType, Schema};
+
+    fn session() -> Session {
+        let mut catalog = Catalog::new();
+        let (a, b) = tpdb_datagen::booking_example();
+        catalog.register(a).unwrap();
+        catalog.register(b).unwrap();
+        Session::new(catalog)
+    }
+
+    #[test]
+    fn execute_matches_the_paper_result() {
+        let s = session();
+        let result = s
+            .execute("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+            .unwrap();
+        assert_eq!(result.len(), 7);
+    }
+
+    #[test]
+    fn repeated_execution_hits_the_plan_cache() {
+        let s = session();
+        let q = "SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc";
+        let first = s.execute(q).unwrap();
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                cache_hits: 0,
+                cache_misses: 1,
+                cached_plans: 1,
+                statements_prepared: 0,
+                executions: 1
+            }
+        );
+        // reformatted text normalizes to the same cache key
+        let second = s
+            .execute("  SELECT *   FROM a TP ANTI JOIN b\n ON a.Loc = b.Loc ")
+            .unwrap();
+        assert_eq!(first, second);
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.executions, 2);
+    }
+
+    #[test]
+    fn prepared_statements_bind_parameters() {
+        let s = session();
+        let stmt = s
+            .prepare("SELECT Name FROM a TP LEFT JOIN b ON a.Loc = b.Loc WHERE Name = $1")
+            .unwrap();
+        assert_eq!(stmt.parameter_count(), 1);
+        let ann = stmt.execute(&[Value::str("Ann")]).unwrap();
+        let jim = stmt.execute(&[Value::str("Jim")]).unwrap();
+        assert_eq!(ann.len() + jim.len(), 7);
+        // wrong arity is rejected before execution
+        assert!(matches!(
+            stmt.execute(&[]),
+            Err(TpdbError::ParameterCount {
+                expected: 1,
+                got: 0
+            })
+        ));
+        assert!(matches!(
+            stmt.execute(&[Value::str("Ann"), Value::str("Jim")]),
+            Err(TpdbError::ParameterCount {
+                expected: 1,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn prepare_validates_against_the_catalog_up_front() {
+        let s = session();
+        // unknown relation
+        assert!(s.prepare("SELECT * FROM missing").is_err());
+        // unknown column inside a parameterized predicate
+        assert!(s.prepare("SELECT * FROM a WHERE Nope = $1").is_err());
+        // forced keyed plan on a valid equi-join still prepares
+        assert!(s
+            .prepare("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY TA")
+            .is_ok());
+    }
+
+    #[test]
+    fn catalog_mutation_invalidates_cached_plans() {
+        let mut s = session();
+        let q = "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc";
+        s.execute(q).unwrap();
+        s.execute(q).unwrap();
+        assert_eq!(s.stats().cache_hits, 1);
+
+        // any relation-set mutation bumps the schema epoch ...
+        let extra = TpRelation::new("extra", Schema::tp(&[("X", DataType::Int)]));
+        s.catalog_mut().register(extra).unwrap();
+
+        // ... so the next lookup is a miss (revalidation), then hits again
+        s.execute(q).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        s.execute(q).unwrap();
+        assert_eq!(s.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn dropping_a_relation_invalidates_and_surfaces_the_error() {
+        let mut s = session();
+        let q = "SELECT * FROM a";
+        s.execute(q).unwrap();
+        s.catalog_mut().drop_relation("a").unwrap();
+        // the stale cached plan is not reused: re-validation fails loudly
+        match s.execute(q) {
+            Err(TpdbError::Storage(e)) => assert!(e.to_string().contains("unknown relation")),
+            other => panic!("expected unknown relation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cursor_streams_and_collects_identically() {
+        let s = session();
+        let q = "SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc";
+        let materialized = s.execute(q).unwrap();
+        let collected = s.query(q).unwrap().collect().unwrap();
+        assert_eq!(collected, materialized);
+        // manual drain agrees too, tuple by tuple
+        let mut cursor = s.query(q).unwrap();
+        let mut manual = Vec::new();
+        for t in &mut cursor {
+            manual.push(t.unwrap());
+        }
+        assert_eq!(manual.len(), materialized.len());
+        assert_eq!(cursor.fetched(), materialized.len());
+        assert_eq!(manual, materialized.tuples().to_vec());
+    }
+
+    #[test]
+    fn explain_reports_parameters_and_cache_state() {
+        let s = session();
+        let q = "SELECT * FROM a WHERE Loc = $1";
+        let text = s.explain(q).unwrap();
+        assert!(text.contains("Filter (Loc = $1)"), "{text}");
+        assert!(text.contains("Parameters: 1 unbound slot(s)"), "{text}");
+        assert!(text.contains("Plan cache: 0 hit(s), 1 miss(es)"), "{text}");
+
+        let stmt = s.prepare(q).unwrap();
+        let bound = stmt.explain_bound(&[Value::str("ZAK")]).unwrap();
+        assert!(bound.contains("Filter (Loc = 'ZAK')"), "{bound}");
+        assert!(bound.contains("$1 = 'ZAK'"), "{bound}");
+        // the prepare above was answered from the cache
+        assert!(bound.contains("1 hit(s)"), "{bound}");
+    }
+
+    #[test]
+    fn unbound_parameters_cannot_sneak_into_execution() {
+        let s = session();
+        let q = "SELECT * FROM a WHERE Loc = $1";
+        assert!(matches!(
+            s.execute(q),
+            Err(TpdbError::ParameterCount {
+                expected: 1,
+                got: 0
+            })
+        ));
+        // run() on a hand-built parameterized plan fails at binding
+        let plan = parse_query(q).unwrap();
+        assert!(matches!(
+            s.run(&plan),
+            Err(TpdbError::UnboundParameter { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn normalization_preserves_whitespace_inside_string_literals() {
+        // reformatting outside literals is key-equivalent ...
+        assert_eq!(
+            normalize("  SELECT *\n FROM   a "),
+            normalize("SELECT * FROM a")
+        );
+        // ... but whitespace inside a literal is part of the value
+        assert_ne!(
+            normalize("SELECT * FROM a WHERE Loc = 'A  B'"),
+            normalize("SELECT * FROM a WHERE Loc = 'A B'")
+        );
+        assert_eq!(
+            normalize("SELECT * FROM a WHERE Loc = 'A \t B'"),
+            "SELECT * FROM a WHERE Loc = 'A \t B'"
+        );
+    }
+
+    #[test]
+    fn literals_differing_only_in_whitespace_do_not_collide_in_the_cache() {
+        // Regression: the cache key once collapsed whitespace inside
+        // string literals, so these two queries shared one cached plan and
+        // the second silently returned the first one's rows.
+        let mut s = Session::new(Catalog::new());
+        let mut rel = TpRelation::new("a", Schema::tp(&[("Loc", DataType::Str)]));
+        for (loc, p) in [("A  B", 0.5), ("A B", 0.25)] {
+            rel.push_unchecked(tpdb_storage::TpTuple::new(
+                vec![Value::str(loc)],
+                tpdb_lineage::Lineage::tru(),
+                tpdb_temporal::Interval::new(0, 1),
+                p,
+            ));
+        }
+        s.catalog_mut().register(rel).unwrap();
+
+        let wide = s.execute("SELECT * FROM a WHERE Loc = 'A  B'").unwrap();
+        let narrow = s.execute("SELECT * FROM a WHERE Loc = 'A B'").unwrap();
+        assert_eq!(wide.len(), 1);
+        assert_eq!(narrow.len(), 1);
+        assert_eq!(wide.tuple(0).fact(0), &Value::str("A  B"));
+        assert_eq!(narrow.tuple(0).fact(0), &Value::str("A B"));
+        // two distinct cache entries, no false hit
+        let stats = s.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.cached_plans, 2);
+    }
+
+    #[test]
+    fn cache_eviction_is_bounded() {
+        let s = session();
+        for i in 0..(MAX_CACHED_PLANS + 10) {
+            let q = format!("SELECT * FROM a WHERE Loc = 'L{i}'");
+            s.execute(&q).unwrap();
+        }
+        assert_eq!(s.stats().cached_plans, MAX_CACHED_PLANS);
+    }
+
+    #[test]
+    fn parallelism_knob_is_clamped_and_honored() {
+        let mut s = session();
+        s.set_parallelism(0);
+        assert_eq!(s.parallelism(), 1);
+        s.set_parallelism(4);
+        assert_eq!(s.parallelism(), 4);
+        let text = s
+            .explain("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+            .unwrap();
+        assert!(text.contains("parallel=4"), "{text}");
+        // per-query pins beat the session default
+        let text = s
+            .explain("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc PARALLEL 2")
+            .unwrap();
+        assert!(text.contains("parallel=2"), "{text}");
+    }
+}

@@ -23,11 +23,19 @@ use tpdb_temporal::Interval;
 ///
 /// It plays the role of the PostgreSQL system catalog in the paper's
 /// implementation.
+///
+/// Every mutation of the relation set (register, create, drop) bumps the
+/// catalog's **schema epoch** ([`schema_epoch`](Self::schema_epoch)), a
+/// monotonic counter that cached query plans are keyed on: a plan prepared
+/// against epoch `e` is stale — and must be re-validated — once the
+/// catalog reports an epoch other than `e`.
 #[derive(Debug, Default)]
 pub struct Catalog {
     relations: RwLock<HashMap<String, Arc<TpRelation>>>,
     symbols: SymbolTable,
     probabilities: HashMap<VarId, f64>,
+    /// Monotonic counter of relation-set mutations (the plan-cache key).
+    epoch: u64,
 }
 
 impl Catalog {
@@ -83,7 +91,17 @@ impl Catalog {
             .write()
             .expect("catalog lock poisoned")
             .insert(name, Arc::new(relation));
+        self.epoch += 1;
         Ok(())
+    }
+
+    /// The current schema epoch: a monotonic counter bumped on every
+    /// mutation of the relation set. Query-layer plan caches compare the
+    /// epoch a plan was prepared under with the current value to detect
+    /// staleness.
+    #[must_use]
+    pub fn schema_epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Looks up a relation by name.
@@ -103,7 +121,9 @@ impl Catalog {
             .expect("catalog lock poisoned")
             .remove(name)
             .map(|_| ())
-            .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))?;
+        self.epoch += 1;
+        Ok(())
     }
 
     /// Names of all registered relations (sorted).
@@ -202,6 +222,7 @@ impl RelationBuilder<'_> {
             .write()
             .expect("catalog lock poisoned")
             .insert(name, Arc::clone(&arc));
+        self.catalog.epoch += 1;
         Ok(arc)
     }
 }
@@ -269,6 +290,23 @@ mod tests {
         let mut b = c.create_relation("a", schema()).unwrap();
         b.push(vec![Value::str("Ann")], Interval::new(2, 8), 0.7); // wrong arity
         assert!(b.try_finish().is_err());
+    }
+
+    #[test]
+    fn schema_epoch_bumps_on_every_relation_set_mutation() {
+        let mut c = Catalog::new();
+        assert_eq!(c.schema_epoch(), 0);
+        let _ = c.create_relation("a", schema()).unwrap().finish();
+        assert_eq!(c.schema_epoch(), 1);
+        c.register(TpRelation::new("b", schema())).unwrap();
+        assert_eq!(c.schema_epoch(), 2);
+        c.drop_relation("a").unwrap();
+        assert_eq!(c.schema_epoch(), 3);
+        // failed mutations do not bump the epoch
+        assert!(c.drop_relation("a").is_err());
+        assert!(c.register(TpRelation::new("b", schema())).is_err());
+        assert!(c.create_relation("b", schema()).is_err());
+        assert_eq!(c.schema_epoch(), 3);
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! The booking-website scenario of the paper's introduction, driven through
-//! the textual query language and the pipelined query engine.
+//! the session API: prepared statements, parameter binding, streaming
+//! cursors and the plan cache.
 //!
 //! The website archives predictions about where clients want to travel
 //! (relation `a`) and about hotel availability (relation `b`). To manage
 //! supply and demand it asks, for each day, with which probability a client
 //! will find *no* accommodation at their preferred location — a TP left
-//! outer / anti join.
+//! outer / anti join. A production front-end serves that question for
+//! *many* clients: prepare the statement once, bind each client's name.
 //!
 //! Run with: `cargo run --example booking_website`
 
-use tpdb::query::QueryEngine;
-use tpdb::storage::Catalog;
+use tpdb::query::Session;
+use tpdb::storage::{Catalog, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The running example of Fig. 1, prepackaged by the data generator.
@@ -19,28 +21,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut catalog = Catalog::new();
     catalog.register(a)?;
     catalog.register(b)?;
-    let engine = QueryEngine::new(catalog);
+    let session = Session::new(catalog);
 
     // Q = a ⟕_{a.Loc = b.Loc} b  — Fig. 1b.
     let q = "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc";
-    println!("EXPLAIN {q}\n{}", engine.explain(q)?);
-    let result = engine.query(q)?;
+    println!("EXPLAIN {q}\n{}", session.explain(q)?);
+    let result = session.execute(q)?;
     println!("Result ({} tuples):\n{result}", result.len());
 
-    // When will Ann definitely need an alternative? The anti join keeps, per
-    // day, the probability that *no* matching hotel is available.
-    let q = "SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = 'Ann'";
-    let unbooked = engine.query(q)?;
-    println!("Days on which Ann finds no hotel (with probability):\n{unbooked}");
+    // When will a client definitely need an alternative? The anti join
+    // keeps, per day, the probability that *no* matching hotel is
+    // available. Prepared once, executed per client with a bound `$1`.
+    let stmt =
+        session.prepare("SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = $1")?;
+    for client in ["Ann", "Jim"] {
+        let unbooked = stmt.execute(&[Value::str(client)])?;
+        println!("Days on which {client} finds no hotel (with probability):\n{unbooked}");
+    }
 
-    // The same query executed with the Temporal Alignment baseline gives the
-    // same answer — just more slowly on large inputs.
-    let q_ta = "SELECT Name FROM a TP ANTI JOIN b ON a.Loc = b.Loc WHERE Name = 'Ann' STRATEGY TA";
-    let unbooked_ta = engine.query(q_ta)?;
-    assert_eq!(unbooked.len(), unbooked_ta.len());
+    // The same prepared statement as a streaming cursor: tuples arrive as
+    // they leave the window pipeline, nothing is materialized.
+    let mut cursor = stmt.query(&[Value::str("Ann")])?;
+    let first = cursor.next().expect("Ann has unbooked days")?;
     println!(
-        "(Temporal Alignment strategy returns the same {} tuples.)",
-        unbooked_ta.len()
+        "first streamed tuple: {} during {} with p = {:.2}",
+        first.fact(0),
+        first.interval(),
+        first.probability()
     );
+    drop(cursor); // dropping a cursor abandons the rest of the computation
+
+    // Both executions above reused the cached plan: one miss, then hits.
+    let stats = session.stats();
+    println!(
+        "plan cache: {} hit(s), {} miss(es), {} cached plan(s)",
+        stats.cache_hits, stats.cache_misses, stats.cached_plans
+    );
+    assert!(stats.cache_hits >= 1);
+
+    // The deprecated pre-session shim still compiles and agrees — kept as
+    // the compatibility demonstration for code that has not migrated yet.
+    #[allow(deprecated)]
+    {
+        let (a, b) = tpdb::datagen::booking_example();
+        let mut catalog = Catalog::new();
+        catalog.register(a)?;
+        catalog.register(b)?;
+        let engine = tpdb::query::QueryEngine::new(catalog);
+        let legacy = engine.query(q)?;
+        assert_eq!(legacy.len(), result.len());
+        println!(
+            "(deprecated QueryEngine shim returns the same {} tuples)",
+            legacy.len()
+        );
+    }
     Ok(())
 }

@@ -1,13 +1,15 @@
 //! Head-to-head comparison of the lineage-aware window approach (NJ) and
 //! the Temporal Alignment baseline (TA) on a Webkit-like workload — a
 //! miniature version of the paper's Fig. 7 that also verifies that both
-//! systems return the same answer.
+//! systems return the same answer. Both strategies run through the session
+//! API as prepared statements, re-executed per input size without
+//! re-parsing.
 //!
 //! Run with: `cargo run --release --example nj_vs_ta`
 
 use std::time::Instant;
-use tpdb::core::{tp_left_outer_join, ThetaCondition};
-use tpdb::ta::ta_left_outer_join;
+use tpdb::query::Session;
+use tpdb::storage::Catalog;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sizes = [1_000usize, 2_000, 4_000];
@@ -17,14 +19,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for n in sizes {
         let (r, s) = tpdb::datagen::webkit_like(n, 42);
-        let theta = ThetaCondition::column_equals("Key", "Key");
+        let mut catalog = Catalog::new();
+        catalog.register(r)?;
+        catalog.register(s)?;
+        let session = Session::new(catalog);
+
+        let nj_stmt = session.prepare(
+            "SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key STRATEGY NJ",
+        )?;
+        let ta_stmt = session.prepare(
+            "SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key STRATEGY TA",
+        )?;
 
         let start = Instant::now();
-        let nj = tp_left_outer_join(&r, &s, &theta)?;
+        let nj = nj_stmt.execute(&[])?;
         let nj_ms = start.elapsed().as_secs_f64() * 1000.0;
 
         let start = Instant::now();
-        let ta = ta_left_outer_join(&r, &s, &theta)?;
+        let ta = ta_stmt.execute(&[])?;
         let ta_ms = start.elapsed().as_secs_f64() * 1000.0;
 
         // Same semantics: same number of output tuples and same total

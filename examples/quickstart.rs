@@ -1,5 +1,5 @@
-//! Quickstart: build two TP relations, run every TP join with negation and
-//! print the results.
+//! Quickstart: build two TP relations, run every TP join with negation
+//! through a `Session` and print the results.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -57,31 +57,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{a}");
     println!("{b}");
 
-    // 2. The join condition θ: a.Loc = b.Loc.
+    // 2. Keep direct handles on the relations for the window inspection
+    //    below, then hand the catalog to a session — the query front-end.
+    let session = Session::new(catalog);
+
+    // 3. Run every TP join with negation through the query language. The
+    //    session caches the parsed plans, so re-running any of these
+    //    queries would skip parse + validation entirely.
+    for (title, kind) in [
+        ("TP inner join", "INNER"),
+        ("TP left outer join (the query of Fig. 1b)", "LEFT OUTER"),
+        ("TP anti join", "ANTI"),
+        ("TP right outer join", "RIGHT OUTER"),
+        ("TP full outer join", "FULL OUTER"),
+    ] {
+        let q = format!("SELECT * FROM a TP {kind} JOIN b ON a.Loc = b.Loc");
+        println!("{title}:\n{}", session.execute(&q)?);
+    }
+
+    // 4. The same join as a lazy tuple stream (what session cursors drive):
+    //    the first answer tuple is formed from a single window.
     let theta = ThetaCondition::column_equals("Loc", "Loc");
-
-    // 3. Run every TP join with negation.
-    println!("TP inner join:\n{}", tp_inner_join(&a, &b, &theta)?);
+    let mut stream = TpJoinStream::new(&*a, &*b, &theta, tpdb::core::TpJoinKind::LeftOuter)?;
+    let first = stream.next().expect("the join has answers");
     println!(
-        "TP left outer join (the query of Fig. 1b):\n{}",
-        tp_left_outer_join(&a, &b, &theta)?
-    );
-    println!("TP anti join:\n{}", tp_anti_join(&a, &b, &theta)?);
-    println!(
-        "TP right outer join:\n{}",
-        tp_right_outer_join(&a, &b, &theta)?
-    );
-    println!(
-        "TP full outer join:\n{}",
-        tp_full_outer_join(&a, &b, &theta)?
+        "first streamed answer tuple: {} @ {} (after {} window)",
+        first.fact(0),
+        first.interval(),
+        stream.windows_consumed()
     );
 
-    // 4. Look at the windows behind the left outer join.
+    // 5. Look at the windows behind the left outer join.
     let windows = overlapping_windows(&a, &b, &theta)?;
     let wuon = lawan(&lawau(&windows, &a));
     println!("generalized lineage-aware temporal windows of a with respect to b:");
     for w in &wuon {
-        println!("  {}", w.display_with(&a, &b, catalog.symbols()));
+        println!("  {}", w.display_with(&a, &b, session.catalog().symbols()));
     }
     Ok(())
 }

@@ -1,20 +1,21 @@
 //! A Meteo-style monitoring scenario on synthetic data: find, for every
 //! station and point in time, the probability that a measured metric is
 //! *not* corroborated by any reference series — a TP anti join on a
-//! non-selective condition, the workload family of Fig. 5b/6b/7b.
+//! non-selective condition, the workload family of Fig. 5b/6b/7b — driven
+//! through the session API with a parameterized drill-down query and a
+//! streaming cursor.
 //!
 //! Run with: `cargo run --release --example sensor_monitoring`
 
-use tpdb::core::{tp_anti_join, tp_left_outer_join, ThetaCondition};
 use tpdb::lineage::ProbabilityEngine;
+use tpdb::query::Session;
+use tpdb::storage::{Catalog, Value};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4 000 prediction tuples per relation: station measurements (r) and a
     // reference feed (s), joined on the metric id — only ~40 distinct
     // metrics exist, so θ is deliberately non-selective.
     let (measurements, reference) = tpdb::datagen::meteo_like(4_000, 7);
-    let theta = ThetaCondition::column_equals("Metric", "Metric");
-
     println!(
         "measurements: {} tuples over {} stations / {} metrics",
         measurements.len(),
@@ -23,17 +24,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("reference:    {} tuples", reference.len());
 
-    // Which measurement intervals are not corroborated by the reference feed
-    // at all (or only by reference tuples that are probably wrong)?
-    let uncorroborated = tp_anti_join(&measurements, &reference, &theta)?;
-    println!("anti join produced {} output tuples", uncorroborated.len());
+    let mut catalog = Catalog::new();
+    catalog.register(measurements)?;
+    catalog.register(reference)?;
+    let session = Session::new(catalog);
 
-    // Summarize: the ten most "suspicious" intervals — highest probability
-    // of having no corroboration.
-    let mut ranked: Vec<_> = uncorroborated.iter().collect();
-    ranked.sort_by(|x, y| y.probability().total_cmp(&x.probability()));
-    println!("top uncorroborated intervals:");
-    for t in ranked.iter().take(10) {
+    // Which measurement intervals are not corroborated by the reference
+    // feed at all (or only by reference tuples that are probably wrong)?
+    // Stream the anti join through a cursor and keep a top-10 of the most
+    // "suspicious" intervals — the full result is never materialized.
+    let cursor = session
+        .query("SELECT * FROM meteo_r TP ANTI JOIN meteo_s ON meteo_r.Metric = meteo_s.Metric")?;
+    let mut ranked = Vec::new();
+    let mut total = 0usize;
+    for tuple in cursor {
+        let tuple = tuple?;
+        total += 1;
+        ranked.push(tuple);
+        ranked.sort_by(|x, y| y.probability().total_cmp(&x.probability()));
+        ranked.truncate(10);
+    }
+    println!("anti join streamed {total} output tuples; top uncorroborated intervals:");
+    for t in &ranked {
         println!(
             "  station {:>4}  metric {:>3}  {}  p = {:.3}",
             t.fact(0),
@@ -43,12 +55,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // Drill down per metric with a prepared, parameterized statement: one
+    // parse for any number of metrics.
+    let per_metric = session.prepare(
+        "SELECT * FROM meteo_r TP ANTI JOIN meteo_s ON meteo_r.Metric = meteo_s.Metric WHERE Metric = $1",
+    )?;
+    for metric in [0i64, 1, 2] {
+        let rows = per_metric.execute(&[Value::Int(metric)])?;
+        println!("metric {metric}: {} uncorroborated interval(s)", rows.len());
+    }
+    let stats = session.stats();
+    println!(
+        "plan cache after the sweep: {} hit(s), {} miss(es)",
+        stats.cache_hits, stats.cache_misses
+    );
+
     // The left outer join additionally keeps the corroborated pairs; verify
     // the probability of one derived tuple against the lineage engine.
-    let full = tp_left_outer_join(&measurements, &reference, &theta)?;
+    let full = session
+        .execute("SELECT * FROM meteo_r TP LEFT JOIN meteo_s ON meteo_r.Metric = meteo_s.Metric")?;
     let mut engine = ProbabilityEngine::new();
-    measurements.register_probabilities(&mut engine);
-    reference.register_probabilities(&mut engine);
+    session
+        .catalog()
+        .relation("meteo_r")?
+        .register_probabilities(&mut engine);
+    session
+        .catalog()
+        .relation("meteo_s")?
+        .register_probabilities(&mut engine);
     let sample = full.tuple(0);
     let recomputed = engine.probability(sample.lineage());
     assert!((recomputed - sample.probability()).abs() < 1e-9);

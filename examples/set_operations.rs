@@ -1,12 +1,15 @@
 //! Temporal-probabilistic set operations (difference, intersection, union)
 //! on two prediction feeds — the extension module built on the same window
-//! machinery as the joins.
+//! machinery as the joins. The derived relations are registered back into
+//! a session's catalog, where the query language (and its plan cache) can
+//! filter them like any base relation.
 //!
 //! Run with: `cargo run --example set_operations`
 
 use tpdb::core::{tp_difference, tp_intersection, tp_union};
 use tpdb::lineage::Lineage;
-use tpdb::storage::{DataType, Schema, TpRelation, TpTuple, Value};
+use tpdb::query::Session;
+use tpdb::storage::{Catalog, DataType, Schema, TpRelation, TpTuple, Value};
 use tpdb::temporal::Interval;
 
 fn feed(name: &str, var_prefix: u32, rows: &[(&str, (i64, i64), f64)]) -> TpRelation {
@@ -40,12 +43,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{beta}");
 
     // Where does alpha predict something that beta does not confirm?
-    println!("alpha ∖ beta:\n{}", tp_difference(&alpha, &beta)?);
+    let difference = tp_difference(&alpha, &beta)?;
+    println!("alpha ∖ beta:\n{difference}");
 
     // Where do both feeds agree (and how confident is the combination)?
     println!("alpha ∩ beta:\n{}", tp_intersection(&alpha, &beta)?);
 
     // The merged prediction timeline.
-    println!("alpha ∪ beta:\n{}", tp_union(&alpha, &beta)?);
+    let union = tp_union(&alpha, &beta)?;
+    println!("alpha ∪ beta:\n{union}");
+
+    // Register the derived relations in a session: set-operation results
+    // are first-class TP relations, so the query layer (prepared
+    // statements, parameter binding, cursors) works on them unchanged.
+    let mut catalog = Catalog::new();
+    catalog.register(difference.renamed("diff"))?;
+    catalog.register(union.renamed("merged"))?;
+    let session = Session::new(catalog);
+
+    let stmt = session.prepare("SELECT * FROM merged WHERE Event = $1")?;
+    for event in ["maintenance", "outage"] {
+        let rows = stmt.execute(&[Value::str(event)])?;
+        println!(
+            "merged timeline of '{event}' ({} interval(s)):\n{rows}",
+            rows.len()
+        );
+    }
     Ok(())
 }

@@ -45,9 +45,10 @@ pub use tpdb_temporal as temporal;
 pub mod prelude {
     pub use tpdb_core::{
         lawan, lawau, overlapping_windows, tp_anti_join, tp_full_outer_join, tp_inner_join,
-        tp_left_outer_join, tp_right_outer_join, ThetaCondition, Window, WindowKind,
+        tp_left_outer_join, tp_right_outer_join, ThetaCondition, TpJoinStream, Window, WindowKind,
     };
     pub use tpdb_lineage::{Lineage, ProbabilityEngine, SymbolTable, VarId};
+    pub use tpdb_query::{PreparedQuery, ResultCursor, Session, SessionStats, TpdbError};
     pub use tpdb_storage::{Catalog, Field, Schema, TpRelation, TpTuple, Value};
     pub use tpdb_temporal::{Interval, TimePoint};
 }

@@ -1,8 +1,7 @@
 //! Integration test: the running example of the paper (Fig. 1) end to end,
-//! through the umbrella crate and through the query engine.
+//! through the umbrella crate and through the session API.
 
 use tpdb::prelude::*;
-use tpdb::query::QueryEngine;
 
 /// The seven answer tuples of Fig. 1b, as (Name, Hotel, Ts, Te, probability).
 const EXPECTED: [(&str, Option<&str>, i64, i64, f64); 7] = [
@@ -45,20 +44,20 @@ fn left_outer_join_via_library_api() {
 }
 
 #[test]
-fn left_outer_join_via_query_engine_nj_and_ta() {
+fn left_outer_join_via_session_nj_and_ta() {
     let (a, b) = tpdb::datagen::booking_example();
     let mut catalog = Catalog::new();
     catalog.register(a).unwrap();
     catalog.register(b).unwrap();
-    let engine = QueryEngine::new(catalog);
+    let session = Session::new(catalog);
 
     for strategy in ["NJ", "TA"] {
-        let result = engine
-            .query(&format!(
-                "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY {strategy}"
-            ))
-            .unwrap();
+        let q = format!("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY {strategy}");
+        // materializing execution and a drained streaming cursor agree
+        let result = session.execute(&q).unwrap();
         check_result(&result);
+        let streamed = session.query(&q).unwrap().collect().unwrap();
+        check_result(&streamed);
     }
 }
 

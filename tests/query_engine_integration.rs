@@ -1,24 +1,26 @@
-//! Integration test: the query engine on generated workloads — parsing,
-//! planning, strategy selection and result consistency across the whole
-//! stack (datagen → storage → query → core/ta).
+//! Integration test: the session API on generated workloads — parsing,
+//! preparing, parameter binding, cursor streaming, strategy selection and
+//! result consistency across the whole stack (datagen → storage → query →
+//! core/ta). The deprecated `QueryEngine` shim is exercised once to pin
+//! its compatibility contract.
 
 use tpdb::core::ThetaCondition;
-use tpdb::query::{parse_query, LogicalPlan, QueryEngine};
+use tpdb::query::{parse_query, LogicalPlan, Session};
 use tpdb::storage::{Catalog, Value};
 
-fn engine_with_webkit(n: usize) -> QueryEngine {
+fn session_with_webkit(n: usize) -> Session {
     let (r, s) = tpdb::datagen::webkit_like(n, 3);
     let mut catalog = Catalog::new();
     catalog.register(r).unwrap();
     catalog.register(s).unwrap();
-    QueryEngine::new(catalog)
+    Session::new(catalog)
 }
 
 #[test]
 fn textual_query_equals_programmatic_plan() {
-    let engine = engine_with_webkit(400);
+    let session = session_with_webkit(400);
     let text = "SELECT * FROM webkit_r TP ANTI JOIN webkit_s ON webkit_r.Key = webkit_s.Key";
-    let via_text = engine.query(text).unwrap();
+    let via_text = session.execute(text).unwrap();
 
     let plan = LogicalPlan::scan("webkit_r").tp_join(
         LogicalPlan::scan("webkit_s"),
@@ -26,7 +28,7 @@ fn textual_query_equals_programmatic_plan() {
         tpdb::core::TpJoinKind::Anti,
         tpdb::query::JoinStrategy::Nj,
     );
-    let via_plan = engine.run(&plan).unwrap();
+    let via_plan = session.run(&plan).unwrap();
 
     assert_eq!(via_text.len(), via_plan.len());
     assert!(parse_query(text).is_ok());
@@ -34,12 +36,12 @@ fn textual_query_equals_programmatic_plan() {
 
 #[test]
 fn strategy_choice_does_not_change_the_answer() {
-    let engine = engine_with_webkit(300);
-    let nj = engine
-        .query("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key STRATEGY NJ")
+    let session = session_with_webkit(300);
+    let nj = session
+        .execute("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key STRATEGY NJ")
         .unwrap();
-    let ta = engine
-        .query("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key STRATEGY TA")
+    let ta = session
+        .execute("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key STRATEGY TA")
         .unwrap();
     assert_eq!(nj.len(), ta.len());
     // total probability mass (probability × duration) must agree
@@ -53,22 +55,41 @@ fn strategy_choice_does_not_change_the_answer() {
 
 #[test]
 fn where_clause_filters_join_output() {
-    let engine = engine_with_webkit(200);
-    let all = engine
-        .query("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key")
+    let session = session_with_webkit(200);
+    let all = session
+        .execute("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key")
         .unwrap();
-    let filtered = engine
-        .query("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key WHERE Key = 0")
+    let filtered = session
+        .execute("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key WHERE Key = 0")
         .unwrap();
     assert!(filtered.len() < all.len());
     assert!(filtered.iter().all(|t| t.fact(0) == &Value::Int(0)));
+
+    // the same filter as a prepared statement with a bound parameter
+    let stmt = session
+        .prepare("SELECT * FROM webkit_r TP LEFT JOIN webkit_s ON webkit_r.Key = webkit_s.Key WHERE Key = $1")
+        .unwrap();
+    let bound = stmt.execute(&[Value::Int(0)]).unwrap();
+    assert_eq!(bound, filtered);
+}
+
+#[test]
+fn cursor_streams_the_same_tuples_execution_materializes() {
+    let session = session_with_webkit(250);
+    let q = "SELECT * FROM webkit_r TP FULL OUTER JOIN webkit_s ON webkit_r.Key = webkit_s.Key";
+    let materialized = session.execute(q).unwrap();
+    let mut cursor = session.query(q).unwrap();
+    let first = cursor.next().unwrap().unwrap();
+    assert_eq!(&first, materialized.tuple(0));
+    let rest = cursor.collect().unwrap();
+    assert_eq!(rest.len() + 1, materialized.len());
 }
 
 #[test]
 fn projection_keeps_temporal_and_probabilistic_attributes() {
-    let engine = engine_with_webkit(200);
-    let result = engine
-        .query("SELECT Key FROM webkit_r TP ANTI JOIN webkit_s ON webkit_r.Key = webkit_s.Key")
+    let session = session_with_webkit(200);
+    let result = session
+        .execute("SELECT Key FROM webkit_r TP ANTI JOIN webkit_s ON webkit_r.Key = webkit_s.Key")
         .unwrap();
     assert_eq!(result.schema().arity(), 1);
     for t in result.iter() {
@@ -79,10 +100,25 @@ fn projection_keeps_temporal_and_probabilistic_attributes() {
 
 #[test]
 fn explain_runs_without_executing() {
-    let engine = engine_with_webkit(100);
-    let text = engine
+    let session = session_with_webkit(100);
+    let text = session
         .explain("SELECT * FROM webkit_r TP FULL OUTER JOIN webkit_s ON webkit_r.Key = webkit_s.Key STRATEGY TA")
         .unwrap();
     assert!(text.contains("⟗"));
     assert!(text.contains("strategy=TA"));
+    assert!(text.contains("Plan cache:"));
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_query_engine_shim_still_works() {
+    let (r, s) = tpdb::datagen::webkit_like(150, 3);
+    let mut catalog = Catalog::new();
+    catalog.register(r).unwrap();
+    catalog.register(s).unwrap();
+    let engine = tpdb::query::QueryEngine::new(catalog);
+    let q = "SELECT * FROM webkit_r TP ANTI JOIN webkit_s ON webkit_r.Key = webkit_s.Key";
+    let via_shim = engine.query(q).unwrap();
+    let via_session = engine.session().execute(q).unwrap();
+    assert_eq!(via_shim, via_session);
 }
