@@ -11,6 +11,7 @@
 //! cargo run --release -p tpdb-bench --bin experiments -- fig5 --smoke --json --check-nj-wuo
 //! cargo run --release -p tpdb-bench --bin experiments -- scaling --json --threads 1,2,4,8
 //! cargo run --release -p tpdb-bench --bin experiments -- prepared --json
+//! cargo run --release -p tpdb-bench --bin experiments -- setops --smoke --json --check-union-streaming
 //! ```
 //!
 //! Default cardinalities are scaled down from the paper's 40K–200K so that
@@ -24,6 +25,10 @@
 //! * `--check-nj-wuo` exits non-zero when the NJ series of Fig. 5 is slower
 //!   than the TA series on the meteo workload at the largest measured scale
 //!   — the CI regression guard for the LAWAU hot path.
+//! * `--check-union-streaming` exits non-zero when the streamed TP union of
+//!   the `setops` figure is slower than the pre-streaming materializing
+//!   reference (beyond a 10% noise margin) at the largest measured scale —
+//!   the CI regression guard for the set-operation streaming path.
 //! * `--threads 1,2,4` selects the worker counts of the `scaling` figure
 //!   (partitioned parallel NJ on the meteo WUO workload; implies `scaling`)
 //!   and prints/records speedups against the serial `NJ-P1` baseline.
@@ -32,8 +37,8 @@
 
 use tpdb_bench::{
     header, measurements_to_json, run_nj_left_outer, run_nj_wn, run_nj_wuo, run_nj_wuo_parallel,
-    run_nj_wuon, run_prepared_vs_reparse, run_ta_left_outer, run_ta_negating, run_ta_wuo, Dataset,
-    Measurement,
+    run_nj_wuon, run_prepared_vs_reparse, run_setops_query_layer, run_ta_left_outer,
+    run_ta_negating, run_ta_wuo, run_union_materialized, run_union_streamed, Dataset, Measurement,
 };
 
 /// Input cardinalities per figure.
@@ -52,14 +57,16 @@ struct Config {
     scale: Scale,
     json: bool,
     check_nj_wuo: bool,
+    check_union_streaming: bool,
     /// Worker counts of the `scaling` figure.
     threads: Vec<usize>,
 }
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: experiments [fig5] [fig6] [fig7] [ablation] [scaling] [prepared] \
-         [--full | --smoke] [--json] [--check-nj-wuo] [--threads 1,2,4]"
+        "usage: experiments [fig5] [fig6] [fig7] [ablation] [scaling] [prepared] [setops] \
+         [--full | --smoke] [--json] [--check-nj-wuo] [--check-union-streaming] \
+         [--threads 1,2,4]"
     );
     std::process::exit(2);
 }
@@ -86,6 +93,7 @@ fn parse_args() -> Config {
     let mut scale = Scale::Default;
     let mut json = false;
     let mut check_nj_wuo = false;
+    let mut check_union_streaming = false;
     let mut threads: Option<Vec<usize>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -94,6 +102,7 @@ fn parse_args() -> Config {
             "--smoke" => scale = Scale::Smoke,
             "--json" => json = true,
             "--check-nj-wuo" => check_nj_wuo = true,
+            "--check-union-streaming" => check_union_streaming = true,
             "--threads" => match args.next() {
                 Some(list) => threads = Some(parse_threads(&list)),
                 None => {
@@ -101,7 +110,9 @@ fn parse_args() -> Config {
                     usage_and_exit();
                 }
             },
-            "fig5" | "fig6" | "fig7" | "ablation" | "scaling" | "prepared" => figures.push(arg),
+            "fig5" | "fig6" | "fig7" | "ablation" | "scaling" | "prepared" | "setops" => {
+                figures.push(arg)
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 usage_and_exit();
@@ -119,12 +130,17 @@ fn parse_args() -> Config {
             "fig7".into(),
             "ablation".into(),
             "prepared".into(),
+            "setops".into(),
         ];
     }
-    // The regression guard only evaluates Fig. 5 rows; passing it without
-    // running fig5 would silently skip the check.
+    // The regression guards only evaluate their own figure's rows; passing
+    // a guard without running the figure would silently skip the check.
     if check_nj_wuo && !figures.iter().any(|f| f == "fig5") {
         eprintln!("--check-nj-wuo requires fig5 to be among the figures run");
+        std::process::exit(2);
+    }
+    if check_union_streaming && !figures.iter().any(|f| f == "setops") {
+        eprintln!("--check-union-streaming requires setops to be among the figures run");
         std::process::exit(2);
     }
     Config {
@@ -132,6 +148,7 @@ fn parse_args() -> Config {
         scale,
         json,
         check_nj_wuo,
+        check_union_streaming,
         threads: threads.unwrap_or_else(|| vec![1, 2, 4, 8]),
     }
 }
@@ -272,6 +289,89 @@ fn prepared(scale: Scale) -> Vec<Measurement> {
         all.extend(rows);
     }
     all
+}
+
+/// The set-operation figure: union/intersect/except on the meteo workload.
+/// `union-stream` is the lazy [`tpdb_core::TpSetOpStream`] path (what
+/// [`tpdb_core::tp_union`] and the query layer run); `union-mat` is the
+/// pre-streaming materializing reference; the `*-query` series measure the
+/// three operations end-to-end through the session front-end.
+fn setops(scale: Scale) -> Vec<Measurement> {
+    let sizes: &[usize] = match scale {
+        Scale::Full => &[40_000],
+        Scale::Default => &[5_000, 20_000],
+        Scale::Smoke => &[2_000],
+    };
+    let mut all = Vec::new();
+    for &n in sizes {
+        let w = Dataset::MeteoLike.generate(n, 42);
+        // Untimed warmup: the first run over a fresh workload pays the
+        // cold-cache cost, which would otherwise bias whichever series is
+        // measured first.
+        let _ = run_union_materialized(&w);
+        let mut rows = vec![run_union_streamed(&w), run_union_materialized(&w)];
+        rows.extend(run_setops_query_layer(&w));
+        print_series(
+            &format!("Set operations (meteo, {n} tuples) — streamed vs. materializing union"),
+            &rows,
+        );
+        all.extend(rows);
+    }
+    all
+}
+
+/// The set-operation regression guard: the streamed union must not be
+/// slower than the old materializing path on the meteo workload at the
+/// largest measured cardinality, beyond a 10% wall-clock noise margin (the
+/// two paths do identical window work — the streamed one merely avoids
+/// materializing the window lists, so any real slowdown is a pipeline
+/// regression).
+fn check_union_streaming(rows: &[Measurement]) {
+    let meteo: Vec<&Measurement> = rows.iter().filter(|m| m.dataset == "meteo").collect();
+    let largest = meteo.iter().map(|m| m.tuples).max().unwrap_or(0);
+    let series = |name: &str| {
+        meteo
+            .iter()
+            .find(|m| m.series == name && m.tuples == largest)
+            .copied()
+    };
+    let (Some(streamed), Some(materialized)) = (series("union-stream"), series("union-mat")) else {
+        eprintln!("--check-union-streaming: setops union series missing");
+        std::process::exit(1);
+    };
+    const MARGIN: f64 = 1.10;
+    // Wall-clock comparisons on shared CI runners are noisy; before
+    // declaring a regression, re-measure the pair up to twice on a fresh
+    // workload.
+    let (mut stream_ms, mut mat_ms) = (streamed.millis, materialized.millis);
+    for attempt in 1..=2 {
+        if stream_ms <= mat_ms * MARGIN {
+            break;
+        }
+        eprintln!(
+            "streamed union ({stream_ms:.2} ms) slower than materializing ({mat_ms:.2} ms); \
+             re-measuring (attempt {attempt}/2, noisy runner?)"
+        );
+        let w = Dataset::MeteoLike.generate(largest, 42);
+        // Same untimed warmup as the figure itself: without it the first
+        // measured series would absorb the fresh workload's cold-cache
+        // cost and the retry would be biased against the streamed path.
+        let _ = run_union_materialized(&w);
+        stream_ms = run_union_streamed(&w).millis;
+        mat_ms = run_union_materialized(&w).millis;
+    }
+    println!(
+        "\nunion streaming guard (meteo, {largest} tuples): streamed {stream_ms:.2} ms, \
+         materializing {mat_ms:.2} ms"
+    );
+    if stream_ms > mat_ms * MARGIN {
+        eprintln!(
+            "REGRESSION: the streamed union ({stream_ms:.2} ms) is more than 10% slower than \
+             the materializing reference ({mat_ms:.2} ms) on the meteo workload at {largest} \
+             tuples"
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Ablations not present in the paper: (A1) the overlap-join plan inside NJ
@@ -422,6 +522,7 @@ fn main() {
             "fig7" => fig7(config.scale),
             "scaling" => scaling(config.scale, &config.threads),
             "prepared" => prepared(config.scale),
+            "setops" => setops(config.scale),
             "ablation" => {
                 ablation();
                 continue;
@@ -433,6 +534,9 @@ fn main() {
         }
         if config.check_nj_wuo && figure == "fig5" {
             check_nj_wuo(&rows);
+        }
+        if config.check_union_streaming && figure == "setops" {
+            check_union_streaming(&rows);
         }
     }
 }

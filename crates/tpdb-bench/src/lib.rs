@@ -295,6 +295,68 @@ pub fn run_ta_left_outer(w: &Workload) -> Measurement {
 }
 
 // ---------------------------------------------------------------------------
+// Set operations — streamed vs. materializing union, query-layer end-to-end
+// ---------------------------------------------------------------------------
+
+/// The streamed TP union (the [`tpdb_core::TpSetOpStream`] path the query
+/// layer's cursors ride on), drained to a relation.
+#[must_use]
+pub fn run_union_streamed(w: &Workload) -> Measurement {
+    let (millis, rel) = time(|| tpdb_core::tp_union(&w.r, &w.s).expect("union-compatible"));
+    Measurement {
+        series: "union-stream".to_owned(),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output: rel.len(),
+    }
+}
+
+/// The pre-streaming TP union reference
+/// ([`tpdb_core::tp_union_materialized`]): both window passes fully
+/// materialized before output formation. The `--check-union-streaming`
+/// regression guard compares [`run_union_streamed`] against this series.
+#[must_use]
+pub fn run_union_materialized(w: &Workload) -> Measurement {
+    let (millis, rel) =
+        time(|| tpdb_core::tp_union_materialized(&w.r, &w.s).expect("union-compatible"));
+    Measurement {
+        series: "union-mat".to_owned(),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output: rel.len(),
+    }
+}
+
+/// The three set operations end-to-end through the query layer: parse →
+/// plan → `SetOpExec` → materialized result, on a fresh session (the first
+/// execution pays the one-time parse + validate; it is noise at these
+/// cardinalities, exactly as the `prepared` figure shows for joins).
+#[must_use]
+pub fn run_setops_query_layer(w: &Workload) -> Vec<Measurement> {
+    let session = session_over(w);
+    let (rname, sname) = (w.r.name(), w.s.name());
+    let mut rows = Vec::new();
+    for (series, kw) in [
+        ("union-query", "UNION"),
+        ("intersect-query", "INTERSECT"),
+        ("except-query", "EXCEPT"),
+    ] {
+        let q = format!("SELECT * FROM {rname} {kw} SELECT * FROM {sname}");
+        let (millis, output) = time(|| session.execute(&q).expect("set op runs").len());
+        rows.push(Measurement {
+            series: series.to_owned(),
+            dataset: w.dataset.label().to_owned(),
+            tuples: w.r.len(),
+            millis,
+            output,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Prepared-vs-reparse: the session front-end contract
 // ---------------------------------------------------------------------------
 
@@ -430,6 +492,21 @@ mod tests {
                 assert_eq!(parallel.series, format!("NJ-P{threads}"));
             }
         }
+    }
+
+    #[test]
+    fn setops_series_agree_on_outputs() {
+        let w = Dataset::MeteoLike.generate(300, 7);
+        let streamed = run_union_streamed(&w);
+        let materialized = run_union_materialized(&w);
+        assert_eq!(streamed.output, materialized.output);
+        let query_rows = run_setops_query_layer(&w);
+        assert_eq!(query_rows.len(), 3);
+        let union_query = query_rows
+            .iter()
+            .find(|m| m.series == "union-query")
+            .expect("union-query series");
+        assert_eq!(union_query.output, streamed.output);
     }
 
     #[test]

@@ -99,7 +99,10 @@ pub use parallel::{
     tp_join_parallel_with_engine_and_plan, tp_join_parallel_with_plan, MAX_PARALLELISM,
 };
 pub use pipeline::{LawanStream, LawauStream, WindowStream};
-pub use setops::{tp_difference, tp_intersection, tp_union};
+pub use setops::{
+    all_columns_equal, check_union_compatible, tp_difference, tp_intersection, tp_union,
+    tp_union_materialized, TpSetOpKind, TpSetOpStream,
+};
 pub use stream::TpJoinStream;
 pub use theta::{BoundTheta, CompareOp, ThetaCondition};
 pub use window::{Window, WindowKind};

@@ -16,23 +16,100 @@
 //! * **union** `r ∪ s` — the fact is true in `r` or in `s`: per time point
 //!   the lineage `λr ∨ λs`, assembled from the overlapping, unmatched and
 //!   negating windows of both sides.
+//!
+//! All three operations execute lazily through [`TpSetOpStream`] — the set
+//! operation counterpart of [`TpJoinStream`] and the engine behind the
+//! query layer's set-operation result cursors. The one-shot functions
+//! ([`tp_union`], [`tp_intersection`], [`tp_difference`]) simply drain the
+//! stream; nothing is materialized besides the output itself.
 
-use crate::join::{tp_join_with_engine, TpJoinKind};
+use crate::join::TpJoinKind;
+use crate::overlap::OverlapJoinPlan;
+use crate::stream::{Pipe, PipeDepth, TpJoinStream};
 use crate::theta::ThetaCondition;
-use crate::window::{Window, WindowKind};
+use crate::window::WindowKind;
 use crate::{lawan, lawau, overlapping_windows};
+use std::borrow::{Borrow, BorrowMut};
 use tpdb_lineage::{Lineage, ProbabilityEngine};
 use tpdb_storage::{Schema, StorageError, TpRelation, TpTuple};
 
-/// Builds the θ condition equating every fact attribute of two
-/// union-compatible relations.
-fn all_columns_equal(r: &TpRelation, s: &TpRelation) -> Result<ThetaCondition, StorageError> {
-    if r.schema().arity() != s.schema().arity() {
+/// Which TP set operation to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpSetOpKind {
+    /// `r ∪ s` — the fact is true in `r` or in `s`.
+    Union,
+    /// `r ∩ s` — the fact is true in both relations.
+    Intersection,
+    /// `r ∖ s` — the fact is true in `r` and not in `s`.
+    Difference,
+}
+
+impl TpSetOpKind {
+    /// The operator symbol used in relation names and plan explanations.
+    #[must_use]
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            TpSetOpKind::Union => "∪",
+            TpSetOpKind::Intersection => "∩",
+            TpSetOpKind::Difference => "∖",
+        }
+    }
+
+    /// The SQL keyword of the operation in the query language
+    /// (`UNION` / `INTERSECT` / `EXCEPT`).
+    #[must_use]
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            TpSetOpKind::Union => "UNION",
+            TpSetOpKind::Intersection => "INTERSECT",
+            TpSetOpKind::Difference => "EXCEPT",
+        }
+    }
+}
+
+impl std::fmt::Display for TpSetOpKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Checks that two schemas are union-compatible for the positional TP set
+/// operations: same arity and, per position, the same value type.
+///
+/// Column *names* may differ — the set operations are positional, like
+/// SQL's bag operations. (The query layer additionally requires matching
+/// names so that the output schema is unambiguous.)
+///
+/// # Errors
+///
+/// [`StorageError::ArityMismatch`] on differing arity;
+/// [`StorageError::UnionIncompatible`] naming the offending column (after
+/// the left schema) on a value-type mismatch.
+pub fn check_union_compatible(left: &Schema, right: &Schema) -> Result<(), StorageError> {
+    if left.arity() != right.arity() {
         return Err(StorageError::ArityMismatch {
-            expected: r.schema().arity(),
-            got: s.schema().arity(),
+            expected: left.arity(),
+            got: right.arity(),
         });
     }
+    for (lf, rf) in left.fields().iter().zip(right.fields()) {
+        if lf.dtype != rf.dtype {
+            return Err(StorageError::UnionIncompatible {
+                column: lf.name.clone(),
+                detail: format!("left is {}, right is {}", lf.dtype, rf.dtype),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Builds the θ condition equating every fact attribute of two
+/// union-compatible relations, rejecting inputs whose schemas differ in
+/// arity or per-position value type (a type mismatch would otherwise slip
+/// through to runtime comparison, where `INT 1 = STR '1'` silently never
+/// matches).
+pub fn all_columns_equal(r: &TpRelation, s: &TpRelation) -> Result<ThetaCondition, StorageError> {
+    check_union_compatible(r.schema(), s.schema())?;
     let mut theta = ThetaCondition::always();
     for (rf, sf) in r.schema().fields().iter().zip(s.schema().fields()) {
         theta = theta.and_compare(&rf.name, crate::theta::CompareOp::Eq, &sf.name);
@@ -44,44 +121,35 @@ fn all_columns_equal(r: &TpRelation, s: &TpRelation) -> Result<ThetaCondition, S
 ///
 /// The result contains, per fact and time point, the probability that the
 /// fact holds in `r` and does not hold in `s` — i.e. the TP anti join under
-/// all-attribute equality.
+/// all-attribute equality. Executes streaming via [`TpSetOpStream`].
 pub fn tp_difference(r: &TpRelation, s: &TpRelation) -> Result<TpRelation, StorageError> {
-    let theta = all_columns_equal(r, s)?;
-    let mut engine = ProbabilityEngine::new();
-    r.register_probabilities(&mut engine);
-    s.register_probabilities(&mut engine);
-    let mut out = tp_join_with_engine(r, s, &theta, TpJoinKind::Anti, &mut engine)?;
-    out = out.renamed(&format!("{}∖{}", r.name(), s.name()));
-    Ok(out)
+    Ok(TpSetOpStream::new(r, s, TpSetOpKind::Difference)?.collect_relation())
 }
 
 /// TP set intersection `r ∩Tp s` on union-compatible relations: per fact and
 /// time point, the probability that the fact holds in both relations.
+/// Executes streaming via [`TpSetOpStream`].
 pub fn tp_intersection(r: &TpRelation, s: &TpRelation) -> Result<TpRelation, StorageError> {
-    let theta = all_columns_equal(r, s)?;
-    let mut engine = ProbabilityEngine::new();
-    r.register_probabilities(&mut engine);
-    s.register_probabilities(&mut engine);
-    let joined = tp_join_with_engine(r, s, &theta, TpJoinKind::Inner, &mut engine)?;
-    // Project back to r's schema (the s-side columns duplicate the facts).
-    let mut out = TpRelation::new(&format!("{}∩{}", r.name(), s.name()), r.schema().clone());
-    let arity = r.schema().arity();
-    for t in joined.iter() {
-        out.push_unchecked(TpTuple::new(
-            t.facts()[..arity].to_vec(),
-            t.lineage().clone(),
-            t.interval(),
-            t.probability(),
-        ));
-    }
-    Ok(out)
+    Ok(TpSetOpStream::new(r, s, TpSetOpKind::Intersection)?.collect_relation())
 }
 
 /// TP set union `r ∪Tp s` on union-compatible relations: per fact and time
 /// point, the probability that the fact holds in `r` **or** in `s`
 /// (lineage `λr ∨ λs` where both are valid, and the single-side lineage
-/// elsewhere).
+/// elsewhere). Executes streaming via [`TpSetOpStream`] — no window list is
+/// materialized (the pre-streaming implementation survives as
+/// [`tp_union_materialized`], the reference of the CI regression guard).
 pub fn tp_union(r: &TpRelation, s: &TpRelation) -> Result<TpRelation, StorageError> {
+    Ok(TpSetOpStream::new(r, s, TpSetOpKind::Union)?.collect_relation())
+}
+
+/// The pre-streaming TP set union: both window passes are fully
+/// materialized before any output tuple is formed.
+///
+/// Kept as the reference implementation: the streamed [`tp_union`] must
+/// produce the identical relation (tested here) and must not be slower
+/// (the `--check-union-streaming` guard of the `setops` experiment).
+pub fn tp_union_materialized(r: &TpRelation, s: &TpRelation) -> Result<TpRelation, StorageError> {
     let theta = all_columns_equal(r, s)?;
     let mut engine = ProbabilityEngine::new();
     r.register_probabilities(&mut engine);
@@ -95,8 +163,23 @@ pub fn tp_union(r: &TpRelation, s: &TpRelation) -> Result<TpRelation, StorageErr
     // the pairings themselves (overlapping — skipped: the negating windows of
     // the same group cover the identical sub-intervals and already carry the
     // full disjunction λs of the matching s tuples).
-    let r_windows = lawan(&lawau(&overlapping_windows(r, s, &theta)?, r));
-    emit_union_side(&r_windows, r, &mut out, &mut engine);
+    for w in lawan(&lawau(&overlapping_windows(r, s, &theta)?, r)) {
+        let lineage = match w.kind {
+            WindowKind::Unmatched => w.lambda_r.clone(),
+            WindowKind::Negating => Lineage::or2(
+                w.lambda_r.clone(),
+                w.lambda_s.clone().expect("negating windows carry λs"),
+            ),
+            WindowKind::Overlapping => continue,
+        };
+        let probability = engine.probability(&lineage);
+        out.push_unchecked(TpTuple::new(
+            r.tuple(w.r_idx).facts().to_vec(),
+            lineage,
+            w.interval,
+            probability,
+        ));
+    }
 
     // Windows of s with respect to r: only the unmatched parts are new; the
     // overlapping/negating parts were already covered from r's perspective.
@@ -116,34 +199,329 @@ pub fn tp_union(r: &TpRelation, s: &TpRelation) -> Result<TpRelation, StorageErr
     Ok(out)
 }
 
-fn emit_union_side(
-    windows: &[Window],
-    positive: &TpRelation,
-    out: &mut TpRelation,
-    engine: &mut ProbabilityEngine,
-) {
-    for w in windows {
-        let lineage = match w.kind {
-            WindowKind::Unmatched => w.lambda_r.clone(),
-            WindowKind::Negating => Lineage::or2(
-                w.lambda_r.clone(),
-                w.lambda_s.clone().expect("negating windows carry λs"),
-            ),
-            WindowKind::Overlapping => continue,
+/// The two window passes of the streaming union.
+struct UnionStream<R, S>
+where
+    R: Borrow<TpRelation> + Clone,
+    S: Borrow<TpRelation> + Clone,
+{
+    /// Windows of `r` with respect to `s` — the full `WO → LAWAU → LAWAN`
+    /// pipeline; `None` once exhausted.
+    left: Option<Pipe<R, S>>,
+    /// Windows of `s` with respect to `r` — overlap join → LAWAU only
+    /// (solely the unmatched sub-intervals are new); `None` once exhausted.
+    right: Option<Pipe<S, R>>,
+}
+
+/// Execution plan of a [`TpSetOpStream`]: difference and intersection ride
+/// directly on [`TpJoinStream`]; the union runs its own two window passes.
+// One Inner exists per stream; the size difference between the variants is
+// irrelevant at that cardinality.
+#[allow(clippy::large_enum_variant)]
+enum Inner<R, S, E>
+where
+    R: Borrow<TpRelation> + Clone,
+    S: Borrow<TpRelation> + Clone,
+    E: BorrowMut<ProbabilityEngine>,
+{
+    /// Difference: the TP anti join under all-attribute equality.
+    Join(TpJoinStream<R, S, E>),
+    /// Intersection: the TP inner join, projected back to `r`'s arity.
+    Project {
+        /// The inner join stream.
+        stream: TpJoinStream<R, S, E>,
+        /// `r`'s arity — the prefix of the joined facts to keep.
+        arity: usize,
+    },
+    /// Union: the two window passes plus output formation.
+    Union {
+        /// The window passes.
+        passes: UnionStream<R, S>,
+        /// Both input relations (facts are formed by index).
+        r: R,
+        /// The right input.
+        s: S,
+        /// Probability engine for the formed lineages.
+        engine: E,
+        /// Windows pulled out of the pipeline so far.
+        windows_consumed: usize,
+    },
+}
+
+/// A TP set operation executed lazily: an iterator producing the output
+/// tuples of [`tp_union`] / [`tp_intersection`] / [`tp_difference`] one at
+/// a time, in the identical order. Collecting the stream
+/// ([`TpSetOpStream::collect_relation`]) gives exactly the relation the
+/// one-shot functions return — they are implemented as this collect.
+///
+/// Difference and intersection ride on [`TpJoinStream`] (the TP anti and
+/// inner join under the all-attribute equality θ); the union drives its own
+/// two window passes — `WO → LAWAU → LAWAN` of `r` against `s`, then
+/// `WO → LAWAU` of `s` against `r` for the right side's unmatched
+/// sub-intervals. Like the join stream, the probe indexes are built eagerly
+/// at construction; everything downstream is lazy.
+///
+/// ```
+/// use tpdb_core::{TpSetOpKind, TpSetOpStream};
+///
+/// let (a, b) = tpdb_datagen::booking_example();
+/// let mut stream = TpSetOpStream::new(&a, &b, TpSetOpKind::Difference).unwrap();
+/// let first = stream.next().unwrap();
+/// assert!((0.0..=1.0).contains(&first.probability()));
+/// // Draining the stream gives exactly `tp_difference(&a, &b)`.
+/// let rest = stream.count();
+/// assert_eq!(1 + rest, tpdb_core::tp_difference(&a, &b).unwrap().len());
+/// ```
+pub struct TpSetOpStream<R, S, E = ProbabilityEngine>
+where
+    R: Borrow<TpRelation> + Clone,
+    S: Borrow<TpRelation> + Clone,
+    E: BorrowMut<ProbabilityEngine>,
+{
+    inner: Inner<R, S, E>,
+    schema: Schema,
+    name: String,
+}
+
+impl<R, S> TpSetOpStream<R, S, ProbabilityEngine>
+where
+    R: Borrow<TpRelation> + Clone,
+    S: Borrow<TpRelation> + Clone,
+{
+    /// Creates the stream with an owned probability engine preloaded with
+    /// the base-tuple probabilities of the two inputs, and the
+    /// automatically chosen overlap-join plan (sweep — the all-attribute
+    /// equality θ is always an equi-join).
+    pub fn new(r: R, s: S, kind: TpSetOpKind) -> Result<Self, StorageError> {
+        Self::with_plan(r, s, kind, None)
+    }
+
+    /// [`TpSetOpStream::new`] with an explicitly chosen overlap-join plan
+    /// (`None` lets the engine pick).
+    pub fn with_plan(
+        r: R,
+        s: S,
+        kind: TpSetOpKind,
+        plan: Option<OverlapJoinPlan>,
+    ) -> Result<Self, StorageError> {
+        let mut engine = ProbabilityEngine::new();
+        r.borrow().register_probabilities(&mut engine);
+        s.borrow().register_probabilities(&mut engine);
+        Self::with_engine_and_plan(r, s, kind, plan, engine)
+    }
+}
+
+impl<R, S, E> TpSetOpStream<R, S, E>
+where
+    R: Borrow<TpRelation> + Clone,
+    S: Borrow<TpRelation> + Clone,
+    E: BorrowMut<ProbabilityEngine>,
+{
+    /// Creates the stream with an explicit probability engine (owned or
+    /// `&mut`-borrowed) and an optional forced overlap-join plan. Use this
+    /// variant when the inputs are derived relations whose compound
+    /// lineages reference base tuples not present in `r`/`s`.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::ArityMismatch`] / [`StorageError::UnionIncompatible`]
+    /// when the inputs are not union-compatible;
+    /// [`StorageError::PlanNotApplicable`] never occurs for the automatic
+    /// plan (the all-attribute equality θ is an equi-join).
+    pub fn with_engine_and_plan(
+        r: R,
+        s: S,
+        kind: TpSetOpKind,
+        plan: Option<OverlapJoinPlan>,
+        engine: E,
+    ) -> Result<Self, StorageError> {
+        let theta = all_columns_equal(r.borrow(), s.borrow())?;
+        let schema = r.borrow().schema().clone();
+        let name = format!(
+            "{}{}{}",
+            r.borrow().name(),
+            kind.symbol(),
+            s.borrow().name()
+        );
+        let inner = match kind {
+            TpSetOpKind::Difference => Inner::Join(TpJoinStream::with_engine_and_plan(
+                r,
+                s,
+                &theta,
+                TpJoinKind::Anti,
+                plan,
+                engine,
+            )?),
+            TpSetOpKind::Intersection => {
+                let arity = schema.arity();
+                Inner::Project {
+                    stream: TpJoinStream::with_engine_and_plan(
+                        r,
+                        s,
+                        &theta,
+                        TpJoinKind::Inner,
+                        plan,
+                        engine,
+                    )?,
+                    arity,
+                }
+            }
+            TpSetOpKind::Union => {
+                let left = Pipe::build(r.clone(), s.clone(), &theta, plan, PipeDepth::Full)?;
+                let right = Pipe::build(
+                    s.clone(),
+                    r.clone(),
+                    &theta.flipped(),
+                    plan,
+                    PipeDepth::Unmatched,
+                )?;
+                Inner::Union {
+                    passes: UnionStream {
+                        left: Some(left),
+                        right: Some(right),
+                    },
+                    r,
+                    s,
+                    engine,
+                    windows_consumed: 0,
+                }
+            }
         };
-        let probability = engine.probability(&lineage);
-        out.push_unchecked(TpTuple::new(
-            positive.tuple(w.r_idx).facts().to_vec(),
-            lineage,
-            w.interval,
-            probability,
-        ));
+        Ok(Self {
+            inner,
+            schema,
+            name,
+        })
+    }
+
+    /// The fact schema of the output tuples (always the left input's).
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The name the collected result relation carries (`r∪s`, `r∩s`,
+    /// `r∖s`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// How many windows have left the underlying pipeline so far — the
+    /// laziness probe: after pulling the first output tuple of a union,
+    /// only the windows inspected to form it have been consumed (at least
+    /// 1; skipped overlapping windows count too) — not the total window
+    /// count of the operation.
+    #[must_use]
+    pub fn windows_consumed(&self) -> usize {
+        match &self.inner {
+            Inner::Join(stream) => stream.windows_consumed(),
+            Inner::Project { stream, .. } => stream.windows_consumed(),
+            Inner::Union {
+                windows_consumed, ..
+            } => *windows_consumed,
+        }
+    }
+
+    /// Drains the remaining stream into a materialized relation — the exact
+    /// relation the one-shot set operation functions return when called on
+    /// fresh inputs.
+    #[must_use]
+    pub fn collect_relation(self) -> TpRelation {
+        let name = self.name.clone();
+        let mut out = TpRelation::new(&name, self.schema.clone());
+        for t in self {
+            out.push_unchecked(t);
+        }
+        out
+    }
+}
+
+impl<R, S, E> Iterator for TpSetOpStream<R, S, E>
+where
+    R: Borrow<TpRelation> + Clone,
+    S: Borrow<TpRelation> + Clone,
+    E: BorrowMut<ProbabilityEngine>,
+{
+    type Item = TpTuple;
+
+    fn next(&mut self) -> Option<TpTuple> {
+        match &mut self.inner {
+            Inner::Join(stream) => stream.next(),
+            Inner::Project { stream, arity } => stream.next().map(|t| {
+                TpTuple::new(
+                    t.facts()[..*arity].to_vec(),
+                    t.lineage().clone(),
+                    t.interval(),
+                    t.probability(),
+                )
+            }),
+            Inner::Union {
+                passes,
+                r,
+                s,
+                engine,
+                windows_consumed,
+            } => {
+                // First pass: windows of r with respect to s. Overlapping
+                // windows are skipped — the negating windows of the same
+                // group cover the identical sub-intervals and already carry
+                // the full disjunction λs of the matching s tuples.
+                while let Some(pipe) = &mut passes.left {
+                    match pipe.next() {
+                        Some(w) => {
+                            *windows_consumed += 1;
+                            let lineage = match w.kind {
+                                WindowKind::Unmatched => w.lambda_r,
+                                WindowKind::Negating => Lineage::or2(
+                                    w.lambda_r,
+                                    w.lambda_s.expect("negating windows carry λs"),
+                                ),
+                                WindowKind::Overlapping => continue,
+                            };
+                            let probability = engine.borrow_mut().probability(&lineage);
+                            let facts = <R as Borrow<TpRelation>>::borrow(r).tuple(w.r_idx).facts();
+                            return Some(TpTuple::new(
+                                facts.to_vec(),
+                                lineage,
+                                w.interval,
+                                probability,
+                            ));
+                        }
+                        None => passes.left = None,
+                    }
+                }
+                // Second pass: only the unmatched sub-intervals of s are
+                // new; everything else was covered from r's perspective.
+                while let Some(pipe) = &mut passes.right {
+                    match pipe.next() {
+                        Some(w) => {
+                            *windows_consumed += 1;
+                            if w.kind != WindowKind::Unmatched {
+                                continue;
+                            }
+                            let probability = engine.borrow_mut().probability(&w.lambda_r);
+                            let facts = <S as Borrow<TpRelation>>::borrow(s).tuple(w.r_idx).facts();
+                            return Some(TpTuple::new(
+                                facts.to_vec(),
+                                w.lambda_r,
+                                w.interval,
+                                probability,
+                            ));
+                        }
+                        None => passes.right = None,
+                    }
+                }
+                None
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
     use tpdb_lineage::{SymbolTable, VarId};
     use tpdb_storage::{DataType, Value};
     use tpdb_temporal::Interval;
@@ -244,6 +622,58 @@ mod tests {
     }
 
     #[test]
+    fn streamed_set_ops_match_the_materialized_union_reference() {
+        let (r, s, _) = fixtures();
+        assert_eq!(
+            tp_union(&r, &s).unwrap(),
+            tp_union_materialized(&r, &s).unwrap()
+        );
+        // A larger adversarial sample: the meteo generator produces dense
+        // same-key interval sequences with shared endpoints.
+        let (mr, ms) = tpdb_datagen::meteo_like(600, 7);
+        assert_eq!(
+            tp_union(&mr, &ms).unwrap(),
+            tp_union_materialized(&mr, &ms).unwrap()
+        );
+    }
+
+    #[test]
+    fn union_stream_produces_the_first_tuple_lazily() {
+        let (r, s) = tpdb_datagen::meteo_like(2_000, 7);
+        let mut stream = TpSetOpStream::new(&r, &s, TpSetOpKind::Union).unwrap();
+        let first = stream.next();
+        assert!(first.is_some());
+        // Forming the first tuple consumes only the windows preceding it
+        // in the pipeline (skipped overlapping windows included) — a
+        // handful, not the full window mass of the operation.
+        let consumed_at_first = stream.windows_consumed();
+        assert!(consumed_at_first >= 1);
+        let produced = 1 + stream.by_ref().count();
+        assert!(produced > 1_000, "expected a large union, got {produced}");
+        let consumed_total = stream.windows_consumed();
+        assert!(
+            consumed_at_first * 100 <= consumed_total,
+            "first tuple consumed {consumed_at_first} of {consumed_total} windows — not lazy"
+        );
+    }
+
+    #[test]
+    fn set_op_streams_work_with_arc_inputs() {
+        let (r, s, _) = fixtures();
+        for (kind, reference) in [
+            (TpSetOpKind::Union, tp_union(&r, &s).unwrap()),
+            (TpSetOpKind::Intersection, tp_intersection(&r, &s).unwrap()),
+            (TpSetOpKind::Difference, tp_difference(&r, &s).unwrap()),
+        ] {
+            let (ar, ars) = (Arc::new(r.clone()), Arc::new(s.clone()));
+            let streamed = TpSetOpStream::new(ar, ars, kind)
+                .unwrap()
+                .collect_relation();
+            assert_eq!(streamed, reference, "kind = {kind:?}");
+        }
+    }
+
+    #[test]
     fn incompatible_schemas_are_rejected() {
         let (r, _, mut syms) = fixtures();
         let mut wide = TpRelation::new(
@@ -260,6 +690,37 @@ mod tests {
         assert!(tp_difference(&r, &wide).is_err());
         assert!(tp_intersection(&r, &wide).is_err());
         assert!(tp_union(&r, &wide).is_err());
+    }
+
+    #[test]
+    fn mismatched_value_types_are_rejected_naming_the_column() {
+        // Regression guard: arity matches but the value types differ — the
+        // old all_columns_equal let this slip through to runtime comparison,
+        // where INT 1 = STR '1' silently never matches.
+        let (r, _, mut syms) = fixtures();
+        let mut numeric = TpRelation::new("n", Schema::tp(&[("k", DataType::Int)]));
+        numeric
+            .push(TpTuple::new(
+                vec![Value::Int(1)],
+                Lineage::var(syms.intern("n1")),
+                Interval::new(0, 2),
+                0.5,
+            ))
+            .unwrap();
+        for result in [
+            tp_union(&r, &numeric),
+            tp_intersection(&r, &numeric),
+            tp_difference(&r, &numeric),
+        ] {
+            match result {
+                Err(StorageError::UnionIncompatible { column, detail }) => {
+                    assert_eq!(column, "k");
+                    assert!(detail.contains("STR"), "{detail}");
+                    assert!(detail.contains("INT"), "{detail}");
+                }
+                other => panic!("expected UnionIncompatible, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -287,5 +748,16 @@ mod tests {
         assert_eq!(z.lineage().vars().len(), 1);
         assert!((z.probability() - 0.9).abs() < 1e-9);
         let _ = VarId(0);
+    }
+
+    #[test]
+    fn stream_names_and_schemas_are_available_before_iteration() {
+        let (r, s, _) = fixtures();
+        let stream = TpSetOpStream::new(&r, &s, TpSetOpKind::Union).unwrap();
+        assert_eq!(stream.name(), "r∪s");
+        assert_eq!(stream.schema().arity(), 1);
+        assert_eq!(TpSetOpKind::Union.keyword(), "UNION");
+        assert_eq!(TpSetOpKind::Intersection.to_string(), "INTERSECT");
+        assert_eq!(TpSetOpKind::Difference.symbol(), "∖");
     }
 }

@@ -44,19 +44,34 @@ use std::borrow::{Borrow, BorrowMut};
 use tpdb_lineage::ProbabilityEngine;
 use tpdb_storage::{Schema, StorageError, TpRelation, TpTuple};
 
-/// One pass of the window pipeline: either the bare overlap join (inner
-/// joins and the first pass of right outer joins need no left
-/// null-extension) or the full `WO → LAWAU → LAWAN` stack.
-// One Pipe exists per stream (two for right/full outer joins); the size
-// difference between the two variants is irrelevant at that cardinality.
+/// How deep into the window pipeline a pass runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PipeDepth {
+    /// Overlapping + whole-interval unmatched windows only (the bare
+    /// overlap join: inner joins and the first pass of right outer joins
+    /// need no left null-extension).
+    Overlap,
+    /// Overlap join → LAWAU (the second pass of the streaming union only
+    /// needs the unmatched sub-intervals of the right side).
+    Unmatched,
+    /// The full stack: overlap join → LAWAU → LAWAN.
+    Full,
+}
+
+/// One pass of the window pipeline, cut off at a [`PipeDepth`].
+// One Pipe exists per stream (two for right/full outer joins and unions);
+// the size difference between the variants is irrelevant at that
+// cardinality.
 #[allow(clippy::large_enum_variant)]
-enum Pipe<P, N>
+pub(crate) enum Pipe<P, N>
 where
     P: Borrow<TpRelation> + Clone,
     N: Borrow<TpRelation>,
 {
     /// Overlapping + whole-interval unmatched windows only.
     Wo(OverlapWindowStream<P, N>),
+    /// Overlap join → LAWAU.
+    Wu(LawauStream<OverlapWindowStream<P, N>, P>),
     /// The full pipeline: overlap join → LAWAU → LAWAN.
     Wuon(LawanStream<LawauStream<OverlapWindowStream<P, N>, P>>),
 }
@@ -67,20 +82,20 @@ where
     N: Borrow<TpRelation>,
 {
     /// Builds the pipe for windows of `pos` with respect to `neg`.
-    fn build(
+    pub(crate) fn build(
         pos: P,
         neg: N,
         theta: &ThetaCondition,
         plan: Option<OverlapJoinPlan>,
-        full: bool,
+        depth: PipeDepth,
     ) -> Result<Self, StorageError> {
         let bound = theta.bind(pos.borrow().schema(), neg.borrow().schema())?;
         let plan = plan.unwrap_or_else(|| auto_plan(&bound));
         let wo = OverlapWindowStream::with_plan(pos.clone(), neg, bound, plan)?;
-        Ok(if full {
-            Pipe::Wuon(LawanStream::new(LawauStream::new(wo, pos)))
-        } else {
-            Pipe::Wo(wo)
+        Ok(match depth {
+            PipeDepth::Overlap => Pipe::Wo(wo),
+            PipeDepth::Unmatched => Pipe::Wu(LawauStream::new(wo, pos)),
+            PipeDepth::Full => Pipe::Wuon(LawanStream::new(LawauStream::new(wo, pos))),
         })
     }
 }
@@ -95,6 +110,7 @@ where
     fn next(&mut self) -> Option<Window> {
         match self {
             Pipe::Wo(inner) => inner.next(),
+            Pipe::Wu(inner) => inner.next(),
             Pipe::Wuon(inner) => inner.next(),
         }
     }
@@ -214,8 +230,12 @@ where
         // The operators with left null-extension pipe the overlap join
         // through the LAWAU and LAWAN adaptors; inner and right outer joins
         // only need the overlapping windows of this pass.
-        let left_full = !matches!(kind, TpJoinKind::Inner | TpJoinKind::RightOuter);
-        let left = Pipe::build(r.clone(), s.clone(), theta, plan, left_full)?;
+        let left_depth = if matches!(kind, TpJoinKind::Inner | TpJoinKind::RightOuter) {
+            PipeDepth::Overlap
+        } else {
+            PipeDepth::Full
+        };
+        let left = Pipe::build(r.clone(), s.clone(), theta, plan, left_depth)?;
         // Right-hand null-extension for right and full outer joins: the
         // same pipeline with the roles of r and s flipped.
         let right = if matches!(kind, TpJoinKind::RightOuter | TpJoinKind::FullOuter) {
@@ -224,7 +244,7 @@ where
                 r.clone(),
                 &theta.flipped(),
                 plan,
-                true,
+                PipeDepth::Full,
             )?)
         } else {
             None

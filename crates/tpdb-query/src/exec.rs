@@ -19,7 +19,9 @@ use crate::expr::BoundPredicate;
 use crate::plan::{JoinStrategy, LogicalPlan};
 use crate::TpdbError;
 use std::sync::Arc;
-use tpdb_core::{OverlapJoinPlan, ThetaCondition, TpJoinKind, TpJoinStream};
+use tpdb_core::{
+    OverlapJoinPlan, ThetaCondition, TpJoinKind, TpJoinStream, TpSetOpKind, TpSetOpStream,
+};
 use tpdb_lineage::ProbabilityEngine;
 use tpdb_storage::{Catalog, Schema, TpRelation, TpTuple};
 
@@ -206,6 +208,12 @@ pub struct TpJoinExec {
     /// against the session default by the planner). The effective degree may
     /// be 1: nested-loop plans cannot shard.
     parallelism: usize,
+    /// Base-tuple probabilities known to the catalog, preloaded by the
+    /// planner. The inputs' own base tuples are registered on top at start:
+    /// the catalog engine is what lets the join price lineages of *derived*
+    /// inputs (e.g. a set-operation result) whose compound lineages
+    /// reference base tuples not present in the input itself.
+    base_engine: ProbabilityEngine,
     schema: Schema,
     state: JoinState,
 }
@@ -215,6 +223,12 @@ impl TpJoinExec {
     /// overlap-join plan (`None` = automatic: sweep for equi-joins, nested
     /// loop otherwise); `parallelism` is the requested worker count for the
     /// NJ strategy (`1` = serial). The TA strategy ignores both.
+    /// `base_engine` carries the base-tuple probabilities known to the
+    /// catalog (usually [`tpdb_storage::Catalog::probability_engine`]), so
+    /// derived inputs with compound lineages can be priced.
+    // The operator genuinely has eight independent knobs; bundling them
+    // into a one-off struct would only move the argument list.
+    #[allow(clippy::too_many_arguments)]
     #[must_use]
     pub fn new(
         left: Box<dyn PhysicalOperator>,
@@ -224,6 +238,7 @@ impl TpJoinExec {
         strategy: JoinStrategy,
         overlap_plan: Option<OverlapJoinPlan>,
         parallelism: usize,
+        base_engine: ProbabilityEngine,
     ) -> Self {
         let schema = match kind {
             TpJoinKind::Anti => left.schema().clone(),
@@ -237,6 +252,7 @@ impl TpJoinExec {
             strategy,
             overlap_plan,
             parallelism: parallelism.max(1),
+            base_engine,
             schema,
             state: JoinState::Pending,
         }
@@ -262,17 +278,21 @@ impl TpJoinExec {
         let right = Arc::new(self.right.collect("right")?);
         match self.strategy {
             JoinStrategy::Nj => {
+                let mut engine = self.base_engine.clone();
+                left.register_probabilities(&mut engine);
+                right.register_probabilities(&mut engine);
                 let effective = self
                     .resolved_plan()
                     .map_or(1, |p| tpdb_core::parallel_degree(p, self.parallelism));
                 if effective > 1 {
-                    let joined = tpdb_core::tp_join_parallel_with_plan(
+                    let joined = tpdb_core::tp_join_parallel_with_engine_and_plan(
                         &left,
                         &right,
                         &self.theta,
                         self.kind,
                         self.overlap_plan,
                         self.parallelism,
+                        &engine,
                     )?;
                     // Adopt the join's schema (column prefixes depend on
                     // input names).
@@ -281,9 +301,6 @@ impl TpJoinExec {
                         joined.tuples().to_vec().into_iter(),
                     ))
                 } else {
-                    let mut engine = ProbabilityEngine::new();
-                    left.register_probabilities(&mut engine);
-                    right.register_probabilities(&mut engine);
                     let stream = TpJoinStream::with_engine_and_plan(
                         left,
                         right,
@@ -369,6 +386,194 @@ impl PhysicalOperator for TpJoinExec {
             plan_note,
             par_note,
             self.theta,
+            self.left.describe(),
+            self.right.describe()
+        )
+    }
+}
+
+/// Execution state of the set-operation operator.
+// One SetOpState exists per operator; the size difference between the
+// streaming and materialized variants is irrelevant at that cardinality.
+#[allow(clippy::large_enum_variant)]
+enum SetOpState {
+    /// Inputs not yet materialized.
+    Pending,
+    /// Serial lazy execution through the streaming set-operation pipeline
+    /// (the path result cursors ride on).
+    Streaming(TpSetOpStream<Arc<TpRelation>, Arc<TpRelation>, ProbabilityEngine>),
+    /// Parallel execution: the result is materialized and streamed from
+    /// memory.
+    Materialized(std::vec::IntoIter<TpTuple>),
+    /// Exhausted, or an error was already reported.
+    Done,
+}
+
+/// TP set operation operator (`UNION` / `INTERSECT` / `EXCEPT`). The two
+/// inputs are materialized when the first output tuple is requested — the
+/// set operations, like the joins they are built on, need the complete
+/// negative side to build windows. Output tuples are then produced lazily
+/// through [`TpSetOpStream`] (serial), or streamed from the partitioned
+/// parallel join result (`INTERSECT`/`EXCEPT` with an effective degree
+/// above 1; the streaming `UNION` always runs serially).
+pub struct SetOpExec {
+    left: Box<dyn PhysicalOperator>,
+    right: Box<dyn PhysicalOperator>,
+    kind: TpSetOpKind,
+    overlap_plan: Option<OverlapJoinPlan>,
+    /// Requested degree of parallelism (already resolved against the
+    /// session default by the planner).
+    parallelism: usize,
+    /// Base-tuple probabilities known to the catalog, preloaded by the
+    /// planner — what lets a *chained* set operation price the compound
+    /// lineages of a derived input (e.g. `(r UNION s) EXCEPT r`).
+    base_engine: ProbabilityEngine,
+    schema: Schema,
+    state: SetOpState,
+}
+
+impl SetOpExec {
+    /// Creates a set-operation operator. `overlap_plan` forces the plan of
+    /// the internal all-attribute-equality overlap join (`None` =
+    /// automatic: sweep); `parallelism` is the requested worker count for
+    /// `INTERSECT`/`EXCEPT` (`1` = serial; `UNION` always streams
+    /// serially). `base_engine` carries the base-tuple probabilities known
+    /// to the catalog (usually
+    /// [`tpdb_storage::Catalog::probability_engine`]).
+    #[must_use]
+    pub fn new(
+        left: Box<dyn PhysicalOperator>,
+        right: Box<dyn PhysicalOperator>,
+        kind: TpSetOpKind,
+        overlap_plan: Option<OverlapJoinPlan>,
+        parallelism: usize,
+        base_engine: ProbabilityEngine,
+    ) -> Self {
+        // The output schema of every TP set operation is the left input's.
+        let schema = left.schema().clone();
+        Self {
+            left,
+            right,
+            kind,
+            overlap_plan,
+            parallelism: parallelism.max(1),
+            base_engine,
+            schema,
+            state: SetOpState::Pending,
+        }
+    }
+
+    /// The overlap-join plan of the internal machinery: the forced one, or
+    /// sweep (the all-attribute equality θ is always an equi-join).
+    fn resolved_plan(&self) -> OverlapJoinPlan {
+        self.overlap_plan.unwrap_or(OverlapJoinPlan::Sweep)
+    }
+
+    /// The degree of parallelism that will actually be used.
+    fn effective_parallelism(&self) -> usize {
+        match self.kind {
+            // The two-pass streaming union cannot shard.
+            TpSetOpKind::Union => 1,
+            TpSetOpKind::Intersection | TpSetOpKind::Difference => {
+                tpdb_core::parallel_degree(self.resolved_plan(), self.parallelism)
+            }
+        }
+    }
+
+    /// Materializes the inputs and starts the set operation.
+    fn start(&mut self) -> Result<SetOpState, TpdbError> {
+        let left = Arc::new(self.left.collect("left")?);
+        let right = Arc::new(self.right.collect("right")?);
+        let mut engine = self.base_engine.clone();
+        left.register_probabilities(&mut engine);
+        right.register_probabilities(&mut engine);
+        if self.effective_parallelism() > 1 {
+            // INTERSECT/EXCEPT shard exactly like the keyed TP joins they
+            // are built on.
+            let theta = tpdb_core::all_columns_equal(&left, &right)?;
+            let join_kind = match self.kind {
+                TpSetOpKind::Difference => TpJoinKind::Anti,
+                TpSetOpKind::Intersection => TpJoinKind::Inner,
+                TpSetOpKind::Union => unreachable!("the union never reports a parallel degree"),
+            };
+            let joined = tpdb_core::tp_join_parallel_with_engine_and_plan(
+                &left,
+                &right,
+                &theta,
+                join_kind,
+                self.overlap_plan,
+                self.parallelism,
+                &engine,
+            )?;
+            let arity = self.schema.arity();
+            let tuples: Vec<TpTuple> = match self.kind {
+                // Project the inner join back to the left schema.
+                TpSetOpKind::Intersection => joined
+                    .iter()
+                    .map(|t| {
+                        TpTuple::new(
+                            t.facts()[..arity].to_vec(),
+                            t.lineage().clone(),
+                            t.interval(),
+                            t.probability(),
+                        )
+                    })
+                    .collect(),
+                _ => joined.tuples().to_vec(),
+            };
+            Ok(SetOpState::Materialized(tuples.into_iter()))
+        } else {
+            Ok(SetOpState::Streaming(TpSetOpStream::with_engine_and_plan(
+                left,
+                right,
+                self.kind,
+                self.overlap_plan,
+                engine,
+            )?))
+        }
+    }
+}
+
+impl PhysicalOperator for SetOpExec {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next(&mut self) -> Option<Result<TpTuple, TpdbError>> {
+        if matches!(self.state, SetOpState::Pending) {
+            match self.start() {
+                Ok(state) => self.state = state,
+                Err(e) => {
+                    self.state = SetOpState::Done;
+                    return Some(Err(e));
+                }
+            }
+        }
+        match &mut self.state {
+            SetOpState::Streaming(stream) => stream.next().map(Ok),
+            SetOpState::Materialized(tuples) => tuples.next().map(Ok),
+            SetOpState::Pending | SetOpState::Done => None,
+        }
+    }
+
+    fn describe(&self) -> String {
+        let plan_note = match self.overlap_plan {
+            Some(p) => format!(" plan={p}"),
+            None => format!(" plan=auto({})", self.resolved_plan()),
+        };
+        // Like the join operator, report the degree that will actually run:
+        // a parallel request on the streaming union must not misreport.
+        let par_note = if self.kind == TpSetOpKind::Union && self.parallelism > 1 {
+            " parallel=1 (serial fallback: the streaming union cannot shard)".to_owned()
+        } else {
+            format!(" parallel={}", self.effective_parallelism())
+        };
+        format!(
+            "SetOp {} [{}{}{}] over [{}; {}]",
+            self.kind,
+            self.kind.symbol(),
+            plan_note,
+            par_note,
             self.left.describe(),
             self.right.describe()
         )
@@ -542,6 +747,84 @@ mod tests {
         let result = execute_plan(&c, &plan).unwrap();
         let serial = execute_plan(&c, &plan.clone().with_parallelism(1)).unwrap();
         assert_eq!(result.tuples(), serial.tuples());
+    }
+
+    #[test]
+    fn set_operations_match_the_core_functions() {
+        // The booking relations are not union-compatible (different
+        // schemas), so run the set ops on a self-union-compatible pair.
+        let mut c = Catalog::new();
+        let (r, s) = tpdb_datagen::meteo_like(400, 3);
+        c.register(r.clone()).unwrap();
+        c.register(s.clone()).unwrap();
+        for (kind, reference) in [
+            (TpSetOpKind::Union, tpdb_core::tp_union(&r, &s).unwrap()),
+            (
+                TpSetOpKind::Intersection,
+                tpdb_core::tp_intersection(&r, &s).unwrap(),
+            ),
+            (
+                TpSetOpKind::Difference,
+                tpdb_core::tp_difference(&r, &s).unwrap(),
+            ),
+        ] {
+            let plan = LogicalPlan::scan("meteo_r").set_op(kind, LogicalPlan::scan("meteo_s"));
+            let serial = execute_plan_with(&c, &plan, &crate::QueryOptions::serial()).unwrap();
+            assert_eq!(serial.tuples(), reference.tuples(), "{kind} serial");
+            assert_eq!(serial.schema(), reference.schema(), "{kind} schema");
+            for degree in [2, 4] {
+                let parallel = execute_plan(&c, &plan.clone().with_parallelism(degree)).unwrap();
+                assert_eq!(parallel.tuples(), reference.tuples(), "{kind} P={degree}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_op_describe_reports_plan_and_parallelism_honestly() {
+        let mut c = Catalog::new();
+        let (r, s) = tpdb_datagen::meteo_like(50, 3);
+        c.register(r).unwrap();
+        c.register(s).unwrap();
+        let base = LogicalPlan::scan("meteo_r");
+        // INTERSECT/EXCEPT shard; the streaming union reports the fallback.
+        let except = base
+            .clone()
+            .set_op(TpSetOpKind::Difference, LogicalPlan::scan("meteo_s"))
+            .with_parallelism(4);
+        let op = plan_query(&c, &except).unwrap();
+        let d = op.describe();
+        assert!(d.contains("SetOp EXCEPT"), "{d}");
+        assert!(d.contains("plan=auto(sweep)"), "{d}");
+        assert!(d.contains("parallel=4"), "{d}");
+        let union = base
+            .set_op(TpSetOpKind::Union, LogicalPlan::scan("meteo_s"))
+            .with_parallelism(4);
+        let op = plan_query(&c, &union).unwrap();
+        let d = op.describe();
+        assert!(
+            d.contains("parallel=1 (serial fallback: the streaming union cannot shard)"),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn set_op_streams_tuple_by_tuple_when_serial() {
+        let mut c = Catalog::new();
+        let (r, s) = tpdb_datagen::meteo_like(400, 3);
+        let expected = tpdb_core::tp_union(&r, &s).unwrap();
+        c.register(r).unwrap();
+        c.register(s).unwrap();
+        let plan =
+            LogicalPlan::scan("meteo_r").set_op(TpSetOpKind::Union, LogicalPlan::scan("meteo_s"));
+        let mut op =
+            crate::planner::plan_query_with(&c, &plan, &crate::QueryOptions::serial()).unwrap();
+        let mut n = 0;
+        while let Some(t) = op.next() {
+            assert!(t.is_ok());
+            n += 1;
+        }
+        assert_eq!(n, expected.len());
+        assert!(op.next().is_none(), "exhausted operators stay exhausted");
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub use parser::parse_query;
 pub use plan::{JoinStrategy, LogicalPlan};
 pub use planner::{explain, explain_with, plan_query, plan_query_with, QueryOptions};
 pub use session::{PreparedQuery, Session, SessionStats};
+pub use tpdb_core::TpSetOpKind;
 
 /// The former name of [`TpdbError`].
 #[deprecated(since = "0.2.0", note = "renamed to `TpdbError`")]

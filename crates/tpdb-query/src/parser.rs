@@ -1,9 +1,13 @@
-//! A small textual query language for TP joins with negation.
+//! A small textual query language for TP joins with negation and TP set
+//! operations.
 //!
 //! Grammar (one query per string, case-insensitive keywords):
 //!
 //! ```text
-//! query   := SELECT cols FROM ident [join] [where] [strategy | parallel]*
+//! query   := setexpr
+//! setexpr := term ((UNION | INTERSECT | EXCEPT) term)* [strategy | parallel]*
+//! term    := '(' setexpr ')' | select
+//! select  := SELECT cols FROM ident [join] [where] [strategy | parallel]*
 //! cols    := '*' | ident (',' ident)*
 //! join    := TP jkind JOIN ident ON cond (AND cond)*
 //! jkind   := INNER | LEFT [OUTER] | RIGHT [OUTER] | FULL [OUTER] | ANTI
@@ -17,9 +21,19 @@
 //! parallel:= PARALLEL integer
 //! ```
 //!
+//! `UNION`, `INTERSECT` and `EXCEPT` chain left-associatively at a single
+//! precedence level (`a UNION b EXCEPT c` is `(a UNION b) EXCEPT c`);
+//! parentheses override the grouping. A `STRATEGY`/`PARALLEL` suffix binds
+//! to the nearest enclosing construct that can accept it: a select with a
+//! TP join consumes its own suffixes, otherwise they apply to the set
+//! operation (where `PARALLEL n` pins the degree of the set-op node and
+//! `STRATEGY` is rejected — the set operations always run on the NJ window
+//! machinery).
+//!
 //! Examples: `SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY TA`,
 //! `SELECT Name FROM a WHERE Loc = $1` (a parameterized statement — prepare
-//! it with [`crate::Session::prepare`] and bind a value per placeholder).
+//! it with [`crate::Session::prepare`] and bind a value per placeholder),
+//! `SELECT * FROM a UNION SELECT * FROM b PARALLEL 2`.
 //!
 //! Parse errors ([`ParseError`]) carry the byte span of the failure and the
 //! offending token's lexeme.
@@ -27,7 +41,7 @@
 use crate::error::{ParseError, Span};
 use crate::expr::{LiteralPredicate, Operand, PredicateOp};
 use crate::plan::{JoinStrategy, LogicalPlan};
-use tpdb_core::{CompareOp, ThetaCondition, TpJoinKind};
+use tpdb_core::{CompareOp, ThetaCondition, TpJoinKind, TpSetOpKind};
 use tpdb_storage::Value;
 
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +54,8 @@ enum Token {
     Star,
     Comma,
     Dot,
+    LParen,
+    RParen,
     Cmp(String),
 }
 
@@ -55,6 +71,8 @@ impl Token {
             Token::Star => "*".to_owned(),
             Token::Comma => ",".to_owned(),
             Token::Dot => ".".to_owned(),
+            Token::LParen => "(".to_owned(),
+            Token::RParen => ")".to_owned(),
             Token::Cmp(op) => op.clone(),
         }
     }
@@ -73,11 +91,13 @@ fn tokenize(input: &str) -> Result<Vec<(Token, Span)>, ParseError> {
         let (start, c) = bytes[i];
         match c {
             c if c.is_whitespace() => i += 1,
-            '*' | ',' | '.' | '=' => {
+            '*' | ',' | '.' | '(' | ')' | '=' => {
                 let token = match c {
                     '*' => Token::Star,
                     ',' => Token::Comma,
                     '.' => Token::Dot,
+                    '(' => Token::LParen,
+                    ')' => Token::RParen,
                     _ => Token::Cmp("=".into()),
                 };
                 i += 1;
@@ -306,6 +326,112 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
         end: input.len(),
     };
 
+    let plan = parse_set_expr(&mut p)?;
+
+    if let Some((token, span)) = p.tokens.get(p.pos) {
+        return Err(
+            ParseError::new(format!("unexpected trailing token '{}'", token.lexeme()))
+                .at(*span)
+                .with_token(token.lexeme()),
+        );
+    }
+    Ok(plan)
+}
+
+/// `setexpr := term ((UNION | INTERSECT | EXCEPT) term)* suffixes` — the
+/// set operations chain left-associatively at one precedence level.
+/// Suffixes left unconsumed by the terms (a select without a TP join defers
+/// them) apply to the whole expression here.
+fn parse_set_expr(p: &mut Parser) -> Result<LogicalPlan, ParseError> {
+    let mut plan = parse_term(p)?;
+    loop {
+        let kind = if p.accept_keyword("UNION") {
+            TpSetOpKind::Union
+        } else if p.accept_keyword("INTERSECT") {
+            TpSetOpKind::Intersection
+        } else if p.accept_keyword("EXCEPT") {
+            TpSetOpKind::Difference
+        } else {
+            break;
+        };
+        let right = parse_term(p)?;
+        plan = plan.set_op(kind, right);
+    }
+    // Deferred STRATEGY / PARALLEL suffixes, in any order.
+    loop {
+        if p.accept_keyword("STRATEGY") {
+            let keyword_span = p.previous();
+            let name_span = p.here();
+            let name = p.expect_ident()?;
+            let strategy = parse_strategy_name(&name, name_span)?;
+            plan = set_strategy(plan, strategy, keyword_span)?;
+        } else if p.accept_keyword("PARALLEL") {
+            let keyword_span = p.previous();
+            let degree = expect_parallel_degree(p)?;
+            plan = set_parallelism(plan, degree, keyword_span)?;
+        } else {
+            break;
+        }
+    }
+    Ok(plan)
+}
+
+/// `term := '(' setexpr ')' | select`.
+fn parse_term(p: &mut Parser) -> Result<LogicalPlan, ParseError> {
+    if matches!(p.peek(), Some(Token::LParen)) {
+        p.next();
+        let plan = parse_set_expr(p)?;
+        if !matches!(p.peek(), Some(Token::RParen)) {
+            return Err(p.expected("')'"));
+        }
+        p.next();
+        return Ok(plan);
+    }
+    parse_select(p)
+}
+
+/// Resolves a STRATEGY name.
+fn parse_strategy_name(name: &str, at: Span) -> Result<JoinStrategy, ParseError> {
+    if name.eq_ignore_ascii_case("NJ") {
+        Ok(JoinStrategy::Nj)
+    } else if name.eq_ignore_ascii_case("TA") {
+        Ok(JoinStrategy::Ta)
+    } else {
+        Err(ParseError::new(format!("unknown strategy {name}"))
+            .at(at)
+            .with_token(name.to_owned()))
+    }
+}
+
+/// Consumes the positive integer operand of a PARALLEL suffix.
+fn expect_parallel_degree(p: &mut Parser) -> Result<usize, ParseError> {
+    match p.peek() {
+        Some(&Token::Number(n)) if n >= 1.0 && n.fract() == 0.0 => {
+            p.next();
+            Ok(n as usize)
+        }
+        _ => Err(p.expected("a positive integer after PARALLEL")),
+    }
+}
+
+/// Whether the plan contains a TP join (determines which level a
+/// `STRATEGY`/`PARALLEL` suffix binds to).
+fn contains_join(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => false,
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+            contains_join(input)
+        }
+        LogicalPlan::TpJoin { .. } => true,
+        LogicalPlan::SetOp { left, right, .. } => contains_join(left) || contains_join(right),
+    }
+}
+
+/// `select := SELECT cols FROM ident [join] [where] suffixes` — one branch
+/// of a (possibly trivial) set expression. Suffixes are only consumed when
+/// the select contains a TP join they can bind to; otherwise they are left
+/// for the enclosing set expression.
+fn parse_select(p: &mut Parser) -> Result<LogicalPlan, ParseError> {
     p.expect_keyword("SELECT")?;
     // projection list
     let mut projection: Option<Vec<String>> = None;
@@ -438,31 +564,19 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
         plan = plan.filter(predicates);
     }
 
-    // optional STRATEGY / PARALLEL suffixes, in any order
-    loop {
+    // Optional STRATEGY / PARALLEL suffixes, in any order. A select
+    // without a TP join leaves them unconsumed: they then bind to the
+    // enclosing set expression (or fail there, for a plain scan query).
+    while contains_join(&plan) {
         if p.accept_keyword("STRATEGY") {
             let keyword_span = p.previous();
             let name_span = p.here();
             let name = p.expect_ident()?;
-            let strategy = if name.eq_ignore_ascii_case("NJ") {
-                JoinStrategy::Nj
-            } else if name.eq_ignore_ascii_case("TA") {
-                JoinStrategy::Ta
-            } else {
-                return Err(ParseError::new(format!("unknown strategy {name}"))
-                    .at(name_span)
-                    .with_token(name));
-            };
+            let strategy = parse_strategy_name(&name, name_span)?;
             plan = set_strategy(plan, strategy, keyword_span)?;
         } else if p.accept_keyword("PARALLEL") {
             let keyword_span = p.previous();
-            let degree = match p.peek() {
-                Some(&Token::Number(n)) if n >= 1.0 && n.fract() == 0.0 => {
-                    p.next();
-                    n as usize
-                }
-                _ => return Err(p.expected("a positive integer after PARALLEL")),
-            };
+            let degree = expect_parallel_degree(p)?;
             plan = set_parallelism(plan, degree, keyword_span)?;
         } else {
             break;
@@ -471,14 +585,6 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
 
     if let Some(cols) = projection {
         plan = plan.project(cols);
-    }
-
-    if let Some((token, span)) = p.tokens.get(p.pos) {
-        return Err(
-            ParseError::new(format!("unexpected trailing token '{}'", token.lexeme()))
-                .at(*span)
-                .with_token(token.lexeme()),
-        );
     }
     Ok(plan)
 }
@@ -515,6 +621,16 @@ fn set_strategy(
             input: Box::new(set_strategy(*input, strategy, at)?),
             columns,
         },
+        // The set operations are defined on the NJ window machinery; the
+        // TA baseline has no set-operation counterpart to select.
+        LogicalPlan::SetOp { .. } => {
+            return Err(ParseError::new(
+                "STRATEGY cannot apply to a set operation (UNION/INTERSECT/EXCEPT always \
+                 run on the NJ window machinery); put the suffix inside a joining SELECT",
+            )
+            .at(at)
+            .with_token("STRATEGY"))
+        }
         LogicalPlan::Scan { .. } => {
             return Err(ParseError::new("STRATEGY requires a TP join in the query")
                 .at(at)
@@ -523,10 +639,26 @@ fn set_strategy(
     })
 }
 
-/// Pins the degree of parallelism of the (single) TP join in the plan.
+/// Pins the degree of parallelism of the TP join — or set-operation — node
+/// the suffix binds to.
 fn set_parallelism(plan: LogicalPlan, degree: usize, at: Span) -> Result<LogicalPlan, ParseError> {
     Ok(match plan {
         join @ LogicalPlan::TpJoin { .. } => join.with_parallelism(degree),
+        // Pin the set-op node only: parallelism of the branches stays
+        // whatever their own suffixes (or the session default) chose.
+        LogicalPlan::SetOp {
+            kind,
+            left,
+            right,
+            overlap_plan,
+            ..
+        } => LogicalPlan::SetOp {
+            kind,
+            left,
+            right,
+            overlap_plan,
+            parallelism: Some(degree.max(1)),
+        },
         LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
             input: Box::new(set_parallelism(*input, degree, at)?),
             predicates,
@@ -536,9 +668,11 @@ fn set_parallelism(plan: LogicalPlan, degree: usize, at: Span) -> Result<Logical
             columns,
         },
         LogicalPlan::Scan { .. } => {
-            return Err(ParseError::new("PARALLEL requires a TP join in the query")
-                .at(at)
-                .with_token("PARALLEL"))
+            return Err(ParseError::new(
+                "PARALLEL requires a TP join or set operation in the query",
+            )
+            .at(at)
+            .with_token("PARALLEL"))
         }
     })
 }
@@ -734,6 +868,123 @@ mod tests {
             parse_query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc STRATEGY PG").is_err()
         );
         assert!(parse_query("SELECT * FROM a extra tokens here").is_err());
+    }
+
+    #[test]
+    fn parses_set_operations_left_associatively() {
+        let plan =
+            parse_query("SELECT * FROM a UNION SELECT * FROM b EXCEPT SELECT * FROM c").unwrap();
+        match plan {
+            LogicalPlan::SetOp {
+                kind, left, right, ..
+            } => {
+                assert_eq!(kind, TpSetOpKind::Difference);
+                assert_eq!(*right, LogicalPlan::scan("c"));
+                match *left {
+                    LogicalPlan::SetOp { kind, .. } => assert_eq!(kind, TpSetOpKind::Union),
+                    other => panic!("expected nested SetOp, got {other:?}"),
+                }
+            }
+            other => panic!("expected SetOp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parentheses_override_set_operation_grouping() {
+        let plan =
+            parse_query("SELECT * FROM a UNION (SELECT * FROM b EXCEPT SELECT * FROM c)").unwrap();
+        match plan {
+            LogicalPlan::SetOp {
+                kind, left, right, ..
+            } => {
+                assert_eq!(kind, TpSetOpKind::Union);
+                assert_eq!(*left, LogicalPlan::scan("a"));
+                match *right {
+                    LogicalPlan::SetOp { kind, .. } => {
+                        assert_eq!(kind, TpSetOpKind::Difference);
+                    }
+                    other => panic!("expected nested SetOp, got {other:?}"),
+                }
+            }
+            other => panic!("expected SetOp, got {other:?}"),
+        }
+        // a fully parenthesized plain select is still a plain select
+        assert_eq!(
+            parse_query("(SELECT * FROM a)").unwrap(),
+            LogicalPlan::scan("a")
+        );
+    }
+
+    #[test]
+    fn set_operations_compose_with_where_parameters_and_projection() {
+        let plan =
+            parse_query("SELECT k FROM a WHERE k >= $1 INTERSECT SELECT k FROM b WHERE k >= $1")
+                .unwrap();
+        assert_eq!(plan.parameter_count(), 1);
+        match plan {
+            LogicalPlan::SetOp {
+                kind, left, right, ..
+            } => {
+                assert_eq!(kind, TpSetOpKind::Intersection);
+                assert!(matches!(*left, LogicalPlan::Project { .. }));
+                assert!(matches!(*right, LogicalPlan::Project { .. }));
+            }
+            other => panic!("expected SetOp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_parallel_binds_to_the_set_operation() {
+        let plan = parse_query("SELECT * FROM a UNION SELECT * FROM b PARALLEL 2").unwrap();
+        match plan {
+            LogicalPlan::SetOp {
+                parallelism,
+                left,
+                right,
+                ..
+            } => {
+                assert_eq!(parallelism, Some(2));
+                assert_eq!(*left, LogicalPlan::scan("a"));
+                assert_eq!(*right, LogicalPlan::scan("b"));
+            }
+            other => panic!("expected SetOp, got {other:?}"),
+        }
+        // ... but a branch with a TP join consumes its own suffix first
+        let plan = parse_query(
+            "SELECT * FROM a UNION SELECT * FROM b TP ANTI JOIN c ON b.k = c.k PARALLEL 3",
+        )
+        .unwrap();
+        match plan {
+            LogicalPlan::SetOp {
+                parallelism, right, ..
+            } => {
+                assert_eq!(parallelism, None);
+                match *right {
+                    LogicalPlan::TpJoin { parallelism, .. } => assert_eq!(parallelism, Some(3)),
+                    other => panic!("expected TpJoin, got {other:?}"),
+                }
+            }
+            other => panic!("expected SetOp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strategy_on_a_set_operation_is_rejected() {
+        let err = parse_query("SELECT * FROM a UNION SELECT * FROM b STRATEGY TA").unwrap_err();
+        assert!(err.message.contains("set operation"), "{err}");
+        assert_eq!(err.token.as_deref(), Some("STRATEGY"));
+    }
+
+    #[test]
+    fn set_operation_error_cases() {
+        // unterminated parenthesis
+        assert!(parse_query("(SELECT * FROM a UNION SELECT * FROM b").is_err());
+        // missing right-hand term
+        assert!(parse_query("SELECT * FROM a UNION").is_err());
+        // a set op keyword alone is not a term
+        assert!(parse_query("UNION SELECT * FROM a").is_err());
+        // trailing garbage after a parenthesized expression
+        assert!(parse_query("(SELECT * FROM a) extra").is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::error::TpdbError;
 use crate::expr::LiteralPredicate;
-use tpdb_core::{OverlapJoinPlan, ThetaCondition, TpJoinKind};
+use tpdb_core::{OverlapJoinPlan, ThetaCondition, TpJoinKind, TpSetOpKind};
 use tpdb_storage::Value;
 
 /// The join strategy the planner should use for a TP join with negation.
@@ -74,6 +74,27 @@ pub enum LogicalPlan {
         /// the effective degree.
         parallelism: Option<usize>,
     },
+    /// A TP set operation (`UNION` / `INTERSECT` / `EXCEPT`) between two
+    /// union-compatible sub-plans. Lowered onto the all-attribute-equality
+    /// TP join machinery: `EXCEPT` is the TP anti join, `INTERSECT` the TP
+    /// inner join projected back to the left schema, and `UNION` the
+    /// dedicated two-pass window stream.
+    SetOp {
+        /// Which set operation to compute.
+        kind: TpSetOpKind,
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Overlap-join plan forced for the internal all-attribute-equality
+        /// machinery (`None` lets the engine pick — sweep, since the
+        /// condition is always an equi-join).
+        overlap_plan: Option<OverlapJoinPlan>,
+        /// Requested degree of parallelism. `INTERSECT`/`EXCEPT` shard like
+        /// keyed TP joins; the streaming `UNION` always runs serially and
+        /// `EXPLAIN` reports the fallback.
+        parallelism: Option<usize>,
+    },
 }
 
 impl LogicalPlan {
@@ -123,6 +144,19 @@ impl LogicalPlan {
         }
     }
 
+    /// Combines this plan (as the left input) with another plan through a
+    /// TP set operation.
+    #[must_use]
+    pub fn set_op(self, kind: TpSetOpKind, right: LogicalPlan) -> Self {
+        LogicalPlan::SetOp {
+            kind,
+            left: Box::new(self),
+            right: Box::new(right),
+            overlap_plan: None,
+            parallelism: None,
+        }
+    }
+
     /// Forces the overlap-join plan of every TP join in this plan, looking
     /// through filters and projections (ablation and regression studies pin
     /// the physical plan this way).
@@ -153,6 +187,19 @@ impl LogicalPlan {
             LogicalPlan::Project { input, columns } => LogicalPlan::Project {
                 input: Box::new(input.with_overlap_plan(plan)),
                 columns,
+            },
+            LogicalPlan::SetOp {
+                kind,
+                left,
+                right,
+                parallelism,
+                ..
+            } => LogicalPlan::SetOp {
+                kind,
+                left: Box::new(left.with_overlap_plan(plan)),
+                right: Box::new(right.with_overlap_plan(plan)),
+                overlap_plan: Some(plan),
+                parallelism,
             },
             scan @ LogicalPlan::Scan { .. } => scan,
         }
@@ -205,6 +252,19 @@ impl LogicalPlan {
                 input: Box::new(input.with_parallelism(degree)),
                 columns,
             },
+            LogicalPlan::SetOp {
+                kind,
+                left,
+                right,
+                overlap_plan,
+                ..
+            } => LogicalPlan::SetOp {
+                kind,
+                left: Box::new(left.with_parallelism(degree)),
+                right: Box::new(right.with_parallelism(degree)),
+                overlap_plan,
+                parallelism: Some(degree.max(1)),
+            },
             scan @ LogicalPlan::Scan { .. } => scan,
         }
     }
@@ -224,7 +284,7 @@ impl LogicalPlan {
                 .unwrap_or(0)
                 .max(input.parameter_count()),
             LogicalPlan::Project { input, .. } => input.parameter_count(),
-            LogicalPlan::TpJoin { left, right, .. } => {
+            LogicalPlan::TpJoin { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
                 left.parameter_count().max(right.parameter_count())
             }
         }
@@ -281,6 +341,19 @@ impl LogicalPlan {
                 overlap_plan: *overlap_plan,
                 parallelism: *parallelism,
             },
+            LogicalPlan::SetOp {
+                kind,
+                left,
+                right,
+                overlap_plan,
+                parallelism,
+            } => LogicalPlan::SetOp {
+                kind: *kind,
+                left: Box::new(left.substitute(params)?),
+                right: Box::new(right.substitute(params)?),
+                overlap_plan: *overlap_plan,
+                parallelism: *parallelism,
+            },
         })
     }
 
@@ -324,6 +397,28 @@ impl LogicalPlan {
                     };
                     out.push_str(&format!(
                         "{pad}TpJoin {} ({theta}) strategy={strategy}{plan_note}{par_note}\n",
+                        kind.symbol()
+                    ));
+                    go(left, indent + 1, out);
+                    go(right, indent + 1, out);
+                }
+                LogicalPlan::SetOp {
+                    kind,
+                    left,
+                    right,
+                    overlap_plan,
+                    parallelism,
+                } => {
+                    let plan_note = match overlap_plan {
+                        Some(p) => format!(" plan={p}"),
+                        None => String::new(),
+                    };
+                    let par_note = match parallelism {
+                        Some(p) => format!(" parallel={p}"),
+                        None => String::new(),
+                    };
+                    out.push_str(&format!(
+                        "{pad}SetOp {kind} ({}){plan_note}{par_note}\n",
                         kind.symbol()
                     ));
                     go(left, indent + 1, out);
@@ -437,6 +532,37 @@ mod tests {
             .bind_parameters(&[Value::Int(0), Value::Int(7)])
             .unwrap();
         assert!(bound.pretty().contains("Key = 7"), "{}", bound.pretty());
+    }
+
+    #[test]
+    fn set_op_builders_print_count_and_bind() {
+        let plan = LogicalPlan::scan("a")
+            .filter(vec![LiteralPredicate::param("k", PredicateOp::Ge, 1)])
+            .set_op(
+                TpSetOpKind::Union,
+                LogicalPlan::scan("b").filter(vec![LiteralPredicate::param(
+                    "k",
+                    PredicateOp::Ge,
+                    1,
+                )]),
+            );
+        assert_eq!(plan.parameter_count(), 1);
+        let text = plan.pretty();
+        assert!(text.contains("SetOp UNION (∪)"), "{text}");
+        assert!(text.contains("Scan a"));
+        assert!(text.contains("Scan b"));
+        let bound = plan.bind_parameters(&[Value::Int(3)]).unwrap();
+        assert_eq!(bound.parameter_count(), 0);
+        assert!(bound.pretty().contains("k >= 3"), "{}", bound.pretty());
+        // parallelism and forced plans reach the set op node
+        let tuned = bound
+            .with_parallelism(4)
+            .with_overlap_plan(OverlapJoinPlan::Hash);
+        let text = tuned.pretty();
+        assert!(
+            text.contains("SetOp UNION (∪) plan=hash parallel=4"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Lowering of logical plans to physical operator trees.
 
-use crate::exec::{FilterExec, PhysicalOperator, ProjectExec, ScanExec, TpJoinExec};
+use crate::exec::{FilterExec, PhysicalOperator, ProjectExec, ScanExec, SetOpExec, TpJoinExec};
 use crate::plan::LogicalPlan;
 use crate::TpdbError;
 use tpdb_storage::{Catalog, Value};
@@ -53,13 +53,29 @@ pub fn plan_query_with(
     plan: &LogicalPlan,
     options: &QueryOptions,
 ) -> Result<Box<dyn PhysicalOperator>, TpdbError> {
+    // The catalog-wide base-probability engine is built at most once per
+    // lowering — lazily, so scan-only plans never pay for it — and cloned
+    // into each join/set-op operator.
+    let mut base_engine = None;
+    lower(catalog, plan, options, &mut base_engine)
+}
+
+/// Recursive lowering behind [`plan_query_with`]. `base_engine` caches the
+/// catalog's [`probability engine`](Catalog::probability_engine) across the
+/// operator nodes of one lowering.
+fn lower(
+    catalog: &Catalog,
+    plan: &LogicalPlan,
+    options: &QueryOptions,
+    base_engine: &mut Option<tpdb_lineage::ProbabilityEngine>,
+) -> Result<Box<dyn PhysicalOperator>, TpdbError> {
     match plan {
         LogicalPlan::Scan { relation } => {
             let rel = catalog.relation(relation)?;
             Ok(Box::new(ScanExec::new(rel)))
         }
         LogicalPlan::Filter { input, predicates } => {
-            let child = plan_query_with(catalog, input, options)?;
+            let child = lower(catalog, input, options, base_engine)?;
             let bound = predicates
                 .iter()
                 .map(|p| p.bind(child.schema()))
@@ -67,7 +83,7 @@ pub fn plan_query_with(
             Ok(Box::new(FilterExec::new(child, bound)))
         }
         LogicalPlan::Project { input, columns } => {
-            let child = plan_query_with(catalog, input, options)?;
+            let child = lower(catalog, input, options, base_engine)?;
             let indices = columns
                 .iter()
                 .map(|c| child.schema().require(c))
@@ -83,8 +99,8 @@ pub fn plan_query_with(
             overlap_plan,
             parallelism,
         } => {
-            let left = plan_query_with(catalog, left, options)?;
-            let right = plan_query_with(catalog, right, options)?;
+            let left = lower(catalog, left, options, base_engine)?;
+            let right = lower(catalog, right, options, base_engine)?;
             // Validate θ against the child schemas at plan time so that
             // errors surface before execution.
             let bound = theta.bind(left.schema(), right.schema())?;
@@ -109,6 +125,46 @@ pub fn plan_query_with(
                 *strategy,
                 *overlap_plan,
                 requested,
+                base_engine
+                    .get_or_insert_with(|| catalog.probability_engine())
+                    .clone(),
+            )))
+        }
+        LogicalPlan::SetOp {
+            kind,
+            left,
+            right,
+            overlap_plan,
+            parallelism,
+        } => {
+            let left = lower(catalog, left, options, base_engine)?;
+            let right = lower(catalog, right, options, base_engine)?;
+            // Union compatibility fails at plan time, not at the first
+            // execution: arity and per-position value types through the
+            // core check, plus matching column names — the output schema is
+            // the left input's, so a name mismatch would silently relabel
+            // the right side's values.
+            tpdb_core::check_union_compatible(left.schema(), right.schema())?;
+            for (lf, rf) in left.schema().fields().iter().zip(right.schema().fields()) {
+                if lf.name != rf.name {
+                    return Err(TpdbError::Storage(
+                        tpdb_storage::StorageError::UnionIncompatible {
+                            column: lf.name.clone(),
+                            detail: format!("left names it '{}', right '{}'", lf.name, rf.name),
+                        },
+                    ));
+                }
+            }
+            let requested = parallelism.unwrap_or(options.parallelism).max(1);
+            Ok(Box::new(SetOpExec::new(
+                left,
+                right,
+                *kind,
+                *overlap_plan,
+                requested,
+                base_engine
+                    .get_or_insert_with(|| catalog.probability_engine())
+                    .clone(),
             )))
         }
     }

@@ -636,6 +636,70 @@ mod tests {
     }
 
     #[test]
+    fn set_operations_flow_through_the_session_with_zero_special_cases() {
+        // Prepared statements, plan caching, stats, EXPLAIN and cursors all
+        // work on set-operation text exactly as they do on joins.
+        let mut catalog = Catalog::new();
+        let (r, s) = tpdb_datagen::meteo_like(300, 5);
+        catalog.register(r.clone()).unwrap();
+        catalog.register(s.clone()).unwrap();
+        let session = Session::new(catalog);
+
+        let q = "SELECT * FROM meteo_r UNION SELECT * FROM meteo_s";
+        let reference = tpdb_core::tp_union(&r, &s).unwrap();
+
+        // one-shot (miss), re-execution (hit)
+        let first = session.execute(q).unwrap();
+        assert_eq!(first.tuples(), reference.tuples());
+        let second = session.execute(q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(session.stats().cache_hits, 1);
+
+        // prepared handle shares the cached plan
+        let stmt = session.prepare(q).unwrap();
+        assert_eq!(stmt.parameter_count(), 0);
+        assert_eq!(stmt.execute(&[]).unwrap().tuples(), reference.tuples());
+
+        // cursor streaming agrees tuple by tuple
+        let collected = session.query(q).unwrap().collect().unwrap();
+        assert_eq!(collected.tuples(), reference.tuples());
+
+        // EXPLAIN prints both plans and the cache line
+        let text = session.explain(q).unwrap();
+        assert!(text.contains("SetOp UNION (∪)"), "{text}");
+        assert!(text.contains("plan=auto(sweep)"), "{text}");
+        assert!(text.contains("Plan cache:"), "{text}");
+
+        // parameterized set operations prepare and bind like any statement
+        let stmt = session
+            .prepare(
+                "SELECT * FROM meteo_r WHERE Metric = $1 \
+                 EXCEPT SELECT * FROM meteo_s WHERE Metric = $1",
+            )
+            .unwrap();
+        assert_eq!(stmt.parameter_count(), 1);
+        let bound = stmt.execute(&[Value::Int(0)]).unwrap();
+        assert!(bound.iter().all(|t| t.fact(1) == &Value::Int(0)));
+    }
+
+    #[test]
+    fn union_incompatible_set_operations_fail_at_prepare_time() {
+        let s = session(); // booking: a(Name, Loc) vs b(Hotel, Loc)
+        match s.prepare("SELECT * FROM a UNION SELECT * FROM b") {
+            Err(TpdbError::Storage(e)) => {
+                let text = e.to_string();
+                assert!(text.contains("union-compatible"), "{text}");
+                assert!(text.contains("column Name"), "{text}");
+            }
+            other => panic!("expected UnionIncompatible, got {other:?}"),
+        }
+        // projecting both sides onto the shared column makes them compatible
+        assert!(s
+            .prepare("SELECT Loc FROM a UNION SELECT Loc FROM b")
+            .is_ok());
+    }
+
+    #[test]
     fn normalization_preserves_whitespace_inside_string_literals() {
         // reformatting outside literals is key-equivalent ...
         assert_eq!(

@@ -47,6 +47,16 @@ pub enum StorageError {
         /// Why the plan cannot run.
         reason: String,
     },
+    /// The two inputs of a TP set operation are not union-compatible: the
+    /// named column differs between the sides (its value type, or — in the
+    /// query layer — its name). Arity mismatches are reported as
+    /// [`StorageError::ArityMismatch`].
+    UnionIncompatible {
+        /// The offending column (named after the left input's schema).
+        column: String,
+        /// How the sides differ (e.g. `left is INT, right is STR`).
+        detail: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -78,6 +88,12 @@ impl fmt::Display for StorageError {
             StorageError::PlanNotApplicable { plan, reason } => {
                 write!(f, "plan {plan} is not applicable: {reason}")
             }
+            StorageError::UnionIncompatible { column, detail } => {
+                write!(
+                    f,
+                    "set operation inputs are not union-compatible at column {column}: {detail}"
+                )
+            }
         }
     }
 }
@@ -108,5 +124,12 @@ mod tests {
         }
         .to_string()
         .contains("line 4"));
+        let e = StorageError::UnionIncompatible {
+            column: "Loc".into(),
+            detail: "left is INT, right is STR".into(),
+        }
+        .to_string();
+        assert!(e.contains("union-compatible"), "{e}");
+        assert!(e.contains("column Loc"), "{e}");
     }
 }

@@ -1,12 +1,12 @@
-//! Temporal-probabilistic set operations (difference, intersection, union)
-//! on two prediction feeds — the extension module built on the same window
-//! machinery as the joins. The derived relations are registered back into
-//! a session's catalog, where the query language (and its plan cache) can
-//! filter them like any base relation.
+//! Temporal-probabilistic set operations (`UNION` / `INTERSECT` /
+//! `EXCEPT`) on two prediction feeds — first-class citizens of the query
+//! language: they parse, plan, EXPLAIN, prepare and stream through the
+//! Session API exactly like TP joins, and execute lazily on the same
+//! window machinery.
 //!
 //! Run with: `cargo run --example set_operations`
 
-use tpdb::core::{tp_difference, tp_intersection, tp_union};
+use tpdb::core::tp_union;
 use tpdb::lineage::Lineage;
 use tpdb::query::Session;
 use tpdb::storage::{Catalog, DataType, Schema, TpRelation, TpTuple, Value};
@@ -42,26 +42,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{alpha}");
     println!("{beta}");
 
+    let mut catalog = Catalog::new();
+    catalog.register(alpha.clone())?;
+    catalog.register(beta.clone())?;
+    let session = Session::new(catalog);
+
     // Where does alpha predict something that beta does not confirm?
-    let difference = tp_difference(&alpha, &beta)?;
+    let difference = session.execute("SELECT * FROM alpha EXCEPT SELECT * FROM beta")?;
     println!("alpha ∖ beta:\n{difference}");
 
     // Where do both feeds agree (and how confident is the combination)?
-    println!("alpha ∩ beta:\n{}", tp_intersection(&alpha, &beta)?);
+    let intersection = session.execute("SELECT * FROM alpha INTERSECT SELECT * FROM beta")?;
+    println!("alpha ∩ beta:\n{intersection}");
 
-    // The merged prediction timeline.
-    let union = tp_union(&alpha, &beta)?;
-    println!("alpha ∪ beta:\n{union}");
+    // The merged prediction timeline — streamed through a cursor: tuples
+    // leave the two-pass window pipeline one at a time.
+    let mut cursor = session.query("SELECT * FROM alpha UNION SELECT * FROM beta")?;
+    let first = cursor.next().expect("the union is non-empty")?;
+    println!(
+        "first union tuple off the stream: {} over {} (p = {:.2})",
+        first.fact(0),
+        first.interval(),
+        first.probability()
+    );
+    let union = cursor.collect()?;
 
-    // Register the derived relations in a session: set-operation results
-    // are first-class TP relations, so the query layer (prepared
-    // statements, parameter binding, cursors) works on them unchanged.
-    let mut catalog = Catalog::new();
-    catalog.register(difference.renamed("diff"))?;
-    catalog.register(union.renamed("merged"))?;
-    let session = Session::new(catalog);
+    // Sanity check against the core function the query layer lowers to:
+    // the streamed query result is byte-identical to a direct core call.
+    let direct = tp_union(&alpha, &beta)?;
+    assert_eq!(union.tuples(), &direct.tuples()[1..]);
+    println!("rest of the merged timeline:\n{union}");
 
-    let stmt = session.prepare("SELECT * FROM merged WHERE Event = $1")?;
+    // EXPLAIN shows the lowering: the set operation rides on the sweep
+    // overlap join of the all-attribute equality condition.
+    println!(
+        "{}",
+        session.explain("SELECT * FROM alpha UNION SELECT * FROM beta")?
+    );
+
+    // Set operations compose with WHERE, parameters and chaining — prepare
+    // once, bind many, like any other statement.
+    let stmt = session.prepare(
+        "SELECT * FROM alpha WHERE Event = $1 UNION SELECT * FROM beta WHERE Event = $1",
+    )?;
     for event in ["maintenance", "outage"] {
         let rows = stmt.execute(&[Value::str(event)])?;
         println!(

@@ -44,8 +44,9 @@ pub use tpdb_temporal as temporal;
 /// Convenience prelude re-exporting the most commonly used items.
 pub mod prelude {
     pub use tpdb_core::{
-        lawan, lawau, overlapping_windows, tp_anti_join, tp_full_outer_join, tp_inner_join,
-        tp_left_outer_join, tp_right_outer_join, ThetaCondition, TpJoinStream, Window, WindowKind,
+        lawan, lawau, overlapping_windows, tp_anti_join, tp_difference, tp_full_outer_join,
+        tp_inner_join, tp_intersection, tp_left_outer_join, tp_right_outer_join, tp_union,
+        ThetaCondition, TpJoinStream, TpSetOpKind, TpSetOpStream, Window, WindowKind,
     };
     pub use tpdb_lineage::{Lineage, ProbabilityEngine, SymbolTable, VarId};
     pub use tpdb_query::{PreparedQuery, ResultCursor, Session, SessionStats, TpdbError};
