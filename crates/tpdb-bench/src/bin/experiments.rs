@@ -12,6 +12,7 @@
 //! cargo run --release -p tpdb-bench --bin experiments -- scaling --json --threads 1,2,4,8
 //! cargo run --release -p tpdb-bench --bin experiments -- prepared --json
 //! cargo run --release -p tpdb-bench --bin experiments -- setops --smoke --json --check-union-streaming
+//! cargo run --release -p tpdb-bench --bin experiments -- ratio --smoke --json --check-query-overhead
 //! ```
 //!
 //! Default cardinalities are scaled down from the paper's 40K–200K so that
@@ -29,6 +30,13 @@
 //!   the `setops` figure is slower than the pre-streaming materializing
 //!   reference (beyond a 10% noise margin) at the largest measured scale —
 //!   the CI regression guard for the set-operation streaming path.
+//! * `--check-query-overhead` exits non-zero when the session-executed TP
+//!   left outer join of the `ratio` figure is more than 1.2× slower than
+//!   the core function on the meteo workload at the largest measured scale
+//!   — the CI regression guard for query-layer overhead. Unlike the
+//!   `prepared` figure (whose join series is a TP anti join), both sides of
+//!   `ratio` run the *same* join kind serially, so the comparison is
+//!   apples-to-apples.
 //! * `--threads 1,2,4` selects the worker counts of the `scaling` figure
 //!   (partitioned parallel NJ on the meteo WUO workload; implies `scaling`)
 //!   and prints/records speedups against the serial `NJ-P1` baseline.
@@ -37,8 +45,9 @@
 
 use tpdb_bench::{
     header, measurements_to_json, run_nj_left_outer, run_nj_wn, run_nj_wuo, run_nj_wuo_parallel,
-    run_nj_wuon, run_prepared_vs_reparse, run_setops_query_layer, run_ta_left_outer,
-    run_ta_negating, run_ta_wuo, run_union_materialized, run_union_streamed, Dataset, Measurement,
+    run_nj_wuon, run_prepared_vs_reparse, run_query_core_ratio, run_setops_query_layer,
+    run_ta_left_outer, run_ta_negating, run_ta_wuo, run_union_materialized, run_union_streamed,
+    Dataset, Measurement,
 };
 
 /// Input cardinalities per figure.
@@ -58,6 +67,7 @@ struct Config {
     json: bool,
     check_nj_wuo: bool,
     check_union_streaming: bool,
+    check_query_overhead: bool,
     /// Worker counts of the `scaling` figure.
     threads: Vec<usize>,
 }
@@ -65,8 +75,8 @@ struct Config {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: experiments [fig5] [fig6] [fig7] [ablation] [scaling] [prepared] [setops] \
-         [--full | --smoke] [--json] [--check-nj-wuo] [--check-union-streaming] \
-         [--threads 1,2,4]"
+         [ratio] [--full | --smoke] [--json] [--check-nj-wuo] [--check-union-streaming] \
+         [--check-query-overhead] [--threads 1,2,4]"
     );
     std::process::exit(2);
 }
@@ -94,6 +104,7 @@ fn parse_args() -> Config {
     let mut json = false;
     let mut check_nj_wuo = false;
     let mut check_union_streaming = false;
+    let mut check_query_overhead = false;
     let mut threads: Option<Vec<usize>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -103,6 +114,7 @@ fn parse_args() -> Config {
             "--json" => json = true,
             "--check-nj-wuo" => check_nj_wuo = true,
             "--check-union-streaming" => check_union_streaming = true,
+            "--check-query-overhead" => check_query_overhead = true,
             "--threads" => match args.next() {
                 Some(list) => threads = Some(parse_threads(&list)),
                 None => {
@@ -110,7 +122,7 @@ fn parse_args() -> Config {
                     usage_and_exit();
                 }
             },
-            "fig5" | "fig6" | "fig7" | "ablation" | "scaling" | "prepared" | "setops" => {
+            "fig5" | "fig6" | "fig7" | "ablation" | "scaling" | "prepared" | "setops" | "ratio" => {
                 figures.push(arg)
             }
             other => {
@@ -131,6 +143,7 @@ fn parse_args() -> Config {
             "ablation".into(),
             "prepared".into(),
             "setops".into(),
+            "ratio".into(),
         ];
     }
     // The regression guards only evaluate their own figure's rows; passing
@@ -143,12 +156,17 @@ fn parse_args() -> Config {
         eprintln!("--check-union-streaming requires setops to be among the figures run");
         std::process::exit(2);
     }
+    if check_query_overhead && !figures.iter().any(|f| f == "ratio") {
+        eprintln!("--check-query-overhead requires ratio to be among the figures run");
+        std::process::exit(2);
+    }
     Config {
         figures,
         scale,
         json,
         check_nj_wuo,
         check_union_streaming,
+        check_query_overhead,
         threads: threads.unwrap_or_else(|| vec![1, 2, 4, 8]),
     }
 }
@@ -318,6 +336,83 @@ fn setops(scale: Scale) -> Vec<Measurement> {
         all.extend(rows);
     }
     all
+}
+
+/// The query-overhead figure: the same TP left outer join measured as the
+/// core [`tpdb_core::tp_left_outer_join`] function and end-to-end through a
+/// prepared, serial session statement. Both series run the identical join
+/// kind and pipeline, so their ratio is pure query-layer overhead — unlike
+/// the `prepared` figure, whose join series is a TP anti join and therefore
+/// not comparable to Fig. 7. Meteo only, the workload of the other
+/// regression guards.
+fn ratio(scale: Scale) -> Vec<Measurement> {
+    let sizes: &[usize] = match scale {
+        Scale::Full => &[40_000],
+        Scale::Default => &[5_000, 20_000],
+        Scale::Smoke => &[2_000],
+    };
+    let mut all = Vec::new();
+    for &n in sizes {
+        let w = Dataset::MeteoLike.generate(n, 42);
+        let rows = run_query_core_ratio(&w);
+        print_series(
+            &format!("Query-vs-core ratio (meteo, {n} tuples) — TP left outer join"),
+            &rows,
+        );
+        all.extend(rows);
+    }
+    all
+}
+
+/// The query-overhead regression guard: the session-executed TP left outer
+/// join must stay within `1.2×` of the core function on the meteo workload
+/// at the largest measured cardinality. Both series run the same serial
+/// join, so anything beyond the margin is envelope cost the query layer
+/// added back (per-execution engine cloning, per-tuple fact copies, ...).
+fn check_query_overhead(rows: &[Measurement]) {
+    let meteo: Vec<&Measurement> = rows.iter().filter(|m| m.dataset == "meteo").collect();
+    let largest = meteo.iter().map(|m| m.tuples).max().unwrap_or(0);
+    let series = |name: &str| {
+        meteo
+            .iter()
+            .find(|m| m.series == name && m.tuples == largest)
+            .copied()
+    };
+    let (Some(core), Some(session)) = (series("core"), series("session")) else {
+        eprintln!("--check-query-overhead: ratio core/session series missing");
+        std::process::exit(1);
+    };
+    const MARGIN: f64 = 1.20;
+    // Wall-clock comparisons on shared CI runners are noisy; before
+    // declaring a regression, re-measure the pair up to twice on a fresh
+    // workload.
+    let (mut core_ms, mut session_ms) = (core.millis, session.millis);
+    for attempt in 1..=2 {
+        if session_ms <= core_ms * MARGIN {
+            break;
+        }
+        eprintln!(
+            "session join ({session_ms:.2} ms) more than 1.2x over core ({core_ms:.2} ms); \
+             re-measuring (attempt {attempt}/2, noisy runner?)"
+        );
+        let w = Dataset::MeteoLike.generate(largest, 42);
+        let rows = run_query_core_ratio(&w);
+        core_ms = rows[0].millis;
+        session_ms = rows[1].millis;
+    }
+    println!(
+        "\nquery overhead guard (meteo, {largest} tuples): core {core_ms:.2} ms, \
+         session {session_ms:.2} ms ({:.2}x)",
+        session_ms / core_ms
+    );
+    if session_ms > core_ms * MARGIN {
+        eprintln!(
+            "REGRESSION: the session-executed left outer join ({session_ms:.2} ms) is more \
+             than 1.2x slower than the core function ({core_ms:.2} ms) on the meteo workload \
+             at {largest} tuples"
+        );
+        std::process::exit(1);
+    }
 }
 
 /// The set-operation regression guard: the streamed union must not be
@@ -523,6 +618,7 @@ fn main() {
             "scaling" => scaling(config.scale, &config.threads),
             "prepared" => prepared(config.scale),
             "setops" => setops(config.scale),
+            "ratio" => ratio(config.scale),
             "ablation" => {
                 ablation();
                 continue;
@@ -537,6 +633,9 @@ fn main() {
         }
         if config.check_union_streaming && figure == "setops" {
             check_union_streaming(&rows);
+        }
+        if config.check_query_overhead && figure == "ratio" {
+            check_query_overhead(&rows);
         }
     }
 }

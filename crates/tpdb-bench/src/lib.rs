@@ -357,6 +357,64 @@ pub fn run_setops_query_layer(w: &Workload) -> Vec<Measurement> {
 }
 
 // ---------------------------------------------------------------------------
+// Query-vs-core ratio: the session overhead guard
+// ---------------------------------------------------------------------------
+
+/// Measures the *same* TP left outer join twice — once as the core
+/// [`tp_left_outer_join`] function and once end-to-end through a prepared
+/// session statement pinned to serial execution — so the two series differ
+/// only in the query-layer envelope (plan-cache lookup, parameter binding,
+/// scan operators, output materialization). This is the apples-to-apples
+/// pair the `ratio` figure and the `--check-query-overhead` CI guard are
+/// built on; the `prepared` figure is *not* comparable to Fig. 7 because
+/// its join series is a TP anti join.
+///
+/// Two series: `core` (the direct function call) and `session` (prepared
+/// once — parse + plan cost excluded, exactly like `join-prepared` — then
+/// one timed execution). `output` is the result cardinality, asserted
+/// identical across the pair.
+#[must_use]
+pub fn run_query_core_ratio(w: &Workload) -> Vec<Measurement> {
+    let key = w.dataset.key_column();
+    let (rname, sname) = (w.r.name(), w.s.name());
+
+    // Untimed warm-up so the first measured series does not absorb the
+    // fresh workload's cold-cache cost (same convention as the setops
+    // figure).
+    let _ = tp_left_outer_join(&w.r, &w.s, &w.theta).expect("θ binds");
+    let (core_ms, core_out) = time(|| {
+        tp_left_outer_join(&w.r, &w.s, &w.theta)
+            .expect("θ binds")
+            .len()
+    });
+
+    let mut session = session_over(w);
+    // The core function is serial; pin the session to the same pipeline so
+    // the ratio isolates query-layer overhead rather than comparing serial
+    // against partitioned execution.
+    session.set_parallelism(1);
+    let q = format!("SELECT * FROM {rname} TP LEFT JOIN {sname} ON {rname}.{key} = {sname}.{key}");
+    let stmt = session.prepare(&q).expect("query prepares");
+    let (session_ms, session_out) = time(|| stmt.execute(&[]).expect("query runs").len());
+
+    assert_eq!(
+        core_out, session_out,
+        "core and session must compute the same join"
+    );
+    let row = |series: &str, millis: f64, output: usize| Measurement {
+        series: series.to_owned(),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output,
+    };
+    vec![
+        row("core", core_ms, core_out),
+        row("session", session_ms, session_out),
+    ]
+}
+
+// ---------------------------------------------------------------------------
 // Prepared-vs-reparse: the session front-end contract
 // ---------------------------------------------------------------------------
 
@@ -507,6 +565,19 @@ mod tests {
             .find(|m| m.series == "union-query")
             .expect("union-query series");
         assert_eq!(union_query.output, streamed.output);
+    }
+
+    #[test]
+    fn ratio_series_agree_on_outputs() {
+        let w = Dataset::MeteoLike.generate(300, 7);
+        let rows = run_query_core_ratio(&w);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].series, "core");
+        assert_eq!(rows[1].series, "session");
+        // Same join, same cardinality — on both sides of the ratio and
+        // against the Fig. 7 NJ series it claims to match.
+        assert_eq!(rows[0].output, rows[1].output);
+        assert_eq!(rows[0].output, run_nj_left_outer(&w).output);
     }
 
     #[test]

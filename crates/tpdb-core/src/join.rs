@@ -26,7 +26,7 @@
 use crate::overlap::OverlapJoinPlan;
 use crate::theta::ThetaCondition;
 use crate::window::{Window, WindowKind};
-use tpdb_lineage::{Lineage, ProbabilityEngine};
+use tpdb_lineage::{Lineage, LineageRef, ProbabilityEngine};
 use tpdb_storage::{Schema, StorageError, TpRelation, TpTuple, Value};
 
 /// Which TP join with negation to compute.
@@ -263,6 +263,80 @@ pub(crate) fn form_output_tuple(
         }
     };
     let probability = engine.probability(&lineage);
+
+    // Output facts: Fr ∘ Fs with NULL padding where Fs (or Fr, on the right
+    // side) is null.
+    let pos_facts = pos.tuple(w.r_idx).facts();
+    let facts: Vec<Value> = match kind {
+        TpJoinKind::Anti => pos_facts.to_vec(),
+        _ => {
+            let neg_facts: Vec<Value> = match w.s_idx {
+                Some(si) => neg.tuple(si).facts().to_vec(),
+                None => vec![Value::Null; neg.schema().arity()],
+            };
+            match side {
+                Side::Left => pos_facts.iter().cloned().chain(neg_facts).collect(),
+                // On the right side the window's positive relation is `s`:
+                // its facts go into the right-hand columns of the output.
+                Side::Right => neg_facts
+                    .into_iter()
+                    .chain(pos_facts.iter().cloned())
+                    .collect(),
+            }
+        }
+    };
+
+    Some(TpTuple::new(facts, lineage, w.interval, probability))
+}
+
+/// [`form_output_tuple`] over the interned window representation: the
+/// output lineage is built as an arena node, its probability is computed
+/// through the id-keyed memo, and only the surviving output tuple converts
+/// the formula back into a [`Lineage`] tree (at the serde/API boundary).
+pub(crate) fn form_output_tuple_interned(
+    w: &Window<LineageRef>,
+    pos: &TpRelation,
+    neg: &TpRelation,
+    kind: TpJoinKind,
+    side: Side,
+    engine: &mut ProbabilityEngine,
+) -> Option<TpTuple> {
+    // Which window classes participate, per operator and side (Table II).
+    let participates = match (kind, side, w.kind) {
+        // inner join: only WO(r;s,θ)
+        (TpJoinKind::Inner, _, k) => k == WindowKind::Overlapping,
+        // anti join: WU(r;s,θ) and WN(r;s,θ)
+        (TpJoinKind::Anti, Side::Left, k) => k != WindowKind::Overlapping,
+        (TpJoinKind::Anti, Side::Right, _) => false,
+        // left outer: WO ∪ WU(r;s) ∪ WN(r;s)
+        (TpJoinKind::LeftOuter, Side::Left, _) => true,
+        (TpJoinKind::LeftOuter, Side::Right, _) => false,
+        // right outer: WO plus WU(s;r) ∪ WN(s;r)
+        (TpJoinKind::RightOuter, Side::Left, k) => k == WindowKind::Overlapping,
+        (TpJoinKind::RightOuter, Side::Right, k) => k != WindowKind::Overlapping,
+        // full outer: all five sets
+        (TpJoinKind::FullOuter, Side::Left, _) => true,
+        (TpJoinKind::FullOuter, Side::Right, k) => k != WindowKind::Overlapping,
+    };
+    if !participates {
+        return None;
+    }
+
+    // Output lineage via the window class's concatenation function, built
+    // directly in the arena.
+    let lineage_ref = match w.kind {
+        WindowKind::Overlapping => {
+            let ls = w.lambda_s.expect("λs");
+            engine.interner_mut().and2(w.lambda_r, ls)
+        }
+        WindowKind::Unmatched => w.lambda_r,
+        WindowKind::Negating => {
+            let ls = w.lambda_s.expect("λs");
+            engine.interner_mut().and_not(w.lambda_r, ls)
+        }
+    };
+    let probability = engine.probability_ref(lineage_ref);
+    let lineage = engine.to_lineage(lineage_ref);
 
     // Output facts: Fr ∘ Fs with NULL padding where Fs (or Fr, on the right
     // side) is null.

@@ -27,7 +27,9 @@
 //! re-flattened or re-deduplicated at a boundary.
 
 use crate::window::{Window, WindowSink};
-use tpdb_lineage::IncrementalDisjunction;
+use tpdb_lineage::{
+    IncrementalDisjunction, InternedDisjunction, Lineage, LineageInterner, LineageRef,
+};
 use tpdb_temporal::{EventQueue, Interval, TimePoint};
 
 /// Runs LAWAN over the output `WUO` of [`lawau`](crate::lawau::lawau).
@@ -53,7 +55,7 @@ pub fn lawan(wuo: &[Window]) -> Vec<Window> {
 /// Sweeps one group (all `WUO` windows of a single `r` tuple): copies the
 /// unmatched and overlapping windows to the output and inserts the negating
 /// windows derived from the overlapping ones.
-pub(crate) fn sweep_group(group: &[Window], out: &mut impl WindowSink) {
+pub(crate) fn sweep_group(group: &[Window], out: &mut impl WindowSink<Lineage>) {
     // Copy every existing window through (Case 1 alternates these copies
     // with the creation of negating windows; emitting them up front keeps
     // the output grouped by r tuple, which is all downstream consumers
@@ -121,6 +123,79 @@ pub(crate) fn sweep_group(group: &[Window], out: &mut impl WindowSink) {
                 w.lambda_s
                     .as_ref()
                     .expect("overlapping windows always carry λs"),
+            );
+            queue.push(w.interval.end(), i);
+            i += 1;
+        }
+        wind_ts = Some(boundary);
+    }
+}
+
+/// The interned counterpart of [`sweep_group`]: the identical sweep over
+/// [`LineageRef`] windows, maintaining the active disjunction as an
+/// [`InternedDisjunction`] (membership updates hash a single `u32`) and
+/// emitting each negating window's `λs` through the interner. Operand order
+/// and slot discipline match the legacy sweep exactly, so the converted
+/// trees — and therefore the output tuples — are byte-identical.
+pub(crate) fn sweep_group_interned(
+    group: &[Window<LineageRef>],
+    interner: &mut LineageInterner,
+    out: &mut impl WindowSink<LineageRef>,
+) {
+    for w in group {
+        out.put(w.clone());
+    }
+
+    let overlapping: Vec<&Window<LineageRef>> =
+        group.iter().filter(|w| w.is_overlapping()).collect();
+    if overlapping.is_empty() {
+        return;
+    }
+    let r_idx = group[0].r_idx;
+    let lambda_r = overlapping[0].lambda_r;
+
+    let mut queue = EventQueue::new();
+    let mut active = InternedDisjunction::new();
+    let mut i = 0usize;
+    let mut wind_ts: Option<TimePoint> = None;
+
+    loop {
+        let next_start = overlapping.get(i).map(|w| w.interval.start());
+        let next_end = queue.peek().map(|(t, _)| t);
+        let boundary = match (next_start, next_end) {
+            (Some(s), Some(e)) => s.min(e),
+            (Some(s), None) => s,
+            (None, Some(e)) => e,
+            (None, None) => break,
+        };
+
+        if let Some(ts) = wind_ts {
+            if !active.is_empty() && ts < boundary {
+                let lambda_s = active.disjunction(interner);
+                out.put(Window::negating(
+                    Interval::new(ts, boundary),
+                    r_idx,
+                    lambda_r,
+                    lambda_s,
+                ));
+            }
+        }
+
+        for item in queue.pop_expired(boundary) {
+            active.remove(
+                overlapping[item]
+                    .lambda_s
+                    .expect("overlapping windows always carry λs"),
+                interner,
+            );
+        }
+        while let Some(w) = overlapping.get(i) {
+            if w.interval.start() != boundary {
+                break;
+            }
+            active.insert(
+                w.lambda_s.expect("overlapping windows always carry λs"),
+                interner,
             );
             queue.push(w.interval.end(), i);
             i += 1;

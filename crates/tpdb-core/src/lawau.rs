@@ -43,20 +43,31 @@ pub fn lawau(windows: &[Window], r: &TpRelation) -> Vec<Window> {
         while idx < windows.len() && windows[idx].r_idx == r_idx {
             idx += 1;
         }
-        sweep_group(&windows[group_start..idx], r, &mut out);
+        let r_tuple = r.tuple(r_idx);
+        sweep_group(
+            &windows[group_start..idx],
+            r_tuple.interval(),
+            r_tuple.lineage(),
+            &mut out,
+        );
     }
     out
 }
 
 /// Sweeps one group (all windows of a single `r` tuple), copying the
 /// existing windows to the output and inserting the gap-filling unmatched
-/// windows in chronological position.
-pub(crate) fn sweep_group(group: &[Window], r: &TpRelation, out: &mut impl WindowSink) {
+/// windows in chronological position. Generic over the lineage
+/// representation: `r_interval`/`lambda_r` describe the originating `r`
+/// tuple (the interned pipeline passes the tuple's [`LineageRef`] here, so
+/// the sweep never touches a formula tree).
+pub(crate) fn sweep_group<L: Clone>(
+    group: &[Window<L>],
+    r_interval: Interval,
+    lambda_r: &L,
+    out: &mut impl WindowSink<L>,
+) {
     debug_assert!(!group.is_empty());
     let r_idx = group[0].r_idx;
-    let r_tuple = r.tuple(r_idx);
-    let r_interval = r_tuple.interval();
-    let lambda_r = r_tuple.lineage().clone();
 
     // Whole-interval unmatched windows (produced by the outer part of the
     // overlap join) already cover the entire tuple: copy and return.
@@ -87,7 +98,7 @@ pub(crate) fn sweep_group(group: &[Window], r: &TpRelation, out: &mut impl Windo
         out.put(Window::unmatched(
             Interval::new(cursor, r_interval.end()),
             r_idx,
-            lambda_r,
+            lambda_r.clone(),
         ));
     }
 }

@@ -41,8 +41,26 @@ use crate::window::Window;
 use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
+use tpdb_lineage::{Lineage, LineageInterner, LineageRef};
 use tpdb_storage::{StorageError, TpRelation, TpTuple, Value};
 use tpdb_temporal::{SortedIntervalIndex, SortedIntervalIndexBuilder};
+
+/// The lineage column of a relation as one pre-cloned vector (cheap `Arc`
+/// bumps), indexed by tuple position.
+fn lineage_column(rel: &TpRelation) -> Arc<Vec<Lineage>> {
+    Arc::new(rel.iter().map(|t| t.lineage().clone()).collect())
+}
+
+/// The lineage column of a relation interned into `interner`, indexed by
+/// tuple position. Every window the stream emits then carries `Copy` ids
+/// instead of cloned trees.
+pub(crate) fn interned_lineages(
+    rel: &TpRelation,
+    interner: &mut LineageInterner,
+) -> Arc<Vec<LineageRef>> {
+    Arc::new(rel.iter().map(|t| interner.intern(t.lineage())).collect())
+}
 
 /// Which physical plan the overlap join uses.
 ///
@@ -168,10 +186,11 @@ pub fn overlapping_windows_with_plan(
     plan: OverlapJoinPlan,
 ) -> Result<Vec<Window>, StorageError> {
     let index = ProbeIndex::build(s, bound, plan)?;
+    let s_lins = lineage_column(s);
     let mut out = Vec::new();
     let mut scratch = Vec::new();
     for (ri, rt) in r.iter().enumerate() {
-        index.probe_into(ri, rt, s, bound, &mut scratch);
+        index.probe_into(ri, rt, s, bound, rt.lineage(), &s_lins, &mut scratch);
         out.append(&mut scratch);
     }
     Ok(out)
@@ -250,14 +269,23 @@ impl ProbeIndex {
 
     /// Appends the windows of the probe tuple `r[ri]` to `out`, sorted by
     /// `(start, end)`: its overlapping windows, or one whole-interval
-    /// unmatched window when nothing matches.
-    fn probe_into(
+    /// unmatched window when nothing matches. Generic over the lineage
+    /// representation: `r_lambda` is the probe tuple's lineage and `s_lins`
+    /// the build side's lineage column (indexed by global `s` position).
+    // The generic lineage plumbing (the probe tuple's λ plus the build
+    // side's lineage column) pushes this private helper past clippy's
+    // argument budget; bundling the two into a struct would only rename
+    // the call sites.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_into<L: Clone>(
         &self,
         ri: usize,
         rt: &TpTuple,
         s: &TpRelation,
         bound: &BoundTheta,
-        out: &mut Vec<Window>,
+        r_lambda: &L,
+        s_lins: &[L],
+        out: &mut Vec<Window<L>>,
     ) {
         debug_assert!(out.is_empty(), "probe scratch must be drained");
         let r_iv = rt.interval();
@@ -280,8 +308,8 @@ impl ProbeIndex {
                             inter,
                             ri,
                             si,
-                            rt.lineage().clone(),
-                            st.lineage().clone(),
+                            r_lambda.clone(),
+                            s_lins[si].clone(),
                         ));
                     }
                 }
@@ -298,8 +326,8 @@ impl ProbeIndex {
                                 inter,
                                 ri,
                                 si,
-                                rt.lineage().clone(),
-                                st.lineage().clone(),
+                                r_lambda.clone(),
+                                s_lins[si].clone(),
                             ));
                         }
                     }
@@ -315,15 +343,15 @@ impl ProbeIndex {
                             inter,
                             ri,
                             si,
-                            rt.lineage().clone(),
-                            st.lineage().clone(),
+                            r_lambda.clone(),
+                            s_lins[si].clone(),
                         ));
                     }
                 }
             }
         }
         if out.is_empty() {
-            out.push(Window::unmatched(r_iv, ri, rt.lineage().clone()));
+            out.push(Window::unmatched(r_iv, ri, r_lambda.clone()));
         } else {
             // The sweep plan already yields non-decreasing intersection
             // starts, so this is a near-no-op run detection; the hash and
@@ -348,14 +376,31 @@ impl ProbeIndex {
 /// shard-probe list `P` is likewise generic (`AsRef<[usize]>`), so the
 /// parallel driver lends each worker its shard's member indices without
 /// copying them.
-pub struct OverlapWindowStream<R: Borrow<TpRelation>, S: Borrow<TpRelation>, P = Vec<usize>>
-where
+///
+/// Like [`Window`], the stream is generic over the lineage representation
+/// `L`: the default emits [`Lineage`] trees, while the executing join and
+/// set-operation pipelines construct it through the crate-internal
+/// `interned` constructor to emit `Copy`
+/// [`LineageRef`] ids. Both input lineage columns are materialized once at
+/// construction (`Arc`-shared with the downstream LAWAU adaptor), so no
+/// per-window tree clone happens on either path.
+pub struct OverlapWindowStream<
+    R: Borrow<TpRelation>,
+    S: Borrow<TpRelation>,
+    P = Vec<usize>,
+    L = Lineage,
+> where
     P: AsRef<[usize]>,
+    L: Clone,
 {
     r: R,
     s: S,
     bound: BoundTheta,
     index: ProbeIndex,
+    /// The positive side's lineage column, indexed by global `r` position.
+    r_lins: Arc<Vec<L>>,
+    /// The build side's lineage column, indexed by global `s` position.
+    s_lins: Arc<Vec<L>>,
     /// Probe cursor: the next position in `probes` (shard execution) or the
     /// next `r` index (whole-relation execution).
     pos: usize,
@@ -365,8 +410,8 @@ where
     /// `r_idx`, so the downstream adaptors and the merge step never need to
     /// translate indices.
     probes: Option<P>,
-    ready: VecDeque<Window>,
-    scratch: Vec<Window>,
+    ready: VecDeque<Window<L>>,
+    scratch: Vec<Window<L>>,
 }
 
 impl<R: Borrow<TpRelation>, S: Borrow<TpRelation>> OverlapWindowStream<R, S> {
@@ -391,13 +436,88 @@ impl<R: Borrow<TpRelation>, S: Borrow<TpRelation>> OverlapWindowStream<R, S> {
         plan: OverlapJoinPlan,
     ) -> Result<Self, StorageError> {
         let index = ProbeIndex::build(s.borrow(), &bound, plan)?;
+        let r_lins = lineage_column(r.borrow());
+        let s_lins = lineage_column(s.borrow());
         Ok(Self {
             r,
             s,
             bound,
             index,
+            r_lins,
+            s_lins,
             pos: 0,
             probes: None,
+            ready: VecDeque::new(),
+            scratch: Vec::new(),
+        })
+    }
+}
+
+impl<R: Borrow<TpRelation>, S: Borrow<TpRelation>>
+    OverlapWindowStream<R, S, Vec<usize>, LineageRef>
+{
+    /// Creates the interned stream: both lineage columns are interned into
+    /// `interner` up front and every emitted window carries `Copy`
+    /// [`LineageRef`] ids. This is the construction path of the executing
+    /// join/set-operation pipelines.
+    pub(crate) fn interned(
+        r: R,
+        s: S,
+        bound: BoundTheta,
+        plan: OverlapJoinPlan,
+        interner: &mut LineageInterner,
+    ) -> Result<Self, StorageError> {
+        let index = ProbeIndex::build(s.borrow(), &bound, plan)?;
+        let r_lins = interned_lineages(r.borrow(), interner);
+        let s_lins = interned_lineages(s.borrow(), interner);
+        Ok(Self {
+            r,
+            s,
+            bound,
+            index,
+            r_lins,
+            s_lins,
+            pos: 0,
+            probes: None,
+            ready: VecDeque::new(),
+            scratch: Vec::new(),
+        })
+    }
+}
+
+impl<R, S, P> OverlapWindowStream<R, S, P, LineageRef>
+where
+    R: Borrow<TpRelation>,
+    S: Borrow<TpRelation>,
+    P: AsRef<[usize]>,
+{
+    /// Shard-local interned stream ([`with_subset`] semantics with
+    /// [`LineageRef`] emission); used by the partitioned parallel driver's
+    /// workers, each over its own engine's interner.
+    ///
+    /// [`with_subset`]: OverlapWindowStream::with_subset
+    pub(crate) fn interned_subset(
+        r: R,
+        s: S,
+        bound: BoundTheta,
+        plan: OverlapJoinPlan,
+        probes: P,
+        s_members: &[usize],
+        interner: &mut LineageInterner,
+    ) -> Result<Self, StorageError> {
+        debug_assert!(plan.is_shardable(), "subset streams require a keyed plan");
+        let index = ProbeIndex::build_subset(s.borrow(), &bound, plan, Some(s_members))?;
+        let r_lins = interned_lineages(r.borrow(), interner);
+        let s_lins = interned_lineages(s.borrow(), interner);
+        Ok(Self {
+            r,
+            s,
+            bound,
+            index,
+            r_lins,
+            s_lins,
+            pos: 0,
+            probes: Some(probes),
             ready: VecDeque::new(),
             scratch: Vec::new(),
         })
@@ -424,16 +544,34 @@ where
     ) -> Result<Self, StorageError> {
         debug_assert!(plan.is_shardable(), "subset streams require a keyed plan");
         let index = ProbeIndex::build_subset(s.borrow(), &bound, plan, Some(s_members))?;
+        let r_lins = lineage_column(r.borrow());
+        let s_lins = lineage_column(s.borrow());
         Ok(Self {
             r,
             s,
             bound,
             index,
+            r_lins,
+            s_lins,
             pos: 0,
             probes: Some(probes),
             ready: VecDeque::new(),
             scratch: Vec::new(),
         })
+    }
+}
+
+impl<R, S, P, L> OverlapWindowStream<R, S, P, L>
+where
+    R: Borrow<TpRelation>,
+    S: Borrow<TpRelation>,
+    P: AsRef<[usize]>,
+    L: Clone,
+{
+    /// The positive side's lineage column (`Arc`-shared with the LAWAU
+    /// adaptor so the sweep reuses the exact values this stream emits).
+    pub(crate) fn positive_lineages(&self) -> Arc<Vec<L>> {
+        Arc::clone(&self.r_lins)
     }
 
     /// The next `r` index to probe, advancing the cursor.
@@ -448,15 +586,16 @@ where
     }
 }
 
-impl<R, S, P> Iterator for OverlapWindowStream<R, S, P>
+impl<R, S, P, L> Iterator for OverlapWindowStream<R, S, P, L>
 where
     R: Borrow<TpRelation>,
     S: Borrow<TpRelation>,
     P: AsRef<[usize]>,
+    L: Clone,
 {
-    type Item = Window;
+    type Item = Window<L>;
 
-    fn next(&mut self) -> Option<Window> {
+    fn next(&mut self) -> Option<Window<L>> {
         while self.ready.is_empty() {
             let Some(ri) = self.next_probe() else { break };
             let r = self.r.borrow();
@@ -465,6 +604,8 @@ where
                 r.tuple(ri),
                 self.s.borrow(),
                 &self.bound,
+                &self.r_lins[ri],
+                &self.s_lins,
                 &mut self.scratch,
             );
             self.ready.extend(self.scratch.drain(..));

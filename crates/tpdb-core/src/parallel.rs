@@ -32,7 +32,7 @@
 //! and [`parallel_degree`] — which the query layer's `EXPLAIN` uses —
 //! reports degree 1.
 
-use crate::join::{form_output_tuple, output_schema, Side};
+use crate::join::{form_output_tuple_interned, output_schema, Side};
 use crate::overlap::{auto_plan, OverlapJoinPlan, OverlapWindowStream};
 use crate::pipeline::{LawanStream, LawauStream};
 use crate::theta::{BoundTheta, ThetaCondition};
@@ -288,26 +288,37 @@ pub fn tp_join_parallel_with_engine_and_plan(
 
         // Windows of r with respect to s (all operators).
         let mut left = Vec::new();
-        let wo = OverlapWindowStream::with_subset(
+        let wo = OverlapWindowStream::interned_subset(
             r,
             s,
             bound.clone(),
             plan,
             &shard.r_members,
             &shard.s_members,
+            engine.interner_mut(),
         )
         .expect("plan validated before sharding");
-        {
-            let mut push = |w: crate::Window| {
-                let r_idx = w.r_idx;
-                if let Some(t) = form_output_tuple(&w, r, s, kind, Side::Left, &mut engine) {
-                    left.push((r_idx, t));
+        match kind {
+            TpJoinKind::Inner | TpJoinKind::RightOuter => {
+                for w in wo {
+                    let r_idx = w.r_idx;
+                    if let Some(t) =
+                        form_output_tuple_interned(&w, r, s, kind, Side::Left, &mut engine)
+                    {
+                        left.push((r_idx, t));
+                    }
                 }
-            };
-            match kind {
-                TpJoinKind::Inner | TpJoinKind::RightOuter => wo.for_each(&mut push),
-                TpJoinKind::Anti | TpJoinKind::LeftOuter | TpJoinKind::FullOuter => {
-                    LawanStream::new(LawauStream::new(wo, r)).for_each(&mut push);
+            }
+            TpJoinKind::Anti | TpJoinKind::LeftOuter | TpJoinKind::FullOuter => {
+                let lins = wo.positive_lineages();
+                let mut stream = LawanStream::new(LawauStream::with_lineages(wo, r, lins));
+                while let Some(w) = stream.next_with(engine.interner_mut()) {
+                    let r_idx = w.r_idx;
+                    if let Some(t) =
+                        form_output_tuple_interned(&w, r, s, kind, Side::Left, &mut engine)
+                    {
+                        left.push((r_idx, t));
+                    }
                 }
             }
         }
@@ -316,21 +327,26 @@ pub fn tp_join_parallel_with_engine_and_plan(
         // overlapping windows are skipped as duplicates of side one.
         let mut right = Vec::new();
         if let Some(fb) = &flipped_bound {
-            let wo = OverlapWindowStream::with_subset(
+            let wo = OverlapWindowStream::interned_subset(
                 s,
                 r,
                 fb.clone(),
                 plan,
                 &shard.s_members,
                 &shard.r_members,
+                engine.interner_mut(),
             )
             .expect("plan validated before sharding");
-            for w in LawanStream::new(LawauStream::new(wo, s)) {
+            let lins = wo.positive_lineages();
+            let mut stream = LawanStream::new(LawauStream::with_lineages(wo, s, lins));
+            while let Some(w) = stream.next_with(engine.interner_mut()) {
                 if w.is_overlapping() {
                     continue;
                 }
                 let s_idx = w.r_idx;
-                if let Some(t) = form_output_tuple(&w, s, r, kind, Side::Right, &mut engine) {
+                if let Some(t) =
+                    form_output_tuple_interned(&w, s, r, kind, Side::Right, &mut engine)
+                {
                     right.push((s_idx, t));
                 }
             }

@@ -45,6 +45,8 @@ use crate::lawau;
 use crate::window::Window;
 use std::borrow::Borrow;
 use std::collections::VecDeque;
+use std::sync::Arc;
+use tpdb_lineage::{Lineage, LineageInterner, LineageRef};
 use tpdb_storage::TpRelation;
 
 /// A stream of generalized lineage-aware temporal windows grouped by the
@@ -55,9 +57,9 @@ impl<T: Iterator<Item = Window>> WindowStream for T {}
 
 /// Pulls the next complete `r`-tuple group from `input` into `group`
 /// (cleared first). Returns `false` when the input is exhausted.
-fn next_group<I: Iterator<Item = Window>>(
+fn next_group<L, I: Iterator<Item = Window<L>>>(
     input: &mut std::iter::Peekable<I>,
-    group: &mut Vec<Window>,
+    group: &mut Vec<Window<L>>,
 ) -> bool {
     group.clear();
     let Some(first) = input.peek() else {
@@ -75,44 +77,94 @@ fn next_group<I: Iterator<Item = Window>>(
 
 /// Streaming LAWAU: extends a stream of overlap-join windows with the
 /// remaining unmatched windows, one `r`-tuple group at a time.
+///
+/// Generic over the lineage representation `L` of the windows: the default
+/// [`Lineage`] stream reads each group's `λr` from the positive relation,
+/// while the interned stream (built through the crate-internal
+/// `with_lineages` constructor) reads it from the pre-interned lineage
+/// column shared with the upstream overlap stream.
 #[derive(Debug)]
-pub struct LawauStream<I: Iterator<Item = Window>, P: Borrow<TpRelation>> {
+pub struct LawauStream<I: Iterator<Item = Window<L>>, P: Borrow<TpRelation>, L = Lineage> {
     input: std::iter::Peekable<I>,
     positive: P,
+    /// The positive side's lineage column for non-tree representations
+    /// (`None` on the default [`Lineage`] path, which clones from the
+    /// relation instead).
+    lins: Option<Arc<Vec<L>>>,
     /// Scratch buffer holding the current input group (reused across
     /// groups).
-    group: Vec<Window>,
+    group: Vec<Window<L>>,
     /// Output buffer of the current group (reused across groups); windows
     /// are moved out of the front.
-    ready: VecDeque<Window>,
+    ready: VecDeque<Window<L>>,
 }
 
-impl<I: Iterator<Item = Window>, P: Borrow<TpRelation>> LawauStream<I, P> {
+impl<I: Iterator<Item = Window<L>>, P: Borrow<TpRelation>, L> LawauStream<I, P, L> {
     /// Wraps `input` (grouped by `r_idx`, sorted by start within groups).
     pub fn new(input: I, positive: P) -> Self {
         Self {
             input: input.peekable(),
             positive,
+            lins: None,
             group: Vec::new(),
             ready: VecDeque::new(),
         }
     }
+}
 
-    /// Pulls the next complete group from the input and runs the LAWAU sweep
-    /// over it.
-    fn fill(&mut self) {
-        if next_group(&mut self.input, &mut self.group) {
-            lawau::sweep_group(&self.group, self.positive.borrow(), &mut self.ready);
+impl<I, P> LawauStream<I, P, LineageRef>
+where
+    I: Iterator<Item = Window<LineageRef>>,
+    P: Borrow<TpRelation>,
+{
+    /// Wraps an interned window stream, taking the positive side's interned
+    /// lineage column (`Arc`-shared with the upstream
+    /// [`OverlapWindowStream`](crate::overlap::OverlapWindowStream)) for the
+    /// per-group `λr`.
+    pub(crate) fn with_lineages(input: I, positive: P, lins: Arc<Vec<LineageRef>>) -> Self {
+        Self {
+            input: input.peekable(),
+            positive,
+            lins: Some(lins),
+            group: Vec::new(),
+            ready: VecDeque::new(),
         }
     }
 }
 
-impl<I: Iterator<Item = Window>, P: Borrow<TpRelation>> Iterator for LawauStream<I, P> {
+impl<I: Iterator<Item = Window>, P: Borrow<TpRelation>> Iterator for LawauStream<I, P, Lineage> {
     type Item = Window;
 
     fn next(&mut self) -> Option<Window> {
-        if self.ready.is_empty() {
-            self.fill();
+        if self.ready.is_empty() && next_group(&mut self.input, &mut self.group) {
+            let r_tuple = self.positive.borrow().tuple(self.group[0].r_idx);
+            lawau::sweep_group(
+                &self.group,
+                r_tuple.interval(),
+                r_tuple.lineage(),
+                &mut self.ready,
+            );
+        }
+        self.ready.pop_front()
+    }
+}
+
+impl<I, P> Iterator for LawauStream<I, P, LineageRef>
+where
+    I: Iterator<Item = Window<LineageRef>>,
+    P: Borrow<TpRelation>,
+{
+    type Item = Window<LineageRef>;
+
+    fn next(&mut self) -> Option<Window<LineageRef>> {
+        if self.ready.is_empty() && next_group(&mut self.input, &mut self.group) {
+            let r_idx = self.group[0].r_idx;
+            let interval = self.positive.borrow().tuple(r_idx).interval();
+            let lins = self
+                .lins
+                .as_ref()
+                .expect("interned LAWAU streams carry the lineage column");
+            lawau::sweep_group(&self.group, interval, &lins[r_idx], &mut self.ready);
         }
         self.ready.pop_front()
     }
@@ -120,17 +172,21 @@ impl<I: Iterator<Item = Window>, P: Borrow<TpRelation>> Iterator for LawauStream
 
 /// Streaming LAWAN: extends a `WUO` stream with the negating windows, one
 /// `r`-tuple group at a time.
+///
+/// The default [`Lineage`] stream is a plain [`Iterator`]; the interned
+/// stream is driven through the crate-internal `next_with`, which takes
+/// the interner the negating windows' `λs` disjunctions are built in.
 #[derive(Debug)]
-pub struct LawanStream<I: Iterator<Item = Window>> {
+pub struct LawanStream<I: Iterator<Item = Window<L>>, L = Lineage> {
     input: std::iter::Peekable<I>,
     /// Scratch buffer holding the current input group (reused across
     /// groups).
-    group: Vec<Window>,
+    group: Vec<Window<L>>,
     /// Output buffer of the current group (reused across groups).
-    ready: VecDeque<Window>,
+    ready: VecDeque<Window<L>>,
 }
 
-impl<I: Iterator<Item = Window>> LawanStream<I> {
+impl<I: Iterator<Item = Window<L>>, L> LawanStream<I, L> {
     /// Wraps `input` (grouped by `r_idx`).
     pub fn new(input: I) -> Self {
         Self {
@@ -139,20 +195,28 @@ impl<I: Iterator<Item = Window>> LawanStream<I> {
             ready: VecDeque::new(),
         }
     }
-
-    fn fill(&mut self) {
-        if next_group(&mut self.input, &mut self.group) {
-            lawan::sweep_group(&self.group, &mut self.ready);
-        }
-    }
 }
 
-impl<I: Iterator<Item = Window>> Iterator for LawanStream<I> {
+impl<I: Iterator<Item = Window>> Iterator for LawanStream<I, Lineage> {
     type Item = Window;
 
     fn next(&mut self) -> Option<Window> {
-        if self.ready.is_empty() {
-            self.fill();
+        if self.ready.is_empty() && next_group(&mut self.input, &mut self.group) {
+            lawan::sweep_group(&self.group, &mut self.ready);
+        }
+        self.ready.pop_front()
+    }
+}
+
+impl<I: Iterator<Item = Window<LineageRef>>> LawanStream<I, LineageRef> {
+    /// The next window of the interned stream; `interner` receives the
+    /// `λs` disjunction nodes of emitted negating windows.
+    pub(crate) fn next_with(
+        &mut self,
+        interner: &mut LineageInterner,
+    ) -> Option<Window<LineageRef>> {
+        if self.ready.is_empty() && next_group(&mut self.input, &mut self.group) {
+            lawan::sweep_group_interned(&self.group, interner, &mut self.ready);
         }
         self.ready.pop_front()
     }
@@ -215,7 +279,7 @@ mod tests {
     fn empty_stream() {
         let (_, a) = setup();
         let piped: Vec<Window> =
-            LawanStream::new(LawauStream::new(std::iter::empty(), a)).collect();
+            LawanStream::new(LawauStream::new(std::iter::empty::<Window>(), a)).collect();
         assert!(piped.is_empty());
     }
 }

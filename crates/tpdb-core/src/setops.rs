@@ -333,7 +333,7 @@ where
         s: S,
         kind: TpSetOpKind,
         plan: Option<OverlapJoinPlan>,
-        engine: E,
+        mut engine: E,
     ) -> Result<Self, StorageError> {
         let theta = all_columns_equal(r.borrow(), s.borrow())?;
         let schema = r.borrow().schema().clone();
@@ -367,13 +367,21 @@ where
                 }
             }
             TpSetOpKind::Union => {
-                let left = Pipe::build(r.clone(), s.clone(), &theta, plan, PipeDepth::Full)?;
+                let left = Pipe::build(
+                    r.clone(),
+                    s.clone(),
+                    &theta,
+                    plan,
+                    PipeDepth::Full,
+                    engine.borrow_mut().interner_mut(),
+                )?;
                 let right = Pipe::build(
                     s.clone(),
                     r.clone(),
                     &theta.flipped(),
                     plan,
                     PipeDepth::Unmatched,
+                    engine.borrow_mut().interner_mut(),
                 )?;
                 Inner::Union {
                     passes: UnionStream {
@@ -468,18 +476,20 @@ where
                 // group cover the identical sub-intervals and already carry
                 // the full disjunction λs of the matching s tuples.
                 while let Some(pipe) = &mut passes.left {
-                    match pipe.next() {
+                    match pipe.next_with(engine.borrow_mut().interner_mut()) {
                         Some(w) => {
                             *windows_consumed += 1;
-                            let lineage = match w.kind {
+                            let eng = engine.borrow_mut();
+                            let lineage_ref = match w.kind {
                                 WindowKind::Unmatched => w.lambda_r,
-                                WindowKind::Negating => Lineage::or2(
+                                WindowKind::Negating => eng.interner_mut().or2(
                                     w.lambda_r,
                                     w.lambda_s.expect("negating windows carry λs"),
                                 ),
                                 WindowKind::Overlapping => continue,
                             };
-                            let probability = engine.borrow_mut().probability(&lineage);
+                            let probability = eng.probability_ref(lineage_ref);
+                            let lineage = eng.to_lineage(lineage_ref);
                             let facts = <R as Borrow<TpRelation>>::borrow(r).tuple(w.r_idx).facts();
                             return Some(TpTuple::new(
                                 facts.to_vec(),
@@ -494,17 +504,19 @@ where
                 // Second pass: only the unmatched sub-intervals of s are
                 // new; everything else was covered from r's perspective.
                 while let Some(pipe) = &mut passes.right {
-                    match pipe.next() {
+                    match pipe.next_with(engine.borrow_mut().interner_mut()) {
                         Some(w) => {
                             *windows_consumed += 1;
                             if w.kind != WindowKind::Unmatched {
                                 continue;
                             }
-                            let probability = engine.borrow_mut().probability(&w.lambda_r);
+                            let eng = engine.borrow_mut();
+                            let probability = eng.probability_ref(w.lambda_r);
+                            let lineage = eng.to_lineage(w.lambda_r);
                             let facts = <S as Borrow<TpRelation>>::borrow(s).tuple(w.r_idx).facts();
                             return Some(TpTuple::new(
                                 facts.to_vec(),
-                                w.lambda_r,
+                                lineage,
                                 w.interval,
                                 probability,
                             ));

@@ -34,14 +34,14 @@
 //! assert_eq!(1 + stream.count(), 7);
 //! ```
 
-use crate::join::{form_output_tuple, output_schema, Side};
+use crate::join::{form_output_tuple_interned, output_schema, Side};
 use crate::overlap::{auto_plan, OverlapJoinPlan, OverlapWindowStream};
 use crate::pipeline::{LawanStream, LawauStream};
 use crate::theta::ThetaCondition;
 use crate::window::Window;
 use crate::TpJoinKind;
 use std::borrow::{Borrow, BorrowMut};
-use tpdb_lineage::ProbabilityEngine;
+use tpdb_lineage::{LineageInterner, LineageRef, ProbabilityEngine};
 use tpdb_storage::{Schema, StorageError, TpRelation, TpTuple};
 
 /// How deep into the window pipeline a pass runs.
@@ -58,6 +58,9 @@ pub(crate) enum PipeDepth {
     Full,
 }
 
+/// The interned overlap join → LAWAU stack (the `Wu` depth of a [`Pipe`]).
+type WuStream<P, N> = LawauStream<OverlapWindowStream<P, N, Vec<usize>, LineageRef>, P, LineageRef>;
+
 /// One pass of the window pipeline, cut off at a [`PipeDepth`].
 // One Pipe exists per stream (two for right/full outer joins and unions);
 // the size difference between the variants is irrelevant at that
@@ -69,11 +72,11 @@ where
     N: Borrow<TpRelation>,
 {
     /// Overlapping + whole-interval unmatched windows only.
-    Wo(OverlapWindowStream<P, N>),
+    Wo(OverlapWindowStream<P, N, Vec<usize>, LineageRef>),
     /// Overlap join → LAWAU.
-    Wu(LawauStream<OverlapWindowStream<P, N>, P>),
+    Wu(WuStream<P, N>),
     /// The full pipeline: overlap join → LAWAU → LAWAN.
-    Wuon(LawanStream<LawauStream<OverlapWindowStream<P, N>, P>>),
+    Wuon(LawanStream<WuStream<P, N>, LineageRef>),
 }
 
 impl<P, N> Pipe<P, N>
@@ -81,37 +84,44 @@ where
     P: Borrow<TpRelation> + Clone,
     N: Borrow<TpRelation>,
 {
-    /// Builds the pipe for windows of `pos` with respect to `neg`.
+    /// Builds the pipe for windows of `pos` with respect to `neg`. The
+    /// lineage columns of both inputs are interned into `interner` up
+    /// front; everything downstream moves [`LineageRef`] ids only.
     pub(crate) fn build(
         pos: P,
         neg: N,
         theta: &ThetaCondition,
         plan: Option<OverlapJoinPlan>,
         depth: PipeDepth,
+        interner: &mut LineageInterner,
     ) -> Result<Self, StorageError> {
         let bound = theta.bind(pos.borrow().schema(), neg.borrow().schema())?;
         let plan = plan.unwrap_or_else(|| auto_plan(&bound));
-        let wo = OverlapWindowStream::with_plan(pos.clone(), neg, bound, plan)?;
+        let wo = OverlapWindowStream::interned(pos.clone(), neg, bound, plan, interner)?;
         Ok(match depth {
             PipeDepth::Overlap => Pipe::Wo(wo),
-            PipeDepth::Unmatched => Pipe::Wu(LawauStream::new(wo, pos)),
-            PipeDepth::Full => Pipe::Wuon(LawanStream::new(LawauStream::new(wo, pos))),
+            PipeDepth::Unmatched => {
+                let lins = wo.positive_lineages();
+                Pipe::Wu(LawauStream::with_lineages(wo, pos, lins))
+            }
+            PipeDepth::Full => {
+                let lins = wo.positive_lineages();
+                Pipe::Wuon(LawanStream::new(LawauStream::with_lineages(wo, pos, lins)))
+            }
         })
     }
-}
 
-impl<P, N> Iterator for Pipe<P, N>
-where
-    P: Borrow<TpRelation> + Clone,
-    N: Borrow<TpRelation>,
-{
-    type Item = Window;
-
-    fn next(&mut self) -> Option<Window> {
+    /// The next window of the pass; `interner` receives the `λs`
+    /// disjunction nodes of negating windows (only the LAWAN stage builds
+    /// new lineage nodes).
+    pub(crate) fn next_with(
+        &mut self,
+        interner: &mut LineageInterner,
+    ) -> Option<Window<LineageRef>> {
         match self {
             Pipe::Wo(inner) => inner.next(),
             Pipe::Wu(inner) => inner.next(),
-            Pipe::Wuon(inner) => inner.next(),
+            Pipe::Wuon(inner) => inner.next_with(interner),
         }
     }
 }
@@ -218,7 +228,7 @@ where
         theta: &ThetaCondition,
         kind: TpJoinKind,
         plan: Option<OverlapJoinPlan>,
-        engine: E,
+        mut engine: E,
     ) -> Result<Self, StorageError> {
         let schema = output_schema(r.borrow(), s.borrow(), kind);
         let name = format!(
@@ -235,7 +245,14 @@ where
         } else {
             PipeDepth::Full
         };
-        let left = Pipe::build(r.clone(), s.clone(), theta, plan, left_depth)?;
+        let left = Pipe::build(
+            r.clone(),
+            s.clone(),
+            theta,
+            plan,
+            left_depth,
+            engine.borrow_mut().interner_mut(),
+        )?;
         // Right-hand null-extension for right and full outer joins: the
         // same pipeline with the roles of r and s flipped.
         let right = if matches!(kind, TpJoinKind::RightOuter | TpJoinKind::FullOuter) {
@@ -245,6 +262,7 @@ where
                 &theta.flipped(),
                 plan,
                 PipeDepth::Full,
+                engine.borrow_mut().interner_mut(),
             )?)
         } else {
             None
@@ -312,10 +330,10 @@ where
 
     fn next(&mut self) -> Option<TpTuple> {
         while let Some(pipe) = &mut self.left {
-            match pipe.next() {
+            match pipe.next_with(self.engine.borrow_mut().interner_mut()) {
                 Some(w) => {
                     self.windows_consumed += 1;
-                    if let Some(t) = form_output_tuple(
+                    if let Some(t) = form_output_tuple_interned(
                         &w,
                         self.r.borrow(),
                         self.s.borrow(),
@@ -331,7 +349,7 @@ where
             }
         }
         while let Some(pipe) = &mut self.right {
-            match pipe.next() {
+            match pipe.next_with(self.engine.borrow_mut().interner_mut()) {
                 Some(w) => {
                     self.windows_consumed += 1;
                     // WO(r;s,θ) = WO(s;r,θ) was already produced by the
@@ -339,7 +357,7 @@ where
                     if w.is_overlapping() {
                         continue;
                     }
-                    if let Some(t) = form_output_tuple(
+                    if let Some(t) = form_output_tuple_interned(
                         &w,
                         self.s.borrow(),
                         self.r.borrow(),

@@ -39,8 +39,14 @@ impl fmt::Display for WindowKind {
 /// input relations. Keeping facts by reference — and keeping `λr` and `λs`
 /// decoupled until output formation — is exactly what lets the window
 /// algorithms avoid the tuple replication of alignment-based approaches.
+///
+/// The window is generic over the lineage representation `L`: the default
+/// [`Lineage`] tree is the serde/test conversion boundary, while the
+/// executing pipelines pass hash-consed
+/// [`LineageRef`](tpdb_lineage::LineageRef) ids (`Copy`, `O(1)` equality)
+/// so no formula tree is cloned at window boundaries.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Window {
+pub struct Window<L = Lineage> {
     /// Which of the three window classes this window belongs to.
     pub kind: WindowKind,
     /// The window interval `T`.
@@ -52,43 +58,43 @@ pub struct Window {
     /// (overlapping windows only; `None` means `Fs = null`).
     pub s_idx: Option<usize>,
     /// `λr` — the lineage of the valid tuple of `r` over `T`.
-    pub lambda_r: Lineage,
+    pub lambda_r: L,
     /// `λs` — for overlapping windows the lineage of the matching `s` tuple;
     /// for negating windows the disjunction of the lineages of all valid,
     /// θ-matching `s` tuples over `T`; for unmatched windows `None` (null).
-    pub lambda_s: Option<Lineage>,
+    pub lambda_s: Option<L>,
 }
 
 /// A destination for produced windows: the materializing algorithms write
 /// into a `Vec`, the streaming adaptors into their reusable `VecDeque` group
 /// buffer. Keeping the sweep kernels generic over the sink is what lets the
 /// streaming path run without per-group intermediate vectors.
-pub(crate) trait WindowSink {
+pub(crate) trait WindowSink<L> {
     /// Accepts one produced window.
-    fn put(&mut self, w: Window);
+    fn put(&mut self, w: Window<L>);
 }
 
-impl WindowSink for Vec<Window> {
-    fn put(&mut self, w: Window) {
+impl<L> WindowSink<L> for Vec<Window<L>> {
+    fn put(&mut self, w: Window<L>) {
         self.push(w);
     }
 }
 
-impl WindowSink for std::collections::VecDeque<Window> {
-    fn put(&mut self, w: Window) {
+impl<L> WindowSink<L> for std::collections::VecDeque<Window<L>> {
+    fn put(&mut self, w: Window<L>) {
         self.push_back(w);
     }
 }
 
-impl Window {
+impl<L> Window<L> {
     /// Creates an overlapping window for the pair `(r[r_idx], s[s_idx])`.
     #[must_use]
     pub fn overlapping(
         interval: Interval,
         r_idx: usize,
         s_idx: usize,
-        lambda_r: Lineage,
-        lambda_s: Lineage,
+        lambda_r: L,
+        lambda_s: L,
     ) -> Self {
         Self {
             kind: WindowKind::Overlapping,
@@ -102,7 +108,7 @@ impl Window {
 
     /// Creates an unmatched window for `r[r_idx]`.
     #[must_use]
-    pub fn unmatched(interval: Interval, r_idx: usize, lambda_r: Lineage) -> Self {
+    pub fn unmatched(interval: Interval, r_idx: usize, lambda_r: L) -> Self {
         Self {
             kind: WindowKind::Unmatched,
             interval,
@@ -116,12 +122,7 @@ impl Window {
     /// Creates a negating window for `r[r_idx]` with the disjunction
     /// `lambda_s` of the matching negative lineages.
     #[must_use]
-    pub fn negating(
-        interval: Interval,
-        r_idx: usize,
-        lambda_r: Lineage,
-        lambda_s: Lineage,
-    ) -> Self {
+    pub fn negating(interval: Interval, r_idx: usize, lambda_r: L, lambda_s: L) -> Self {
         Self {
             kind: WindowKind::Negating,
             interval,
@@ -149,7 +150,9 @@ impl Window {
     pub fn is_negating(&self) -> bool {
         self.kind == WindowKind::Negating
     }
+}
 
+impl Window<Lineage> {
     /// Renders the window against its input relations, using the lineage
     /// symbol names of `syms` (useful in examples and tests).
     #[must_use]

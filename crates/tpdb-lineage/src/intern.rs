@@ -1,0 +1,783 @@
+//! Hash-consed lineage arena.
+//!
+//! The window pipeline builds and prices the *same* sub-formulas over and
+//! over: every window of an `r`-tuple group carries that tuple's `λr`,
+//! every negating window re-disjoins the lineages of the active `s`
+//! tuples, and the probability memo is consulted once per output tuple.
+//! Representing those formulas as [`Lineage`] trees makes every equality
+//! check, hash and memo lookup a full structural traversal.
+//!
+//! A [`LineageInterner`] stores each structurally distinct formula node
+//! exactly once in a flat arena and hands out dense `u32` ids
+//! ([`LineageRef`]). Hash-consing turns structural equality into id
+//! equality (`O(1)`), makes cloning a formula a `Copy`, and lets the
+//! probability engine key its memo by id instead of deep hashing. The
+//! cons table is keyed by cached per-node structural hashes using a
+//! vendored FxHash-style hasher (the dependency-free mix used by rustc's
+//! `FxHashMap`), so interning a node costs one multiply-rotate per child.
+//!
+//! The arena only ever grows: ids stay valid for the interner's lifetime,
+//! which is the lifetime of one join/set-operation execution (the
+//! [`crate::ProbabilityEngine`] owns the interner and both are dropped
+//! together). The legacy [`Lineage`] tree remains the *conversion
+//! boundary*: output tuples, serde and the equality-based tests convert
+//! back through [`LineageInterner::to_lineage`], which caches conversions
+//! per node so shared sub-formulas become shared `Arc`s.
+
+use crate::formula::{Lineage, LineageNode};
+use crate::symbols::VarId;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier of the FxHash mix (the 64-bit golden-ratio constant used
+/// by rustc's `FxHasher`).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn fx_mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// A vendored FxHash-style hasher (multiply-rotate mix, no allocation, no
+/// external dependency). Not cryptographic — used only for the interner's
+/// cons table and id-keyed side tables, whose keys are small integers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash = fx_mix(self.hash, u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.hash = fx_mix(self.hash, u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.hash = fx_mix(self.hash, u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.hash = fx_mix(self.hash, u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.hash = fx_mix(self.hash, i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.hash = fx_mix(self.hash, i as u64);
+    }
+}
+
+/// A `HashMap` using the vendored [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using the vendored [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// A dense id referring to a node in a [`LineageInterner`].
+///
+/// Refs are `Copy`, compare in `O(1)` (hash-consing makes structural
+/// equality id equality *within one interner*) and index the engine's
+/// probability memo directly. A ref is only meaningful together with the
+/// interner that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineageRef(u32);
+
+impl LineageRef {
+    /// The position of the node in the arena (usable as a dense table
+    /// index).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A node of an interned lineage formula. Children are [`LineageRef`]s
+/// into the same arena; the same normalization invariants as
+/// [`LineageNode`] hold (`And`/`Or` have ≥ 2 deduplicated, constant-free,
+/// non-nested children; `Not` never wraps a constant or another `Not`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InternedNode {
+    /// The formula that is true in every possible world.
+    True,
+    /// The formula that is false in every possible world.
+    False,
+    /// A base-tuple variable.
+    Var(VarId),
+    /// Negation of a sub-formula.
+    Not(LineageRef),
+    /// Conjunction of at least two sub-formulas.
+    And(Box<[LineageRef]>),
+    /// Disjunction of at least two sub-formulas.
+    Or(Box<[LineageRef]>),
+}
+
+/// Order-preserving duplicate elimination over refs (the interned
+/// counterpart of the tree constructors' `Deduper` — membership is a
+/// cheap integer-hash lookup).
+struct RefDedup {
+    ordered: Vec<LineageRef>,
+    seen: HashSet<LineageRef, BuildHasherDefault<FxHasher>>,
+}
+
+impl RefDedup {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ordered: Vec::with_capacity(capacity),
+            seen: HashSet::with_capacity_and_hasher(capacity, BuildHasherDefault::default()),
+        }
+    }
+
+    fn push(&mut self, r: LineageRef) {
+        if self.seen.insert(r) {
+            self.ordered.push(r);
+        }
+    }
+}
+
+/// A hash-consed arena of lineage formula nodes.
+///
+/// Structurally equal formulas intern to the same [`LineageRef`]; the
+/// constructors apply exactly the structural simplifications of the
+/// [`Lineage`] tree constructors (flattening, unit elimination, ordered
+/// deduplication, double-negation elimination), so a formula built in
+/// interned space converts back ([`to_lineage`](Self::to_lineage)) to the
+/// very tree the legacy constructors would have produced.
+#[derive(Debug, Clone)]
+pub struct LineageInterner {
+    nodes: Vec<InternedNode>,
+    /// Cached structural hash per node (mixes the tag with the *child
+    /// hashes*, so it is stable across interners).
+    hashes: Vec<u64>,
+    /// Cons table: structural hash → candidate node ids.
+    table: FxHashMap<u64, Vec<u32>>,
+    /// Conversion cache: interned node → legacy tree (shared `Arc`s).
+    legacy: Vec<Option<Lineage>>,
+}
+
+/// The pre-interned constant `true` (id 0 in every interner).
+const TRUE: LineageRef = LineageRef(0);
+/// The pre-interned constant `false` (id 1 in every interner).
+const FALSE: LineageRef = LineageRef(1);
+
+impl Default for LineageInterner {
+    fn default() -> Self {
+        let mut interner = Self {
+            nodes: Vec::new(),
+            hashes: Vec::new(),
+            table: FxHashMap::default(),
+            legacy: Vec::new(),
+        };
+        let t = interner.intern_node(InternedNode::True);
+        let f = interner.intern_node(InternedNode::False);
+        debug_assert_eq!((t, f), (TRUE, FALSE));
+        interner
+    }
+}
+
+impl LineageInterner {
+    /// Creates an empty arena (the two constants are pre-interned).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct nodes in the arena (the exclusive upper bound of
+    /// all ref indices — size id-keyed side tables with this).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the arena empty? (Never true: the constants are pre-interned.)
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node a ref points at.
+    #[must_use]
+    pub fn node(&self, r: LineageRef) -> &InternedNode {
+        &self.nodes[r.index()]
+    }
+
+    /// Is this the constant-true formula?
+    #[must_use]
+    pub fn is_true(&self, r: LineageRef) -> bool {
+        r == TRUE
+    }
+
+    /// Is this the constant-false formula?
+    #[must_use]
+    pub fn is_false(&self, r: LineageRef) -> bool {
+        r == FALSE
+    }
+
+    // ----- constructors (mirror the `Lineage` tree constructors) ---------
+
+    /// The constant-true lineage.
+    #[must_use]
+    pub fn tru(&self) -> LineageRef {
+        TRUE
+    }
+
+    /// The constant-false lineage.
+    #[must_use]
+    pub fn fls(&self) -> LineageRef {
+        FALSE
+    }
+
+    /// An atomic lineage: a single base-tuple variable.
+    pub fn var(&mut self, v: VarId) -> LineageRef {
+        self.intern_node(InternedNode::Var(v))
+    }
+
+    /// Negation with structural simplification:
+    /// `¬true = false`, `¬false = true`, `¬¬φ = φ`.
+    pub fn not(&mut self, operand: LineageRef) -> LineageRef {
+        match &self.nodes[operand.index()] {
+            InternedNode::True => FALSE,
+            InternedNode::False => TRUE,
+            InternedNode::Not(inner) => *inner,
+            _ => self.intern_node(InternedNode::Not(operand)),
+        }
+    }
+
+    /// N-ary conjunction with flattening, unit elimination and
+    /// deduplication (deduplication is by ref — hash-consing makes that
+    /// structural). `and(&[])` is `true`; a conjunction containing `false`
+    /// collapses to `false`.
+    pub fn and(&mut self, operands: &[LineageRef]) -> LineageRef {
+        let mut flat = RefDedup::with_capacity(operands.len());
+        for &op in operands {
+            match &self.nodes[op.index()] {
+                InternedNode::True => {}
+                InternedNode::False => return FALSE,
+                InternedNode::And(children) => {
+                    for &c in children.iter() {
+                        flat.push(c);
+                    }
+                }
+                _ => flat.push(op),
+            }
+        }
+        match flat.ordered.len() {
+            0 => TRUE,
+            1 => flat.ordered[0],
+            _ => self.intern_node(InternedNode::And(flat.ordered.into_boxed_slice())),
+        }
+    }
+
+    /// N-ary disjunction with flattening, unit elimination and
+    /// deduplication. `or(&[])` is `false`; a disjunction containing
+    /// `true` collapses to `true`.
+    pub fn or(&mut self, operands: &[LineageRef]) -> LineageRef {
+        let mut flat = RefDedup::with_capacity(operands.len());
+        for &op in operands {
+            match &self.nodes[op.index()] {
+                InternedNode::False => {}
+                InternedNode::True => return TRUE,
+                InternedNode::Or(children) => {
+                    for &c in children.iter() {
+                        flat.push(c);
+                    }
+                }
+                _ => flat.push(op),
+            }
+        }
+        match flat.ordered.len() {
+            0 => FALSE,
+            1 => flat.ordered[0],
+            _ => self.intern_node(InternedNode::Or(flat.ordered.into_boxed_slice())),
+        }
+    }
+
+    /// Builds a disjunction from operands that are already flattened (no
+    /// nested `Or`, no constants) and deduplicated, skipping the
+    /// flattening pass of [`or`](Self::or). This is the emission path of
+    /// [`InternedDisjunction`].
+    pub fn or_flattened(&mut self, operands: Vec<LineageRef>) -> LineageRef {
+        debug_assert!(
+            operands.iter().all(|o| !matches!(
+                self.nodes[o.index()],
+                InternedNode::Or(_) | InternedNode::True | InternedNode::False
+            )),
+            "or_flattened operands must be flattened and constant-free"
+        );
+        match operands.len() {
+            0 => FALSE,
+            1 => operands[0],
+            _ => self.intern_node(InternedNode::Or(operands.into_boxed_slice())),
+        }
+    }
+
+    /// Binary conjunction convenience wrapper.
+    pub fn and2(&mut self, a: LineageRef, b: LineageRef) -> LineageRef {
+        self.and(&[a, b])
+    }
+
+    /// Binary disjunction convenience wrapper.
+    pub fn or2(&mut self, a: LineageRef, b: LineageRef) -> LineageRef {
+        self.or(&[a, b])
+    }
+
+    /// The `andNot` concatenation function used for negating windows:
+    /// `λr ∧ ¬λs`.
+    pub fn and_not(&mut self, lambda_r: LineageRef, lambda_s: LineageRef) -> LineageRef {
+        let neg = self.not(lambda_s);
+        self.and(&[lambda_r, neg])
+    }
+
+    // ----- conversion boundary -------------------------------------------
+
+    /// Interns a legacy tree, re-normalizing through the interned
+    /// constructors (idempotent on already-normalized trees — which every
+    /// [`Lineage`] built through its own constructors is).
+    pub fn intern(&mut self, lineage: &Lineage) -> LineageRef {
+        match lineage.node() {
+            LineageNode::True => TRUE,
+            LineageNode::False => FALSE,
+            LineageNode::Var(v) => self.var(*v),
+            LineageNode::Not(c) => {
+                let inner = self.intern(c);
+                self.not(inner)
+            }
+            LineageNode::And(cs) => {
+                let refs: Vec<LineageRef> = cs.iter().map(|c| self.intern(c)).collect();
+                self.and(&refs)
+            }
+            LineageNode::Or(cs) => {
+                let refs: Vec<LineageRef> = cs.iter().map(|c| self.intern(c)).collect();
+                self.or(&refs)
+            }
+        }
+    }
+
+    /// Converts an interned formula back into a legacy [`Lineage`] tree.
+    ///
+    /// Conversions are cached per node, so the trees of shared
+    /// sub-formulas (every `λr` of a window group, every disjunction
+    /// operand) are shared `Arc`s — converting `n` output tuples allocates
+    /// `O(distinct nodes)`, not `O(total tree size)`.
+    pub fn to_lineage(&mut self, r: LineageRef) -> Lineage {
+        if let Some(l) = &self.legacy[r.index()] {
+            return l.clone();
+        }
+        let node = self.nodes[r.index()].clone();
+        let lineage = match node {
+            InternedNode::True => Lineage::tru(),
+            InternedNode::False => Lineage::fls(),
+            InternedNode::Var(v) => Lineage::var(v),
+            InternedNode::Not(c) => Lineage::not(self.to_lineage(c)),
+            InternedNode::And(cs) => Lineage::and(cs.iter().map(|&c| self.to_lineage(c)).collect()),
+            InternedNode::Or(cs) => Lineage::or(cs.iter().map(|&c| self.to_lineage(c)).collect()),
+        };
+        self.legacy[r.index()] = Some(lineage.clone());
+        lineage
+    }
+
+    // ----- inspection -----------------------------------------------------
+
+    /// The set of variables mentioned anywhere in the formula (ascending,
+    /// matching [`Lineage::vars`]). The walk visits each distinct node
+    /// once.
+    #[must_use]
+    pub fn vars(&self, r: LineageRef) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
+        let mut visited: HashSet<LineageRef, BuildHasherDefault<FxHasher>> = HashSet::default();
+        let mut stack = vec![r];
+        while let Some(cur) = stack.pop() {
+            if !visited.insert(cur) {
+                continue;
+            }
+            match &self.nodes[cur.index()] {
+                InternedNode::True | InternedNode::False => {}
+                InternedNode::Var(v) => {
+                    out.insert(*v);
+                }
+                InternedNode::Not(c) => stack.push(*c),
+                InternedNode::And(cs) | InternedNode::Or(cs) => stack.extend(cs.iter().copied()),
+            }
+        }
+        out
+    }
+
+    /// Conditions the formula on `var = value` (Shannon cofactor),
+    /// mirroring [`Lineage::condition`] in interned space.
+    pub fn condition(&mut self, r: LineageRef, var: VarId, value: bool) -> LineageRef {
+        match self.nodes[r.index()].clone() {
+            InternedNode::True | InternedNode::False => r,
+            InternedNode::Var(v) => {
+                if v == var {
+                    if value {
+                        TRUE
+                    } else {
+                        FALSE
+                    }
+                } else {
+                    r
+                }
+            }
+            InternedNode::Not(c) => {
+                let inner = self.condition(c, var, value);
+                self.not(inner)
+            }
+            InternedNode::And(cs) => {
+                let conditioned: Vec<LineageRef> =
+                    cs.iter().map(|&c| self.condition(c, var, value)).collect();
+                self.and(&conditioned)
+            }
+            InternedNode::Or(cs) => {
+                let conditioned: Vec<LineageRef> =
+                    cs.iter().map(|&c| self.condition(c, var, value)).collect();
+                self.or(&conditioned)
+            }
+        }
+    }
+
+    // ----- internals ------------------------------------------------------
+
+    /// The cached structural hash of a node (mixes child hashes, so equal
+    /// structures hash equal across interners).
+    fn structural_hash(&self, node: &InternedNode) -> u64 {
+        match node {
+            InternedNode::True => fx_mix(0, 1),
+            InternedNode::False => fx_mix(0, 2),
+            InternedNode::Var(v) => fx_mix(fx_mix(0, 3), u64::from(v.0)),
+            InternedNode::Not(c) => fx_mix(fx_mix(0, 4), self.hashes[c.index()]),
+            InternedNode::And(cs) => cs
+                .iter()
+                .fold(fx_mix(0, 5), |h, c| fx_mix(h, self.hashes[c.index()])),
+            InternedNode::Or(cs) => cs
+                .iter()
+                .fold(fx_mix(0, 6), |h, c| fx_mix(h, self.hashes[c.index()])),
+        }
+    }
+
+    fn intern_node(&mut self, node: InternedNode) -> LineageRef {
+        let hash = self.structural_hash(&node);
+        if let Some(bucket) = self.table.get(&hash) {
+            for &id in bucket {
+                if self.nodes[id as usize] == node {
+                    return LineageRef(id);
+                }
+            }
+        }
+        let id = u32::try_from(self.nodes.len()).expect("interner arena exceeds u32 ids");
+        self.nodes.push(node);
+        self.hashes.push(hash);
+        self.legacy.push(None);
+        self.table.entry(hash).or_default().push(id);
+        LineageRef(id)
+    }
+}
+
+/// The id-keyed counterpart of [`crate::IncrementalDisjunction`]: a
+/// multiset of interned lineages with an incrementally maintained
+/// disjunction. Operands are kept in first-activation order with
+/// reference counts (identical slot/compaction discipline, so the emitted
+/// operand order — and therefore the converted trees — match the legacy
+/// sweep exactly); membership checks hash a single `u32` instead of a
+/// formula tree.
+#[derive(Debug, Clone, Default)]
+pub struct InternedDisjunction {
+    /// Distinct non-constant operands in first-insertion order with their
+    /// reference counts; `None` marks an expired (tombstoned) slot.
+    slots: Vec<Option<(LineageRef, usize)>>,
+    /// Operand → slot position.
+    index: FxHashMap<LineageRef, usize>,
+    /// Number of live (non-tombstone) slots.
+    live: usize,
+    /// How many inserted lineages were the constant `true`.
+    true_count: usize,
+}
+
+impl InternedDisjunction {
+    /// Creates an empty disjunction (`∨ ∅ = false`).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `lineage` to the multiset. `Or` operands are flattened,
+    /// constant `false` contributes nothing and constant `true` forces the
+    /// disjunction to `true` until removed.
+    pub fn insert(&mut self, lineage: LineageRef, interner: &LineageInterner) {
+        match interner.node(lineage) {
+            InternedNode::False => {}
+            InternedNode::True => self.true_count += 1,
+            InternedNode::Or(children) => {
+                // Children of a normalized Or are themselves neither Or
+                // nor constants, so one level of flattening suffices.
+                for &c in children.iter() {
+                    self.insert_operand(c);
+                }
+            }
+            _ => self.insert_operand(lineage),
+        }
+    }
+
+    /// Removes one previously [`insert`](Self::insert)ed occurrence of
+    /// `lineage`. Removing a lineage that was never inserted is a logic
+    /// error (debug-asserted).
+    pub fn remove(&mut self, lineage: LineageRef, interner: &LineageInterner) {
+        match interner.node(lineage) {
+            InternedNode::False => {}
+            InternedNode::True => {
+                debug_assert!(self.true_count > 0, "removing ⊤ that was never inserted");
+                self.true_count = self.true_count.saturating_sub(1);
+            }
+            InternedNode::Or(children) => {
+                for &c in children.iter() {
+                    self.remove_operand(c);
+                }
+            }
+            _ => self.remove_operand(lineage),
+        }
+    }
+
+    fn insert_operand(&mut self, operand: LineageRef) {
+        if let Some(&slot) = self.index.get(&operand) {
+            let entry = self.slots[slot].as_mut().expect("indexed slot is live");
+            entry.1 += 1;
+        } else {
+            self.index.insert(operand, self.slots.len());
+            self.slots.push(Some((operand, 1)));
+            self.live += 1;
+        }
+    }
+
+    fn remove_operand(&mut self, operand: LineageRef) {
+        let Some(&slot) = self.index.get(&operand) else {
+            debug_assert!(false, "removing operand that was never inserted");
+            return;
+        };
+        let entry = self.slots[slot].as_mut().expect("indexed slot is live");
+        entry.1 -= 1;
+        if entry.1 == 0 {
+            self.slots[slot] = None;
+            self.index.remove(&operand);
+            self.live -= 1;
+            // Compact when tombstones dominate, re-pointing the index at
+            // the surviving slots (amortized O(1) per removal).
+            if self.slots.len() > 8 && self.slots.len() >= 2 * self.live.max(1) {
+                self.slots.retain(Option::is_some);
+                for (pos, s) in self.slots.iter().enumerate() {
+                    let (l, _) = s.as_ref().expect("retained slots are live");
+                    *self.index.get_mut(l).expect("live operand is indexed") = pos;
+                }
+            }
+        }
+    }
+
+    /// Is the disjunction `false` (no live operand, no `true`
+    /// contributor)?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0 && self.true_count == 0
+    }
+
+    /// Number of distinct live operands.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// The current disjunction as an interned formula.
+    pub fn disjunction(&self, interner: &mut LineageInterner) -> LineageRef {
+        if self.true_count > 0 {
+            return interner.tru();
+        }
+        let operands: Vec<LineageRef> = self.slots.iter().flatten().map(|&(l, _)| l).collect();
+        interner.or_flattened(operands)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Lineage {
+        Lineage::var(VarId(i))
+    }
+
+    #[test]
+    fn constants_are_preinterned() {
+        let mut i = LineageInterner::new();
+        assert_eq!(i.tru(), i.intern(&Lineage::tru()));
+        assert_eq!(i.fls(), i.intern(&Lineage::fls()));
+        assert!(i.is_true(i.tru()));
+        assert!(i.is_false(i.fls()));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn structurally_equal_formulas_share_one_id() {
+        let mut i = LineageInterner::new();
+        let f = Lineage::and2(v(1), Lineage::not(Lineage::or2(v(2), v(3))));
+        let g = Lineage::and2(v(1), Lineage::not(Lineage::or2(v(2), v(3))));
+        assert_eq!(i.intern(&f), i.intern(&g));
+        let nodes_after_first = i.len();
+        let _ = i.intern(&g);
+        assert_eq!(i.len(), nodes_after_first, "re-interning allocates nothing");
+    }
+
+    #[test]
+    fn constructors_mirror_tree_normalization() {
+        let mut i = LineageInterner::new();
+        // and: flattening, unit elimination, dedup, absorbing false
+        let a = i.intern(&v(1));
+        let b = i.intern(&v(2));
+        let t = i.tru();
+        let f = i.fls();
+        assert_eq!(i.and(&[]), t);
+        assert_eq!(i.and(&[a]), a);
+        assert_eq!(i.and(&[a, t]), a);
+        assert_eq!(i.and(&[a, f]), f);
+        assert_eq!(i.and(&[a, a]), a);
+        let ab = i.and(&[a, b]);
+        let c = i.intern(&v(3));
+        let flat = i.and(&[ab, c]);
+        assert_eq!(
+            i.to_lineage(flat),
+            Lineage::and(vec![v(1), v(2), v(3)]),
+            "nested conjunction flattens one level"
+        );
+        // or duals
+        assert_eq!(i.or(&[]), f);
+        assert_eq!(i.or(&[a, f]), a);
+        assert_eq!(i.or(&[a, t]), t);
+        // not simplifications
+        assert_eq!(i.not(t), f);
+        assert_eq!(i.not(f), t);
+        let na = i.not(a);
+        assert_eq!(i.not(na), a);
+    }
+
+    #[test]
+    fn round_trip_matches_legacy_trees() {
+        let mut i = LineageInterner::new();
+        let formulas = [
+            Lineage::tru(),
+            Lineage::fls(),
+            v(7),
+            Lineage::not(v(1)),
+            Lineage::and2(v(0), Lineage::not(Lineage::or2(v(1), v(2)))),
+            Lineage::or(vec![v(5), Lineage::and2(v(1), v(2)), Lineage::not(v(3))]),
+        ];
+        for f in formulas {
+            let r = i.intern(&f);
+            assert_eq!(i.to_lineage(r), f, "round trip of {f:?}");
+        }
+    }
+
+    #[test]
+    fn to_lineage_shares_arcs_through_the_cache() {
+        let mut i = LineageInterner::new();
+        let shared = Lineage::or2(v(1), v(2));
+        let f = Lineage::and2(v(0), shared.clone());
+        let g = Lineage::and2(v(3), shared.clone());
+        let rf = i.intern(&f);
+        let rg = i.intern(&g);
+        let tf = i.to_lineage(rf);
+        let tg = i.to_lineage(rg);
+        assert_eq!(tf, f);
+        assert_eq!(tg, g);
+    }
+
+    #[test]
+    fn vars_match_legacy_vars() {
+        let mut i = LineageInterner::new();
+        let f = Lineage::and2(v(9), Lineage::not(Lineage::or2(v(2), v(5))));
+        let r = i.intern(&f);
+        assert_eq!(i.vars(r), f.vars());
+    }
+
+    #[test]
+    fn condition_matches_legacy_condition() {
+        let mut i = LineageInterner::new();
+        let f = Lineage::and2(v(0), Lineage::or2(v(1), v(2)));
+        let r = i.intern(&f);
+        for (var, value) in [(0, false), (0, true), (1, true), (2, false)] {
+            let cond = i.condition(r, VarId(var), value);
+            assert_eq!(
+                i.to_lineage(cond),
+                f.condition(VarId(var), value),
+                "condition on x{var}={value}"
+            );
+        }
+    }
+
+    #[test]
+    fn interned_disjunction_matches_incremental_disjunction() {
+        use crate::IncrementalDisjunction;
+        let mut interner = LineageInterner::new();
+        let mut interned = InternedDisjunction::new();
+        let mut legacy = IncrementalDisjunction::new();
+        assert!(interned.is_empty());
+
+        // Same churn pattern as the legacy heavy-churn test.
+        for i in 0..64 {
+            let l = v(i);
+            let r = interner.intern(&l);
+            interned.insert(r, &interner);
+            legacy.insert(&l);
+        }
+        for i in 0..63 {
+            let l = v(i);
+            let r = interner.intern(&l);
+            interned.remove(r, &interner);
+            legacy.remove(&l);
+        }
+        for i in 100..104 {
+            let l = v(i);
+            let r = interner.intern(&l);
+            interned.insert(r, &interner);
+            legacy.insert(&l);
+        }
+        assert_eq!(interned.len(), legacy.len());
+        let d = interned.disjunction(&mut interner);
+        assert_eq!(interner.to_lineage(d), legacy.disjunction());
+    }
+
+    #[test]
+    fn interned_disjunction_flattens_and_handles_constants() {
+        let mut interner = LineageInterner::new();
+        let mut d = InternedDisjunction::new();
+        let or = interner.intern(&Lineage::or2(v(1), v(2)));
+        d.insert(or, &interner);
+        let two = interner.intern(&v(2));
+        d.insert(two, &interner);
+        assert_eq!(d.len(), 2);
+        let fls = interner.fls();
+        d.insert(fls, &interner);
+        assert_eq!(d.len(), 2);
+        let tru = interner.tru();
+        d.insert(tru, &interner);
+        let dis = d.disjunction(&mut interner);
+        assert!(interner.is_true(dis));
+        d.remove(tru, &interner);
+        let dis = d.disjunction(&mut interner);
+        assert_eq!(interner.to_lineage(dis), Lineage::or2(v(1), v(2)));
+        d.remove(or, &interner);
+        let dis = d.disjunction(&mut interner);
+        assert_eq!(interner.to_lineage(dis), v(2));
+    }
+}

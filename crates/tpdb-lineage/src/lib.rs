@@ -18,6 +18,10 @@
 //!   [`and_not_concat`] and [`pass_through`] (Section II of the paper),
 //! * exact probability computation ([`ProbabilityEngine`]) using
 //!   independence-based decomposition with a Shannon-expansion fallback,
+//! * a hash-consed formula arena ([`LineageInterner`]) deduplicating
+//!   structurally equal nodes behind dense [`LineageRef`] ids — the
+//!   representation the window streams and the probability memo operate
+//!   on, with [`Lineage`] trees as the serde/test conversion boundary,
 //! * a [`SymbolTable`] mapping human-readable base-tuple names (`a1`, `b3`,
 //!   ...) to variable identifiers.
 //!
@@ -50,11 +54,15 @@
 
 mod disjunction;
 mod formula;
+mod intern;
 mod prob;
 mod symbols;
 
 pub use disjunction::IncrementalDisjunction;
 pub use formula::{Lineage, LineageNode};
+pub use intern::{
+    FxHashMap, FxHashSet, FxHasher, InternedDisjunction, InternedNode, LineageInterner, LineageRef,
+};
 pub use prob::{ProbabilityEngine, ProbabilityError};
 pub use symbols::{SymbolTable, VarId};
 

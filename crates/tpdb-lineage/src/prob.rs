@@ -1,9 +1,11 @@
 //! Exact probability computation for lineage formulas.
 
-use crate::formula::{Lineage, LineageNode};
+use crate::formula::Lineage;
+use crate::intern::{FxHashSet, InternedNode, LineageInterner, LineageRef};
 use crate::symbols::VarId;
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors produced by the probability engine.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,10 +51,33 @@ impl std::error::Error for ProbabilityError {}
 /// so in practice the decomposition path answers almost every query without
 /// expansion; the Shannon fallback keeps the engine exact for arbitrarily
 /// correlated lineages (e.g. after self-joins).
+///
+/// # Representation
+///
+/// The engine owns a [`LineageInterner`]: formulas are evaluated in
+/// hash-consed form ([`LineageRef`]), and the memo is a dense vector
+/// indexed by node id (`NaN` marking absent entries) instead of a map
+/// keyed by deep structural hashes of trees. Marginal probabilities live
+/// behind an [`Arc`] with copy-on-write semantics, so cloning an engine —
+/// as the query layer does once per execution, and the parallel join does
+/// once per worker — is cheap and shares the registered probabilities
+/// until one side writes.
+///
+/// Callers on the hot path intern once ([`intern`](Self::intern) or the
+/// interned stream constructors) and evaluate with
+/// [`probability_ref`](Self::probability_ref); [`probability`](Self::probability)
+/// accepts legacy trees and interns on the fly.
 #[derive(Debug, Clone, Default)]
 pub struct ProbabilityEngine {
-    probs: HashMap<VarId, f64>,
-    memo: HashMap<Lineage, f64>,
+    probs: Arc<HashMap<VarId, f64>>,
+    interner: LineageInterner,
+    /// Dense memo indexed by node id; `NaN` marks an absent entry. Cleared
+    /// when a registered probability changes.
+    memo: Vec<f64>,
+    /// Sticky per-node flag: every variable under this node has a
+    /// registered probability. Registration only ever adds or overwrites
+    /// variables, so a `true` entry stays valid forever.
+    verified: Vec<bool>,
     /// Counts Shannon expansions performed (exposed for the ablation bench).
     expansions: u64,
     /// When true, the decomposition shortcuts are disabled and every
@@ -78,11 +103,59 @@ impl ProbabilityEngine {
     }
 
     /// Registers the marginal probability of a variable, validating range.
+    /// The memo is invalidated only if the value actually changes.
     pub fn try_set(&mut self, var: VarId, p: f64) -> Result<(), ProbabilityError> {
         if !(0.0..=1.0).contains(&p) || p.is_nan() {
             return Err(ProbabilityError::OutOfRange(p));
         }
-        self.probs.insert(var, p);
+        if self.probs.get(&var) == Some(&p) {
+            return Ok(());
+        }
+        Arc::make_mut(&mut self.probs).insert(var, p);
+        self.memo.clear();
+        Ok(())
+    }
+
+    /// Registers a batch of marginal probabilities, clearing the memo at
+    /// most **once** (single-variable [`set`](Self::set) pays the memo
+    /// invalidation per call, making bulk registration `O(n · memo)`).
+    /// Registrations that change nothing — the common case when the query
+    /// layer re-registers catalog-known probabilities per execution — leave
+    /// both the memo and the shared probability map untouched.
+    ///
+    /// # Panics
+    /// Panics if any probability is not within `[0, 1]`. Use
+    /// [`ProbabilityEngine::try_set_all`] for a fallible variant.
+    pub fn set_all<I>(&mut self, items: I)
+    where
+        I: IntoIterator<Item = (VarId, f64)>,
+    {
+        self.try_set_all(items)
+            .expect("probability must be in [0, 1]");
+    }
+
+    /// Registers a batch of marginal probabilities, validating ranges and
+    /// clearing the memo at most once. On error nothing is modified.
+    pub fn try_set_all<I>(&mut self, items: I) -> Result<(), ProbabilityError>
+    where
+        I: IntoIterator<Item = (VarId, f64)>,
+    {
+        let mut changed: Vec<(VarId, f64)> = Vec::new();
+        for (var, p) in items {
+            if !(0.0..=1.0).contains(&p) || p.is_nan() {
+                return Err(ProbabilityError::OutOfRange(p));
+            }
+            if self.probs.get(&var) != Some(&p) {
+                changed.push((var, p));
+            }
+        }
+        if changed.is_empty() {
+            return Ok(());
+        }
+        let probs = Arc::make_mut(&mut self.probs);
+        for (var, p) in changed {
+            probs.insert(var, p);
+        }
         self.memo.clear();
         Ok(())
     }
@@ -117,6 +190,29 @@ impl ProbabilityEngine {
         self.memo.clear();
     }
 
+    /// The formula arena backing this engine.
+    #[must_use]
+    pub fn interner(&self) -> &LineageInterner {
+        &self.interner
+    }
+
+    /// Mutable access to the formula arena (the interned window streams
+    /// build their lineages directly in the engine's arena so the refs they
+    /// produce can be priced without conversion).
+    pub fn interner_mut(&mut self) -> &mut LineageInterner {
+        &mut self.interner
+    }
+
+    /// Interns a legacy lineage tree into the engine's arena.
+    pub fn intern(&mut self, lineage: &Lineage) -> LineageRef {
+        self.interner.intern(lineage)
+    }
+
+    /// Converts an interned formula back into a legacy tree (cached).
+    pub fn to_lineage(&mut self, r: LineageRef) -> Lineage {
+        self.interner.to_lineage(r)
+    }
+
     /// Computes `Pr(λ)`.
     ///
     /// # Panics
@@ -130,56 +226,135 @@ impl ProbabilityEngine {
 
     /// Computes `Pr(λ)`, reporting missing variables as errors.
     pub fn try_probability(&mut self, lineage: &Lineage) -> Result<f64, ProbabilityError> {
-        for v in lineage.vars() {
-            if !self.probs.contains_key(&v) {
-                return Err(ProbabilityError::MissingVariable(v));
-            }
-        }
-        Ok(self.prob_rec(lineage))
+        let r = self.interner.intern(lineage);
+        self.try_probability_ref(r)
     }
 
-    fn prob_rec(&mut self, f: &Lineage) -> f64 {
-        match f.node() {
-            LineageNode::True => return 1.0,
-            LineageNode::False => return 0.0,
-            LineageNode::Var(v) => return self.probs[v],
-            LineageNode::Not(c) => return 1.0 - self.prob_rec(c),
+    /// Computes `Pr(λ)` for an interned formula.
+    ///
+    /// # Panics
+    /// Panics if a variable of `λ` has no registered probability. Use
+    /// [`ProbabilityEngine::try_probability_ref`] for a fallible variant.
+    #[must_use]
+    pub fn probability_ref(&mut self, r: LineageRef) -> f64 {
+        self.try_probability_ref(r)
+            .expect("all lineage variables must have probabilities")
+    }
+
+    /// Computes `Pr(λ)` for an interned formula, reporting missing
+    /// variables as errors (the *smallest* missing variable is reported,
+    /// matching the tree-walk order of the legacy engine).
+    pub fn try_probability_ref(&mut self, r: LineageRef) -> Result<f64, ProbabilityError> {
+        self.check_vars(r)?;
+        Ok(self.prob_rec(r))
+    }
+
+    /// Verifies every variable under `r` has a registered probability.
+    /// Nodes that pass are marked in the sticky `verified` table, so
+    /// re-pricing formulas over already-checked sub-DAGs is `O(1)`.
+    fn check_vars(&mut self, root: LineageRef) -> Result<(), ProbabilityError> {
+        if self.verified.len() < self.interner.len() {
+            self.verified.resize(self.interner.len(), false);
+        }
+        if self.verified[root.index()] {
+            return Ok(());
+        }
+        let mut stack = vec![root];
+        let mut walked: Vec<usize> = Vec::new();
+        let mut in_walk: FxHashSet<usize> = FxHashSet::default();
+        let mut missing: Option<VarId> = None;
+        while let Some(cur) = stack.pop() {
+            let i = cur.index();
+            if self.verified[i] || !in_walk.insert(i) {
+                continue;
+            }
+            walked.push(i);
+            match self.interner.node(cur) {
+                InternedNode::True | InternedNode::False => {}
+                InternedNode::Var(v) => {
+                    if !self.probs.contains_key(v) {
+                        missing = Some(match missing {
+                            Some(m) if m < *v => m,
+                            _ => *v,
+                        });
+                    }
+                }
+                InternedNode::Not(c) => stack.push(*c),
+                InternedNode::And(cs) | InternedNode::Or(cs) => stack.extend(cs.iter().copied()),
+            }
+        }
+        if let Some(v) = missing {
+            return Err(ProbabilityError::MissingVariable(v));
+        }
+        for i in walked {
+            self.verified[i] = true;
+        }
+        Ok(())
+    }
+
+    fn memo_get(&self, r: LineageRef) -> Option<f64> {
+        self.memo.get(r.index()).copied().filter(|p| !p.is_nan())
+    }
+
+    fn memo_insert(&mut self, r: LineageRef, p: f64) {
+        let i = r.index();
+        if self.memo.len() <= i {
+            self.memo.resize(self.interner.len().max(i + 1), f64::NAN);
+        }
+        self.memo[i] = p;
+    }
+
+    fn prob_rec(&mut self, r: LineageRef) -> f64 {
+        match self.interner.node(r) {
+            InternedNode::True => return 1.0,
+            InternedNode::False => return 0.0,
+            InternedNode::Var(v) => return self.probs[v],
+            InternedNode::Not(c) => {
+                let c = *c;
+                return 1.0 - self.prob_rec(c);
+            }
             _ => {}
         }
-        if let Some(&p) = self.memo.get(f) {
+        if let Some(p) = self.memo_get(r) {
             return p;
         }
         let p = if self.force_shannon {
-            self.shannon(f)
+            self.shannon(r)
         } else {
-            match f.node() {
-                LineageNode::And(children) => self.prob_nary(children, true),
-                LineageNode::Or(children) => self.prob_nary(children, false),
+            match self.interner.node(r) {
+                InternedNode::And(cs) => {
+                    let children: Vec<LineageRef> = cs.to_vec();
+                    self.prob_nary(&children, true)
+                }
+                InternedNode::Or(cs) => {
+                    let children: Vec<LineageRef> = cs.to_vec();
+                    self.prob_nary(&children, false)
+                }
                 _ => unreachable!("handled above"),
             }
         };
-        self.memo.insert(f.clone(), p);
+        self.memo_insert(r, p);
         p
     }
 
     /// Probability of an n-ary conjunction (`is_and`) or disjunction.
-    fn prob_nary(&mut self, children: &[Lineage], is_and: bool) -> f64 {
+    fn prob_nary(&mut self, children: &[LineageRef], is_and: bool) -> f64 {
         // Group children into connected components over shared variables.
-        let groups = connected_components(children);
+        let groups = connected_components(&self.interner, children);
         let mut acc = 1.0;
         for group in groups {
             let p_group = if group.len() == 1 {
-                self.prob_rec(&children[group[0]])
+                self.prob_rec(children[group[0]])
             } else {
                 // children in this group share variables: expand the joint
                 // sub-formula with Shannon.
-                let subs: Vec<Lineage> = group.iter().map(|&i| children[i].clone()).collect();
+                let subs: Vec<LineageRef> = group.iter().map(|&i| children[i]).collect();
                 let joint = if is_and {
-                    Lineage::and(subs)
+                    self.interner.and(&subs)
                 } else {
-                    Lineage::or(subs)
+                    self.interner.or(&subs)
                 };
-                self.shannon(&joint)
+                self.shannon(joint)
             };
             if is_and {
                 acc *= p_group;
@@ -195,36 +370,40 @@ impl ProbabilityEngine {
     }
 
     /// Shannon expansion on the most frequent variable.
-    fn shannon(&mut self, f: &Lineage) -> f64 {
-        match f.node() {
-            LineageNode::True => return 1.0,
-            LineageNode::False => return 0.0,
-            LineageNode::Var(v) => return self.probs[v],
-            LineageNode::Not(c) => return 1.0 - self.shannon(c),
+    fn shannon(&mut self, r: LineageRef) -> f64 {
+        match self.interner.node(r) {
+            InternedNode::True => return 1.0,
+            InternedNode::False => return 0.0,
+            InternedNode::Var(v) => return self.probs[v],
+            InternedNode::Not(c) => {
+                let c = *c;
+                return 1.0 - self.shannon(c);
+            }
             _ => {}
         }
-        if let Some(&p) = self.memo.get(f) {
+        if let Some(p) = self.memo_get(r) {
             return p;
         }
-        let var = most_frequent_var(f).expect("compound formula must mention a variable");
+        let var =
+            most_frequent_var(&self.interner, r).expect("compound formula must mention a variable");
         self.expansions += 1;
         let p_var = self.probs[&var];
-        let pos = f.condition(var, true);
-        let neg = f.condition(var, false);
-        let p = p_var * self.shannon_or_decompose(&pos)
-            + (1.0 - p_var) * self.shannon_or_decompose(&neg);
-        self.memo.insert(f.clone(), p);
+        let pos = self.interner.condition(r, var, true);
+        let neg = self.interner.condition(r, var, false);
+        let p =
+            p_var * self.shannon_or_decompose(pos) + (1.0 - p_var) * self.shannon_or_decompose(neg);
+        self.memo_insert(r, p);
         p
     }
 
     /// After conditioning, the cofactor frequently becomes decomposable
     /// again; route it through the main recursion unless the ablation flag
     /// forces pure Shannon.
-    fn shannon_or_decompose(&mut self, f: &Lineage) -> f64 {
+    fn shannon_or_decompose(&mut self, r: LineageRef) -> f64 {
         if self.force_shannon {
-            self.shannon(f)
+            self.shannon(r)
         } else {
-            self.prob_rec(f)
+            self.prob_rec(r)
         }
     }
 
@@ -260,11 +439,16 @@ impl ProbabilityEngine {
         }
         Ok(total)
     }
+
+    #[cfg(test)]
+    fn memo_entries(&self) -> usize {
+        self.memo.iter().filter(|p| !p.is_nan()).count()
+    }
 }
 
 /// Groups formula indices into connected components over shared variables.
-fn connected_components(children: &[Lineage]) -> Vec<Vec<usize>> {
-    let var_sets: Vec<BTreeSet<VarId>> = children.iter().map(Lineage::vars).collect();
+fn connected_components(interner: &LineageInterner, children: &[LineageRef]) -> Vec<Vec<usize>> {
+    let var_sets: Vec<BTreeSet<VarId>> = children.iter().map(|&c| interner.vars(c)).collect();
     let n = children.len();
     let mut parent: Vec<usize> = (0..n).collect();
 
@@ -307,22 +491,24 @@ fn connected_components(children: &[Lineage]) -> Vec<Vec<usize>> {
 }
 
 /// The variable occurring in the largest number of sub-formulas (a standard
-/// branching heuristic for Shannon expansion).
-fn most_frequent_var(f: &Lineage) -> Option<VarId> {
+/// branching heuristic for Shannon expansion). Occurrences are counted with
+/// multiplicity — each appearance in the formula counts, exactly as the
+/// legacy tree walk did.
+fn most_frequent_var(interner: &LineageInterner, r: LineageRef) -> Option<VarId> {
     let mut counts: HashMap<VarId, usize> = HashMap::new();
-    fn walk(f: &Lineage, counts: &mut HashMap<VarId, usize>) {
-        match f.node() {
-            LineageNode::Var(v) => *counts.entry(*v).or_insert(0) += 1,
-            LineageNode::Not(c) => walk(c, counts),
-            LineageNode::And(cs) | LineageNode::Or(cs) => {
-                for c in cs {
-                    walk(c, counts);
+    fn walk(interner: &LineageInterner, r: LineageRef, counts: &mut HashMap<VarId, usize>) {
+        match interner.node(r) {
+            InternedNode::Var(v) => *counts.entry(*v).or_insert(0) += 1,
+            InternedNode::Not(c) => walk(interner, *c, counts),
+            InternedNode::And(cs) | InternedNode::Or(cs) => {
+                for &c in cs.iter() {
+                    walk(interner, c, counts);
                 }
             }
             _ => {}
         }
     }
-    walk(f, &mut counts);
+    walk(interner, r, &mut counts);
     counts
         .into_iter()
         .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
@@ -427,6 +613,14 @@ mod tests {
     }
 
     #[test]
+    fn smallest_missing_variable_is_reported() {
+        let mut e = engine(&[0.5]);
+        let f = Lineage::and(vec![v(0), v(9), v(3), v(6)]);
+        let err = e.try_probability(&f).unwrap_err();
+        assert_eq!(err, ProbabilityError::MissingVariable(VarId(3)));
+    }
+
+    #[test]
     fn out_of_range_probability_is_rejected() {
         let mut e = ProbabilityEngine::new();
         assert!(e.try_set(VarId(0), 1.5).is_err());
@@ -463,6 +657,57 @@ mod tests {
         assert!((e.probability(&f) - 0.25).abs() < 1e-12);
         e.set(VarId(0), 1.0);
         assert!((e.probability(&f) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unchanged_registration_preserves_the_memo() {
+        let mut e = engine(&[0.5, 0.5]);
+        let f = Lineage::and2(v(0), v(1));
+        assert!((e.probability(&f) - 0.25).abs() < 1e-12);
+        assert!(e.memo_entries() > 0);
+        // re-registering identical values must keep memoized results
+        e.set(VarId(0), 0.5);
+        e.set_all([(VarId(0), 0.5), (VarId(1), 0.5)]);
+        assert!(e.memo_entries() > 0);
+        // a real change through either path invalidates
+        e.set_all([(VarId(0), 1.0), (VarId(1), 0.5)]);
+        assert_eq!(e.memo_entries(), 0);
+        assert!((e.probability(&f) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_all_validates_before_mutating() {
+        let mut e = engine(&[0.5]);
+        let err = e
+            .try_set_all([(VarId(1), 0.4), (VarId(2), 1.5)])
+            .unwrap_err();
+        assert_eq!(err, ProbabilityError::OutOfRange(1.5));
+        assert_eq!(e.get(VarId(1)), None, "failed batch must not apply");
+        assert_eq!(e.get(VarId(0)), Some(0.5));
+    }
+
+    #[test]
+    fn probability_ref_matches_tree_probability() {
+        let f = Lineage::or(vec![
+            Lineage::and2(v(0), v(1)),
+            Lineage::and2(v(0), Lineage::not(v(2))),
+            v(3),
+        ]);
+        let mut by_tree = engine(&[0.3, 0.6, 0.2, 0.8]);
+        let mut by_ref = engine(&[0.3, 0.6, 0.2, 0.8]);
+        let r = by_ref.intern(&f);
+        assert_eq!(by_tree.probability(&f), by_ref.probability_ref(r));
+        assert_eq!(by_ref.to_lineage(r), f);
+    }
+
+    #[test]
+    fn cloned_engines_share_probabilities_until_write() {
+        let mut base = engine(&[0.5, 0.4]);
+        let mut fork = base.clone();
+        fork.set(VarId(0), 0.9);
+        assert_eq!(base.get(VarId(0)), Some(0.5), "clone must copy on write");
+        assert_eq!(fork.get(VarId(0)), Some(0.9));
+        assert!((base.probability(&Lineage::and2(v(0), v(1))) - 0.2).abs() < 1e-12);
     }
 
     fn arb_lineage() -> impl Strategy<Value = Lineage> {

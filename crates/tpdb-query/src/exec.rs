@@ -37,6 +37,14 @@ pub trait PhysicalOperator {
     /// A short human-readable description (used by `EXPLAIN`).
     fn describe(&self) -> String;
 
+    /// The operator's entire output as an already-stored relation, when it
+    /// is a pure scan with no per-tuple work pending (`None` otherwise).
+    /// Consumers that materialize their inputs (joins, set operations) use
+    /// this to skip the tuple-by-tuple copy of a base relation.
+    fn as_relation(&self) -> Option<Arc<TpRelation>> {
+        None
+    }
+
     /// Drains the operator into a materialized relation.
     fn collect(&mut self, name: &str) -> Result<TpRelation, TpdbError> {
         let mut rel = TpRelation::new(name, self.schema().clone());
@@ -44,6 +52,16 @@ pub trait PhysicalOperator {
             rel.push_unchecked(t?);
         }
         Ok(rel)
+    }
+
+    /// Materializes the operator's output, reusing the stored relation when
+    /// the operator is a pure scan ([`PhysicalOperator::as_relation`]) and
+    /// draining into a fresh relation named `name` otherwise.
+    fn materialize(&mut self, name: &str) -> Result<Arc<TpRelation>, TpdbError> {
+        match self.as_relation() {
+            Some(rel) => Ok(rel),
+            None => Ok(Arc::new(self.collect(name)?)),
+        }
     }
 }
 
@@ -73,6 +91,12 @@ impl PhysicalOperator for ScanExec {
         let t = self.relation.tuples().get(self.cursor)?.clone();
         self.cursor += 1;
         Some(Ok(t))
+    }
+
+    fn as_relation(&self) -> Option<Arc<TpRelation>> {
+        // Only while untouched: a partially drained scan no longer
+        // represents its full output.
+        (self.cursor == 0).then(|| Arc::clone(&self.relation))
     }
 
     fn describe(&self) -> String {
@@ -272,10 +296,11 @@ impl TpJoinExec {
         }
     }
 
-    /// Materializes the inputs and starts the join.
+    /// Materializes the inputs and starts the join. Scan children hand over
+    /// their stored relation without a tuple-by-tuple copy.
     fn start(&mut self) -> Result<JoinState, TpdbError> {
-        let left = Arc::new(self.left.collect("left")?);
-        let right = Arc::new(self.right.collect("right")?);
+        let left = self.left.materialize("left")?;
+        let right = self.right.materialize("right")?;
         match self.strategy {
             JoinStrategy::Nj => {
                 let mut engine = self.base_engine.clone();
@@ -480,10 +505,11 @@ impl SetOpExec {
         }
     }
 
-    /// Materializes the inputs and starts the set operation.
+    /// Materializes the inputs and starts the set operation. Scan children
+    /// hand over their stored relation without a tuple-by-tuple copy.
     fn start(&mut self) -> Result<SetOpState, TpdbError> {
-        let left = Arc::new(self.left.collect("left")?);
-        let right = Arc::new(self.right.collect("right")?);
+        let left = self.left.materialize("left")?;
+        let right = self.right.materialize("right")?;
         let mut engine = self.base_engine.clone();
         left.register_probabilities(&mut engine);
         right.register_probabilities(&mut engine);

@@ -163,9 +163,7 @@ impl Catalog {
     #[must_use]
     pub fn probability_engine(&self) -> ProbabilityEngine {
         let mut engine = ProbabilityEngine::new();
-        for (&v, &p) in &self.probabilities {
-            engine.set(v, p);
-        }
+        engine.set_all(self.probabilities.iter().map(|(&v, &p)| (v, p)));
         engine
     }
 }

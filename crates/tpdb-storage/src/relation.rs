@@ -136,11 +136,12 @@ impl TpRelation {
     /// the probability engine. Derived (compound) lineages are skipped: their
     /// probabilities are derived quantities.
     pub fn register_probabilities(&self, engine: &mut ProbabilityEngine) {
-        for t in &self.tuples {
-            if let LineageNode::Var(v) = t.lineage().node() {
-                engine.set(*v, t.probability());
-            }
-        }
+        // Batched: the engine clears its memo at most once for the whole
+        // relation instead of once per tuple.
+        engine.set_all(self.tuples.iter().filter_map(|t| match t.lineage().node() {
+            LineageNode::Var(v) => Some((*v, t.probability())),
+            _ => None,
+        }));
     }
 
     /// The tuples valid at time point `t` (point-wise semantics; used by the
