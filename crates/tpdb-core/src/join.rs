@@ -255,10 +255,12 @@ pub(crate) fn form_output_tuple(
     // Output lineage via the window class's concatenation function.
     let lineage = match w.kind {
         WindowKind::Overlapping => {
+            // Window-kind invariant. tpdb-lint: allow(no-panic-in-lib)
             Lineage::and_concat(&w.lambda_r, w.lambda_s.as_ref().expect("λs"))
         }
         WindowKind::Unmatched => w.lambda_r.clone(),
         WindowKind::Negating => {
+            // Window-kind invariant. tpdb-lint: allow(no-panic-in-lib)
             Lineage::and_not_concat(&w.lambda_r, w.lambda_s.as_ref().expect("λs"))
         }
     };
@@ -326,11 +328,13 @@ pub(crate) fn form_output_tuple_interned(
     // directly in the arena.
     let lineage_ref = match w.kind {
         WindowKind::Overlapping => {
+            // Window-kind invariant. tpdb-lint: allow(no-panic-in-lib)
             let ls = w.lambda_s.expect("λs");
             engine.interner_mut().and2(w.lambda_r, ls)
         }
         WindowKind::Unmatched => w.lambda_r,
         WindowKind::Negating => {
+            // Window-kind invariant. tpdb-lint: allow(no-panic-in-lib)
             let ls = w.lambda_s.expect("λs");
             engine.interner_mut().and_not(w.lambda_r, ls)
         }

@@ -65,11 +65,13 @@ pub(crate) fn sweep_group(group: &[Window], out: &mut impl WindowSink<Lineage>) 
     }
 
     let overlapping: Vec<&Window> = group.iter().filter(|w| w.is_overlapping()).collect();
-    if overlapping.is_empty() {
+    let Some(first) = overlapping.first() else {
         return;
-    }
-    let r_idx = group[0].r_idx;
-    let lambda_r = overlapping[0].lambda_r.clone();
+    };
+    let r_idx = first.r_idx;
+    // Legacy tree-lineage path (the interned sweep below copies ids): λr is
+    // cloned once per group. tpdb-lint: allow(no-lineage-clone-in-streams)
+    let lambda_r = first.lambda_r.clone();
 
     // Sweep the overlapping windows of the group in start order, keeping the
     // ending points of the active windows in a priority queue and their
@@ -99,7 +101,7 @@ pub(crate) fn sweep_group(group: &[Window], out: &mut impl WindowSink<Lineage>) 
                 out.put(Window::negating(
                     Interval::new(ts, boundary),
                     r_idx,
-                    lambda_r.clone(),
+                    lambda_r.clone(), // tpdb-lint: allow(no-lineage-clone-in-streams)
                     active.disjunction(),
                 ));
             }
@@ -112,6 +114,7 @@ pub(crate) fn sweep_group(group: &[Window], out: &mut impl WindowSink<Lineage>) 
                 overlapping[item]
                     .lambda_s
                     .as_ref()
+                    // Window-kind invariant. tpdb-lint: allow(no-panic-in-lib)
                     .expect("overlapping windows always carry λs"),
             );
         }
@@ -122,6 +125,7 @@ pub(crate) fn sweep_group(group: &[Window], out: &mut impl WindowSink<Lineage>) 
             active.insert(
                 w.lambda_s
                     .as_ref()
+                    // Window-kind invariant. tpdb-lint: allow(no-panic-in-lib)
                     .expect("overlapping windows always carry λs"),
             );
             queue.push(w.interval.end(), i);
@@ -148,11 +152,11 @@ pub(crate) fn sweep_group_interned(
 
     let overlapping: Vec<&Window<LineageRef>> =
         group.iter().filter(|w| w.is_overlapping()).collect();
-    if overlapping.is_empty() {
+    let Some(first) = overlapping.first() else {
         return;
-    }
-    let r_idx = group[0].r_idx;
-    let lambda_r = overlapping[0].lambda_r;
+    };
+    let r_idx = first.r_idx;
+    let lambda_r = first.lambda_r;
 
     let mut queue = EventQueue::new();
     let mut active = InternedDisjunction::new();
@@ -185,6 +189,7 @@ pub(crate) fn sweep_group_interned(
             active.remove(
                 overlapping[item]
                     .lambda_s
+                    // Window-kind invariant. tpdb-lint: allow(no-panic-in-lib)
                     .expect("overlapping windows always carry λs"),
                 interner,
             );
@@ -194,6 +199,7 @@ pub(crate) fn sweep_group_interned(
                 break;
             }
             active.insert(
+                // Window-kind invariant. tpdb-lint: allow(no-panic-in-lib)
                 w.lambda_s.expect("overlapping windows always carry λs"),
                 interner,
             );

@@ -66,13 +66,15 @@ pub(crate) fn sweep_group<L: Clone>(
     lambda_r: &L,
     out: &mut impl WindowSink<L>,
 ) {
-    debug_assert!(!group.is_empty());
-    let r_idx = group[0].r_idx;
+    let Some(first) = group.first() else {
+        return;
+    };
+    let r_idx = first.r_idx;
 
     // Whole-interval unmatched windows (produced by the outer part of the
     // overlap join) already cover the entire tuple: copy and return.
-    if group.len() == 1 && group[0].is_unmatched() && group[0].interval == r_interval {
-        out.put(group[0].clone());
+    if group.len() == 1 && first.is_unmatched() && first.interval == r_interval {
+        out.put(first.clone());
         return;
     }
 
@@ -87,6 +89,8 @@ pub(crate) fn sweep_group<L: Clone>(
             out.put(Window::unmatched(
                 Interval::new(cursor, ws),
                 r_idx,
+                // Generic over L: a `u32` copy on the interned path.
+                // tpdb-lint: allow(no-lineage-clone-in-streams)
                 lambda_r.clone(),
             ));
         }
@@ -98,6 +102,8 @@ pub(crate) fn sweep_group<L: Clone>(
         out.put(Window::unmatched(
             Interval::new(cursor, r_interval.end()),
             r_idx,
+            // Generic over L: a `u32` copy on the interned path.
+            // tpdb-lint: allow(no-lineage-clone-in-streams)
             lambda_r.clone(),
         ));
     }

@@ -134,6 +134,8 @@ fn partition(r: &TpRelation, s: &TpRelation, bound: &BoundTheta, degree: usize) 
     for (_, members) in keyed {
         let lightest = (0..shard_count)
             .min_by_key(|&w| loads[w])
+            // The range is non-empty by construction (`.max(1)` above).
+            // tpdb-lint: allow(no-panic-in-lib)
             .expect("shard_count >= 1");
         loads[lightest] += members.load();
         shards[lightest].r_members.extend(members.r_members);
@@ -163,6 +165,8 @@ where
             .collect();
         handles
             .into_iter()
+            // Re-raising a worker panic on the caller is the documented
+            // contract. tpdb-lint: allow(no-panic-in-lib)
             .map(|h| h.join().expect("shard worker panicked"))
             .collect()
     })
@@ -297,6 +301,8 @@ pub fn tp_join_parallel_with_engine_and_plan(
             &shard.s_members,
             engine.interner_mut(),
         )
+        // Plan applicability was validated before sharding.
+        // tpdb-lint: allow(no-panic-in-lib)
         .expect("plan validated before sharding");
         match kind {
             TpJoinKind::Inner | TpJoinKind::RightOuter => {
@@ -336,6 +342,8 @@ pub fn tp_join_parallel_with_engine_and_plan(
                 &shard.r_members,
                 engine.interner_mut(),
             )
+            // Plan applicability was validated before sharding.
+            // tpdb-lint: allow(no-panic-in-lib)
             .expect("plan validated before sharding");
             let lins = wo.positive_lineages();
             let mut stream = LawanStream::new(LawauStream::with_lineages(wo, s, lins));
@@ -388,6 +396,8 @@ pub fn parallel_wuo_count(
             &shard.r_members,
             &shard.s_members,
         )
+        // Plan applicability was validated before sharding.
+        // tpdb-lint: allow(no-panic-in-lib)
         .expect("auto plan is applicable");
         LawauStream::new(wo, r).count()
     });

@@ -56,23 +56,18 @@ pub trait WindowStream: Iterator<Item = Window> {}
 impl<T: Iterator<Item = Window>> WindowStream for T {}
 
 /// Pulls the next complete `r`-tuple group from `input` into `group`
-/// (cleared first). Returns `false` when the input is exhausted.
+/// (cleared first). Returns the group's `r_idx`, or `None` when the input
+/// is exhausted (`Some` implies a non-empty group).
 fn next_group<L, I: Iterator<Item = Window<L>>>(
     input: &mut std::iter::Peekable<I>,
     group: &mut Vec<Window<L>>,
-) -> bool {
+) -> Option<usize> {
     group.clear();
-    let Some(first) = input.peek() else {
-        return false;
-    };
-    let r_idx = first.r_idx;
-    while let Some(w) = input.peek() {
-        if w.r_idx != r_idx {
-            break;
-        }
-        group.push(input.next().expect("peeked"));
+    let r_idx = input.peek()?.r_idx;
+    while let Some(w) = input.next_if(|w| w.r_idx == r_idx) {
+        group.push(w);
     }
-    true
+    Some(r_idx)
 }
 
 /// Streaming LAWAU: extends a stream of overlap-join windows with the
@@ -136,14 +131,16 @@ impl<I: Iterator<Item = Window>, P: Borrow<TpRelation>> Iterator for LawauStream
     type Item = Window;
 
     fn next(&mut self) -> Option<Window> {
-        if self.ready.is_empty() && next_group(&mut self.input, &mut self.group) {
-            let r_tuple = self.positive.borrow().tuple(self.group[0].r_idx);
-            lawau::sweep_group(
-                &self.group,
-                r_tuple.interval(),
-                r_tuple.lineage(),
-                &mut self.ready,
-            );
+        if self.ready.is_empty() {
+            if let Some(r_idx) = next_group(&mut self.input, &mut self.group) {
+                let r_tuple = self.positive.borrow().tuple(r_idx);
+                lawau::sweep_group(
+                    &self.group,
+                    r_tuple.interval(),
+                    r_tuple.lineage(),
+                    &mut self.ready,
+                );
+            }
         }
         self.ready.pop_front()
     }
@@ -157,14 +154,18 @@ where
     type Item = Window<LineageRef>;
 
     fn next(&mut self) -> Option<Window<LineageRef>> {
-        if self.ready.is_empty() && next_group(&mut self.input, &mut self.group) {
-            let r_idx = self.group[0].r_idx;
-            let interval = self.positive.borrow().tuple(r_idx).interval();
-            let lins = self
-                .lins
-                .as_ref()
-                .expect("interned LAWAU streams carry the lineage column");
-            lawau::sweep_group(&self.group, interval, &lins[r_idx], &mut self.ready);
+        if self.ready.is_empty() {
+            if let Some(r_idx) = next_group(&mut self.input, &mut self.group) {
+                let interval = self.positive.borrow().tuple(r_idx).interval();
+                let lins = self
+                    .lins
+                    .as_ref()
+                    // `with_lineages` is the only `LineageRef` constructor,
+                    // so the column is always present.
+                    // tpdb-lint: allow(no-panic-in-lib)
+                    .expect("interned LAWAU streams carry the lineage column");
+                lawau::sweep_group(&self.group, interval, &lins[r_idx], &mut self.ready);
+            }
         }
         self.ready.pop_front()
     }
@@ -201,7 +202,7 @@ impl<I: Iterator<Item = Window>> Iterator for LawanStream<I, Lineage> {
     type Item = Window;
 
     fn next(&mut self) -> Option<Window> {
-        if self.ready.is_empty() && next_group(&mut self.input, &mut self.group) {
+        if self.ready.is_empty() && next_group(&mut self.input, &mut self.group).is_some() {
             lawan::sweep_group(&self.group, &mut self.ready);
         }
         self.ready.pop_front()
@@ -215,7 +216,7 @@ impl<I: Iterator<Item = Window<LineageRef>>> LawanStream<I, LineageRef> {
         &mut self,
         interner: &mut LineageInterner,
     ) -> Option<Window<LineageRef>> {
-        if self.ready.is_empty() && next_group(&mut self.input, &mut self.group) {
+        if self.ready.is_empty() && next_group(&mut self.input, &mut self.group).is_some() {
             lawan::sweep_group_interned(&self.group, interner, &mut self.ready);
         }
         self.ready.pop_front()

@@ -163,11 +163,16 @@ pub fn tp_union_materialized(r: &TpRelation, s: &TpRelation) -> Result<TpRelatio
     // the pairings themselves (overlapping — skipped: the negating windows of
     // the same group cover the identical sub-intervals and already carry the
     // full disjunction λs of the matching s tuples).
+    // Legacy materialized path: output formation builds the result trees
+    // here (the streaming union below works on interned ids instead).
     for w in lawan(&lawau(&overlapping_windows(r, s, &theta)?, r)) {
         let lineage = match w.kind {
-            WindowKind::Unmatched => w.lambda_r.clone(),
+            WindowKind::Unmatched => w.lambda_r.clone(), // tpdb-lint: allow(no-lineage-clone-in-streams)
             WindowKind::Negating => Lineage::or2(
+                // tpdb-lint: allow(no-lineage-clone-in-streams)
                 w.lambda_r.clone(),
+                // Window-kind invariant.
+                // tpdb-lint: allow(no-lineage-clone-in-streams, no-panic-in-lib)
                 w.lambda_s.clone().expect("negating windows carry λs"),
             ),
             WindowKind::Overlapping => continue,
@@ -187,6 +192,8 @@ pub fn tp_union_materialized(r: &TpRelation, s: &TpRelation) -> Result<TpRelatio
     let s_windows = lawau(&overlapping_windows(s, r, &flipped)?, s);
     for w in s_windows.iter().filter(|w| w.kind == WindowKind::Unmatched) {
         let st = s.tuple(w.r_idx);
+        // Legacy materialized output formation (see the first pass).
+        // tpdb-lint: allow(no-lineage-clone-in-streams)
         let lineage = w.lambda_r.clone();
         let probability = engine.probability(&lineage);
         out.push_unchecked(TpTuple::new(
@@ -459,6 +466,8 @@ where
             Inner::Project { stream, arity } => stream.next().map(|t| {
                 TpTuple::new(
                     t.facts()[..*arity].to_vec(),
+                    // Output formation: re-wraps a finished tuple's tree.
+                    // tpdb-lint: allow(no-lineage-clone-in-streams)
                     t.lineage().clone(),
                     t.interval(),
                     t.probability(),
@@ -484,11 +493,16 @@ where
                                 WindowKind::Unmatched => w.lambda_r,
                                 WindowKind::Negating => eng.interner_mut().or2(
                                     w.lambda_r,
+                                    // Window-kind invariant.
+                                    // tpdb-lint: allow(no-panic-in-lib)
                                     w.lambda_s.expect("negating windows carry λs"),
                                 ),
                                 WindowKind::Overlapping => continue,
                             };
                             let probability = eng.probability_ref(lineage_ref);
+                            // Output-formation boundary: ids become trees
+                            // exactly once, on the emitted tuple.
+                            // tpdb-lint: allow(no-lineage-clone-in-streams)
                             let lineage = eng.to_lineage(lineage_ref);
                             let facts = <R as Borrow<TpRelation>>::borrow(r).tuple(w.r_idx).facts();
                             return Some(TpTuple::new(
@@ -512,6 +526,8 @@ where
                             }
                             let eng = engine.borrow_mut();
                             let probability = eng.probability_ref(w.lambda_r);
+                            // Output-formation boundary (see the first pass).
+                            // tpdb-lint: allow(no-lineage-clone-in-streams)
                             let lineage = eng.to_lineage(w.lambda_r);
                             let facts = <S as Borrow<TpRelation>>::borrow(s).tuple(w.r_idx).facts();
                             return Some(TpTuple::new(

@@ -126,6 +126,8 @@ proptest! {
         // Asking through the ref-keyed API is the same computation.
         let r = engine.intern(&f);
         prop_assert_eq!(interned.to_bits(), engine.probability_ref(r).to_bits());
+        // The engine's arena and memo invariants survive the computation.
+        prop_assert_eq!(engine.verify_arena(), Ok(()));
     }
 
     /// Hash-consing: interning a structurally equal tree twice yields the
@@ -141,6 +143,27 @@ proptest! {
         let round_tripped = interner.to_lineage(a);
         prop_assert_eq!(a, interner.intern(&round_tripped));
         prop_assert_eq!(interner.len(), len);
+        // No dangling refs, canonical normal forms, consistent cons table.
+        prop_assert_eq!(interner.verify_arena(), Ok(()));
+    }
+
+    /// The arena invariants hold through Shannon conditioning — the one
+    /// operation that rewrites formulas instead of only composing them
+    /// (every cofactor is re-normalized through the interned constructors).
+    #[test]
+    fn arena_invariants_hold_under_conditioning(f in formula()) {
+        let mut engine = engine_over_formula_vars();
+        let root = engine.intern(&f);
+        let _ = engine.probability_ref(root);
+        let interner = engine.interner_mut();
+        for v in 0..8 {
+            let t = interner.condition(root, VarId(v), true);
+            let e = interner.condition(root, VarId(v), false);
+            // Cofactors are valid refs into the same arena.
+            prop_assert!(t.index() < interner.len());
+            prop_assert!(e.index() < interner.len());
+        }
+        prop_assert_eq!(engine.verify_arena(), Ok(()));
     }
 
     /// The interned streaming join equals the legacy materialized tree path

@@ -452,6 +452,136 @@ impl LineageInterner {
         }
     }
 
+    /// Exhaustively checks the arena invariants, returning a description
+    /// of the first violation found (`Ok(())` on a healthy arena).
+    ///
+    /// Checked invariants:
+    ///
+    /// * the parallel tables (`nodes`, `hashes`, conversion cache) have
+    ///   equal lengths;
+    /// * ids 0/1 are the pre-interned constants `true`/`false`, and no
+    ///   other node is a constant (the constructors always return the
+    ///   canonical ids);
+    /// * every child ref points strictly below its parent — the arena is
+    ///   topologically ordered and can contain no dangling refs;
+    /// * `And`/`Or` hold ≥ 2 deduplicated children, none a constant or a
+    ///   nested node of the same kind; `Not` wraps neither a constant nor
+    ///   another `Not` (the canonical normal form of the tree
+    ///   constructors);
+    /// * every cached hash equals the recomputed structural hash and the
+    ///   cons table lists the id under it (a mismatch would make
+    ///   hash-consing silently duplicate nodes, breaking `O(1)` equality);
+    /// * every cached legacy conversion has the same top-level shape as
+    ///   the node it was converted from.
+    ///
+    /// The check is `O(arena size)` and intended for debug builds and
+    /// property tests; the engine's hot paths never call it.
+    // A diagnostic self-check, not an operational API: the payload is a
+    // free-form description of the first broken invariant, for assertion
+    // messages. tpdb-lint: allow(error-taxonomy)
+    pub fn verify_arena(&self) -> Result<(), String> {
+        if self.hashes.len() != self.nodes.len() || self.legacy.len() != self.nodes.len() {
+            return Err(format!(
+                "parallel tables out of sync: {} nodes, {} hashes, {} cached conversions",
+                self.nodes.len(),
+                self.hashes.len(),
+                self.legacy.len()
+            ));
+        }
+        if self.nodes.first() != Some(&InternedNode::True)
+            || self.nodes.get(1) != Some(&InternedNode::False)
+        {
+            return Err("ids 0/1 are not the pre-interned true/false constants".to_owned());
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(problem) = self.check_node_shape(i, node) {
+                return Err(format!("node {i}: {problem}"));
+            }
+            let expected = self.structural_hash(node);
+            if self.hashes[i] != expected {
+                return Err(format!(
+                    "node {i}: cached hash {:#x} != recomputed structural hash {expected:#x}",
+                    self.hashes[i]
+                ));
+            }
+            let listed = self
+                .table
+                .get(&expected)
+                .is_some_and(|bucket| bucket.contains(&(i as u32)));
+            if !listed {
+                return Err(format!(
+                    "node {i} is missing from its cons-table bucket — interning its structure \
+                     again would allocate a duplicate id"
+                ));
+            }
+            if let Some(cached) = &self.legacy[i] {
+                let shape_matches = matches!(
+                    (node, cached.node()),
+                    (InternedNode::True, LineageNode::True)
+                        | (InternedNode::False, LineageNode::False)
+                        | (InternedNode::Var(_), LineageNode::Var(_))
+                        | (InternedNode::Not(_), LineageNode::Not(_))
+                        | (InternedNode::And(_), LineageNode::And(_))
+                        | (InternedNode::Or(_), LineageNode::Or(_))
+                );
+                if !shape_matches {
+                    return Err(format!(
+                        "node {i}: cached legacy conversion has a different top-level shape"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural invariants of a single node at position `i` (children
+    /// interned below it, canonical normal form). `None` when healthy.
+    fn check_node_shape(&self, i: usize, node: &InternedNode) -> Option<String> {
+        let child_ok = |c: LineageRef| c.index() < i;
+        match node {
+            InternedNode::True | InternedNode::False => {
+                (i >= 2).then(|| "constant interned outside the canonical ids 0/1".to_owned())
+            }
+            InternedNode::Var(_) => None,
+            InternedNode::Not(c) => {
+                if !child_ok(*c) {
+                    return Some(format!("child {} does not precede its parent", c.index()));
+                }
+                matches!(
+                    self.nodes[c.index()],
+                    InternedNode::True | InternedNode::False | InternedNode::Not(_)
+                )
+                .then(|| "Not wraps a constant or another Not".to_owned())
+            }
+            InternedNode::And(cs) | InternedNode::Or(cs) => {
+                if cs.len() < 2 {
+                    return Some(format!("{}-ary connective", cs.len()));
+                }
+                let mut seen: FxHashSet<LineageRef> = HashSet::default();
+                for &c in cs.iter() {
+                    if !child_ok(c) {
+                        return Some(format!("child {} does not precede its parent", c.index()));
+                    }
+                    if !seen.insert(c) {
+                        return Some(format!("duplicated child {}", c.index()));
+                    }
+                    let child = &self.nodes[c.index()];
+                    let nested_same_kind = match node {
+                        InternedNode::And(_) => matches!(child, InternedNode::And(_)),
+                        _ => matches!(child, InternedNode::Or(_)),
+                    };
+                    if matches!(child, InternedNode::True | InternedNode::False) {
+                        return Some(format!("constant child {}", c.index()));
+                    }
+                    if nested_same_kind {
+                        return Some(format!("un-flattened nested child {}", c.index()));
+                    }
+                }
+                None
+            }
+        }
+    }
+
     // ----- internals ------------------------------------------------------
 
     /// The cached structural hash of a node (mixes child hashes, so equal
@@ -472,6 +602,15 @@ impl LineageInterner {
     }
 
     fn intern_node(&mut self, node: InternedNode) -> LineageRef {
+        // In debug builds every freshly interned node is checked against
+        // the canonical-form invariants (`verify_arena` documents them);
+        // checking only the new node keeps interning O(node size).
+        #[cfg(debug_assertions)]
+        if self.nodes.len() >= 2 {
+            if let Some(problem) = self.check_node_shape(self.nodes.len(), &node) {
+                debug_assert!(false, "interning a malformed node: {problem}");
+            }
+        }
         let hash = self.structural_hash(&node);
         if let Some(bucket) = self.table.get(&hash) {
             for &id in bucket {

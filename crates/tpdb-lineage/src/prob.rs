@@ -292,6 +292,50 @@ impl ProbabilityEngine {
         Ok(())
     }
 
+    /// Checks the engine's arena and memo invariants, returning a
+    /// description of the first violation (`Ok(())` when healthy):
+    /// the owned interner passes [`LineageInterner::verify_arena`], the
+    /// id-keyed side tables never outgrow the arena, every present memo
+    /// entry is a probability in `[0, 1]`, and the two constants — when
+    /// memoized — carry their exact probabilities.
+    ///
+    /// `O(arena size)`; intended for debug builds and property tests.
+    // The constants are seeded with exactly 1.0/0.0, so the sentinel check
+    // is a legitimate exact comparison.
+    #[allow(clippy::float_cmp)]
+    // A diagnostic self-check like the interner's: the String payload is an
+    // assertion message, not an error callers match on.
+    // tpdb-lint: allow(error-taxonomy)
+    pub fn verify_arena(&self) -> Result<(), String> {
+        self.interner.verify_arena()?;
+        if self.memo.len() > self.interner.len() {
+            return Err(format!(
+                "memo has {} entries for {} arena nodes",
+                self.memo.len(),
+                self.interner.len()
+            ));
+        }
+        if self.verified.len() > self.interner.len() {
+            return Err(format!(
+                "verified table has {} entries for {} arena nodes",
+                self.verified.len(),
+                self.interner.len()
+            ));
+        }
+        for (i, &p) in self.memo.iter().enumerate() {
+            if p.is_nan() {
+                continue; // NaN is the absent-entry sentinel
+            }
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("memo[{i}] = {p} is outside [0, 1]"));
+            }
+            if (i == 0 && p != 1.0) || (i == 1 && p != 0.0) {
+                return Err(format!("constant node {i} memoized with probability {p}"));
+            }
+        }
+        Ok(())
+    }
+
     fn memo_get(&self, r: LineageRef) -> Option<f64> {
         self.memo.get(r.index()).copied().filter(|p| !p.is_nan())
     }
@@ -516,6 +560,8 @@ fn most_frequent_var(interner: &LineageInterner, r: LineageRef) -> Option<VarId>
 }
 
 #[cfg(test)]
+// Tests assert bit-exact values on purpose (reproducibility contract).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use proptest::prelude::*;

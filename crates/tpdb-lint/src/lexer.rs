@@ -1,0 +1,537 @@
+//! A hand-rolled Rust lexer producing a token stream with line/column
+//! spans.
+//!
+//! The lexer is deliberately *not* a full Rust front-end: rules match
+//! shallow token patterns (`.unwrap()`, `Lineage::`, `== NAN`, ...), so all
+//! it must get right is the token *boundaries* — where strings, char
+//! literals, lifetimes, raw strings and comments begin and end — because a
+//! forbidden name inside a string literal or a comment is not a violation.
+//! Comments are lexed into a side list (they carry the
+//! `// tpdb-lint: allow(<rule>)` escape hatch); everything the rules match
+//! on is in the main token stream.
+
+/// The coarse classification of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are stored without `r#`).
+    Ident,
+    /// A lifetime or loop label (`'a`), without the leading quote.
+    Lifetime,
+    /// Integer literal (any base, suffix included in the text).
+    Int,
+    /// Floating-point literal.
+    Float,
+    /// Any string-like literal: `"…"`, `r#"…"#`, `b"…"`, `'c'`, `b'c'`.
+    Str,
+    /// Punctuation. Multi-character operators the rules care about
+    /// (`::`, `==`, `!=`, `->`, `=>`, `..`, `..=`, `&&`, `||`) are single
+    /// tokens; everything else is one character per token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text (normalized: raw identifiers lose their `r#`).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    #[must_use]
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    #[must_use]
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// A comment (line or block) with the line range it covers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based first line.
+    pub line: u32,
+    /// 1-based last line (block comments may span several).
+    pub end_line: u32,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators kept as single tokens, longest first.
+const COMPOUND_PUNCT: &[&str] = &["..=", "::", "==", "!=", "->", "=>", "..", "&&", "||"];
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and comments. The lexer never fails: malformed
+/// input (e.g. an unterminated string) is consumed to end of file, which is
+/// the behavior that loses the fewest diagnostics on files that do not parse.
+#[must_use]
+pub fn lex(source: &str) -> LexOutput {
+    let mut cur = Cursor {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = LexOutput::default();
+
+    // A `#!/...` shebang is not the start of an inner attribute.
+    if cur.peek(0) == Some('#') && cur.peek(1) == Some('!') && cur.peek(2) == Some('/') {
+        while let Some(c) = cur.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+        } else if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur, &mut out, line);
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur, &mut out, line);
+        } else if is_ident_start(c) {
+            lex_ident_or_prefixed_literal(&mut cur, &mut out, line, col);
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur, &mut out, line, col);
+        } else if c == '"' {
+            let text = lex_string(&mut cur);
+            push(&mut out, TokenKind::Str, text, line, col);
+        } else if c == '\'' {
+            lex_quote(&mut cur, &mut out, line, col);
+        } else {
+            lex_punct(&mut cur, &mut out, line, col);
+        }
+    }
+    out
+}
+
+fn push(out: &mut LexOutput, kind: TokenKind, text: String, line: u32, col: u32) {
+    out.tokens.push(Token {
+        kind,
+        text,
+        line,
+        col,
+    });
+}
+
+fn lex_line_comment(cur: &mut Cursor, out: &mut LexOutput, line: u32) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line: line,
+    });
+}
+
+fn lex_block_comment(cur: &mut Cursor, out: &mut LexOutput, line: u32) {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    out.comments.push(Comment {
+        text,
+        line,
+        end_line: cur.line,
+    });
+}
+
+/// Identifiers, keywords, and the literals that *start* with an identifier
+/// character: raw strings (`r"…"`, `r#"…"#`), raw identifiers (`r#name`),
+/// byte strings (`b"…"`, `br#"…"#`), byte chars (`b'c'`) and C strings
+/// (`c"…"`, `cr#"…"#`).
+fn lex_ident_or_prefixed_literal(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) {
+    let c = cur.peek(0).unwrap_or(' ');
+    let next = cur.peek(1);
+    // Raw string r"..." / r#"..."# — but r#ident is a raw identifier.
+    if (c == 'r' || c == 'c') && matches!(next, Some('"') | Some('#')) {
+        if c == 'r' && next == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+            cur.bump();
+            cur.bump();
+            let text = lex_ident_text(cur);
+            push(out, TokenKind::Ident, text, line, col);
+            return;
+        }
+        if raw_string_follows(cur, 1) {
+            cur.bump();
+            let text = lex_raw_string(cur);
+            push(out, TokenKind::Str, text, line, col);
+            return;
+        }
+    }
+    if c == 'b' {
+        match next {
+            Some('\'') => {
+                cur.bump();
+                let text = lex_char_literal(cur);
+                push(out, TokenKind::Str, text, line, col);
+                return;
+            }
+            Some('"') => {
+                cur.bump();
+                let text = lex_string(cur);
+                push(out, TokenKind::Str, text, line, col);
+                return;
+            }
+            Some('r') if raw_string_follows(cur, 2) => {
+                cur.bump();
+                cur.bump();
+                let text = lex_raw_string(cur);
+                push(out, TokenKind::Str, text, line, col);
+                return;
+            }
+            _ => {}
+        }
+    }
+    let text = lex_ident_text(cur);
+    push(out, TokenKind::Ident, text, line, col);
+}
+
+/// Does a raw string (`"..."` optionally preceded by `#`s) start `ahead`
+/// characters from the cursor?
+fn raw_string_follows(cur: &Cursor, ahead: usize) -> bool {
+    let mut i = ahead;
+    while cur.peek(i) == Some('#') {
+        i += 1;
+    }
+    cur.peek(i) == Some('"')
+}
+
+fn lex_ident_text(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    text
+}
+
+fn lex_number(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) {
+    let mut text = String::new();
+    let mut is_float = false;
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' && !is_float && cur.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            // `1.5` is a float; `1..n` is a range and `1.max(2)` a method
+            // call, both of which leave the dot to the punctuation lexer.
+            is_float = true;
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let kind = if is_float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    };
+    push(out, kind, text, line, col);
+}
+
+/// Lexes a `"…"`-delimited string (escapes respected), cursor on the
+/// opening quote.
+fn lex_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('"'));
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+        } else if c == '"' {
+            break;
+        }
+    }
+    text
+}
+
+/// Lexes a raw string `#*"…"#*`, cursor on the first `#` or the quote.
+fn lex_raw_string(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        text.push(cur.bump().unwrap_or('#'));
+    }
+    if cur.peek(0) == Some('"') {
+        text.push(cur.bump().unwrap_or('"'));
+    }
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '"' {
+            let mut matched = 0usize;
+            while matched < hashes && cur.peek(0) == Some('#') {
+                text.push(cur.bump().unwrap_or('#'));
+                matched += 1;
+            }
+            if matched == hashes {
+                break;
+            }
+        }
+    }
+    text
+}
+
+/// Lexes a `'…'` char literal, cursor on the opening quote.
+fn lex_char_literal(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    text.push(cur.bump().unwrap_or('\'')); // opening quote
+    if cur.peek(0) == Some('\\') {
+        text.push(cur.bump().unwrap_or('\\'));
+        if let Some(escaped) = cur.bump() {
+            text.push(escaped);
+            // \u{…} escapes run to the closing brace.
+            if escaped == 'u' && cur.peek(0) == Some('{') {
+                while let Some(c) = cur.bump() {
+                    text.push(c);
+                    if c == '}' {
+                        break;
+                    }
+                }
+            }
+        }
+    } else if let Some(c) = cur.bump() {
+        text.push(c);
+    }
+    if cur.peek(0) == Some('\'') {
+        text.push(cur.bump().unwrap_or('\''));
+    }
+    text
+}
+
+/// Disambiguates a single quote: char literal (`'a'`, `'\n'`) vs lifetime
+/// (`'a`, `'static`).
+fn lex_quote(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) {
+    let next = cur.peek(1);
+    let is_char = match next {
+        Some('\\') => true,
+        // 'x' is a char literal only if a quote closes it right after one
+        // identifier character ('a'); otherwise it is a lifetime ('a, 'static).
+        Some(c) if is_ident_continue(c) => cur.peek(2) == Some('\''),
+        Some(_) => true, // '(' etc. can only be a (possibly malformed) char
+        None => true,
+    };
+    if is_char {
+        let text = lex_char_literal(cur);
+        push(out, TokenKind::Str, text, line, col);
+    } else {
+        cur.bump(); // the quote
+        let text = lex_ident_text(cur);
+        push(out, TokenKind::Lifetime, text, line, col);
+    }
+}
+
+fn lex_punct(cur: &mut Cursor, out: &mut LexOutput, line: u32, col: u32) {
+    for op in COMPOUND_PUNCT {
+        if op
+            .chars()
+            .enumerate()
+            .all(|(i, expected)| cur.peek(i) == Some(expected))
+        {
+            for _ in 0..op.chars().count() {
+                cur.bump();
+            }
+            push(out, TokenKind::Punct, (*op).to_owned(), line, col);
+            return;
+        }
+    }
+    if let Some(c) = cur.bump() {
+        push(out, TokenKind::Punct, c.to_string(), line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_punct_and_positions() {
+        let out = lex("let x = a.unwrap();\nx.clone()");
+        let texts: Vec<&str> = out.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "a", ".", "unwrap", "(", ")", ";", "x", ".", "clone", "(", ")"]
+        );
+        let unwrap = &out.tokens[5];
+        assert_eq!((unwrap.line, unwrap.col), (1, 11));
+        let clone = &out.tokens[11];
+        assert_eq!((clone.line, clone.col), (2, 3));
+    }
+
+    #[test]
+    fn compound_operators_are_single_tokens() {
+        let texts: Vec<String> = kinds("a::b == c != d -> e => f .. g ..= h && i || j")
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert!(texts.contains(&"::".to_owned()));
+        assert!(texts.contains(&"==".to_owned()));
+        assert!(texts.contains(&"!=".to_owned()));
+        assert!(texts.contains(&"->".to_owned()));
+        assert!(texts.contains(&"..=".to_owned()));
+        // `<`/`>` stay single so generic-depth scans work.
+        let angle: Vec<String> = kinds("Vec<Vec<u8>>").into_iter().map(|(_, t)| t).collect();
+        assert_eq!(angle, ["Vec", "<", "Vec", "<", "u8", ">", ">"]);
+    }
+
+    #[test]
+    fn strings_and_chars_hide_their_contents() {
+        // Forbidden names inside literals must not become Ident tokens.
+        let out = kinds(r#"let s = "a.unwrap() Lineage::var"; let c = 'λ'; let l: &'static str;"#);
+        assert!(out
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || (t != "unwrap" && t != "Lineage")));
+        assert!(out
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "static"));
+        assert!(out.iter().any(|(k, t)| *k == TokenKind::Str && t == "'λ'"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let out = kinds(r###"let a = r#"panic!("x")"#; let r#type = 1; let b = br##"y"##;"###);
+        assert!(out
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || t != "panic"));
+        assert!(out
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "type"));
+        assert!(out
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("y")));
+    }
+
+    #[test]
+    fn comments_are_collected_separately() {
+        let out = lex("// tpdb-lint: allow(no-panic-in-lib)\nfoo(); /* block\nspan */ bar();");
+        assert_eq!(out.comments.len(), 2);
+        assert!(out.comments[0].text.contains("tpdb-lint: allow"));
+        assert_eq!(out.comments[0].line, 1);
+        assert_eq!((out.comments[1].line, out.comments[1].end_line), (2, 3));
+        let texts: Vec<&str> = out.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["foo", "(", ")", ";", "bar", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn numbers_ranges_and_floats() {
+        let out = kinds("x[0]; 1.5f64; 0..n; 0xFFu32");
+        assert!(out.iter().any(|(k, t)| *k == TokenKind::Int && t == "0"));
+        assert!(out
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Float && t == "1.5f64"));
+        assert!(out.iter().any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+        assert!(out
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Int && t == "0xFFu32"));
+    }
+
+    #[test]
+    fn shebang_is_skipped() {
+        let out = lex("#!/usr/bin/env rust\nfn main() {}");
+        assert!(out.tokens[0].is_ident("fn"));
+    }
+
+    #[test]
+    fn cfg_attr_tokens_survive() {
+        // `#![forbid(unsafe_code)]` must lex as tokens (it is not a shebang).
+        let texts: Vec<String> = kinds("#![forbid(unsafe_code)]")
+            .into_iter()
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(
+            texts,
+            ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"]
+        );
+    }
+}

@@ -1,0 +1,498 @@
+//! `tpdb-lint` — workspace-aware static analysis for the tpdb engine.
+//!
+//! The engine's correctness rests on conventions the Rust compiler cannot
+//! see: hot streaming paths must move interned `LineageRef` ids and never
+//! clone legacy lineage trees, library code must return `TpdbError` /
+//! `StorageError` instead of panicking, the probability memo's NaN sentinel
+//! must never be compared with `==`, and the crates must stay free of
+//! unscoped threads and nondeterministic clocks before a shared-catalog
+//! server front-end can exist. This crate is an offline, dependency-free
+//! checker for exactly those invariants: a hand-rolled [lexer], a
+//! [rule framework](Rule) over the token stream, and a workspace walker
+//! that runs every rule over every crate.
+//!
+//! Sanctioned exceptions are allow-listed in the source itself with
+//!
+//! ```text
+//! // tpdb-lint: allow(no-panic-in-lib) — invariant: windows carry λs
+//! ```
+//!
+//! which suppresses the named rule on the comment's line and the line
+//! below it. Diagnostics carry `file:line:col` spans and render either
+//! human-readable or as machine-readable JSON (`--json`).
+//!
+//! `LineageRef`: see `tpdb-lineage`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::LexOutput;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One rule violation, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The id of the violated rule (e.g. `no-panic-in-lib`).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)
+    }
+}
+
+/// A single static-analysis rule over the token stream of one file.
+pub trait Rule {
+    /// Stable kebab-case identifier (used in diagnostics and allow
+    /// comments).
+    fn id(&self) -> &'static str;
+
+    /// One-line description of the invariant the rule enforces.
+    fn description(&self) -> &'static str;
+
+    /// Does this rule scan this file at all? (Path-based scoping: hot
+    /// stream modules, library sources, `lib.rs` headers, ...)
+    fn applies(&self, file: &SourceFile) -> bool;
+
+    /// Emits diagnostics for every violation in `file`. Allow-comment
+    /// filtering happens in the driver — rules report everything they see.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+}
+
+/// A lexed source file plus the precomputed context rules match against.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    /// The crate the file belongs to (`tpdb-core`, ... or `tpdb` for the
+    /// umbrella sources under the workspace root).
+    pub crate_name: String,
+    /// Is this library source (under `src/`, not `src/bin/`, not
+    /// `main.rs`)?
+    pub is_lib_src: bool,
+    /// Is this test-like code (under `tests/`, `benches/`, `examples/`, or
+    /// a `testutil` module)?
+    pub is_test_like: bool,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Per-token flag: inside a `#[cfg(test)]` item or a `#[test]`
+    /// function.
+    pub test_mask: Vec<bool>,
+    /// `rule id -> lines` suppressed by `tpdb-lint: allow(...)` comments.
+    pub allows: BTreeMap<String, BTreeSet<u32>>,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes a file's text under a workspace-relative path.
+    /// The path determines crate attribution and scoping, so fixtures can
+    /// impersonate any location in the workspace.
+    #[must_use]
+    pub fn from_text(rel_path: &str, text: &str) -> Self {
+        let rel_path = rel_path.replace('\\', "/");
+        let LexOutput { tokens, comments } = lexer::lex(text);
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .unwrap_or("tpdb")
+            .to_owned();
+        let after_crate = rel_path
+            .strip_prefix(&format!("crates/{crate_name}/"))
+            .unwrap_or(&rel_path);
+        let is_lib_src = after_crate.starts_with("src/")
+            && !after_crate.starts_with("src/bin/")
+            && !after_crate.ends_with("/main.rs")
+            && after_crate != "src/main.rs";
+        let is_test_like = after_crate.starts_with("tests/")
+            || after_crate.starts_with("benches/")
+            || after_crate.starts_with("examples/")
+            || after_crate.contains("testutil");
+        let test_mask = compute_test_mask(&tokens);
+        let mut allows: BTreeMap<String, BTreeSet<u32>> = BTreeMap::new();
+        for comment in &comments {
+            for rule in parse_allow(&comment.text) {
+                let lines = allows.entry(rule).or_default();
+                // The allow covers the comment's own line(s) and the line
+                // directly below — both the trailing and the standalone
+                // comment style.
+                for l in comment.line..=comment.end_line + 1 {
+                    lines.insert(l);
+                }
+            }
+        }
+        Self {
+            rel_path,
+            crate_name,
+            is_lib_src,
+            is_test_like,
+            tokens,
+            test_mask,
+            allows,
+        }
+    }
+
+    /// Loads and analyzes the file at `root.join(rel_path)`.
+    pub fn load(root: &Path, rel_path: &str) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(root.join(rel_path))?;
+        Ok(Self::from_text(rel_path, text.as_str()))
+    }
+
+    /// Is the token at `i` inside test code (`#[cfg(test)]` item or
+    /// `#[test]` fn)?
+    #[must_use]
+    pub fn in_test_code(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Is this diagnostic suppressed by an allow comment?
+    #[must_use]
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.get(rule).is_some_and(|l| l.contains(&line))
+    }
+}
+
+/// Extracts rule ids from a `tpdb-lint: allow(rule-a, rule-b)` comment.
+fn parse_allow(comment: &str) -> Vec<String> {
+    let Some(idx) = comment.find("tpdb-lint:") else {
+        return Vec::new();
+    };
+    let rest = &comment[idx + "tpdb-lint:".len()..];
+    let rest = rest.trim_start();
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Vec::new();
+    };
+    let Some(end) = args.find(')') else {
+        return Vec::new();
+    };
+    args[..end]
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Marks every token inside a `#[cfg(test)]` item (usually `mod tests {}`)
+/// or a `#[test]` function body, including the attribute tokens themselves.
+fn compute_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(after_attr) = test_attr_end(tokens, i) {
+            // Skip any further attributes between the test attr and the
+            // item (`#[cfg(test)] #[allow(...)] mod tests {`).
+            let mut j = after_attr;
+            while j < tokens.len() && tokens[j].is_punct("#") {
+                j = skip_balanced(tokens, j + 1, "[", "]");
+            }
+            // Find the item's opening brace (stop at `;`: `mod t;` has no
+            // inline body to mask).
+            let mut k = j;
+            let mut body: Option<usize> = None;
+            while k < tokens.len() {
+                if tokens[k].is_punct("{") {
+                    body = Some(k);
+                    break;
+                }
+                if tokens[k].is_punct(";") {
+                    break;
+                }
+                k += 1;
+            }
+            if let Some(open) = body {
+                let close = matching_brace(tokens, open);
+                for m in mask.iter_mut().take(close + 1).skip(i) {
+                    *m = true;
+                }
+                i = close + 1;
+                continue;
+            }
+            i = k + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// If a `#[cfg(test)]`, `#[cfg(all(test, ...))]` or `#[test]` attribute
+/// starts at token `i`, returns the index just past its closing `]`.
+fn test_attr_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens.get(i)?.is_punct("#") || !tokens.get(i + 1)?.is_punct("[") {
+        return None;
+    }
+    let end = skip_balanced(tokens, i + 1, "[", "]");
+    let inner = &tokens[i + 2..end.saturating_sub(1).max(i + 2)];
+    let is_test_attr = match inner.first() {
+        Some(t) if t.is_ident("test") => inner.len() == 1,
+        Some(t) if t.is_ident("cfg") => inner.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    };
+    is_test_attr.then_some(end)
+}
+
+/// With `tokens[open_idx]` being `open`, returns the index just past the
+/// matching `close` (saturating at end of stream).
+fn skip_balanced(tokens: &[Token], open_idx: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_idx;
+    while i < tokens.len() {
+        if tokens[i].is_punct(open) {
+            depth += 1;
+        } else if tokens[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the `}` matching the `{` at `open` (saturating at end).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    skip_balanced(tokens, open, "{", "}").saturating_sub(1)
+}
+
+/// The outcome of a workspace (or fixture) check.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that survived allow-comment filtering, ordered by
+    /// (path, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// Did the check pass?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Renders the report the way `rustc` renders errors, one block per
+    /// diagnostic, plus a summary line.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push_str("\n\n");
+        }
+        out.push_str(&format!(
+            "tpdb-lint: {} file(s) checked, {} rule(s), {} violation(s)",
+            self.files_checked,
+            rules::all().len(),
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// Renders the report as machine-readable JSON (stable key order, no
+    /// dependencies).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"files_checked\":{},", self.files_checked));
+        out.push_str("\"rules\":[");
+        let rules = rules::all();
+        for (i, r) in rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", r.id()));
+        }
+        out.push_str("],\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"column\":{},\"message\":\"{}\"}}",
+                json_escape(d.rule),
+                json_escape(&d.path),
+                d.line,
+                d.col,
+                json_escape(&d.message)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs every rule against one analyzed file, applying allow-comment
+/// filtering. Exposed for the fixture harness.
+#[must_use]
+pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for rule in rules::all() {
+        if rule.applies(file) {
+            rule.check(file, &mut diags);
+        }
+    }
+    diags.retain(|d| !file.is_allowed(d.rule, d.line));
+    diags
+}
+
+/// Walks the workspace at `root` and checks every source file of every
+/// crate (crate `src/`, `tests/`, `benches/`, `examples/` plus the
+/// umbrella sources), excluding `vendor/`, `target/` and this crate's own
+/// fixture corpus.
+pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for dir in ["src", "tests", "examples"] {
+        collect_rs(&root.join(dir), root, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                for dir in ["src", "tests", "benches", "examples"] {
+                    collect_rs(&entry.path().join(dir), root, &mut files)?;
+                }
+            }
+        }
+    }
+    files.sort();
+    let mut report = Report::default();
+    for rel in &files {
+        // The fixture corpus intentionally violates the rules.
+        if rel.contains("tests/fixtures/") {
+            continue;
+        }
+        let file = SourceFile::load(root, rel)?;
+        report.diagnostics.extend(check_file(&file));
+        report.files_checked += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    Ok(report)
+}
+
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut stack: Vec<PathBuf> = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            if entry.file_type()?.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+// Re-exported for rule implementations and tests.
+pub use lexer::{Comment, Token, TokenKind};
+
+/// Token-pattern helpers shared by the rules.
+pub mod pattern {
+    use super::{Token, TokenKind};
+
+    /// Is `tokens[i..]` a method call `.name(`? Returns the index of the
+    /// name token.
+    #[must_use]
+    pub fn method_call(tokens: &[Token], i: usize, name: &str) -> bool {
+        tokens[i].is_punct(".")
+            && tokens.get(i + 1).is_some_and(|t| t.is_ident(name))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct("("))
+    }
+
+    /// Is `tokens[i..]` a macro invocation `name!`?
+    #[must_use]
+    pub fn macro_call(tokens: &[Token], i: usize, name: &str) -> bool {
+        tokens[i].is_ident(name) && tokens.get(i + 1).is_some_and(|t| t.is_punct("!"))
+    }
+
+    /// Is `tokens[i..]` a path segment pair `a::b`?
+    #[must_use]
+    pub fn path_pair(tokens: &[Token], i: usize, a: &str, b: &str) -> bool {
+        tokens[i].is_ident(a)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident(b))
+    }
+
+    /// The nearest identifier *ending* the expression before token `i`
+    /// (used to guess the receiver of a method call): walks left over at
+    /// most one `()`/`[]` group.
+    #[must_use]
+    pub fn receiver_ident(tokens: &[Token], i: usize) -> Option<&str> {
+        let mut j = i.checked_sub(1)?;
+        // x.foo().clone(): skip the call's argument list.
+        for (open, close) in [("(", ")"), ("[", "]")] {
+            if tokens[j].is_punct(close) {
+                let mut depth = 0usize;
+                loop {
+                    if tokens[j].is_punct(close) {
+                        depth += 1;
+                    } else if tokens[j].is_punct(open) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j = j.checked_sub(1)?;
+                }
+                j = j.checked_sub(1)?;
+            }
+        }
+        (tokens[j].kind == TokenKind::Ident).then(|| tokens[j].text.as_str())
+    }
+}

@@ -1,0 +1,91 @@
+//! The `tpdb-lint` command-line driver.
+//!
+//! ```text
+//! tpdb-lint check [--json] [--output FILE] [--root DIR]
+//! tpdb-lint rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+//! With `--json`, machine-readable diagnostics go to stdout (or `FILE`
+//! with `--output`) and the human-readable rendering goes to stderr, so a
+//! CI job can upload the artifact *and* show `file:line:col` in the log.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("tpdb-lint: {message}");
+            eprintln!(
+                "usage: tpdb-lint check [--json] [--output FILE] [--root DIR]\n       tpdb-lint rules"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut command: Option<&str> = None;
+    let mut json = false;
+    let mut output: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" | "rules" if command.is_none() => command = Some(arg),
+            "--json" => json = true,
+            "--output" => {
+                let value = it.next().ok_or("--output requires a file path")?;
+                output = Some(PathBuf::from(value));
+            }
+            "--root" => {
+                let value = it.next().ok_or("--root requires a directory")?;
+                root = Some(PathBuf::from(value));
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    match command {
+        Some("rules") => {
+            for rule in tpdb_lint::rules::all() {
+                println!("{:<30} {}", rule.id(), rule.description());
+            }
+            Ok(true)
+        }
+        Some("check") => {
+            let root = match root {
+                Some(r) => r,
+                None => {
+                    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+                    tpdb_lint::find_workspace_root(&cwd)
+                        .ok_or("no workspace root found (run inside the repo or pass --root)")?
+                }
+            };
+            let report = tpdb_lint::check_workspace(&root)
+                .map_err(|e| format!("cannot read workspace at {}: {e}", root.display()))?;
+            if json {
+                let payload = report.to_json();
+                match &output {
+                    Some(path) => std::fs::write(path, &payload)
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+                    None => println!("{payload}"),
+                }
+                // The rendered diagnostics still belong in the log.
+                eprintln!("{}", report.render());
+            } else {
+                println!("{}", report.render());
+            }
+            Ok(report.is_clean())
+        }
+        _ => Err("missing command".to_owned()),
+    }
+}

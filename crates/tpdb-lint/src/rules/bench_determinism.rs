@@ -1,0 +1,48 @@
+//! `bench-determinism`: wall-clock reads (`Instant::now`,
+//! `SystemTime::now`) are confined to the `tpdb-bench` crate. Engine code
+//! that reads the clock produces non-reproducible plans and results; all
+//! timing belongs to the measurement harness.
+
+use crate::{pattern, Diagnostic, Rule, SourceFile};
+
+/// See module docs.
+pub struct BenchDeterminism;
+
+impl Rule for BenchDeterminism {
+    fn id(&self) -> &'static str {
+        "bench-determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "Instant::now/SystemTime::now are confined to tpdb-bench — engine code stays \
+         deterministic"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        super::in_src_tree(file) && !file.is_test_like && file.crate_name != "tpdb-bench"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if file.in_test_code(i) {
+                continue;
+            }
+            for clock in ["Instant", "SystemTime"] {
+                if pattern::path_pair(tokens, i, clock, "now") {
+                    let t = &tokens[i];
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`{clock}::now()` outside tpdb-bench — engine code must stay \
+                             deterministic; thread timing through the bench harness"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! `crate-header-policy`: every crate root carries the agreed safety and
+//! documentation attributes, so a new crate cannot silently opt out of the
+//! workspace's `unsafe`-free, fully-documented policy.
+
+use crate::{Diagnostic, Rule, SourceFile};
+
+/// The attributes every `src/lib.rs` must declare.
+const REQUIRED: &[(&str, &str)] = &[("forbid", "unsafe_code"), ("warn", "missing_docs")];
+
+/// See module docs.
+pub struct CrateHeaderPolicy;
+
+impl Rule for CrateHeaderPolicy {
+    fn id(&self) -> &'static str {
+        "crate-header-policy"
+    }
+
+    fn description(&self) -> &'static str {
+        "every crate root declares #![forbid(unsafe_code)] and #![warn(missing_docs)]"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.rel_path.ends_with("src/lib.rs")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for (attr, arg) in REQUIRED {
+            if !has_inner_attr(file, attr, arg) {
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    path: file.rel_path.clone(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "crate root is missing `#![{attr}({arg})]` — every tpdb crate opts \
+                         into the workspace header policy"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Looks for the token run `# ! [ attr ( arg ) ]` anywhere in the file
+/// (inner attributes sit at the top, but position is not load-bearing).
+fn has_inner_attr(file: &SourceFile, attr: &str, arg: &str) -> bool {
+    let tokens = &file.tokens;
+    (0..tokens.len()).any(|i| {
+        tokens[i].is_punct("#")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct("["))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident(attr))
+            && tokens.get(i + 4).is_some_and(|t| t.is_punct("("))
+            && tokens.get(i + 5).is_some_and(|t| t.is_ident(arg))
+            && tokens.get(i + 6).is_some_and(|t| t.is_punct(")"))
+            && tokens.get(i + 7).is_some_and(|t| t.is_punct("]"))
+    })
+}

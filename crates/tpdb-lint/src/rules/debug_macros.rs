@@ -1,0 +1,54 @@
+//! `no-debug-macros`: library crates do not write to stdout/stderr.
+//! `dbg!`/`println!` left behind after a debugging session corrupt the
+//! output of every embedding application (and the benchmark JSON the CI
+//! guards parse).
+
+use crate::{pattern, Diagnostic, Rule, SourceFile};
+
+/// Output macros forbidden in library code.
+const FORBIDDEN: &[&str] = &["dbg", "println", "print", "eprintln", "eprint"];
+
+/// See module docs.
+pub struct NoDebugMacros;
+
+impl Rule for NoDebugMacros {
+    fn id(&self) -> &'static str {
+        "no-debug-macros"
+    }
+
+    fn description(&self) -> &'static str {
+        "dbg!/println!/eprintln! are forbidden in library crates — return values or use the \
+         bench/CLI binaries for output"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        // tpdb-bench is the measurement harness: its library prints tables
+        // by design. Binaries (`src/bin/`, `main.rs`) are excluded via
+        // `is_lib_src`.
+        file.is_lib_src && !file.is_test_like && file.crate_name != "tpdb-bench"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if file.in_test_code(i) {
+                continue;
+            }
+            for mac in FORBIDDEN {
+                if pattern::macro_call(tokens, i, mac) {
+                    let t = &tokens[i];
+                    out.push(Diagnostic {
+                        rule: self.id(),
+                        path: file.rel_path.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`{mac}!` in library code — libraries must not write to \
+                             stdout/stderr; return the value or move the output to a binary"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! `error-taxonomy`: public APIs speak the project's typed error enums
+//! (`TpdbError`, `StorageError`, ...). `Box<dyn Error>` erases the variant
+//! a caller could match on, and `Result<_, String>` erases even the type —
+//! both undo the PR 4 error unification.
+
+use crate::lexer::TokenKind;
+use crate::{Diagnostic, Rule, SourceFile};
+
+/// See module docs.
+pub struct ErrorTaxonomy;
+
+impl Rule for ErrorTaxonomy {
+    fn id(&self) -> &'static str {
+        "error-taxonomy"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Box<dyn Error> and no String-typed error returns in library code — use the \
+         typed TpdbError/StorageError taxonomy"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.is_lib_src && !file.is_test_like
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if file.in_test_code(i) {
+                continue;
+            }
+            // Box < dyn ... Error ... >
+            if tokens[i].is_ident("Box")
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct("<"))
+                && tokens.get(i + 2).is_some_and(|t| t.is_ident("dyn"))
+            {
+                let end = generic_end(tokens, i + 1);
+                if tokens[i + 2..end].iter().any(|t| t.is_ident("Error")) {
+                    out.push(self.diag(
+                        file,
+                        i,
+                        "`Box<dyn Error>` erases the error variant — return a typed \
+                         `TpdbError`/`StorageError` the caller can match on",
+                    ));
+                }
+            }
+            // Result < ..., String >
+            if tokens[i].is_ident("Result") && tokens.get(i + 1).is_some_and(|t| t.is_punct("<")) {
+                let end = generic_end(tokens, i + 1);
+                if let Some(comma) = top_level_comma(tokens, i + 2, end) {
+                    let err_ty = &tokens[comma + 1..end.saturating_sub(1)];
+                    if err_ty.len() == 1 && err_ty[0].is_ident("String") {
+                        out.push(self.diag(
+                            file,
+                            i,
+                            "`Result<_, String>` hides the failure taxonomy — define or reuse \
+                             a typed error enum instead of a string",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ErrorTaxonomy {
+    fn diag(&self, file: &SourceFile, token: usize, message: &str) -> Diagnostic {
+        let t = &file.tokens[token];
+        Diagnostic {
+            rule: self.id(),
+            path: file.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            message: message.to_owned(),
+        }
+    }
+}
+
+/// With `tokens[open]` being `<`, returns the index just past the matching
+/// `>` (angle depth; `<`/`>` are single tokens by lexer construction).
+fn generic_end(tokens: &[crate::Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < tokens.len() {
+        if tokens[i].is_punct("<") {
+            depth += 1;
+        } else if tokens[i].is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if tokens[i].kind == TokenKind::Punct
+            && (tokens[i].text == ";" || tokens[i].text == "{")
+        {
+            // Comparison operator misparse (`a < b; ...`): bail out.
+            return i;
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// First comma at angle-depth 1 / paren-depth 0 in `tokens[start..end]`.
+fn top_level_comma(tokens: &[crate::Token], start: usize, end: usize) -> Option<usize> {
+    let mut angle = 0isize;
+    let mut round = 0isize;
+    for (i, t) in tokens
+        .iter()
+        .enumerate()
+        .take(end.min(tokens.len()))
+        .skip(start)
+    {
+        match t.text.as_str() {
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "(" | "[" => round += 1,
+            ")" | "]" => round -= 1,
+            "," if angle == 0 && round == 0 => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}

@@ -1,0 +1,51 @@
+//! The rule set. Each rule is a small, self-contained module implementing
+//! [`Rule`] — [`all`] is the registry the driver and the
+//! fixture harness iterate over.
+//!
+//! Adding a rule: create a module with a unit struct implementing `Rule`,
+//! add it to [`all`], add one `pass` and one `fail` fixture under
+//! `tests/fixtures/`, and document it in the rule table of
+//! `docs/ARCHITECTURE.md`.
+
+mod bench_determinism;
+mod crate_header;
+mod debug_macros;
+mod error_taxonomy;
+mod lineage_clone;
+mod nan_memo;
+mod no_panic;
+mod threads;
+
+use crate::Rule;
+
+pub use bench_determinism::BenchDeterminism;
+pub use crate_header::CrateHeaderPolicy;
+pub use debug_macros::NoDebugMacros;
+pub use error_taxonomy::ErrorTaxonomy;
+pub use lineage_clone::NoLineageCloneInStreams;
+pub use nan_memo::NanMemoDiscipline;
+pub use no_panic::NoPanicInLib;
+pub use threads::NoUnscopedThreads;
+
+/// Every registered rule, in diagnostic-id order.
+#[must_use]
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(BenchDeterminism),
+        Box::new(CrateHeaderPolicy),
+        Box::new(ErrorTaxonomy),
+        Box::new(NanMemoDiscipline),
+        Box::new(NoDebugMacros),
+        Box::new(NoLineageCloneInStreams),
+        Box::new(NoPanicInLib),
+        Box::new(NoUnscopedThreads),
+    ]
+}
+
+/// Is the file anywhere under a `src/` tree (library, `main.rs` or
+/// `src/bin/`)? Several rules scope to "all shipped code" rather than
+/// "library code only".
+#[must_use]
+pub(crate) fn in_src_tree(file: &crate::SourceFile) -> bool {
+    file.rel_path.starts_with("src/") || file.rel_path.contains("/src/")
+}

@@ -1,0 +1,59 @@
+//! `nan-memo-discipline`: the probability memo uses `f64::NAN` as its
+//! "uncomputed" sentinel. `NaN == NaN` is `false`, so a direct `==`/`!=`
+//! against the sentinel silently always misses — a *wrong-probability* bug,
+//! not a crash. Sentinel checks must go through `.is_nan()`.
+
+use crate::{Diagnostic, Rule, SourceFile, Token};
+
+/// See module docs.
+pub struct NanMemoDiscipline;
+
+impl Rule for NanMemoDiscipline {
+    fn id(&self) -> &'static str {
+        "nan-memo-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "never compare against the NaN memo sentinel with ==/!= — NaN never compares equal; \
+         use .is_nan()"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.is_lib_src && !file.is_test_like
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if file.in_test_code(i) {
+                continue;
+            }
+            if !(tokens[i].is_punct("==") || tokens[i].is_punct("!=")) {
+                continue;
+            }
+            // `f64::NAN == x`, `x != f64::NAN`, `NAN == x`, ... — the NAN
+            // path tail sits directly on either side of the operator.
+            let lhs_nan = i > 0 && is_nan_ident(&tokens[i - 1]);
+            let rhs_nan = tokens.get(i + 1).is_some_and(is_nan_ident)
+                || (tokens.get(i + 1).is_some_and(|t| t.is_ident("f64"))
+                    && tokens.get(i + 2).is_some_and(|t| t.is_punct("::"))
+                    && tokens.get(i + 3).is_some_and(is_nan_ident));
+            if lhs_nan || rhs_nan {
+                let t = &tokens[i];
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: "direct comparison against the NaN memo sentinel — NaN never \
+                              compares equal, so this check always misses; use `.is_nan()`"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}
+
+fn is_nan_ident(t: &Token) -> bool {
+    t.is_ident("NAN") || t.is_ident("NAN_SENTINEL")
+}

@@ -1,0 +1,95 @@
+//! `no-panic-in-lib`: library exec paths return `TpdbError`/`StorageError`;
+//! they do not panic. A panic in a worker thread poisons the shared catalog
+//! lock, and a panic mid-stream loses the session — both unacceptable for
+//! the concurrent server front-end (ROADMAP item 3).
+
+use crate::lexer::TokenKind;
+use crate::{pattern, Diagnostic, Rule, SourceFile};
+
+/// The crates whose library code is held to the no-panic contract.
+const SCOPED_CRATES: &[&str] = &["tpdb-core", "tpdb-query", "tpdb-storage"];
+
+/// Macros that abort the current thread.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// See module docs.
+pub struct NoPanicInLib;
+
+impl Rule for NoPanicInLib {
+    fn id(&self) -> &'static str {
+        "no-panic-in-lib"
+    }
+
+    fn description(&self) -> &'static str {
+        "library exec paths of tpdb-core/tpdb-query/tpdb-storage must return errors, not \
+         panic (no unwrap/expect/panic!/todo!/unimplemented!/literal slice indexing)"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        SCOPED_CRATES.contains(&file.crate_name.as_str()) && file.is_lib_src && !file.is_test_like
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if file.in_test_code(i) {
+                continue;
+            }
+            for method in ["unwrap", "expect"] {
+                if pattern::method_call(tokens, i, method) {
+                    out.push(self.diag(
+                        file,
+                        i + 1,
+                        &format!(
+                            "`.{method}()` in a library exec path — propagate a \
+                             `TpdbError`/`StorageError` (document a true invariant with \
+                             `// tpdb-lint: allow(no-panic-in-lib)`)"
+                        ),
+                    ));
+                }
+            }
+            for mac in PANIC_MACROS {
+                if pattern::macro_call(tokens, i, mac) {
+                    out.push(self.diag(
+                        file,
+                        i,
+                        &format!(
+                            "`{mac}!` in a library exec path — return an error variant instead \
+                             of aborting the worker thread"
+                        ),
+                    ));
+                }
+            }
+            // Slice indexing with a literal index: `xs[0]`. Panics on short
+            // input; use `.first()` / `.get(n)` and handle the None.
+            if tokens[i].is_punct("[")
+                && i > 0
+                && (tokens[i - 1].kind == TokenKind::Ident
+                    || tokens[i - 1].is_punct(")")
+                    || tokens[i - 1].is_punct("]"))
+                && tokens.get(i + 1).is_some_and(|t| t.kind == TokenKind::Int)
+                && tokens.get(i + 2).is_some_and(|t| t.is_punct("]"))
+            {
+                out.push(self.diag(
+                    file,
+                    i + 1,
+                    "slice indexed by integer literal in a library exec path — use \
+                     `.first()`/`.get(n)` or prove the bound with a guard and an allow comment",
+                ));
+            }
+        }
+    }
+}
+
+impl NoPanicInLib {
+    fn diag(&self, file: &SourceFile, token: usize, message: &str) -> Diagnostic {
+        let t = &file.tokens[token];
+        Diagnostic {
+            rule: self.id(),
+            path: file.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            message: message.to_owned(),
+        }
+    }
+}

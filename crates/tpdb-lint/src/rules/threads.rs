@@ -1,0 +1,46 @@
+//! `no-unscoped-threads`: worker threads are created with
+//! `std::thread::scope`, never `std::thread::spawn`. Scoped threads cannot
+//! outlive the data they borrow and cannot leak past a join point — the
+//! discipline the shared-catalog server front-end (ROADMAP item 3)
+//! depends on.
+
+use crate::{pattern, Diagnostic, Rule, SourceFile};
+
+/// See module docs.
+pub struct NoUnscopedThreads;
+
+impl Rule for NoUnscopedThreads {
+    fn id(&self) -> &'static str {
+        "no-unscoped-threads"
+    }
+
+    fn description(&self) -> &'static str {
+        "std::thread::spawn is forbidden — use thread::scope so workers are joined and \
+         borrows are bounded"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        super::in_src_tree(file) && !file.is_test_like
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if file.in_test_code(i) {
+                continue;
+            }
+            if pattern::path_pair(tokens, i, "thread", "spawn") {
+                let t = &tokens[i];
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: "unscoped `thread::spawn` — use `thread::scope` so every worker \
+                              is joined and borrowed data cannot be outlived"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}

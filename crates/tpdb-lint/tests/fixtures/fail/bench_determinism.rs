@@ -1,0 +1,12 @@
+// tpdb-lint-fixture: path=crates/tpdb-datagen/src/gen.rs
+// tpdb-lint-expect: bench-determinism:6:28
+// tpdb-lint-expect: bench-determinism:11:16
+
+fn elapsed_nanos() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,6 @@
+// tpdb-lint-fixture: path=crates/tpdb-lineage/src/lib.rs
+// tpdb-lint-expect: crate-header-policy:1:1
+
+#![forbid(unsafe_code)]
+
+pub mod memo;

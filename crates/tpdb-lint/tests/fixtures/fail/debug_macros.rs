@@ -1,0 +1,8 @@
+// tpdb-lint-fixture: path=crates/tpdb-storage/src/log.rs
+// tpdb-lint-expect: no-debug-macros:6:5
+// tpdb-lint-expect: no-debug-macros:7:5
+
+fn record(rows: usize) {
+    println!("loaded {rows} rows");
+    dbg!(rows);
+}

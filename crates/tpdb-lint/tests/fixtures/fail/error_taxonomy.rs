@@ -1,0 +1,11 @@
+// tpdb-lint-fixture: path=crates/tpdb-storage/src/io.rs
+// tpdb-lint-expect: error-taxonomy:5:40
+// tpdb-lint-expect: error-taxonomy:9:29
+
+fn load(path: &str) -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+    std::fs::read(path).map_err(Into::into)
+}
+
+fn parse_flag(raw: &str) -> Result<bool, String> {
+    Ok(raw == "1")
+}

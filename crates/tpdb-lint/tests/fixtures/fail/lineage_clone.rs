@@ -1,0 +1,14 @@
+// tpdb-lint-fixture: path=crates/tpdb-core/src/stream.rs
+// tpdb-lint-expect: no-lineage-clone-in-streams:7:17
+// tpdb-lint-expect: no-lineage-clone-in-streams:8:27
+// tpdb-lint-expect: no-lineage-clone-in-streams:13:14
+
+fn emit_window(lambda_r: &Lineage) -> (Lineage, Lineage) {
+    let fresh = Lineage::tru();
+    let copied = lambda_r.clone();
+    (fresh, copied)
+}
+
+fn legacy(interner: &LineageInterner, r: LineageRef) -> Lineage {
+    interner.to_lineage(r)
+}

@@ -1,0 +1,14 @@
+// tpdb-lint-fixture: path=crates/tpdb-lineage/src/memo.rs
+// tpdb-lint-expect: nan-memo-discipline:7:10
+// tpdb-lint-expect: nan-memo-discipline:10:17
+
+fn lookup(memo: &[f64], id: usize) -> Option<f64> {
+    let p = memo[id];
+    if p == f64::NAN {
+        return None;
+    }
+    if f64::NAN != p {
+        return Some(p);
+    }
+    None
+}

@@ -1,0 +1,13 @@
+// tpdb-lint-fixture: path=crates/tpdb-query/src/work.rs
+// tpdb-lint-expect: no-panic-in-lib:7:20
+// tpdb-lint-expect: no-panic-in-lib:8:37
+// tpdb-lint-expect: no-panic-in-lib:10:9
+
+fn run(xs: &[u64]) -> u64 {
+    let first = xs[0];
+    let parsed = "7".parse::<u64>().unwrap();
+    if xs.len() > 99 {
+        unreachable!("capped upstream");
+    }
+    first + parsed
+}

@@ -1,0 +1,8 @@
+// tpdb-lint-fixture: path=crates/tpdb-core/src/workers.rs
+// tpdb-lint-expect: no-unscoped-threads:6:14
+
+fn launch(n: usize) {
+    for _ in 0..n {
+        std::thread::spawn(|| {});
+    }
+}

@@ -1,0 +1,7 @@
+// tpdb-lint-fixture: path=crates/tpdb-bench/src/timing.rs
+
+fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed()
+}

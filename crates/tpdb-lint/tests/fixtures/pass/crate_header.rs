@@ -1,0 +1,6 @@
+// tpdb-lint-fixture: path=crates/tpdb-lineage/src/lib.rs
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod memo;

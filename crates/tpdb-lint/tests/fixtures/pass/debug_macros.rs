@@ -1,0 +1,13 @@
+// tpdb-lint-fixture: path=crates/tpdb-storage/src/log.rs
+
+fn summary(rows: usize) -> String {
+    format!("loaded {rows} rows")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn printing_in_tests_is_fine() {
+        println!("debugging a test run is sanctioned");
+    }
+}

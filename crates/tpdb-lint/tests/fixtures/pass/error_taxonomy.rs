@@ -1,0 +1,9 @@
+// tpdb-lint-fixture: path=crates/tpdb-storage/src/io.rs
+
+fn load(path: &str) -> Result<Vec<u8>, StorageError> {
+    std::fs::read(path).map_err(StorageError::from)
+}
+
+fn parse_flag(raw: &str) -> Result<bool, StorageError> {
+    Ok(raw == "1")
+}

@@ -1,0 +1,9 @@
+// tpdb-lint-fixture: path=crates/tpdb-lineage/src/memo.rs
+
+fn lookup(memo: &[f64], id: usize) -> Option<f64> {
+    let p = memo[id];
+    if p.is_nan() {
+        return None;
+    }
+    Some(p)
+}

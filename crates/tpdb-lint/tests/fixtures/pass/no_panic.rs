@@ -1,0 +1,20 @@
+// tpdb-lint-fixture: path=crates/tpdb-query/src/work.rs
+
+fn run(xs: &[u64]) -> Result<u64, TpdbError> {
+    let first = xs.first().copied().ok_or(TpdbError::EmptyInput)?;
+    Ok(first)
+}
+
+fn documented_invariant(xs: &[u64]) -> u64 {
+    // Callers guarantee non-empty input (validated at the API boundary).
+    // tpdb-lint: allow(no-panic-in-lib)
+    xs.first().copied().expect("validated non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_fine() {
+        assert_eq!(super::run(&[7]).unwrap(), 7);
+    }
+}

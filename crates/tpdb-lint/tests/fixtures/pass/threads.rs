@@ -1,0 +1,11 @@
+// tpdb-lint-fixture: path=crates/tpdb-core/src/workers.rs
+
+fn launch(xs: &mut [u64]) {
+    std::thread::scope(|scope| {
+        for x in xs.iter_mut() {
+            scope.spawn(move || {
+                *x += 1;
+            });
+        }
+    });
+}

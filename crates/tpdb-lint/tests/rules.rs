@@ -1,0 +1,156 @@
+//! The fixture corpus harness. Every file under `tests/fixtures/` is
+//! self-describing:
+//!
+//! ```text
+//! // tpdb-lint-fixture: path=crates/tpdb-core/src/stream.rs
+//! // tpdb-lint-expect: no-lineage-clone-in-streams:7:17
+//! ```
+//!
+//! The `path=` header is the workspace-relative path the fixture
+//! impersonates (rule scoping is path-based), and each `expect` header
+//! declares one diagnostic as `rule:line:col` with the line counted in the
+//! fixture file itself. `fail/` fixtures must produce exactly their
+//! declared diagnostics; `pass/` fixtures declare none and must be clean.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use tpdb_lint::{check_file, rules, SourceFile};
+
+struct Fixture {
+    /// File name under `tests/fixtures/{pass,fail}/`, for error messages.
+    name: String,
+    /// The workspace-relative path the fixture impersonates.
+    pretend_path: String,
+    /// Declared diagnostics as `(rule, line, col)`.
+    expects: BTreeSet<(String, u32, u32)>,
+    text: String,
+}
+
+fn fixture_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(kind)
+}
+
+fn load_fixtures(kind: &str) -> Vec<Fixture> {
+    let dir = fixture_dir(kind);
+    let mut fixtures = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("fixture dir") {
+        let path = entry.expect("fixture entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .expect("fixture file name")
+            .to_string_lossy()
+            .into_owned();
+        let text = std::fs::read_to_string(&path).expect("fixture read");
+        let mut pretend_path = None;
+        let mut expects = BTreeSet::new();
+        for line in text.lines() {
+            if let Some(p) = line.strip_prefix("// tpdb-lint-fixture: path=") {
+                pretend_path = Some(p.trim().to_owned());
+            } else if let Some(e) = line.strip_prefix("// tpdb-lint-expect: ") {
+                let mut parts = e.trim().rsplitn(3, ':');
+                let col = parts.next().and_then(|c| c.parse().ok());
+                let line_no = parts.next().and_then(|l| l.parse().ok());
+                let rule = parts.next();
+                match (rule, line_no, col) {
+                    (Some(rule), Some(line_no), Some(col)) => {
+                        expects.insert((rule.to_owned(), line_no, col));
+                    }
+                    _ => panic!("{name}: malformed expect header `{e}`"),
+                }
+            }
+        }
+        fixtures.push(Fixture {
+            pretend_path: pretend_path
+                .unwrap_or_else(|| panic!("{name}: missing `tpdb-lint-fixture: path=` header")),
+            name,
+            expects,
+            text,
+        });
+    }
+    assert!(!fixtures.is_empty(), "no fixtures under {}", dir.display());
+    fixtures.sort_by(|a, b| a.name.cmp(&b.name));
+    fixtures
+}
+
+fn diagnostics_of(fixture: &Fixture) -> BTreeSet<(String, u32, u32)> {
+    let file = SourceFile::from_text(&fixture.pretend_path, &fixture.text);
+    check_file(&file)
+        .into_iter()
+        .map(|d| {
+            assert_eq!(
+                d.path, fixture.pretend_path,
+                "{}: diagnostic carries the wrong path",
+                fixture.name
+            );
+            (d.rule.to_owned(), d.line, d.col)
+        })
+        .collect()
+}
+
+#[test]
+fn fail_fixtures_produce_exactly_their_declared_diagnostics() {
+    for fixture in load_fixtures("fail") {
+        assert!(
+            !fixture.expects.is_empty(),
+            "{}: fail fixture declares no expected diagnostics",
+            fixture.name
+        );
+        let actual = diagnostics_of(&fixture);
+        assert_eq!(
+            actual, fixture.expects,
+            "{}: diagnostics (left) differ from the declared expectations (right)",
+            fixture.name
+        );
+    }
+}
+
+#[test]
+fn pass_fixtures_are_clean() {
+    for fixture in load_fixtures("pass") {
+        assert!(
+            fixture.expects.is_empty(),
+            "{}: pass fixture must not declare expected diagnostics",
+            fixture.name
+        );
+        let actual = diagnostics_of(&fixture);
+        assert!(
+            actual.is_empty(),
+            "{}: pass fixture produced diagnostics: {actual:?}",
+            fixture.name
+        );
+    }
+}
+
+/// Every registered rule is exercised by at least one fail fixture, and
+/// every fail fixture has a pass twin demonstrating the compliant form.
+#[test]
+fn corpus_covers_every_rule() {
+    let fail = load_fixtures("fail");
+    let triggered: BTreeSet<&str> = fail
+        .iter()
+        .flat_map(|f| f.expects.iter().map(|(rule, _, _)| rule.as_str()))
+        .collect();
+    for rule in rules::all() {
+        assert!(
+            triggered.contains(rule.id()),
+            "rule `{}` has no fail fixture",
+            rule.id()
+        );
+    }
+    let pass_names: BTreeSet<String> = load_fixtures("pass")
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
+    for fixture in &fail {
+        assert!(
+            pass_names.contains(&fixture.name),
+            "fail fixture `{}` has no pass twin",
+            fixture.name
+        );
+    }
+}

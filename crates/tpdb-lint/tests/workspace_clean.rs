@@ -1,0 +1,24 @@
+//! The workspace itself must be lint-clean: every sanctioned exception is
+//! allow-listed in the source, so a violation that sneaks in fails this
+//! test (and the CI lint job) with a rendered `file:line:col` report.
+
+use std::path::Path;
+use tpdb_lint::{check_workspace, find_workspace_root};
+
+#[test]
+fn workspace_is_clean() {
+    let start = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(start).expect("workspace root above the lint crate");
+    let report = check_workspace(&root).expect("workspace walk");
+    assert!(
+        report.is_clean(),
+        "the workspace violates its own lint rules:\n{}",
+        report.render()
+    );
+    // The walker saw the whole workspace, not a stray subdirectory.
+    assert!(
+        report.files_checked > 50,
+        "suspiciously few files checked: {}",
+        report.files_checked
+    );
+}

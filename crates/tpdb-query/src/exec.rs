@@ -513,15 +513,16 @@ impl SetOpExec {
         let mut engine = self.base_engine.clone();
         left.register_probabilities(&mut engine);
         right.register_probabilities(&mut engine);
-        if self.effective_parallelism() > 1 {
-            // INTERSECT/EXCEPT shard exactly like the keyed TP joins they
-            // are built on.
+        // INTERSECT/EXCEPT shard exactly like the keyed TP joins they are
+        // built on; the two-pass streaming union has no parallel form (its
+        // `effective_parallelism` is pinned to 1).
+        let parallel_join = match self.kind {
+            TpSetOpKind::Difference => Some(TpJoinKind::Anti),
+            TpSetOpKind::Intersection => Some(TpJoinKind::Inner),
+            TpSetOpKind::Union => None,
+        };
+        if let Some(join_kind) = parallel_join.filter(|_| self.effective_parallelism() > 1) {
             let theta = tpdb_core::all_columns_equal(&left, &right)?;
-            let join_kind = match self.kind {
-                TpSetOpKind::Difference => TpJoinKind::Anti,
-                TpSetOpKind::Intersection => TpJoinKind::Inner,
-                TpSetOpKind::Union => unreachable!("the union never reports a parallel degree"),
-            };
             let joined = tpdb_core::tp_join_parallel_with_engine_and_plan(
                 &left,
                 &right,

@@ -258,23 +258,21 @@ impl Parser {
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
-        match self.peek() {
-            Some(Token::Ident(_)) => match self.next() {
-                Some((Token::Ident(s), _)) => Ok(s),
-                _ => unreachable!("peeked an identifier"),
-            },
-            _ => Err(self.expected("identifier")),
+        if matches!(self.peek(), Some(Token::Ident(_))) {
+            if let Some((Token::Ident(s), _)) = self.next() {
+                return Ok(s);
+            }
         }
+        Err(self.expected("identifier"))
     }
 
     fn expect_cmp(&mut self) -> Result<String, ParseError> {
-        match self.peek() {
-            Some(Token::Cmp(_)) => match self.next() {
-                Some((Token::Cmp(op), _)) => Ok(op),
-                _ => unreachable!("peeked a comparison"),
-            },
-            _ => Err(self.expected("comparison operator")),
+        if matches!(self.peek(), Some(Token::Cmp(_))) {
+            if let Some((Token::Cmp(op), _)) = self.next() {
+                return Ok(op);
+            }
         }
+        Err(self.expected("comparison operator"))
     }
 }
 
@@ -535,22 +533,21 @@ fn parse_select(p: &mut Parser) -> Result<LogicalPlan, ParseError> {
             let column = p.expect_ident()?;
             let op_span = p.here();
             let op = predicate_op(&p.expect_cmp()?, op_span)?;
+            let not_literal = |p: &Parser| p.expected("literal or $n placeholder in WHERE clause");
             let operand = match p.peek() {
-                Some(Token::Number(_) | Token::Str(_) | Token::Param(_)) => {
-                    match p.next().expect("peeked a literal").0 {
-                        Token::Number(n) => {
-                            if n.fract() == 0.0 {
-                                Operand::Literal(Value::Int(n as i64))
-                            } else {
-                                Operand::Literal(Value::Float(n))
-                            }
+                Some(Token::Number(_) | Token::Str(_) | Token::Param(_)) => match p.next() {
+                    Some((Token::Number(n), _)) => {
+                        if n.fract() == 0.0 {
+                            Operand::Literal(Value::Int(n as i64))
+                        } else {
+                            Operand::Literal(Value::Float(n))
                         }
-                        Token::Str(s) => Operand::Literal(Value::str(&s)),
-                        Token::Param(index) => Operand::Param(index),
-                        _ => unreachable!("peeked a literal"),
                     }
-                }
-                _ => return Err(p.expected("literal or $n placeholder in WHERE clause")),
+                    Some((Token::Str(s), _)) => Operand::Literal(Value::str(&s)),
+                    Some((Token::Param(index), _)) => Operand::Param(index),
+                    _ => return Err(not_literal(p)),
+                },
+                _ => return Err(not_literal(p)),
             };
             predicates.push(LiteralPredicate {
                 column,

@@ -8,7 +8,7 @@ use crate::plan::LogicalPlan;
 use crate::planner::{explain_with, plan_query_with, QueryOptions};
 use crate::TpdbError;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use tpdb_storage::{Catalog, TpRelation, Value};
 
 /// Upper bound on cached plans per session; the oldest entry is evicted
@@ -150,13 +150,21 @@ impl Session {
         self.options.parallelism = degree.max(1);
     }
 
+    /// Locks the plan cache, recovering from poisoning: the cache holds
+    /// counters and `Arc`'d immutable plans, every mutation is a single
+    /// map/deque call, so a panicking thread cannot leave it torn — and a
+    /// best-effort cache must never take the session down with it.
+    fn cache_guard(&self) -> MutexGuard<'_, PlanCache> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Parses, validates and caches a statement, returning a handle that
     /// executes it with bound parameter values. Preparing the same
     /// (whitespace-normalized) text again is answered from the plan cache
     /// without re-parsing, until a catalog mutation invalidates the entry.
     pub fn prepare(&self, text: &str) -> Result<PreparedQuery<'_>, TpdbError> {
         let plan = self.cached_plan(text)?;
-        self.cache.lock().expect("plan cache poisoned").prepared += 1;
+        self.cache_guard().prepared += 1;
         Ok(PreparedQuery {
             session: self,
             plan,
@@ -193,7 +201,7 @@ impl Session {
 
     /// Executes an already-built logical plan (no text, no cache).
     pub fn run(&self, plan: &LogicalPlan) -> Result<TpRelation, TpdbError> {
-        self.cache.lock().expect("plan cache poisoned").executions += 1;
+        self.cache_guard().executions += 1;
         execute_plan_with(&self.catalog, plan, &self.options)
     }
 
@@ -212,7 +220,7 @@ impl Session {
     /// A snapshot of the session's plan-cache and execution counters.
     #[must_use]
     pub fn stats(&self) -> SessionStats {
-        let cache = self.cache.lock().expect("plan cache poisoned");
+        let cache = self.cache_guard();
         SessionStats {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
@@ -236,7 +244,7 @@ impl Session {
         let key = normalize(text);
         let epoch = self.catalog.schema_epoch();
         {
-            let mut cache = self.cache.lock().expect("plan cache poisoned");
+            let mut cache = self.cache_guard();
             let cached = cache
                 .entries
                 .get(&key)
@@ -267,7 +275,7 @@ impl Session {
             parameters,
             epoch,
         });
-        let mut cache = self.cache.lock().expect("plan cache poisoned");
+        let mut cache = self.cache_guard();
         if !cache.entries.contains_key(&key) {
             cache.order.push_back(key.clone());
             if cache.order.len() > MAX_CACHED_PLANS {
@@ -287,7 +295,7 @@ impl Session {
         params: &[Value],
     ) -> Result<TpRelation, TpdbError> {
         let bound = self.bound_plan(prepared, params)?;
-        self.cache.lock().expect("plan cache poisoned").executions += 1;
+        self.cache_guard().executions += 1;
         execute_plan_with(&self.catalog, &bound, &self.options)
     }
 
@@ -301,7 +309,7 @@ impl Session {
         params: &[Value],
     ) -> Result<ResultCursor, TpdbError> {
         let bound = self.bound_plan(prepared, params)?;
-        self.cache.lock().expect("plan cache poisoned").executions += 1;
+        self.cache_guard().executions += 1;
         let op = plan_query_with(&self.catalog, &bound, &QueryOptions::serial())?;
         Ok(ResultCursor::new(op))
     }

@@ -7,7 +7,7 @@ use crate::schema::Schema;
 use crate::tuple::TpTuple;
 use crate::value::Value;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use tpdb_lineage::{Lineage, ProbabilityEngine, SymbolTable, VarId};
 use tpdb_temporal::Interval;
 
@@ -38,11 +38,30 @@ pub struct Catalog {
     epoch: u64,
 }
 
+/// The relation map guarded by the catalog lock.
+type RelationMap = HashMap<String, Arc<TpRelation>>;
+
 impl Catalog {
     /// Creates an empty catalog.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Read access to the relation map; a poisoned lock surfaces as
+    /// [`StorageError::CatalogPoisoned`].
+    fn read_relations(&self) -> Result<RwLockReadGuard<'_, RelationMap>, StorageError> {
+        self.relations
+            .read()
+            .map_err(|_| StorageError::CatalogPoisoned)
+    }
+
+    /// Write access to the relation map; a poisoned lock surfaces as
+    /// [`StorageError::CatalogPoisoned`].
+    fn write_relations(&self) -> Result<RwLockWriteGuard<'_, RelationMap>, StorageError> {
+        self.relations
+            .write()
+            .map_err(|_| StorageError::CatalogPoisoned)
     }
 
     /// Starts building a new base relation. Tuples pushed through the
@@ -54,12 +73,7 @@ impl Catalog {
         name: &str,
         schema: Schema,
     ) -> Result<RelationBuilder<'_>, StorageError> {
-        if self
-            .relations
-            .read()
-            .expect("catalog lock poisoned")
-            .contains_key(name)
-        {
+        if self.read_relations()?.contains_key(name) {
             return Err(StorageError::RelationExists(name.to_owned()));
         }
         Ok(RelationBuilder {
@@ -74,12 +88,7 @@ impl Catalog {
     /// in the relation are registered with their tuple probabilities.
     pub fn register(&mut self, relation: TpRelation) -> Result<(), StorageError> {
         let name = relation.name().to_owned();
-        if self
-            .relations
-            .read()
-            .expect("catalog lock poisoned")
-            .contains_key(&name)
-        {
+        if self.read_relations()?.contains_key(&name) {
             return Err(StorageError::RelationExists(name));
         }
         for t in relation.iter() {
@@ -87,10 +96,7 @@ impl Catalog {
                 self.probabilities.insert(*v, t.probability());
             }
         }
-        self.relations
-            .write()
-            .expect("catalog lock poisoned")
-            .insert(name, Arc::new(relation));
+        self.write_relations()?.insert(name, Arc::new(relation));
         self.epoch += 1;
         Ok(())
     }
@@ -106,9 +112,7 @@ impl Catalog {
 
     /// Looks up a relation by name.
     pub fn relation(&self, name: &str) -> Result<Arc<TpRelation>, StorageError> {
-        self.relations
-            .read()
-            .expect("catalog lock poisoned")
+        self.read_relations()?
             .get(name)
             .cloned()
             .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))
@@ -116,9 +120,7 @@ impl Catalog {
 
     /// Removes a relation from the catalog.
     pub fn drop_relation(&mut self, name: &str) -> Result<(), StorageError> {
-        self.relations
-            .write()
-            .expect("catalog lock poisoned")
+        self.write_relations()?
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| StorageError::UnknownRelation(name.to_owned()))?;
@@ -127,12 +129,17 @@ impl Catalog {
     }
 
     /// Names of all registered relations (sorted).
+    ///
+    /// Infallible by design: a poisoned lock is recovered with
+    /// [`PoisonError::into_inner`] — the map cannot be observed torn (its
+    /// mutations are single `HashMap` calls), and a read-only listing must
+    /// not fail an otherwise healthy session.
     #[must_use]
     pub fn relation_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self
             .relations
             .read()
-            .expect("catalog lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .cloned()
             .collect();
@@ -205,6 +212,8 @@ impl RelationBuilder<'_> {
     /// handle errors.
     #[must_use]
     pub fn finish(self) -> Arc<TpRelation> {
+        // The panic is this method's documented contract (the fallible
+        // sibling is `try_finish`). tpdb-lint: allow(no-panic-in-lib)
         self.try_finish().expect("relation construction failed")
     }
 
@@ -216,9 +225,7 @@ impl RelationBuilder<'_> {
         let name = self.relation.name().to_owned();
         let arc = Arc::new(self.relation);
         self.catalog
-            .relations
-            .write()
-            .expect("catalog lock poisoned")
+            .write_relations()?
             .insert(name, Arc::clone(&arc));
         self.catalog.epoch += 1;
         Ok(arc)

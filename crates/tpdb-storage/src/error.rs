@@ -57,6 +57,12 @@ pub enum StorageError {
         /// How the sides differ (e.g. `left is INT, right is STR`).
         detail: String,
     },
+    /// The catalog's relation lock was poisoned: another thread panicked
+    /// while holding it. The relation map itself cannot be observed torn
+    /// (every mutation is a single `HashMap` call), but the panic signals a
+    /// broken invariant elsewhere, so catalog entry points surface the
+    /// condition instead of unwinding the caller.
+    CatalogPoisoned,
 }
 
 impl fmt::Display for StorageError {
@@ -92,6 +98,12 @@ impl fmt::Display for StorageError {
                 write!(
                     f,
                     "set operation inputs are not union-compatible at column {column}: {detail}"
+                )
+            }
+            StorageError::CatalogPoisoned => {
+                write!(
+                    f,
+                    "catalog lock poisoned: a thread panicked while holding it"
                 )
             }
         }

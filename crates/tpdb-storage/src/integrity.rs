@@ -49,11 +49,12 @@ pub fn check_duplicate_free(relation: &TpRelation) -> Vec<IntegrityViolation> {
     for (facts, mut intervals) in by_fact {
         intervals.sort_by_key(|i| (i.start(), i.end()));
         for w in intervals.windows(2) {
-            if w[0].overlaps(&w[1]) {
+            let [first, second] = w else { continue };
+            if first.overlaps(second) {
                 violations.push(IntegrityViolation {
                     facts: facts.clone(),
-                    first: w[0],
-                    second: w[1],
+                    first: *first,
+                    second: *second,
                 });
             }
         }

@@ -113,6 +113,8 @@ impl fmt::Display for TpTuple {
 }
 
 #[cfg(test)]
+// Tests assert bit-exact values on purpose (reproducibility contract).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use tpdb_lineage::VarId;

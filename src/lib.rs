@@ -32,6 +32,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use tpdb_core as core;
 pub use tpdb_datagen as datagen;
