@@ -14,7 +14,7 @@ use tpdb_core::{
     lawan, lawau, overlapping_windows, parallel_wuo_count, tp_left_outer_join, LawanStream,
     LawauStream, OverlapWindowStream, ThetaCondition,
 };
-use tpdb_storage::TpRelation;
+use tpdb_storage::{Catalog, TpRelation, Value};
 use tpdb_ta::{ta_left_outer_join, ta_negating_windows, ta_wuo_windows, ta_wuon_windows};
 
 /// The two dataset families of the evaluation.
@@ -153,6 +153,22 @@ fn time<T>(f: impl FnOnce() -> T) -> (f64, T) {
     let start = Instant::now();
     let out = f();
     (start.elapsed().as_secs_f64() * 1000.0, out)
+}
+
+/// Runs `f` `reps` times and reports the *minimum* elapsed time — the
+/// standard low-noise estimator for repeatable work (the minimum skims
+/// scheduler preemption, allocator warm-up and page-fault noise that a
+/// single sample on a shared runner picks up).
+fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let (mut best_ms, mut out) = time(&mut f);
+    for _ in 1..reps {
+        let (ms, next) = time(&mut f);
+        if ms < best_ms {
+            best_ms = ms;
+        }
+        out = next;
+    }
+    (best_ms, out)
 }
 
 // ---------------------------------------------------------------------------
@@ -509,6 +525,147 @@ pub fn run_prepared_vs_reparse(w: &Workload, iterations: usize) -> Vec<Measureme
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot figure — datagen regen vs. snapshot load vs. CSV import
+// ---------------------------------------------------------------------------
+
+/// Renders a TP relation as delimiter-separated text in the
+/// [`Catalog::import_delimited`] wire format: one record per tuple holding
+/// the fact columns, interval start, interval end and probability. Strings
+/// are always quoted (with `""` escaping), NULL is the empty field.
+#[must_use]
+pub fn relation_to_delimited(rel: &TpRelation, delimiter: char) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for tuple in rel.tuples() {
+        for value in tuple.facts() {
+            match value {
+                Value::Null => {}
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Int(i) => {
+                    let _ = write!(out, "{i}");
+                }
+                Value::Float(f) => {
+                    let _ = write!(out, "{f}");
+                }
+                Value::Str(s) => {
+                    out.push('"');
+                    out.push_str(&s.replace('"', "\"\""));
+                    out.push('"');
+                }
+            }
+            out.push(delimiter);
+        }
+        let _ = writeln!(
+            out,
+            "{}{delimiter}{}{delimiter}{}",
+            tuple.interval().start(),
+            tuple.interval().end(),
+            tuple.probability()
+        );
+    }
+    out
+}
+
+/// The names of the two relations a dataset's generator produces (the
+/// snapshot-backed workload cache looks them up after a load).
+#[must_use]
+pub fn dataset_relation_names(dataset: Dataset) -> (&'static str, &'static str) {
+    match dataset {
+        Dataset::WebkitLike => ("webkit_r", "webkit_s"),
+        Dataset::MeteoLike => ("meteo_r", "meteo_s"),
+    }
+}
+
+/// Returns the workload for `(dataset, tuples, seed)`, served from a binary
+/// snapshot cache under the system temp directory when one exists. The
+/// first request at a scale pays the datagen cost and saves a snapshot;
+/// later runs (or later figures in the same sweep) load it instead —
+/// datagen regeneration dominates setup time at the paper-scale
+/// cardinalities, which is exactly what `BENCH_load.json` quantifies. Any
+/// cache failure falls back to plain generation.
+#[must_use]
+pub fn workload_via_cache(dataset: Dataset, tuples: usize, seed: u64) -> Workload {
+    let dir = std::env::temp_dir().join("tpdb-bench-cache");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return dataset.generate(tuples, seed);
+    }
+    let path = dir.join(format!("{}-{tuples}-{seed}.snap", dataset.label()));
+    let mut catalog = Catalog::new();
+    if catalog.load_snapshot(&path).is_ok() {
+        let (rname, sname) = dataset_relation_names(dataset);
+        if let (Ok(r), Ok(s)) = (catalog.relation(rname), catalog.relation(sname)) {
+            return Workload {
+                dataset,
+                theta: ThetaCondition::column_equals(dataset.key_column(), dataset.key_column()),
+                r: r.as_ref().clone(),
+                s: s.as_ref().clone(),
+            };
+        }
+    }
+    let w = dataset.generate(tuples, seed);
+    let mut fresh = Catalog::new();
+    if fresh.register(w.r.clone()).is_ok() && fresh.register(w.s.clone()).is_ok() {
+        if let Err(e) = fresh.save_snapshot(&path) {
+            eprintln!("workload cache write failed ({e}); continuing uncached");
+        }
+    }
+    w
+}
+
+/// The `snapshot` figure: the cost of bringing the meteo workload into a
+/// catalog three ways — regenerating it with tpdb-datagen (`datagen`),
+/// loading a binary snapshot (`snap-save`/`snap-load`), and importing CSV
+/// text (`csv-import`) — at the same cardinality. The snapshot and CSV
+/// inputs are prepared from the generated workload itself, so every series
+/// brings in the identical pair of relations and `output` is the total
+/// tuple count across both.
+#[must_use]
+pub fn run_snapshot_load(tuples: usize, seed: u64, dir: &std::path::Path) -> Vec<Measurement> {
+    let (datagen_ms, w) = time(|| Dataset::MeteoLike.generate(tuples, seed));
+
+    let mut catalog = Catalog::new();
+    catalog.register(w.r.clone()).expect("fresh catalog");
+    catalog.register(w.s.clone()).expect("fresh catalog");
+    let snap = dir.join(format!("bench-meteo-{tuples}-{seed}.snap"));
+    let (save_ms, ()) = time(|| catalog.save_snapshot(&snap).expect("snapshot writes"));
+    let (load_ms, loaded) = time_min(3, || {
+        let mut c = Catalog::new();
+        c.load_snapshot(&snap).expect("snapshot loads");
+        c.relation_names()
+            .iter()
+            .map(|n| c.relation(n).expect("listed relation").len())
+            .sum::<usize>()
+    });
+    std::fs::remove_file(&snap).ok();
+
+    let csv_r = relation_to_delimited(&w.r, ',');
+    let csv_s = relation_to_delimited(&w.s, ',');
+    let (import_ms, imported) = time_min(2, || {
+        let mut c = Catalog::new();
+        c.import_delimited("meteo_csv_r", w.r.schema().clone(), ',', &csv_r)
+            .expect("csv imports")
+            .len()
+            + c.import_delimited("meteo_csv_s", w.s.schema().clone(), ',', &csv_s)
+                .expect("csv imports")
+                .len()
+    });
+
+    let row = |series: &str, millis: f64, output: usize| Measurement {
+        series: series.to_owned(),
+        dataset: "meteo".to_owned(),
+        tuples,
+        millis,
+        output,
+    };
+    vec![
+        row("datagen", datagen_ms, w.r.len() + w.s.len()),
+        row("snap-save", save_ms, w.r.len() + w.s.len()),
+        row("snap-load", load_ms, loaded),
+        row("csv-import", import_ms, imported),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -600,6 +757,46 @@ mod tests {
         );
         // the scan returns every r tuple (Metric >= 0 always holds)
         assert_eq!(by_series("scan-prepared").output, w.r.len());
+    }
+
+    #[test]
+    fn snapshot_series_bring_in_the_same_data() {
+        let rows = run_snapshot_load(500, 7, &std::env::temp_dir());
+        assert_eq!(rows.len(), 4);
+        let by = |name: &str| {
+            rows.iter()
+                .find(|m| m.series == name)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+        };
+        // the snapshot load brings back every saved tuple
+        assert_eq!(by("snap-load").output, by("datagen").output);
+        // the CSV import covers both relations, like the catalog-level series
+        assert_eq!(by("csv-import").output, by("datagen").output);
+    }
+
+    #[test]
+    fn delimited_rendering_round_trips_through_the_importer() {
+        let w = Dataset::MeteoLike.generate(300, 7);
+        let csv = relation_to_delimited(&w.r, ',');
+        let mut c = Catalog::new();
+        let imported = c
+            .import_delimited("roundtrip", w.r.schema().clone(), ',', &csv)
+            .expect("rendered text imports");
+        assert_eq!(imported.len(), w.r.len());
+        for (orig, back) in w.r.tuples().iter().zip(imported.tuples()) {
+            assert_eq!(orig.facts(), back.facts());
+            assert_eq!(orig.interval(), back.interval());
+            assert!((orig.probability() - back.probability()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn workload_cache_serves_identical_relations() {
+        let first = workload_via_cache(Dataset::MeteoLike, 250, 99);
+        let second = workload_via_cache(Dataset::MeteoLike, 250, 99);
+        assert_eq!(first.r, second.r);
+        assert_eq!(first.s, second.s);
+        assert_eq!(first.r, Dataset::MeteoLike.generate(250, 99).r);
     }
 
     #[test]

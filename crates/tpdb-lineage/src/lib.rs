@@ -64,7 +64,7 @@ pub use intern::{
     FxHashMap, FxHashSet, FxHasher, InternedDisjunction, InternedNode, LineageInterner, LineageRef,
 };
 pub use prob::{ProbabilityEngine, ProbabilityError};
-pub use symbols::{SymbolTable, VarId};
+pub use symbols::{SymbolTable, SymbolTableError, VarId};
 
 /// Lineage concatenation for overlapping windows: `λr ∧ λs`.
 ///

@@ -92,7 +92,49 @@ impl SymbolTable {
             .enumerate()
             .map(|(i, n)| (VarId(i as u32), n.as_str()))
     }
+
+    /// Rebuilds a table from an id-ordered name list (the inverse of
+    /// [`SymbolTable::iter`]): position `i` becomes `VarId(i)`. Used by the
+    /// storage layer's snapshot import. Fails if the list contains a
+    /// duplicate or exceeds the `u32` id space, since such a dictionary
+    /// cannot have been produced by [`SymbolTable::intern`].
+    pub fn from_names(names: Vec<String>) -> Result<Self, SymbolTableError> {
+        if u32::try_from(names.len()).is_err() {
+            return Err(SymbolTableError::IdSpaceExhausted);
+        }
+        let mut by_name = HashMap::with_capacity(names.len());
+        for (i, name) in names.iter().enumerate() {
+            if by_name.insert(name.clone(), VarId(i as u32)).is_some() {
+                return Err(SymbolTableError::DuplicateName(name.clone()));
+            }
+        }
+        Ok(Self { names, by_name })
+    }
 }
+
+/// Errors rebuilding a [`SymbolTable`] from an external name list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolTableError {
+    /// The same name appeared under two ids.
+    DuplicateName(String),
+    /// The list is larger than the `u32` variable-id space.
+    IdSpaceExhausted,
+}
+
+impl fmt::Display for SymbolTableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolTableError::DuplicateName(name) => {
+                write!(f, "duplicate symbol name `{name}`")
+            }
+            SymbolTableError::IdSpaceExhausted => {
+                write!(f, "symbol list exceeds the u32 variable-id space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SymbolTableError {}
 
 #[cfg(test)]
 mod tests {
@@ -139,5 +181,23 @@ mod tests {
     #[test]
     fn display_of_var_id() {
         assert_eq!(VarId(7).to_string(), "x7");
+    }
+
+    #[test]
+    fn from_names_inverts_iter() {
+        let mut t = SymbolTable::new();
+        t.intern("a1");
+        t.intern("b1");
+        let names: Vec<String> = t.iter().map(|(_, n)| n.to_owned()).collect();
+        let rebuilt = SymbolTable::from_names(names).unwrap();
+        assert_eq!(rebuilt.lookup("a1"), Some(VarId(0)));
+        assert_eq!(rebuilt.lookup("b1"), Some(VarId(1)));
+        assert_eq!(rebuilt.len(), 2);
+    }
+
+    #[test]
+    fn from_names_rejects_duplicates() {
+        let err = SymbolTable::from_names(vec!["a".into(), "a".into()]).unwrap_err();
+        assert_eq!(err, SymbolTableError::DuplicateName("a".into()));
     }
 }

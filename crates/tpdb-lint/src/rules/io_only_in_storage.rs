@@ -1,0 +1,74 @@
+//! `io-only-in-storage`: filesystem access (`std::fs`, `File::open`,
+//! `OpenOptions`) is confined to the snapshot/import module of
+//! `tpdb-storage` plus the measurement and tooling crates. Engine code
+//! that touches the filesystem directly bypasses the catalog's typed
+//! `SnapshotIo` error path and its all-or-nothing load discipline; query,
+//! lineage and temporal code must route persistence through
+//! `Catalog::{save_snapshot, load_snapshot, import_delimited_path}`.
+
+use crate::{pattern, Diagnostic, Rule, SourceFile};
+
+/// The one library module allowed to touch the filesystem: the snapshot
+/// codec and bulk importer that own the `SnapshotIo` error path.
+const STORAGE_IO_MODULE: &str = "crates/tpdb-storage/src/snapshot.rs";
+
+/// See module docs.
+pub struct IoOnlyInStorage;
+
+impl Rule for IoOnlyInStorage {
+    fn id(&self) -> &'static str {
+        "io-only-in-storage"
+    }
+
+    fn description(&self) -> &'static str {
+        "filesystem APIs are confined to tpdb-storage::snapshot (and the bench/lint \
+         tooling) — engine code goes through the catalog's typed IO entry points"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        // Binaries (`src/bin/`, `main.rs`) are front-ends and may do IO;
+        // the bench harness caches datasets and the lint tool reads
+        // sources, so both crates are exempt wholesale.
+        file.is_lib_src
+            && !file.is_test_like
+            && file.crate_name != "tpdb-bench"
+            && file.crate_name != "tpdb-lint"
+            && file.rel_path != STORAGE_IO_MODULE
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let tokens = &file.tokens;
+        let mut flag = |i: usize, api: &str| {
+            let t = &tokens[i];
+            out.push(Diagnostic {
+                rule: self.id(),
+                path: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{api}` outside `tpdb-storage::snapshot` — go through the catalog's \
+                     typed IO entry points (save_snapshot/load_snapshot/import_delimited_path)"
+                ),
+            });
+        };
+        for i in 0..tokens.len() {
+            if file.in_test_code(i) {
+                continue;
+            }
+            // `std::fs` covers both the import (`use std::fs...`) and every
+            // fully qualified call; a bare `fs::` use elsewhere still needs
+            // that import, so one pattern catches the module.
+            if pattern::path_pair(tokens, i, "std", "fs") {
+                flag(i, "std::fs");
+            }
+            for ctor in ["open", "create", "create_new", "options"] {
+                if pattern::path_pair(tokens, i, "File", ctor) {
+                    flag(i, &format!("File::{ctor}"));
+                }
+            }
+            if pattern::path_pair(tokens, i, "OpenOptions", "new") {
+                flag(i, "OpenOptions::new");
+            }
+        }
+    }
+}

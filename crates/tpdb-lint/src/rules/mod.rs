@@ -11,6 +11,7 @@ mod bench_determinism;
 mod crate_header;
 mod debug_macros;
 mod error_taxonomy;
+mod io_only_in_storage;
 mod lineage_clone;
 mod nan_memo;
 mod no_panic;
@@ -22,6 +23,7 @@ pub use bench_determinism::BenchDeterminism;
 pub use crate_header::CrateHeaderPolicy;
 pub use debug_macros::NoDebugMacros;
 pub use error_taxonomy::ErrorTaxonomy;
+pub use io_only_in_storage::IoOnlyInStorage;
 pub use lineage_clone::NoLineageCloneInStreams;
 pub use nan_memo::NanMemoDiscipline;
 pub use no_panic::NoPanicInLib;
@@ -34,6 +36,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(BenchDeterminism),
         Box::new(CrateHeaderPolicy),
         Box::new(ErrorTaxonomy),
+        Box::new(IoOnlyInStorage),
         Box::new(NanMemoDiscipline),
         Box::new(NoDebugMacros),
         Box::new(NoLineageCloneInStreams),

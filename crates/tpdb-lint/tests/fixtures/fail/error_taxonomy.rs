@@ -1,4 +1,4 @@
-// tpdb-lint-fixture: path=crates/tpdb-storage/src/io.rs
+// tpdb-lint-fixture: path=crates/tpdb-storage/src/snapshot.rs
 // tpdb-lint-expect: error-taxonomy:5:40
 // tpdb-lint-expect: error-taxonomy:9:29
 

@@ -1,0 +1,18 @@
+// tpdb-lint-fixture: path=crates/tpdb-query/src/session.rs
+// tpdb-lint-expect: io-only-in-storage:7:19
+// tpdb-lint-expect: io-only-in-storage:7:28
+// tpdb-lint-expect: io-only-in-storage:13:16
+
+fn dump(catalog: &str) -> std::io::Result<()> {
+    let mut out = std::fs::File::create("/tmp/catalog.dump")?;
+    use std::io::Write;
+    out.write_all(catalog.as_bytes())
+}
+
+fn slurp() -> std::io::Result<Vec<u8>> {
+    let file = File::open("/tmp/catalog.dump")?;
+    let mut bytes = Vec::new();
+    use std::io::Read;
+    file.take(u64::MAX).read_to_end(&mut bytes)?;
+    Ok(bytes)
+}

@@ -1,4 +1,4 @@
-// tpdb-lint-fixture: path=crates/tpdb-storage/src/io.rs
+// tpdb-lint-fixture: path=crates/tpdb-storage/src/snapshot.rs
 
 fn load(path: &str) -> Result<Vec<u8>, StorageError> {
     std::fs::read(path).map_err(StorageError::from)

@@ -1,0 +1,16 @@
+// tpdb-lint-fixture: path=crates/tpdb-query/src/session.rs
+
+// Engine code persists through the catalog's typed entry points; the raw
+// filesystem calls live in tpdb-storage::snapshot behind them.
+fn save(catalog: &tpdb_storage::Catalog, path: &str) -> Result<(), tpdb_storage::StorageError> {
+    catalog.save_snapshot(path)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may clean up scratch files directly.
+    #[test]
+    fn removes_scratch() {
+        std::fs::remove_file("/tmp/scratch.snap").ok();
+    }
+}

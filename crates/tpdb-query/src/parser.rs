@@ -4,7 +4,8 @@
 //! Grammar (one query per string, case-insensitive keywords):
 //!
 //! ```text
-//! query   := setexpr
+//! query   := setexpr | snapshot
+//! snapshot:= (SAVE | LOAD) SNAPSHOT 'path'
 //! setexpr := term ((UNION | INTERSECT | EXCEPT) term)* [strategy | parallel]*
 //! term    := '(' setexpr ')' | select
 //! select  := SELECT cols FROM ident [join] [where] [strategy | parallel]*
@@ -324,7 +325,19 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
         end: input.len(),
     };
 
-    let plan = parse_set_expr(&mut p)?;
+    let plan = if p.accept_keyword("SAVE") {
+        p.expect_keyword("SNAPSHOT")?;
+        LogicalPlan::SaveSnapshot {
+            path: expect_path_literal(&mut p)?,
+        }
+    } else if p.accept_keyword("LOAD") {
+        p.expect_keyword("SNAPSHOT")?;
+        LogicalPlan::LoadSnapshot {
+            path: expect_path_literal(&mut p)?,
+        }
+    } else {
+        parse_set_expr(&mut p)?
+    };
 
     if let Some((token, span)) = p.tokens.get(p.pos) {
         return Err(
@@ -334,6 +347,20 @@ pub fn parse_query(input: &str) -> Result<LogicalPlan, ParseError> {
         );
     }
     Ok(plan)
+}
+
+/// `'<path>'` operand of the snapshot statements. A non-empty string
+/// literal; anything else is a parse error.
+fn expect_path_literal(p: &mut Parser) -> Result<String, ParseError> {
+    if matches!(p.peek(), Some(Token::Str(_))) {
+        if let Some((Token::Str(s), span)) = p.next() {
+            if s.is_empty() {
+                return Err(ParseError::new("snapshot path must not be empty").at(span));
+            }
+            return Ok(s);
+        }
+    }
+    Err(p.expected("a quoted file path"))
 }
 
 /// `setexpr := term ((UNION | INTERSECT | EXCEPT) term)* suffixes` — the
@@ -416,7 +443,9 @@ fn expect_parallel_degree(p: &mut Parser) -> Result<usize, ParseError> {
 /// `STRATEGY`/`PARALLEL` suffix binds to).
 fn contains_join(plan: &LogicalPlan) -> bool {
     match plan {
-        LogicalPlan::Scan { .. } => false,
+        LogicalPlan::Scan { .. }
+        | LogicalPlan::SaveSnapshot { .. }
+        | LogicalPlan::LoadSnapshot { .. } => false,
         LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
             contains_join(input)
         }
@@ -628,7 +657,9 @@ fn set_strategy(
             .at(at)
             .with_token("STRATEGY"))
         }
-        LogicalPlan::Scan { .. } => {
+        LogicalPlan::Scan { .. }
+        | LogicalPlan::SaveSnapshot { .. }
+        | LogicalPlan::LoadSnapshot { .. } => {
             return Err(ParseError::new("STRATEGY requires a TP join in the query")
                 .at(at)
                 .with_token("STRATEGY"))
@@ -664,7 +695,9 @@ fn set_parallelism(plan: LogicalPlan, degree: usize, at: Span) -> Result<Logical
             input: Box::new(set_parallelism(*input, degree, at)?),
             columns,
         },
-        LogicalPlan::Scan { .. } => {
+        LogicalPlan::Scan { .. }
+        | LogicalPlan::SaveSnapshot { .. }
+        | LogicalPlan::LoadSnapshot { .. } => {
             return Err(ParseError::new(
                 "PARALLEL requires a TP join or set operation in the query",
             )

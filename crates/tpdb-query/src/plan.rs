@@ -95,6 +95,21 @@ pub enum LogicalPlan {
         /// `EXPLAIN` reports the fallback.
         parallelism: Option<usize>,
     },
+    /// `SAVE SNAPSHOT '<path>'` — serialize the whole catalog to a snapshot
+    /// file. A utility statement: it reads the catalog instead of scanning
+    /// relations, and executes through the session rather than the stream
+    /// engine.
+    SaveSnapshot {
+        /// Target file path.
+        path: String,
+    },
+    /// `LOAD SNAPSHOT '<path>'` — replace the catalog with a snapshot file's
+    /// contents (all-or-nothing). A utility statement; it requires exclusive
+    /// catalog access and is rejected by the shared-session execution paths.
+    LoadSnapshot {
+        /// Source file path.
+        path: String,
+    },
 }
 
 impl LogicalPlan {
@@ -157,6 +172,17 @@ impl LogicalPlan {
         }
     }
 
+    /// Is this a utility statement (`SAVE SNAPSHOT` / `LOAD SNAPSHOT`)?
+    /// Utility statements have no streamable physical plan: sessions execute
+    /// them against the catalog directly.
+    #[must_use]
+    pub fn is_utility(&self) -> bool {
+        matches!(
+            self,
+            LogicalPlan::SaveSnapshot { .. } | LogicalPlan::LoadSnapshot { .. }
+        )
+    }
+
     /// Forces the overlap-join plan of every TP join in this plan, looking
     /// through filters and projections (ablation and regression studies pin
     /// the physical plan this way).
@@ -201,7 +227,9 @@ impl LogicalPlan {
                 overlap_plan: Some(plan),
                 parallelism,
             },
-            scan @ LogicalPlan::Scan { .. } => scan,
+            leaf @ (LogicalPlan::Scan { .. }
+            | LogicalPlan::SaveSnapshot { .. }
+            | LogicalPlan::LoadSnapshot { .. }) => leaf,
         }
     }
 
@@ -265,7 +293,9 @@ impl LogicalPlan {
                 overlap_plan,
                 parallelism: Some(degree.max(1)),
             },
-            scan @ LogicalPlan::Scan { .. } => scan,
+            leaf @ (LogicalPlan::Scan { .. }
+            | LogicalPlan::SaveSnapshot { .. }
+            | LogicalPlan::LoadSnapshot { .. }) => leaf,
         }
     }
 
@@ -276,7 +306,9 @@ impl LogicalPlan {
     #[must_use]
     pub fn parameter_count(&self) -> usize {
         match self {
-            LogicalPlan::Scan { .. } => 0,
+            LogicalPlan::Scan { .. }
+            | LogicalPlan::SaveSnapshot { .. }
+            | LogicalPlan::LoadSnapshot { .. } => 0,
             LogicalPlan::Filter { input, predicates } => predicates
                 .iter()
                 .filter_map(LiteralPredicate::parameter_index)
@@ -312,7 +344,9 @@ impl LogicalPlan {
     /// Recursively substitutes placeholders (count already validated).
     fn substitute(&self, params: &[Value]) -> Result<LogicalPlan, TpdbError> {
         Ok(match self {
-            scan @ LogicalPlan::Scan { .. } => scan.clone(),
+            leaf @ (LogicalPlan::Scan { .. }
+            | LogicalPlan::SaveSnapshot { .. }
+            | LogicalPlan::LoadSnapshot { .. }) => leaf.clone(),
             LogicalPlan::Filter { input, predicates } => LogicalPlan::Filter {
                 input: Box::new(input.substitute(params)?),
                 predicates: predicates
@@ -423,6 +457,12 @@ impl LogicalPlan {
                     ));
                     go(left, indent + 1, out);
                     go(right, indent + 1, out);
+                }
+                LogicalPlan::SaveSnapshot { path } => {
+                    out.push_str(&format!("{pad}SaveSnapshot '{path}'\n"));
+                }
+                LogicalPlan::LoadSnapshot { path } => {
+                    out.push_str(&format!("{pad}LoadSnapshot '{path}'\n"));
                 }
             }
         }

@@ -167,6 +167,15 @@ fn lower(
                     .clone(),
             )))
         }
+        // Utility statements have no streamable physical operator; they
+        // execute through `Session` against the catalog itself.
+        LogicalPlan::SaveSnapshot { .. } | LogicalPlan::LoadSnapshot { .. } => Err(
+            TpdbError::Storage(tpdb_storage::StorageError::PlanNotApplicable {
+                plan: "snapshot".to_owned(),
+                reason: "SAVE/LOAD SNAPSHOT are utility statements; run them through a session"
+                    .to_owned(),
+            }),
+        ),
     }
 }
 
@@ -195,10 +204,21 @@ pub fn explain_with(
     } else {
         plan.clone()
     };
+    // Utility statements are described directly — they never lower to a
+    // stream operator.
+    let physical = match &lowered {
+        LogicalPlan::SaveSnapshot { path } => format!(
+            "SnapshotWrite '{path}' ({} relation(s))",
+            catalog.relation_names().len()
+        ),
+        LogicalPlan::LoadSnapshot { path } => {
+            format!("SnapshotRead '{path}' (replaces the catalog, all-or-nothing)")
+        }
+        other => plan_query_with(catalog, other, options)?.describe(),
+    };
     let mut out = format!(
-        "Logical plan:\n{}\nPhysical plan:\n  {}\n",
+        "Logical plan:\n{}\nPhysical plan:\n  {physical}\n",
         plan.pretty(),
-        plan_query_with(catalog, &lowered, options)?.describe()
     );
     if slots > 0 {
         out.push_str(&format!(

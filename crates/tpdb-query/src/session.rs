@@ -9,7 +9,7 @@ use crate::planner::{explain_with, plan_query_with, QueryOptions};
 use crate::TpdbError;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use tpdb_storage::{Catalog, TpRelation, Value};
+use tpdb_storage::{Catalog, DataType, Schema, TpRelation, TpTuple, Value};
 
 /// Upper bound on cached plans per session; the oldest entry is evicted
 /// first (FIFO) once the cache is full.
@@ -174,8 +174,32 @@ impl Session {
     /// One-shot execution of a statement without parameters, returning the
     /// materialized result relation. Repeated calls with the same text hit
     /// the plan cache and skip parse + validation.
+    ///
+    /// `SAVE SNAPSHOT '<path>'` executes here too (it only reads the
+    /// catalog); `LOAD SNAPSHOT` mutates the catalog and therefore needs
+    /// [`execute_statement`](Self::execute_statement).
     pub fn execute(&self, text: &str) -> Result<TpRelation, TpdbError> {
         self.execute_with(text, &[])
+    }
+
+    /// Executes a statement that may mutate the catalog — the entry point
+    /// for `LOAD SNAPSHOT '<path>'`, which atomically replaces the
+    /// catalog's contents (and thereby invalidates every cached plan via
+    /// the schema epoch). Every other statement, `SAVE SNAPSHOT` included,
+    /// behaves exactly as under [`execute`](Self::execute).
+    ///
+    /// Returns the statement summary: snapshot statements report one
+    /// `(Relation, Tuples)` row per relation written or loaded.
+    pub fn execute_statement(&mut self, text: &str) -> Result<TpRelation, TpdbError> {
+        let prepared = self.cached_plan(text)?;
+        match &prepared.plan {
+            LogicalPlan::LoadSnapshot { path } => {
+                self.catalog.load_snapshot(path)?;
+                self.cache_guard().executions += 1;
+                snapshot_summary(&self.catalog)
+            }
+            _ => self.run_prepared(&prepared, &[]),
+        }
     }
 
     /// One-shot execution with `$n` parameter values (`params[0]` binds
@@ -264,12 +288,16 @@ impl Session {
         // references, θ binding and forced physical plans all fail here, at
         // prepare time, not at the first execution. Placeholders are stood
         // in by NULLs — only the slots' existence matters for validation.
-        let probe = if parameters > 0 {
-            plan.bind_parameters(&vec![Value::Null; parameters])?
-        } else {
-            plan.clone()
-        };
-        plan_query_with(&self.catalog, &probe, &self.options)?;
+        // Utility statements (snapshot save/load) have no physical plan to
+        // probe; everything else validates by lowering once.
+        if !plan.is_utility() {
+            let probe = if parameters > 0 {
+                plan.bind_parameters(&vec![Value::Null; parameters])?
+            } else {
+                plan.clone()
+            };
+            plan_query_with(&self.catalog, &probe, &self.options)?;
+        }
         let prepared = Arc::new(CachedPlan {
             plan,
             parameters,
@@ -294,9 +322,29 @@ impl Session {
         prepared: &CachedPlan,
         params: &[Value],
     ) -> Result<TpRelation, TpdbError> {
-        let bound = self.bound_plan(prepared, params)?;
-        self.cache_guard().executions += 1;
-        execute_plan_with(&self.catalog, &bound, &self.options)
+        match &prepared.plan {
+            // Saving only reads the catalog, so the shared-session paths may
+            // run it; loading replaces the catalog and is routed to
+            // `execute_statement` (&mut self) instead.
+            LogicalPlan::SaveSnapshot { path } => {
+                self.catalog.save_snapshot(path)?;
+                self.cache_guard().executions += 1;
+                snapshot_summary(&self.catalog)
+            }
+            LogicalPlan::LoadSnapshot { .. } => Err(TpdbError::Storage(
+                tpdb_storage::StorageError::PlanNotApplicable {
+                    plan: "LoadSnapshot".to_owned(),
+                    reason: "LOAD SNAPSHOT replaces the catalog; run it through \
+                             Session::execute_statement on an exclusive session"
+                        .to_owned(),
+                },
+            )),
+            _ => {
+                let bound = self.bound_plan(prepared, params)?;
+                self.cache_guard().executions += 1;
+                execute_plan_with(&self.catalog, &bound, &self.options)
+            }
+        }
     }
 
     /// Binds parameters and opens a streaming cursor. Joins under a cursor
@@ -308,6 +356,15 @@ impl Session {
         prepared: &CachedPlan,
         params: &[Value],
     ) -> Result<ResultCursor, TpdbError> {
+        if prepared.plan.is_utility() {
+            return Err(TpdbError::Storage(
+                tpdb_storage::StorageError::PlanNotApplicable {
+                    plan: "snapshot".to_owned(),
+                    reason: "utility statements produce no result stream; execute them instead"
+                        .to_owned(),
+                },
+            ));
+        }
         let bound = self.bound_plan(prepared, params)?;
         self.cache_guard().executions += 1;
         let op = plan_query_with(&self.catalog, &bound, &QueryOptions::serial())?;
@@ -342,6 +399,24 @@ impl Session {
 /// different literals and must not share a cached plan. (Keywords are
 /// matched case-insensitively by the parser, but identifiers and literals
 /// are case-sensitive — case is therefore preserved here.)
+/// The result relation of a snapshot statement: one `(Relation, Tuples)`
+/// row per catalog relation, so scripts can see what a SAVE wrote or a
+/// LOAD brought in without a follow-up query.
+fn snapshot_summary(catalog: &Catalog) -> Result<TpRelation, TpdbError> {
+    let schema = Schema::tp(&[("Relation", DataType::Str), ("Tuples", DataType::Int)]);
+    let mut summary = TpRelation::new("snapshot", schema);
+    for name in catalog.relation_names() {
+        let tuples = i64::try_from(catalog.relation(&name)?.len()).unwrap_or(i64::MAX);
+        summary.push(TpTuple::new(
+            vec![Value::str(&name), Value::Int(tuples)],
+            tpdb_lineage::Lineage::tru(),
+            tpdb_temporal::Interval::always(),
+            1.0,
+        ))?;
+    }
+    Ok(summary)
+}
+
 fn normalize(text: &str) -> String {
     let mut out = String::with_capacity(text.len());
     let mut chars = text.chars();
@@ -763,6 +838,92 @@ mod tests {
             s.execute(&q).unwrap();
         }
         assert_eq!(s.stats().cached_plans, MAX_CACHED_PLANS);
+    }
+
+    /// A scratch snapshot path unique to this test process.
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tpdb-session-{tag}-{}.snap", std::process::id()))
+    }
+
+    #[test]
+    fn save_and_load_snapshot_round_trip_through_statements() {
+        let path = scratch("roundtrip");
+        let s = session();
+        let before = s
+            .execute("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+            .unwrap();
+        // SAVE runs through the ordinary read-only path and reports one
+        // (Relation, Tuples) row per relation, in name order.
+        let summary = s
+            .execute(&format!("SAVE SNAPSHOT '{}'", path.display()))
+            .unwrap();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary.tuples()[0].facts()[0], Value::str("a"));
+        assert_eq!(summary.tuples()[1].facts()[0], Value::str("b"));
+
+        // LOAD replaces a fresh catalog and answers the same query
+        // identically.
+        let mut empty = Session::new(Catalog::new());
+        let loaded = empty
+            .execute_statement(&format!("LOAD SNAPSHOT '{}'", path.display()))
+            .unwrap();
+        assert_eq!(loaded.len(), 2);
+        let after = empty
+            .execute("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+            .unwrap();
+        assert_eq!(before, after);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_snapshot_needs_the_mutating_entry_point() {
+        let s = session();
+        let err = s.execute("LOAD SNAPSHOT '/tmp/nope.snap'").unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                TpdbError::Storage(tpdb_storage::StorageError::PlanNotApplicable { .. })
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn snapshot_statements_do_not_stream() {
+        let s = session();
+        let err = s.query("SAVE SNAPSHOT '/tmp/nope.snap'").unwrap_err();
+        assert!(err.to_string().contains("no result stream"), "{err}");
+    }
+
+    #[test]
+    fn explain_describes_snapshot_statements() {
+        let s = session();
+        let save = s.explain("SAVE SNAPSHOT '/tmp/x.snap'").unwrap();
+        assert!(
+            save.contains("SnapshotWrite '/tmp/x.snap' (2 relation(s))"),
+            "{save}"
+        );
+        let load = s.explain("LOAD SNAPSHOT '/tmp/x.snap'").unwrap();
+        assert!(load.contains("SnapshotRead"), "{load}");
+    }
+
+    #[test]
+    fn snapshot_statements_reject_missing_or_empty_paths() {
+        let s = session();
+        assert!(s.execute("SAVE SNAPSHOT").is_err());
+        assert!(s.execute("SAVE SNAPSHOT ''").is_err());
+        assert!(s.execute("LOAD SNAPSHOT 42").is_err());
+        // a failed write surfaces as the typed io error, not a panic
+        let err = s
+            .execute("SAVE SNAPSHOT '/nonexistent-dir/x.snap'")
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                TpdbError::Storage(tpdb_storage::StorageError::SnapshotIo { .. })
+            ),
+            "{err}"
+        );
     }
 
     #[test]

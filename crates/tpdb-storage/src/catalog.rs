@@ -7,9 +7,38 @@ use crate::schema::Schema;
 use crate::tuple::TpTuple;
 use crate::value::Value;
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use tpdb_lineage::{Lineage, ProbabilityEngine, SymbolTable, VarId};
 use tpdb_temporal::Interval;
+
+/// A multiply-and-fold hasher for dense `u32` lineage-variable ids. The
+/// marginal map takes one insert per base tuple on the snapshot-load and
+/// bulk-import paths, where SipHash shows up in profiles; Fibonacci
+/// multiplication is plenty for keys the catalog itself hands out.
+#[derive(Debug, Default)]
+pub(crate) struct VarIdHasher(u64);
+
+impl std::hash::Hasher for VarIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            self.0 ^= self.0 >> 32;
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = (self.0 ^ u64::from(n)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+}
+
+/// The catalog's marginal-probability map (one entry per base tuple).
+pub(crate) type MarginalMap = HashMap<VarId, f64, BuildHasherDefault<VarIdHasher>>;
 
 /// The catalog of a TP database.
 ///
@@ -33,7 +62,7 @@ use tpdb_temporal::Interval;
 pub struct Catalog {
     relations: RwLock<HashMap<String, Arc<TpRelation>>>,
     symbols: SymbolTable,
-    probabilities: HashMap<VarId, f64>,
+    probabilities: MarginalMap,
     /// Monotonic counter of relation-set mutations (the plan-cache key).
     epoch: u64,
 }
@@ -172,6 +201,33 @@ impl Catalog {
         let mut engine = ProbabilityEngine::new();
         engine.set_all(self.probabilities.iter().map(|(&v, &p)| (v, p)));
         engine
+    }
+
+    /// The full marginal-probability map (snapshot serialization support).
+    pub(crate) fn marginals(&self) -> &MarginalMap {
+        &self.probabilities
+    }
+
+    /// Atomically replaces the catalog's entire contents — symbol table,
+    /// marginals and relation set — and bumps the schema epoch once. This is
+    /// the commit point of [`Catalog::load_snapshot`]: the caller fully
+    /// decodes and validates a snapshot first, so a failed load never leaves
+    /// the catalog partially mutated.
+    pub(crate) fn replace_contents(
+        &mut self,
+        symbols: SymbolTable,
+        probabilities: MarginalMap,
+        relations: Vec<TpRelation>,
+    ) -> Result<(), StorageError> {
+        let map: RelationMap = relations
+            .into_iter()
+            .map(|r| (r.name().to_owned(), Arc::new(r)))
+            .collect();
+        *self.write_relations()? = map;
+        self.symbols = symbols;
+        self.probabilities = probabilities;
+        self.epoch += 1;
+        Ok(())
     }
 }
 

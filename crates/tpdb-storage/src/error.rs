@@ -63,6 +63,62 @@ pub enum StorageError {
     /// broken invariant elsewhere, so catalog entry points surface the
     /// condition instead of unwinding the caller.
     CatalogPoisoned,
+    /// A snapshot file did not start with the `TPDBSNAP` magic bytes.
+    SnapshotBadMagic,
+    /// A snapshot file uses a format version this build cannot read.
+    SnapshotUnsupportedVersion {
+        /// Version stamped in the file header.
+        found: u32,
+        /// Highest version this build understands.
+        supported: u32,
+    },
+    /// A snapshot section's payload does not match its stored checksum.
+    SnapshotChecksumMismatch {
+        /// Name of the damaged section (e.g. `relations`).
+        section: String,
+        /// Checksum stored in the section header.
+        expected: u64,
+        /// Checksum recomputed over the payload.
+        got: u64,
+    },
+    /// A snapshot file ended before a declared structure was complete.
+    SnapshotTruncated {
+        /// What was being decoded when the bytes ran out.
+        context: String,
+        /// Bytes the decoder still needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A snapshot decoded into structurally invalid data (impossible tags,
+    /// mis-sized sections, duplicate names, malformed formulas, ...).
+    SnapshotCorrupt {
+        /// Section in which the corruption was detected.
+        section: String,
+        /// Description of the problem.
+        detail: String,
+    },
+    /// A lineage formula or marginal entry in a snapshot referenced a
+    /// variable id at or above the snapshot's declared variable-space bound
+    /// (the symbol dictionary plus any anonymous generator variables).
+    SnapshotBadSymbol {
+        /// The out-of-range variable id.
+        id: u32,
+        /// The variable-space bound stamped in the snapshot.
+        bound: u32,
+    },
+    /// A snapshot carried a probability that is non-finite or outside
+    /// `[0, 1]`.
+    SnapshotInvalidProbability(f64),
+    /// The underlying file could not be read or written. The `std::io`
+    /// error is rendered to a string so the variant stays `Clone + PartialEq`
+    /// like the rest of the taxonomy.
+    SnapshotIo {
+        /// Path of the offending file.
+        path: String,
+        /// Rendering of the I/O error.
+        message: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -106,6 +162,51 @@ impl fmt::Display for StorageError {
                     "catalog lock poisoned: a thread panicked while holding it"
                 )
             }
+            StorageError::SnapshotBadMagic => {
+                write!(f, "snapshot has bad magic bytes: not a TPDB snapshot file")
+            }
+            StorageError::SnapshotUnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} is not supported (this build reads up to \
+                     version {supported})"
+                )
+            }
+            StorageError::SnapshotChecksumMismatch {
+                section,
+                expected,
+                got,
+            } => write!(
+                f,
+                "snapshot section `{section}` failed its checksum: stored {expected:#018x}, \
+                 recomputed {got:#018x}"
+            ),
+            StorageError::SnapshotTruncated {
+                context,
+                needed,
+                available,
+            } => write!(
+                f,
+                "snapshot truncated while reading {context}: needed {needed} byte(s), \
+                 {available} available"
+            ),
+            StorageError::SnapshotCorrupt { section, detail } => {
+                write!(f, "snapshot section `{section}` is corrupt: {detail}")
+            }
+            StorageError::SnapshotBadSymbol { id, bound } => write!(
+                f,
+                "snapshot references symbol id {id}, outside the snapshot's declared variable \
+                 space of {bound} ids"
+            ),
+            StorageError::SnapshotInvalidProbability(p) => {
+                write!(
+                    f,
+                    "snapshot carries invalid probability {p}: must be finite and within [0, 1]"
+                )
+            }
+            StorageError::SnapshotIo { path, message } => {
+                write!(f, "snapshot I/O error on {path}: {message}")
+            }
         }
     }
 }
@@ -143,5 +244,41 @@ mod tests {
         .to_string();
         assert!(e.contains("union-compatible"), "{e}");
         assert!(e.contains("column Loc"), "{e}");
+    }
+
+    #[test]
+    fn snapshot_display_messages_carry_their_evidence() {
+        assert!(StorageError::SnapshotBadMagic.to_string().contains("magic"));
+        let e = StorageError::SnapshotUnsupportedVersion {
+            found: 9,
+            supported: 1,
+        }
+        .to_string();
+        assert!(e.contains('9') && e.contains('1'), "{e}");
+        let e = StorageError::SnapshotChecksumMismatch {
+            section: "relations".into(),
+            expected: 0xdead,
+            got: 0xbeef,
+        }
+        .to_string();
+        assert!(e.contains("relations") && e.contains("dead"), "{e}");
+        let e = StorageError::SnapshotTruncated {
+            context: "symbol name".into(),
+            needed: 8,
+            available: 3,
+        }
+        .to_string();
+        assert!(e.contains("symbol name") && e.contains('8'), "{e}");
+        let e = StorageError::SnapshotBadSymbol { id: 42, bound: 10 }.to_string();
+        assert!(e.contains("42") && e.contains("10"), "{e}");
+        assert!(StorageError::SnapshotInvalidProbability(f64::NAN)
+            .to_string()
+            .contains("NaN"));
+        let e = StorageError::SnapshotIo {
+            path: "/tmp/x.snap".into(),
+            message: "permission denied".into(),
+        }
+        .to_string();
+        assert!(e.contains("/tmp/x.snap") && e.contains("permission"), "{e}");
     }
 }

@@ -46,6 +46,7 @@ mod error;
 mod integrity;
 mod relation;
 mod schema;
+pub mod snapshot;
 mod text;
 mod tuple;
 mod value;

@@ -92,6 +92,13 @@ impl TpRelation {
         self.tuples.push(tuple);
     }
 
+    /// Reserves capacity for at least `additional` more tuples (bulk-load
+    /// support: loaders that know the final cardinality up front avoid the
+    /// doubling reallocations of repeated pushes).
+    pub fn reserve(&mut self, additional: usize) {
+        self.tuples.reserve(additional);
+    }
+
     /// Returns a new relation containing the tuples satisfying `predicate`.
     #[must_use]
     pub fn filter<F: Fn(&TpTuple) -> bool>(&self, predicate: F) -> TpRelation {

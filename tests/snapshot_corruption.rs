@@ -1,0 +1,851 @@
+//! Fault-injection suite for the binary snapshot format.
+//!
+//! Every test corrupts a valid snapshot — flipping, truncating or zeroing
+//! header fields and section bytes, or hand-crafting a payload with a
+//! specific semantic fault under a *valid* checksum — and asserts three
+//! things:
+//!
+//! 1. the load fails with the **expected typed** `StorageError` variant
+//!    (never a panic),
+//! 2. the target catalog is left **byte-for-byte unchanged** (load is
+//!    all-or-nothing), and
+//! 3. exhaustive sweeps hold: *every* single-byte flip and *every*
+//!    truncation length of a real snapshot is rejected.
+//!
+//! The hand-rolled `Snap` builder below mirrors the on-disk layout
+//! documented in `tpdb-storage::snapshot` so individual fields can be
+//! faulted precisely; its checksums are recomputed with the real `crc64`
+//! so only the injected fault — not a checksum mismatch — explains the
+//! rejection.
+
+// Tests assert bit-exact values on purpose (reproducibility contract).
+#![allow(clippy::float_cmp)]
+
+use tpdb::storage::snapshot::{crc64, MAGIC, VERSION};
+use tpdb::storage::{Catalog, DataType, Schema, StorageError, Value};
+use tpdb::temporal::Interval;
+
+// Section tags of the v1 format.
+const TAG_SYMBOLS: u32 = 1;
+const TAG_MARGINALS: u32 = 2;
+const TAG_RELATIONS: u32 = 3;
+
+// Per-value tags.
+const VAL_INT: u8 = 2;
+const VAL_STR: u8 = 4;
+
+// Lineage op tags.
+const OP_VAR: u8 = 2;
+const OP_AND: u8 = 4;
+
+// ---------------------------------------------------------------------------
+// Little-endian byte builders (test-local mirror of the writer)
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A snapshot as three raw section payloads plus header fields, assembled
+/// with freshly computed checksums. Tests mutate one field or payload and
+/// leave everything else — including the CRCs — valid.
+struct Snap {
+    magic: [u8; 8],
+    version: u32,
+    /// `(tag, payload)` per section; checksum and length are derived.
+    sections: Vec<(u32, Vec<u8>)>,
+    /// Overrides the section count if set (to lie about it).
+    count_override: Option<u32>,
+    /// Extra bytes appended after the last section.
+    trailing: Vec<u8>,
+}
+
+impl Snap {
+    fn assemble(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.magic);
+        put_u32(&mut out, self.version);
+        let count = self.count_override.unwrap_or(self.sections.len() as u32);
+        put_u32(&mut out, count);
+        for (tag, payload) in &self.sections {
+            put_u32(&mut out, *tag);
+            put_u64(&mut out, payload.len() as u64);
+            put_u64(&mut out, crc64(payload));
+            out.extend_from_slice(payload);
+        }
+        out.extend_from_slice(&self.trailing);
+        out
+    }
+}
+
+/// The smallest interesting valid snapshot: one symbol `m1` (bound 1), one
+/// marginal `(x0, 0.9)`, one relation `m(k: Int)` holding the single tuple
+/// `(7, [3, 5), 0.9, x0)`.
+fn minimal() -> Snap {
+    Snap {
+        magic: MAGIC,
+        version: VERSION,
+        sections: vec![
+            (TAG_SYMBOLS, symbols_payload(&["m1"], 1)),
+            (TAG_MARGINALS, marginals_payload(&[(0, 0.9)])),
+            (TAG_RELATIONS, relations_payload(&default_relation())),
+        ],
+        count_override: None,
+        trailing: Vec::new(),
+    }
+}
+
+fn symbols_payload(names: &[&str], var_bound: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, names.len() as u32);
+    for name in names {
+        put_str(&mut out, name);
+    }
+    put_u32(&mut out, var_bound);
+    out
+}
+
+fn marginals_payload(pairs: &[(u32, f64)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, pairs.len() as u32);
+    for &(var, prob) in pairs {
+        put_u32(&mut out, var);
+        put_f64(&mut out, prob);
+    }
+    out
+}
+
+/// Knobs for the single-relation payload so each decode-side check can be
+/// tripped in isolation.
+struct Rel {
+    name: &'static str,
+    dtype_tag: u8,
+    value: Vec<u8>,
+    start: i64,
+    end: i64,
+    prob_bits: u64,
+    lineage: Vec<u8>,
+    lineage_ops: u32,
+}
+
+fn default_relation() -> Rel {
+    let mut value = vec![VAL_INT];
+    put_i64(&mut value, 7);
+    Rel {
+        name: "m",
+        dtype_tag: 1, // Int
+        value,
+        start: 3,
+        end: 5,
+        prob_bits: 0.9f64.to_bits(),
+        lineage: vec![OP_VAR, 0, 0, 0, 0], // var x0
+        lineage_ops: 1,
+    }
+}
+
+fn relations_payload(rel: &Rel) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, 1); // relation count
+    put_str(&mut out, rel.name);
+    put_u32(&mut out, 1); // arity
+    put_str(&mut out, "k");
+    out.push(rel.dtype_tag);
+    put_u64(&mut out, 1); // tuple count
+    out.extend_from_slice(&rel.value);
+    put_i64(&mut out, rel.start);
+    put_i64(&mut out, rel.end);
+    put_u64(&mut out, rel.prob_bits);
+    put_u32(&mut out, rel.lineage_ops);
+    out.extend_from_slice(&rel.lineage);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// All-or-nothing rejection harness
+// ---------------------------------------------------------------------------
+
+/// A non-empty catalog whose contents differ from every fixture in this
+/// file, used to prove failed loads leave the target untouched.
+fn sentinel() -> Catalog {
+    let mut catalog = Catalog::new();
+    let mut builder = catalog
+        .create_relation("sentinel", Schema::tp(&[("city", DataType::Str)]))
+        .unwrap();
+    builder
+        .push(
+            vec![Value::Str("Delft".into())],
+            Interval::new(10, 20),
+            0.25,
+        )
+        .push(
+            vec![Value::Str("Leiden".into())],
+            Interval::new(15, 30),
+            0.75,
+        );
+    let _ = builder.finish();
+    catalog
+}
+
+/// Loads `bytes` into a sentinel catalog, asserts the load fails without
+/// mutating the catalog, and hands back the typed error for matching.
+fn assert_rejects(bytes: &[u8]) -> StorageError {
+    let mut catalog = sentinel();
+    let before = catalog.to_snapshot_bytes().unwrap();
+    let epoch = catalog.schema_epoch();
+    let err = catalog
+        .load_snapshot_bytes(bytes)
+        .expect_err("corrupt snapshot must be rejected");
+    assert_eq!(
+        catalog.to_snapshot_bytes().unwrap(),
+        before,
+        "failed load must leave the catalog unchanged (all-or-nothing)"
+    );
+    assert_eq!(
+        catalog.schema_epoch(),
+        epoch,
+        "failed load must not bump the schema epoch"
+    );
+    err
+}
+
+fn assert_corrupt_in(err: StorageError, section: &str, detail_contains: &str) {
+    match err {
+        StorageError::SnapshotCorrupt { section: s, detail } => {
+            assert_eq!(s, section, "wrong section in: {detail}");
+            assert!(
+                detail.contains(detail_contains),
+                "detail `{detail}` should mention `{detail_contains}`"
+            );
+        }
+        other => panic!("expected SnapshotCorrupt in `{section}`, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline sanity: the hand-rolled minimal snapshot is actually valid
+// ---------------------------------------------------------------------------
+
+#[test]
+fn minimal_snapshot_loads_and_reencodes_identically() {
+    let bytes = minimal().assemble();
+    let mut catalog = sentinel();
+    catalog.load_snapshot_bytes(&bytes).unwrap();
+    let relation = catalog.relation("m").unwrap();
+    assert_eq!(relation.len(), 1);
+    let tuple = relation.iter().next().unwrap();
+    assert_eq!(tuple.fact(0), &Value::Int(7));
+    assert_eq!(tuple.interval(), Interval::new(3, 5));
+    assert_eq!(tuple.probability(), 0.9);
+    assert_eq!(catalog.symbols().name(tpdb::lineage::VarId(0)), Some("m1"));
+    // The builder mirrors the real writer exactly.
+    assert_eq!(catalog.to_snapshot_bytes().unwrap(), bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Header faults
+// ---------------------------------------------------------------------------
+
+#[test]
+fn flipped_magic_bytes_are_rejected() {
+    for i in 0..MAGIC.len() {
+        let mut snap = minimal();
+        snap.magic[i] ^= 0xFF;
+        let err = assert_rejects(&snap.assemble());
+        assert_eq!(err, StorageError::SnapshotBadMagic, "magic byte {i}");
+    }
+}
+
+#[test]
+fn zeroed_magic_is_rejected() {
+    let mut snap = minimal();
+    snap.magic = [0; 8];
+    assert_eq!(
+        assert_rejects(&snap.assemble()),
+        StorageError::SnapshotBadMagic
+    );
+}
+
+#[test]
+fn unsupported_versions_are_rejected() {
+    for found in [0, VERSION + 1, 7, u32::MAX] {
+        let mut snap = minimal();
+        snap.version = found;
+        let err = assert_rejects(&snap.assemble());
+        assert_eq!(
+            err,
+            StorageError::SnapshotUnsupportedVersion {
+                found,
+                supported: VERSION,
+            }
+        );
+    }
+}
+
+#[test]
+fn zero_section_count_is_a_missing_section() {
+    let mut snap = minimal();
+    snap.sections.clear();
+    snap.count_override = Some(0);
+    assert_corrupt_in(
+        assert_rejects(&snap.assemble()),
+        "header",
+        "missing section `symbols`",
+    );
+}
+
+#[test]
+fn overstated_section_count_is_rejected() {
+    let mut snap = minimal();
+    snap.count_override = Some(4); // only 3 sections follow
+    let err = assert_rejects(&snap.assemble());
+    assert!(
+        matches!(err, StorageError::SnapshotTruncated { .. }),
+        "reading the phantom fourth section must hit end-of-buffer, got {err:?}"
+    );
+}
+
+#[test]
+fn absurd_section_count_is_rejected_before_allocating() {
+    let mut snap = minimal();
+    snap.count_override = Some(u32::MAX);
+    assert_corrupt_in(assert_rejects(&snap.assemble()), "header", "cannot fit");
+}
+
+#[test]
+fn unknown_section_tag_is_rejected() {
+    let mut snap = minimal();
+    snap.sections[0].0 = 9;
+    assert_corrupt_in(
+        assert_rejects(&snap.assemble()),
+        "header",
+        "unknown section tag 9",
+    );
+}
+
+#[test]
+fn duplicate_section_is_rejected() {
+    let mut snap = minimal();
+    let dup = snap.sections[0].clone();
+    snap.sections.push(dup);
+    assert_corrupt_in(
+        assert_rejects(&snap.assemble()),
+        "header",
+        "duplicate section `symbols`",
+    );
+}
+
+#[test]
+fn missing_sections_are_rejected() {
+    for (drop_at, name) in [(0, "symbols"), (1, "marginals"), (2, "relations")] {
+        let mut snap = minimal();
+        snap.sections.remove(drop_at);
+        assert_corrupt_in(
+            assert_rejects(&snap.assemble()),
+            "header",
+            &format!("missing section `{name}`"),
+        );
+    }
+}
+
+#[test]
+fn trailing_bytes_after_last_section_are_rejected() {
+    let mut snap = minimal();
+    snap.trailing = vec![0xAB, 0xCD];
+    assert_corrupt_in(
+        assert_rejects(&snap.assemble()),
+        "header",
+        "2 trailing byte(s)",
+    );
+}
+
+#[test]
+fn corrupted_checksum_field_is_a_checksum_mismatch() {
+    // Flip one bit of each stored CRC (not the payload): the declared and
+    // computed checksums disagree and the mismatch names the section.
+    for (index, name) in [(0, "symbols"), (1, "marginals"), (2, "relations")] {
+        let snap = minimal();
+        let mut bytes = snap.assemble();
+        // Walk to the section's CRC field: header is 16 bytes, each section
+        // header is tag(4) + len(8) + crc(8) before its payload.
+        let mut offset = 16;
+        for (_, payload) in snap.sections.iter().take(index) {
+            offset += 20 + payload.len();
+        }
+        let crc_at = offset + 12;
+        bytes[crc_at] ^= 0x01;
+        match assert_rejects(&bytes) {
+            StorageError::SnapshotChecksumMismatch {
+                section,
+                expected,
+                got,
+            } => {
+                assert_eq!(section, name);
+                assert_ne!(expected, got);
+            }
+            other => panic!("expected checksum mismatch for `{name}`, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn overstated_section_length_is_rejected() {
+    let snap = minimal();
+    let mut bytes = snap.assemble();
+    // The first section's length field sits right after the header + tag.
+    let len_at = 16 + 4;
+    let huge = (bytes.len() as u64) * 2;
+    bytes[len_at..len_at + 8].copy_from_slice(&huge.to_le_bytes());
+    let err = assert_rejects(&bytes);
+    assert!(
+        matches!(err, StorageError::SnapshotTruncated { .. }),
+        "a length past end-of-buffer must be truncation, got {err:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Symbols-section faults (valid checksums, bad content)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn var_bound_below_dictionary_len_is_rejected() {
+    let mut snap = minimal();
+    snap.sections[0].1 = symbols_payload(&["m1"], 0);
+    assert_corrupt_in(
+        assert_rejects(&snap.assemble()),
+        "symbols",
+        "variable-space bound 0 is smaller than the dictionary",
+    );
+}
+
+#[test]
+fn duplicate_symbol_names_are_rejected() {
+    let mut snap = minimal();
+    snap.sections[0].1 = symbols_payload(&["m1", "m1"], 2);
+    assert_corrupt_in(
+        assert_rejects(&snap.assemble()),
+        "symbols",
+        "duplicate symbol name `m1`",
+    );
+}
+
+#[test]
+fn non_utf8_symbol_name_is_rejected() {
+    let mut payload = Vec::new();
+    put_u32(&mut payload, 1);
+    put_u32(&mut payload, 2); // 2-byte name...
+    payload.extend_from_slice(&[0xFF, 0xFE]); // ...that is not UTF-8
+    put_u32(&mut payload, 1);
+    let mut snap = minimal();
+    snap.sections[0].1 = payload;
+    assert_corrupt_in(
+        assert_rejects(&snap.assemble()),
+        "symbols",
+        "not valid UTF-8",
+    );
+}
+
+#[test]
+fn overstated_symbol_count_is_rejected() {
+    let mut snap = minimal();
+    let mut payload = symbols_payload(&["m1"], 1);
+    payload[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+    snap.sections[0].1 = payload;
+    assert_corrupt_in(assert_rejects(&snap.assemble()), "symbols", "cannot fit");
+}
+
+#[test]
+fn trailing_symbol_section_bytes_are_rejected() {
+    let mut snap = minimal();
+    snap.sections[0].1.push(0);
+    assert_corrupt_in(
+        assert_rejects(&snap.assemble()),
+        "symbols",
+        "trailing byte(s) after the section body",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Marginals-section faults
+// ---------------------------------------------------------------------------
+
+#[test]
+fn marginal_var_out_of_bound_is_a_bad_symbol() {
+    let mut snap = minimal();
+    snap.sections[1].1 = marginals_payload(&[(5, 0.9)]);
+    assert_eq!(
+        assert_rejects(&snap.assemble()),
+        StorageError::SnapshotBadSymbol { id: 5, bound: 1 }
+    );
+}
+
+#[test]
+fn out_of_range_marginal_probability_is_rejected() {
+    for bad in [1.5, -0.25, f64::INFINITY] {
+        let mut snap = minimal();
+        snap.sections[1].1 = marginals_payload(&[(0, bad)]);
+        assert_eq!(
+            assert_rejects(&snap.assemble()),
+            StorageError::SnapshotInvalidProbability(bad)
+        );
+    }
+}
+
+#[test]
+fn nan_marginal_probability_is_rejected() {
+    let mut snap = minimal();
+    snap.sections[1].1 = marginals_payload(&[(0, f64::NAN)]);
+    match assert_rejects(&snap.assemble()) {
+        StorageError::SnapshotInvalidProbability(p) => assert!(p.is_nan()),
+        other => panic!("expected SnapshotInvalidProbability(NaN), got {other:?}"),
+    }
+}
+
+#[test]
+fn unsorted_marginal_var_ids_are_rejected() {
+    let mut snap = minimal();
+    snap.sections[0].1 = symbols_payload(&["m1"], 3);
+    snap.sections[1].1 = marginals_payload(&[(2, 0.5), (1, 0.5)]);
+    assert_corrupt_in(
+        assert_rejects(&snap.assemble()),
+        "marginals",
+        "not strictly increasing at id 1",
+    );
+}
+
+#[test]
+fn duplicate_marginal_var_ids_are_rejected() {
+    let mut snap = minimal();
+    snap.sections[1].1 = marginals_payload(&[(0, 0.5), (0, 0.6)]);
+    assert_corrupt_in(
+        assert_rejects(&snap.assemble()),
+        "marginals",
+        "not strictly increasing at id 0",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Relations-section faults
+// ---------------------------------------------------------------------------
+
+fn minimal_with(rel: Rel) -> Snap {
+    let mut snap = minimal();
+    snap.sections[2].1 = relations_payload(&rel);
+    snap
+}
+
+#[test]
+fn unknown_field_type_tag_is_rejected() {
+    let rel = Rel {
+        dtype_tag: 9,
+        ..default_relation()
+    };
+    assert_corrupt_in(
+        assert_rejects(&minimal_with(rel).assemble()),
+        "relations",
+        "unknown field type tag 9",
+    );
+}
+
+#[test]
+fn unknown_value_tag_is_rejected() {
+    let rel = Rel {
+        value: vec![9],
+        ..default_relation()
+    };
+    assert_corrupt_in(
+        assert_rejects(&minimal_with(rel).assemble()),
+        "relations",
+        "unknown value tag 9",
+    );
+}
+
+#[test]
+fn value_of_the_wrong_type_for_its_column_is_rejected() {
+    // A string value in the Int column `k`, same total byte budget.
+    let mut value = vec![VAL_STR];
+    put_str(&mut value, "oops");
+    let rel = Rel {
+        value,
+        ..default_relation()
+    };
+    assert_corrupt_in(
+        assert_rejects(&minimal_with(rel).assemble()),
+        "relations",
+        "does not fit column `k` of `m`",
+    );
+}
+
+#[test]
+fn empty_interval_is_rejected() {
+    let rel = Rel {
+        start: 5,
+        end: 5,
+        ..default_relation()
+    };
+    let err = assert_rejects(&minimal_with(rel).assemble());
+    assert!(
+        matches!(err, StorageError::SnapshotCorrupt { ref section, .. } if section == "relations"),
+        "an end <= start interval must be corrupt, got {err:?}"
+    );
+}
+
+#[test]
+fn out_of_range_tuple_probability_is_rejected() {
+    let rel = Rel {
+        prob_bits: 1.5f64.to_bits(),
+        ..default_relation()
+    };
+    assert_eq!(
+        assert_rejects(&minimal_with(rel).assemble()),
+        StorageError::SnapshotInvalidProbability(1.5)
+    );
+}
+
+#[test]
+fn nan_tuple_probability_is_rejected() {
+    let rel = Rel {
+        prob_bits: f64::NAN.to_bits(),
+        ..default_relation()
+    };
+    match assert_rejects(&minimal_with(rel).assemble()) {
+        StorageError::SnapshotInvalidProbability(p) => assert!(p.is_nan()),
+        other => panic!("expected SnapshotInvalidProbability(NaN), got {other:?}"),
+    }
+}
+
+#[test]
+fn lineage_var_out_of_bound_is_a_bad_symbol() {
+    let rel = Rel {
+        lineage: vec![OP_VAR, 1, 0, 0, 0], // x1 with bound 1
+        ..default_relation()
+    };
+    assert_eq!(
+        assert_rejects(&minimal_with(rel).assemble()),
+        StorageError::SnapshotBadSymbol { id: 1, bound: 1 }
+    );
+}
+
+#[test]
+fn unknown_lineage_op_tag_is_rejected() {
+    let rel = Rel {
+        lineage: vec![9, 0, 0, 0, 0],
+        ..default_relation()
+    };
+    assert_corrupt_in(
+        assert_rejects(&minimal_with(rel).assemble()),
+        "relations",
+        "unknown lineage op tag 9",
+    );
+}
+
+#[test]
+fn empty_lineage_op_stream_is_rejected() {
+    let rel = Rel {
+        lineage_ops: 0,
+        lineage: Vec::new(),
+        ..default_relation()
+    };
+    assert_corrupt_in(
+        assert_rejects(&minimal_with(rel).assemble()),
+        "relations",
+        "empty lineage op stream",
+    );
+}
+
+#[test]
+fn connective_with_too_few_operands_is_rejected() {
+    // A single AND op claiming 5 operands over an empty stack.
+    let mut lineage = vec![OP_AND];
+    put_u32(&mut lineage, 5);
+    let rel = Rel {
+        lineage_ops: 1,
+        lineage,
+        ..default_relation()
+    };
+    assert_corrupt_in(
+        assert_rejects(&minimal_with(rel).assemble()),
+        "relations",
+        "connective needs 5 operand(s)",
+    );
+}
+
+#[test]
+fn lineage_stream_leaving_extra_operands_is_rejected() {
+    // Two var pushes and no connective: two operands left on the stack.
+    let mut lineage = vec![OP_VAR, 0, 0, 0, 0];
+    lineage.extend_from_slice(&[OP_VAR, 0, 0, 0, 0]);
+    let rel = Rel {
+        lineage_ops: 2,
+        lineage,
+        ..default_relation()
+    };
+    assert_corrupt_in(
+        assert_rejects(&minimal_with(rel).assemble()),
+        "relations",
+        "extra operands",
+    );
+}
+
+#[test]
+fn duplicate_relation_names_are_rejected() {
+    let one = relations_payload(&default_relation());
+    let mut payload = Vec::new();
+    put_u32(&mut payload, 2);
+    payload.extend_from_slice(&one[4..]); // strip each inner count
+    payload.extend_from_slice(&one[4..]);
+    let mut snap = minimal();
+    snap.sections[2].1 = payload;
+    assert_corrupt_in(
+        assert_rejects(&snap.assemble()),
+        "relations",
+        "duplicate relation name `m`",
+    );
+}
+
+#[test]
+fn overstated_tuple_count_is_rejected() {
+    let mut payload = relations_payload(&default_relation());
+    // tuple count u64 sits after count(4) + name(4+1) + arity(4) +
+    // field name(4+1) + dtype(1).
+    let at = 4 + 5 + 4 + 5 + 1;
+    payload[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    let mut snap = minimal();
+    snap.sections[2].1 = payload;
+    assert_corrupt_in(assert_rejects(&snap.assemble()), "relations", "cannot fit");
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive sweeps over a real snapshot
+// ---------------------------------------------------------------------------
+
+/// A real catalog (builder-interned symbols, compound marginals, two
+/// relations) whose snapshot exercises every section non-trivially.
+fn real_snapshot() -> Vec<u8> {
+    let mut catalog = Catalog::new();
+    let mut weather = catalog
+        .create_relation(
+            "weather",
+            Schema::tp(&[("city", DataType::Str), ("temp", DataType::Float)]),
+        )
+        .unwrap();
+    weather
+        .push(
+            vec![Value::Str("Delft".into()), Value::Float(18.5)],
+            Interval::new(0, 4),
+            0.6,
+        )
+        .push(
+            vec![Value::Str("Delft".into()), Value::Null],
+            Interval::new(4, 9),
+            0.3,
+        );
+    let _ = weather.finish();
+    let mut flags = catalog
+        .create_relation("flags", Schema::tp(&[("ok", DataType::Bool)]))
+        .unwrap();
+    flags.push(vec![Value::Bool(true)], Interval::new(1, 2), 0.5);
+    let _ = flags.finish();
+    catalog.to_snapshot_bytes().unwrap()
+}
+
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    let bytes = real_snapshot();
+    let mut catalog = sentinel();
+    let before = catalog.to_snapshot_bytes().unwrap();
+    for i in 0..bytes.len() {
+        let mut flipped = bytes.clone();
+        flipped[i] ^= 0xFF;
+        let err = catalog
+            .load_snapshot_bytes(&flipped)
+            .expect_err("every byte of the format is integrity-protected");
+        assert!(
+            matches!(
+                err,
+                StorageError::SnapshotBadMagic
+                    | StorageError::SnapshotUnsupportedVersion { .. }
+                    | StorageError::SnapshotChecksumMismatch { .. }
+                    | StorageError::SnapshotTruncated { .. }
+                    | StorageError::SnapshotCorrupt { .. }
+            ),
+            "byte {i}: unexpected error {err:?}"
+        );
+    }
+    assert_eq!(catalog.to_snapshot_bytes().unwrap(), before);
+}
+
+#[test]
+fn every_truncation_length_is_rejected() {
+    let bytes = real_snapshot();
+    let mut catalog = sentinel();
+    let before = catalog.to_snapshot_bytes().unwrap();
+    for len in 0..bytes.len() {
+        let err = catalog
+            .load_snapshot_bytes(&bytes[..len])
+            .expect_err("a truncated snapshot must never load");
+        assert!(
+            matches!(
+                err,
+                StorageError::SnapshotBadMagic
+                    | StorageError::SnapshotTruncated { .. }
+                    | StorageError::SnapshotChecksumMismatch { .. }
+                    | StorageError::SnapshotCorrupt { .. }
+            ),
+            "length {len}: unexpected error {err:?}"
+        );
+    }
+    assert_eq!(catalog.to_snapshot_bytes().unwrap(), before);
+}
+
+#[test]
+fn zeroing_each_section_payload_is_a_checksum_mismatch() {
+    let snap = minimal();
+    let assembled = snap.assemble();
+    let mut offset = 16;
+    for (index, (_, payload)) in snap.sections.iter().enumerate() {
+        let payload_at = offset + 20;
+        let mut bytes = assembled.clone();
+        for b in &mut bytes[payload_at..payload_at + payload.len()] {
+            *b = 0;
+        }
+        let err = assert_rejects(&bytes);
+        assert!(
+            matches!(err, StorageError::SnapshotChecksumMismatch { .. }),
+            "zeroed section {index}: expected checksum mismatch, got {err:?}"
+        );
+        offset = payload_at + payload.len();
+    }
+}
+
+#[test]
+fn io_error_is_typed_and_leaves_catalog_unchanged() {
+    let mut catalog = sentinel();
+    let before = catalog.to_snapshot_bytes().unwrap();
+    let missing = std::env::temp_dir().join(format!(
+        "tpdb-corruption-{}-does-not-exist.snap",
+        std::process::id()
+    ));
+    let err = catalog.load_snapshot(&missing).unwrap_err();
+    assert!(
+        matches!(err, StorageError::SnapshotIo { .. }),
+        "missing file must be SnapshotIo, got {err:?}"
+    );
+    assert_eq!(catalog.to_snapshot_bytes().unwrap(), before);
+}

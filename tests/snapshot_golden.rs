@@ -1,0 +1,148 @@
+//! Golden-fixture regression test for snapshot format v1.
+//!
+//! `tests/fixtures/snapshots/v1_meteo_tiny.snap` is a committed snapshot of
+//! a small, fully deterministic meteo-style catalog covering every value
+//! type (including `NULL`), every lineage op code and a non-trivial
+//! marginal table. The tests pin the format in both directions:
+//!
+//! * **encode**: re-serializing the same catalog today must reproduce the
+//!   fixture byte for byte — any unintentional change to the writer (field
+//!   order, endianness, checksums) fails here first;
+//! * **decode**: loading the committed bytes must keep working and yield
+//!   exactly the original catalog — old snapshots stay readable.
+//!
+//! If the format changes *intentionally*, bump `VERSION` in
+//! `tpdb-storage::snapshot`, add a new fixture, and keep this one to prove
+//! the old version is still rejected or migrated deliberately.
+//!
+//! Regenerate (only for a deliberate format change) with:
+//! `TPDB_BLESS_SNAPSHOTS=1 cargo test --test snapshot_golden`
+
+use tpdb::lineage::{Lineage, VarId};
+use tpdb::storage::{Catalog, DataType, Schema, TpRelation, TpTuple, Value};
+use tpdb::temporal::Interval;
+
+const FIXTURE: &[u8] = include_bytes!("fixtures/snapshots/v1_meteo_tiny.snap");
+const FIXTURE_PATH: &str = "tests/fixtures/snapshots/v1_meteo_tiny.snap";
+
+/// The catalog frozen in the fixture: three hand-picked meteo readings
+/// (every scalar type plus a `NULL`), a derived relation whose lineage
+/// exercises `true`/`false`/`var`/`not`/`and`/`or`, and the marginals the
+/// builder interned for `reading1..reading3`.
+fn tiny_meteo() -> Catalog {
+    let mut catalog = Catalog::new();
+    let mut readings = catalog
+        .create_relation(
+            "reading",
+            Schema::tp(&[
+                ("station", DataType::Str),
+                ("temp", DataType::Float),
+                ("hour", DataType::Int),
+                ("valid", DataType::Bool),
+            ]),
+        )
+        .unwrap();
+    readings
+        .push(
+            vec![
+                Value::Str("DEB".into()),
+                Value::Float(18.5),
+                Value::Int(7),
+                Value::Bool(true),
+            ],
+            Interval::new(0, 6),
+            0.9,
+        )
+        .push(
+            vec![
+                Value::Str("DEB".into()),
+                Value::Null,
+                Value::Int(8),
+                Value::Bool(false),
+            ],
+            Interval::new(6, 12),
+            0.4,
+        )
+        .push(
+            vec![
+                Value::Str("AMS".into()),
+                Value::Float(-3.25),
+                Value::Int(7),
+                Value::Bool(true),
+            ],
+            Interval::new(3, 4),
+            0.625,
+        );
+    let _ = readings.finish();
+
+    // A derived relation whose lineage walks every op code of the format.
+    let v1 = Lineage::var(VarId(0));
+    let v2 = Lineage::var(VarId(1));
+    let v3 = Lineage::var(VarId(2));
+    let mut derived = TpRelation::new("warm_spell", Schema::tp(&[("station", DataType::Str)]));
+    derived
+        .push(TpTuple::new(
+            vec![Value::Str("DEB".into())],
+            Lineage::or(vec![
+                Lineage::and(vec![v1.clone(), Lineage::not(v2)]),
+                Lineage::and(vec![v3, Lineage::tru()]),
+            ]),
+            Interval::new(0, 12),
+            0.75,
+        ))
+        .unwrap();
+    derived
+        .push(TpTuple::new(
+            vec![Value::Str("AMS".into())],
+            Lineage::and(vec![v1, Lineage::fls()]),
+            Interval::new(3, 4),
+            0.0,
+        ))
+        .unwrap();
+    catalog.register(derived).unwrap();
+    catalog
+}
+
+#[test]
+fn encoding_the_tiny_meteo_catalog_reproduces_the_fixture_exactly() {
+    let bytes = tiny_meteo().to_snapshot_bytes().unwrap();
+    if std::env::var_os("TPDB_BLESS_SNAPSHOTS").is_some() {
+        std::fs::write(FIXTURE_PATH, &bytes).unwrap();
+        return;
+    }
+    assert_eq!(
+        bytes, FIXTURE,
+        "snapshot writer output drifted from the committed v1 fixture; if \
+         the format change is intentional, bump the version and bless a new \
+         fixture (TPDB_BLESS_SNAPSHOTS=1)"
+    );
+}
+
+#[test]
+fn loading_the_committed_fixture_reconstructs_the_catalog() {
+    let expected = tiny_meteo();
+    let mut loaded = Catalog::new();
+    loaded.load_snapshot_bytes(FIXTURE).unwrap();
+
+    assert_eq!(loaded.relation_names(), expected.relation_names());
+    for name in expected.relation_names() {
+        assert_eq!(
+            loaded.relation(&name).unwrap(),
+            expected.relation(&name).unwrap(),
+            "relation `{name}` decoded from the fixture"
+        );
+    }
+    assert_eq!(loaded.symbols().len(), expected.symbols().len());
+    for (id, name) in expected.symbols().iter() {
+        assert_eq!(loaded.symbols().name(id), Some(name), "symbol {id}");
+    }
+    for id in 0..3 {
+        assert_eq!(
+            loaded.probability_of(VarId(id)),
+            expected.probability_of(VarId(id)),
+            "marginal of x{id}"
+        );
+    }
+    // And the canonical-bytes property holds for the fixture itself.
+    assert_eq!(loaded.to_snapshot_bytes().unwrap(), FIXTURE);
+}
