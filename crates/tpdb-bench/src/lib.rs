@@ -666,6 +666,142 @@ pub fn run_snapshot_load(tuples: usize, seed: u64, dir: &std::path::Path) -> Vec
     ]
 }
 
+/// `sorted` must be ascending; returns the latency at quantile `q` (0..=1)
+/// by nearest-rank, or `0.0` for an empty sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        n => {
+            let idx = ((n - 1) as f64 * q).round() as usize;
+            *sorted.get(idx.min(n - 1)).unwrap_or(&0.0)
+        }
+    }
+}
+
+/// The throughput figure: the workload's TP left outer join hammered
+/// through the `tpdb-server` front-end at each concurrency level, against a
+/// serial in-process [`Session`](tpdb_query::Session) baseline doing the
+/// identical work (execute + render the wire rows, minus the socket).
+///
+/// Per concurrency level `n` the server runs `n` workers; `n` client
+/// threads each issue `rounds` queries back-to-back and every response is
+/// asserted byte-identical to the serial reference rendering — the
+/// correctness half of the figure. Series produced:
+///
+/// * `serial` — wall-clock of `rounds` session executions (qps baseline),
+/// * `c<n>` — wall-clock of the concurrent run (`output` = total queries,
+///   so `output / millis` is the qps),
+/// * `c<n>-p50` / `c<n>-p99` — client-observed latency percentiles in ms,
+/// * `machine-cores` — the host's hardware parallelism (`output`), recorded
+///   so the scaling expectation of `BENCH_throughput.json` can be judged:
+///   on a single-core host the concurrency curve is flat by construction.
+#[must_use]
+pub fn run_throughput(w: &Workload, concurrency: &[usize], rounds: usize) -> Vec<Measurement> {
+    use tpdb_server::{protocol, Client, Server, ServerConfig};
+
+    let (rname, sname) = dataset_relation_names(w.dataset);
+    let key = w.dataset.key_column();
+    let query =
+        format!("SELECT * FROM {rname} TP LEFT JOIN {sname} ON {rname}.{key} = {sname}.{key}");
+    let catalog = || {
+        let mut c = Catalog::new();
+        c.register(w.r.clone()).expect("fresh catalog");
+        c.register(w.s.clone()).expect("fresh catalog");
+        c
+    };
+
+    let row = |series: String, millis: f64, output: usize| Measurement {
+        series,
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output,
+    };
+    let mut rows = Vec::new();
+
+    // Serial baseline: one session, `rounds` executions, rendering the
+    // same wire rows the server renders. The first execution doubles as
+    // the byte-identity reference and warms the session plan cache, like
+    // the server's first request warms the shared cache.
+    let mut session = tpdb_query::Session::new(catalog());
+    session.set_parallelism(1);
+    let reference =
+        protocol::render_relation_rows(&session.execute(&query).expect("reference query runs"));
+    let (serial_ms, ()) = time(|| {
+        for _ in 0..rounds {
+            let rendered = protocol::render_relation_rows(
+                &session.execute(&query).expect("serial query runs"),
+            );
+            assert_eq!(rendered.len(), reference.len(), "serial run diverged");
+        }
+    });
+    rows.push(row("serial".to_owned(), serial_ms, rounds));
+
+    for &n in concurrency {
+        let server = Server::start(
+            catalog(),
+            ServerConfig {
+                workers: n,
+                queue_depth: 2 * n.max(4),
+                parallelism: 1,
+            },
+        )
+        .expect("server starts");
+        let addr = server.local_addr();
+
+        let started = Instant::now();
+        let mut latencies: Vec<f64> = Vec::with_capacity(n * rounds);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|client_id| {
+                    let (query, reference) = (&query, &reference);
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("client connects");
+                        let mut samples = Vec::with_capacity(rounds);
+                        for round in 0..rounds {
+                            let t0 = Instant::now();
+                            let response = client.query(query).expect("concurrent query runs");
+                            samples.push(t0.elapsed().as_secs_f64() * 1000.0);
+                            assert!(
+                                response.rows == *reference,
+                                "client {client_id} round {round}: response diverged from \
+                                 the serial reference"
+                            );
+                        }
+                        client.close().ok();
+                        samples
+                    })
+                })
+                .collect();
+            for handle in handles {
+                latencies.extend(handle.join().expect("client thread panicked"));
+            }
+        });
+        let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        server.shutdown();
+
+        latencies.sort_by(f64::total_cmp);
+        rows.push(row(format!("c{n}"), wall_ms, n * rounds));
+        rows.push(row(
+            format!("c{n}-p50"),
+            percentile(&latencies, 0.50),
+            n * rounds,
+        ));
+        rows.push(row(
+            format!("c{n}-p99"),
+            percentile(&latencies, 0.99),
+            n * rounds,
+        ));
+    }
+
+    rows.push(row(
+        "machine-cores".to_owned(),
+        0.0,
+        tpdb_core::default_parallelism(),
+    ));
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -772,6 +908,36 @@ mod tests {
         assert_eq!(by("snap-load").output, by("datagen").output);
         // the CSV import covers both relations, like the catalog-level series
         assert_eq!(by("csv-import").output, by("datagen").output);
+    }
+
+    #[test]
+    fn throughput_series_cover_serial_and_every_concurrency_level() {
+        let w = Dataset::MeteoLike.generate(120, 7);
+        let rows = run_throughput(&w, &[1, 2], 2);
+        let series: Vec<&str> = rows.iter().map(|m| m.series.as_str()).collect();
+        for expected in [
+            "serial",
+            "c1",
+            "c1-p50",
+            "c1-p99",
+            "c2",
+            "c2-p50",
+            "c2-p99",
+            "machine-cores",
+        ] {
+            assert!(series.contains(&expected), "missing {expected}: {series:?}");
+        }
+        let by = |name: &str| {
+            rows.iter()
+                .find(|m| m.series == name)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+        };
+        // output is the query count the qps is computed from
+        assert_eq!(by("serial").output, 2);
+        assert_eq!(by("c2").output, 4);
+        // p50 <= p99 by construction, and the core count is at least 1
+        assert!(by("c2-p50").millis <= by("c2-p99").millis);
+        assert!(by("machine-cores").output >= 1);
     }
 
     #[test]

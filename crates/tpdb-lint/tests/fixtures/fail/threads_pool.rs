@@ -1,0 +1,8 @@
+// tpdb-lint-fixture: path=crates/tpdb-server/src/server.rs
+// tpdb-lint-expect: no-unscoped-threads:7:10
+
+// The pool-module exemption is path-exact: spawning anywhere else in the
+// server crate is still flagged.
+fn sneak_a_thread() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,8 @@
+// tpdb-lint-fixture: path=crates/tpdb-server/src/pool.rs
+
+// The sanctioned pool module: long-lived server threads may be spawned
+// here (and only here); the server joins every returned handle at
+// shutdown.
+fn spawn_worker(f: impl FnOnce() + Send + 'static) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(f)
+}

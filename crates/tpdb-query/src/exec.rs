@@ -26,7 +26,12 @@ use tpdb_lineage::ProbabilityEngine;
 use tpdb_storage::{Catalog, Schema, TpRelation, TpTuple};
 
 /// A Volcano-style physical operator.
-pub trait PhysicalOperator {
+///
+/// `Send` is a supertrait: a boxed pipeline (and therefore a
+/// [`crate::ResultCursor`]) can move to a server worker thread and execute
+/// there. Operators hold `Arc`'d relations and owned iterator state — no
+/// `Rc`/`RefCell` — so the bound costs implementors nothing.
+pub trait PhysicalOperator: Send {
     /// The fact schema of the tuples this operator produces.
     fn schema(&self) -> &Schema;
 

@@ -63,6 +63,7 @@ mod parser;
 mod plan;
 mod planner;
 mod session;
+mod shared_cache;
 
 pub use cursor::ResultCursor;
 #[allow(deprecated)]
@@ -73,7 +74,10 @@ pub use expr::{LiteralPredicate, Operand, PredicateOp};
 pub use parser::parse_query;
 pub use plan::{JoinStrategy, LogicalPlan};
 pub use planner::{explain, explain_with, plan_query, plan_query_with, QueryOptions};
-pub use session::{PreparedQuery, Session, SessionStats};
+pub use session::{snapshot_summary, PreparedQuery, Session, SessionStats};
+pub use shared_cache::{
+    normalize_text, prepare_plan, PreparedPlan, ShardedPlanCache, SharedCacheStats,
+};
 pub use tpdb_core::TpSetOpKind;
 
 /// The former name of [`TpdbError`].

@@ -3,9 +3,9 @@
 
 use crate::cursor::ResultCursor;
 use crate::exec::execute_plan_with;
-use crate::parser::parse_query;
 use crate::plan::LogicalPlan;
 use crate::planner::{explain_with, plan_query_with, QueryOptions};
+use crate::shared_cache::{normalize_text, prepare_plan, PreparedPlan};
 use crate::TpdbError;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
@@ -70,20 +70,9 @@ pub struct Session {
     cache: Mutex<PlanCache>,
 }
 
-/// An immutable prepared plan shared between the cache and the
-/// [`PreparedQuery`] handles cloned out of it.
-#[derive(Debug)]
-struct CachedPlan {
-    plan: LogicalPlan,
-    /// `$n` slots the statement references.
-    parameters: usize,
-    /// Schema epoch of the catalog the plan was validated against.
-    epoch: u64,
-}
-
 #[derive(Debug, Default)]
 struct PlanCache {
-    entries: HashMap<String, Arc<CachedPlan>>,
+    entries: HashMap<String, Arc<PreparedPlan>>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<String>,
     hits: u64,
@@ -264,8 +253,8 @@ impl Session {
     }
 
     /// Looks up (or parses, validates and caches) the plan of `text`.
-    fn cached_plan(&self, text: &str) -> Result<Arc<CachedPlan>, TpdbError> {
-        let key = normalize(text);
+    fn cached_plan(&self, text: &str) -> Result<Arc<PreparedPlan>, TpdbError> {
+        let key = normalize_text(text);
         let epoch = self.catalog.schema_epoch();
         {
             let mut cache = self.cache_guard();
@@ -281,28 +270,10 @@ impl Session {
             cache.misses += 1;
         }
         // Parse and validate outside the lock; a racing prepare of the same
-        // text at worst parses twice.
-        let plan = parse_query(text)?;
-        let parameters = plan.parameter_count();
-        // Validate once against the catalog: relation names, column
-        // references, θ binding and forced physical plans all fail here, at
-        // prepare time, not at the first execution. Placeholders are stood
-        // in by NULLs — only the slots' existence matters for validation.
-        // Utility statements (snapshot save/load) have no physical plan to
-        // probe; everything else validates by lowering once.
-        if !plan.is_utility() {
-            let probe = if parameters > 0 {
-                plan.bind_parameters(&vec![Value::Null; parameters])?
-            } else {
-                plan.clone()
-            };
-            plan_query_with(&self.catalog, &probe, &self.options)?;
-        }
-        let prepared = Arc::new(CachedPlan {
-            plan,
-            parameters,
-            epoch,
-        });
+        // text at worst parses twice. `prepare_plan` is the shared
+        // parse-and-validate path (also used by the server's
+        // [`crate::ShardedPlanCache`]).
+        let prepared = Arc::new(prepare_plan(&self.catalog, &self.options, text)?);
         let mut cache = self.cache_guard();
         if !cache.entries.contains_key(&key) {
             cache.order.push_back(key.clone());
@@ -319,7 +290,7 @@ impl Session {
     /// Binds parameters and executes to a materialized relation.
     fn run_prepared(
         &self,
-        prepared: &CachedPlan,
+        prepared: &PreparedPlan,
         params: &[Value],
     ) -> Result<TpRelation, TpdbError> {
         match &prepared.plan {
@@ -353,7 +324,7 @@ impl Session {
     /// result.
     fn open_cursor(
         &self,
-        prepared: &CachedPlan,
+        prepared: &PreparedPlan,
         params: &[Value],
     ) -> Result<ResultCursor, TpdbError> {
         if prepared.plan.is_utility() {
@@ -375,7 +346,7 @@ impl Session {
     /// count).
     fn bound_plan(
         &self,
-        prepared: &CachedPlan,
+        prepared: &PreparedPlan,
         params: &[Value],
     ) -> Result<LogicalPlan, TpdbError> {
         if params.len() != prepared.parameters {
@@ -392,17 +363,11 @@ impl Session {
     }
 }
 
-/// Normalizes query text for cache keying: surrounding whitespace is
-/// trimmed and internal whitespace runs collapse to a single space, so
-/// reformatting a query does not defeat the cache. Whitespace inside
-/// `'...'` string literals is copied verbatim — `'A  B'` and `'A B'` are
-/// different literals and must not share a cached plan. (Keywords are
-/// matched case-insensitively by the parser, but identifiers and literals
-/// are case-sensitive — case is therefore preserved here.)
 /// The result relation of a snapshot statement: one `(Relation, Tuples)`
 /// row per catalog relation, so scripts can see what a SAVE wrote or a
-/// LOAD brought in without a follow-up query.
-fn snapshot_summary(catalog: &Catalog) -> Result<TpRelation, TpdbError> {
+/// LOAD brought in without a follow-up query. Public so the server
+/// front-end renders the same summaries as an in-process session.
+pub fn snapshot_summary(catalog: &Catalog) -> Result<TpRelation, TpdbError> {
     let schema = Schema::tp(&[("Relation", DataType::Str), ("Tuples", DataType::Int)]);
     let mut summary = TpRelation::new("snapshot", schema);
     for name in catalog.relation_names() {
@@ -415,35 +380,6 @@ fn snapshot_summary(catalog: &Catalog) -> Result<TpRelation, TpdbError> {
         ))?;
     }
     Ok(summary)
-}
-
-fn normalize(text: &str) -> String {
-    let mut out = String::with_capacity(text.len());
-    let mut chars = text.chars();
-    let mut pending_space = false;
-    while let Some(c) = chars.next() {
-        if c.is_whitespace() {
-            pending_space = true;
-            continue;
-        }
-        if pending_space && !out.is_empty() {
-            out.push(' ');
-        }
-        pending_space = false;
-        out.push(c);
-        if c == '\'' {
-            // copy the literal (including its whitespace) up to the
-            // closing quote; an unterminated literal fails at parse time,
-            // before anything is cached
-            for q in chars.by_ref() {
-                out.push(q);
-                if q == '\'' {
-                    break;
-                }
-            }
-        }
-    }
-    out
 }
 
 /// A statement prepared by [`Session::prepare`]: parsed and validated
@@ -481,7 +417,7 @@ fn normalize(text: &str) -> String {
 #[derive(Debug)]
 pub struct PreparedQuery<'s> {
     session: &'s Session,
-    plan: Arc<CachedPlan>,
+    plan: Arc<PreparedPlan>,
 }
 
 impl PreparedQuery<'_> {
@@ -545,6 +481,7 @@ impl PreparedQuery<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parser::parse_query;
     use tpdb_storage::{DataType, Schema};
 
     fn session() -> Session {
@@ -786,16 +723,16 @@ mod tests {
     fn normalization_preserves_whitespace_inside_string_literals() {
         // reformatting outside literals is key-equivalent ...
         assert_eq!(
-            normalize("  SELECT *\n FROM   a "),
-            normalize("SELECT * FROM a")
+            normalize_text("  SELECT *\n FROM   a "),
+            normalize_text("SELECT * FROM a")
         );
         // ... but whitespace inside a literal is part of the value
         assert_ne!(
-            normalize("SELECT * FROM a WHERE Loc = 'A  B'"),
-            normalize("SELECT * FROM a WHERE Loc = 'A B'")
+            normalize_text("SELECT * FROM a WHERE Loc = 'A  B'"),
+            normalize_text("SELECT * FROM a WHERE Loc = 'A B'")
         );
         assert_eq!(
-            normalize("SELECT * FROM a WHERE Loc = 'A \t B'"),
+            normalize_text("SELECT * FROM a WHERE Loc = 'A \t B'"),
             "SELECT * FROM a WHERE Loc = 'A \t B'"
         );
     }

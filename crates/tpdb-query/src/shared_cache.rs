@@ -1,0 +1,371 @@
+//! Plan preparation and the shared, sharded plan cache.
+//!
+//! [`prepare_plan`] is the one parse-and-validate path of the query layer:
+//! it turns statement text into a [`PreparedPlan`] — the parsed
+//! [`LogicalPlan`], its `$n` parameter-slot count, and the catalog schema
+//! epoch the validation ran against. [`crate::Session`] caches prepared
+//! plans per session; [`ShardedPlanCache`] is the *shared* variant the
+//! server front-end hangs off one `Arc`: N independently locked shards
+//! (keyed by a hash of the normalized statement text) so that concurrent
+//! workers preparing different statements never contend on one mutex.
+//!
+//! Cache keying is identical to the session cache: the whitespace-
+//! normalized text is the key, and an entry only answers a lookup when its
+//! recorded schema epoch matches the reading catalog's current epoch — any
+//! DDL or snapshot load invalidates every older entry implicitly.
+//!
+//! ```
+//! use tpdb_query::{QueryOptions, ShardedPlanCache};
+//! use tpdb_storage::Catalog;
+//!
+//! let mut catalog = Catalog::new();
+//! let (a, b) = tpdb_datagen::booking_example();
+//! catalog.register(a).unwrap();
+//! catalog.register(b).unwrap();
+//!
+//! let cache = ShardedPlanCache::default();
+//! let options = QueryOptions::serial();
+//! let q = "SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc";
+//! let first = cache.get_or_prepare(&catalog, &options, q).unwrap();
+//! let again = cache.get_or_prepare(&catalog, &options, q).unwrap();
+//! assert_eq!(first.epoch, again.epoch);
+//! let stats = cache.stats();
+//! assert_eq!((stats.hits, stats.misses), (1, 1));
+//! ```
+
+use crate::parser::parse_query;
+use crate::plan::LogicalPlan;
+use crate::planner::{plan_query_with, QueryOptions};
+use crate::TpdbError;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use tpdb_storage::{Catalog, Value};
+
+/// A statement parsed and validated once: the immutable unit both the
+/// per-session cache and the [`ShardedPlanCache`] hand out behind `Arc`s.
+#[derive(Debug)]
+pub struct PreparedPlan {
+    /// The parsed logical plan, `$n` placeholders unbound.
+    pub plan: LogicalPlan,
+    /// Number of `$n` parameter slots the statement references.
+    pub parameters: usize,
+    /// Schema epoch of the catalog the plan was validated against; a
+    /// catalog reporting any other epoch makes this plan stale.
+    pub epoch: u64,
+}
+
+/// Parses and validates `text` against `catalog`, the single
+/// parse-and-validate path shared by [`crate::Session::prepare`] and the
+/// shared cache. Validation lowers the plan once (with `NULL` stand-ins
+/// for parameters), so unknown relations, unknown columns, θ binding
+/// failures and inapplicable forced plans all fail here — at prepare time,
+/// not at the first execution.
+pub fn prepare_plan(
+    catalog: &Catalog,
+    options: &QueryOptions,
+    text: &str,
+) -> Result<PreparedPlan, TpdbError> {
+    let plan = parse_query(text)?;
+    let parameters = plan.parameter_count();
+    // Utility statements (snapshot save/load) have no physical plan to
+    // probe; everything else validates by lowering once.
+    if !plan.is_utility() {
+        let probe = if parameters > 0 {
+            plan.bind_parameters(&vec![Value::Null; parameters])?
+        } else {
+            plan.clone()
+        };
+        plan_query_with(catalog, &probe, options)?;
+    }
+    Ok(PreparedPlan {
+        plan,
+        parameters,
+        epoch: catalog.schema_epoch(),
+    })
+}
+
+/// Normalizes statement text for cache keying: surrounding whitespace is
+/// trimmed and internal whitespace runs collapse to a single space, so
+/// reformatting a query does not defeat the cache. Whitespace inside
+/// `'...'` string literals is copied verbatim — `'A  B'` and `'A B'` are
+/// different literals and must not share a cached plan. (Keywords are
+/// matched case-insensitively by the parser, but identifiers and literals
+/// are case-sensitive — case is therefore preserved here.)
+#[must_use]
+pub fn normalize_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    let mut pending_space = false;
+    while let Some(c) = chars.next() {
+        if c.is_whitespace() {
+            pending_space = true;
+            continue;
+        }
+        if pending_space && !out.is_empty() {
+            out.push(' ');
+        }
+        pending_space = false;
+        out.push(c);
+        if c == '\'' {
+            // copy the literal (including its whitespace) up to the
+            // closing quote; an unterminated literal fails at parse time,
+            // before anything is cached
+            for q in chars.by_ref() {
+                out.push(q);
+                if q == '\'' {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One independently locked shard of the cache.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<String, Arc<PreparedPlan>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<String>,
+}
+
+/// Counters of a [`ShardedPlanCache`] ([`ShardedPlanCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharedCacheStats {
+    /// Lookups answered from the cache (text found, epoch current).
+    pub hits: u64,
+    /// Lookups that had to parse + validate (including epoch-stale hits).
+    pub misses: u64,
+    /// Plans currently cached across all shards.
+    pub entries: usize,
+}
+
+/// A plan cache shared by many concurrent sessions: N shards, each its own
+/// mutex-guarded map, selected by a hash of the normalized statement text.
+/// Entries are validated against the reading catalog's schema epoch on
+/// every lookup, so one cache serves sessions pinned at different epochs
+/// correctly — a stale entry is re-prepared and replaced in place.
+///
+/// Eviction is FIFO per shard with a fixed per-shard capacity, bounding
+/// the cache at `shards × capacity` plans.
+#[derive(Debug)]
+pub struct ShardedPlanCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ShardedPlanCache {
+    /// Eight shards of 64 plans each — 512 plans, matching a few hundred
+    /// distinct prepared statements across a worker pool.
+    fn default() -> Self {
+        Self::new(8, 64)
+    }
+}
+
+impl ShardedPlanCache {
+    /// Creates a cache with `shards` independently locked shards of
+    /// `capacity_per_shard` plans each (both clamped to at least 1).
+    #[must_use]
+    pub fn new(shards: usize, capacity_per_shard: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            capacity_per_shard: capacity_per_shard.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks the statement up (keyed by normalized text, validated against
+    /// `catalog`'s schema epoch) or parses, validates and caches it.
+    /// Parsing happens outside the shard lock; a racing prepare of the
+    /// same text at worst parses twice and the later insert wins.
+    pub fn get_or_prepare(
+        &self,
+        catalog: &Catalog,
+        options: &QueryOptions,
+        text: &str,
+    ) -> Result<Arc<PreparedPlan>, TpdbError> {
+        let key = normalize_text(text);
+        let epoch = catalog.schema_epoch();
+        {
+            let shard = self.shard(&key);
+            let cached = shard
+                .entries
+                .get(&key)
+                .filter(|entry| entry.epoch == epoch)
+                .map(Arc::clone);
+            if let Some(entry) = cached {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(entry);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(prepare_plan(catalog, options, text)?);
+        let mut shard = self.shard(&key);
+        if !shard.entries.contains_key(&key) {
+            shard.order.push_back(key.clone());
+            if shard.order.len() > self.capacity_per_shard {
+                if let Some(evicted) = shard.order.pop_front() {
+                    shard.entries.remove(&evicted);
+                }
+            }
+        }
+        shard.entries.insert(key, Arc::clone(&prepared));
+        Ok(prepared)
+    }
+
+    /// A snapshot of the cache's hit/miss counters and current size.
+    #[must_use]
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .entries
+                        .len()
+                })
+                .sum(),
+        }
+    }
+
+    /// Locks the shard owning `key`. Poisoning is recovered: every shard
+    /// mutation is a single map/deque call on `Arc`'d immutable plans, so
+    /// a panicking thread cannot leave a shard torn — and a best-effort
+    /// cache must never take the server down with it.
+    fn shard(&self, key: &str) -> MutexGuard<'_, Shard> {
+        let idx = (fx_hash(key.as_bytes()) as usize) % self.shards.len();
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// An FxHash-style byte hasher (multiply-xor over 8-byte words) — the same
+/// no-dependency construction `tpdb-lineage`'s interner uses. Only shard
+/// *selection* depends on it, so quality beyond "spreads typical statement
+/// texts" is not required.
+fn fx_hash(bytes: &[u8]) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    let mut hash = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in chunks.by_ref() {
+        let mut word = [0u8; 8];
+        word.copy_from_slice(chunk); // chunks_exact(8) guarantees the length
+        hash = (hash.rotate_left(5) ^ u64::from_le_bytes(word)).wrapping_mul(SEED);
+    }
+    for &b in chunks.remainder() {
+        hash = (hash.rotate_left(5) ^ u64::from(b)).wrapping_mul(SEED);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpdb_storage::{DataType, Schema, TpRelation};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let (a, b) = tpdb_datagen::booking_example();
+        c.register(a).unwrap();
+        c.register(b).unwrap();
+        c
+    }
+
+    #[test]
+    fn lookups_hit_after_one_miss_and_survive_reformatting() {
+        let c = catalog();
+        let cache = ShardedPlanCache::default();
+        let opts = QueryOptions::serial();
+        let q = "SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc";
+        cache.get_or_prepare(&c, &opts, q).unwrap();
+        cache
+            .get_or_prepare(
+                &c,
+                &opts,
+                "  SELECT *   FROM a\n TP ANTI JOIN b ON a.Loc = b.Loc ",
+            )
+            .unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn epoch_changes_invalidate_entries_in_place() {
+        let mut c = catalog();
+        let cache = ShardedPlanCache::default();
+        let opts = QueryOptions::serial();
+        let q = "SELECT * FROM a";
+        let first = cache.get_or_prepare(&c, &opts, q).unwrap();
+        c.register(TpRelation::new("x", Schema::tp(&[("X", DataType::Int)])))
+            .unwrap();
+        let second = cache.get_or_prepare(&c, &opts, q).unwrap();
+        assert_ne!(first.epoch, second.epoch);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 1));
+        // the refreshed entry answers the next lookup
+        cache.get_or_prepare(&c, &opts, q).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn dropped_relations_fail_loudly_instead_of_reusing_stale_plans() {
+        let mut c = catalog();
+        let cache = ShardedPlanCache::default();
+        let opts = QueryOptions::serial();
+        let q = "SELECT * FROM a";
+        cache.get_or_prepare(&c, &opts, q).unwrap();
+        c.drop_relation("a").unwrap();
+        match cache.get_or_prepare(&c, &opts, q) {
+            Err(TpdbError::Storage(e)) => assert!(e.to_string().contains("unknown relation")),
+            other => panic!("expected unknown relation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn per_shard_capacity_bounds_the_cache() {
+        let c = catalog();
+        let cache = ShardedPlanCache::new(2, 4);
+        let opts = QueryOptions::serial();
+        for i in 0..64 {
+            let q = format!("SELECT * FROM a WHERE Loc = 'L{i}'");
+            cache.get_or_prepare(&c, &opts, &q).unwrap();
+        }
+        assert!(cache.stats().entries <= 8, "{:?}", cache.stats());
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_with_serial_preparation() {
+        let c = catalog();
+        let cache = ShardedPlanCache::default();
+        let opts = QueryOptions::serial();
+        let queries: Vec<String> = (0..16)
+            .map(|i| format!("SELECT Name FROM a WHERE Loc = 'L{}'", i % 4))
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for q in &queries {
+                        let plan = cache.get_or_prepare(&c, &opts, q).unwrap();
+                        assert_eq!(plan.parameters, 0);
+                        assert_eq!(plan.epoch, c.schema_epoch());
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.hits + stats.misses, 64);
+        // every distinct text was parsed at least once, racing prepares at
+        // worst parse twice — never more than the 4 threads could race
+        assert!((4..=16).contains(&(stats.misses as usize)), "{stats:?}");
+    }
+}

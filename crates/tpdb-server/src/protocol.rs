@@ -1,0 +1,606 @@
+//! The wire protocol: newline-delimited requests, count-delimited
+//! response frames.
+//!
+//! **Requests** are single UTF-8 lines, terminated by `\n`:
+//!
+//! * any query-language statement (`SELECT ...`, `SAVE SNAPSHOT '...'`,
+//!   `LOAD SNAPSHOT '...'`, set operations, ...) is sent verbatim;
+//! * `PREPARE <name> AS <text>` validates `<text>` and binds it to
+//!   `<name>` for this connection;
+//! * `EXECUTE <name>` / `EXECUTE <name> (<literal>, ...)` runs a prepared
+//!   statement, binding one literal per `$n` slot;
+//! * `EXPLAIN <text>` returns the plan without executing;
+//! * `PING`, `STATS`, `SLEEP <millis>` (diagnostics) and `CLOSE`.
+//!
+//! **Responses** are framed by a count-carrying header line and an `OK`
+//! terminator line, so a reader always knows how many lines follow:
+//!
+//! ```text
+//! ROWS <n>                     TEXT <n>                ERR <Code> <message>
+//! SCHEMA <col:TYPE\t...>       <line 1>
+//! <row 1>                      ...
+//! ...                          <line n>
+//! OK                           OK
+//! ```
+//!
+//! Row lines are tab-separated `fact₁ .. fact_k  [s,e)  p  λ` — the fact
+//! values, the validity interval, the probability and the lineage of one
+//! tuple, each field escaped ([`escape_field`]) so embedded tabs or
+//! newlines cannot break the framing. The same rendering functions serve
+//! the server and the test suites, which is what makes "byte-identical to
+//! a serial [`Session`](tpdb_query::Session) run" a checkable property.
+
+use std::fmt;
+use tpdb_query::TpdbError;
+use tpdb_storage::{Schema, TpRelation, TpTuple, Value};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A query-language statement, sent verbatim.
+    Query(String),
+    /// `PREPARE <name> AS <text>`: validate and name a statement.
+    Prepare {
+        /// The connection-local statement name.
+        name: String,
+        /// The statement text.
+        text: String,
+    },
+    /// `EXECUTE <name> (<literals>)`: run a named statement with bound
+    /// parameter values.
+    Execute {
+        /// The connection-local statement name.
+        name: String,
+        /// One value per `$n` slot, in order.
+        params: Vec<Value>,
+    },
+    /// `EXPLAIN <text>`: plan without executing.
+    Explain(String),
+    /// `SLEEP <millis>`: occupy a worker for the given time (diagnostics;
+    /// the concurrency tests use it to create deterministic backlog).
+    Sleep(u64),
+    /// `PING`: liveness probe.
+    Ping,
+    /// `STATS`: server counters as `key=value` lines.
+    Stats,
+    /// `CLOSE`: end this connection.
+    Close,
+}
+
+/// The typed error classes of the wire protocol. The first word after
+/// `ERR` on the wire; clients match on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The statement text failed to parse.
+    Parse,
+    /// A catalog/schema/IO error from the storage layer.
+    Storage,
+    /// Wrong number of bound parameter values.
+    ParameterCount,
+    /// A `$n` placeholder reached execution unbound.
+    UnboundParameter,
+    /// The admission queue is full — retry later (backpressure, not
+    /// failure).
+    ServerBusy,
+    /// The server is draining; the request was not executed.
+    ServerShuttingDown,
+    /// The request line itself was malformed.
+    Protocol,
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Parse => "Parse",
+            Self::Storage => "Storage",
+            Self::ParameterCount => "ParameterCount",
+            Self::UnboundParameter => "UnboundParameter",
+            Self::ServerBusy => "ServerBusy",
+            Self::ServerShuttingDown => "ServerShuttingDown",
+            Self::Protocol => "Protocol",
+        })
+    }
+}
+
+impl std::str::FromStr for ErrorCode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "Parse" => Ok(Self::Parse),
+            "Storage" => Ok(Self::Storage),
+            "ParameterCount" => Ok(Self::ParameterCount),
+            "UnboundParameter" => Ok(Self::UnboundParameter),
+            "ServerBusy" => Ok(Self::ServerBusy),
+            "ServerShuttingDown" => Ok(Self::ServerShuttingDown),
+            "Protocol" => Ok(Self::Protocol),
+            other => Err(format!("unknown error code: {other}")),
+        }
+    }
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A relation: rendered schema line plus one rendered line per tuple.
+    Rows {
+        /// The rendered schema (`SCHEMA` line payload).
+        schema: String,
+        /// One rendered, escaped line per tuple.
+        rows: Vec<String>,
+    },
+    /// Free-form text lines (EXPLAIN output, STATS, PONG, ...).
+    Text(Vec<String>),
+    /// A typed error.
+    Error {
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail (single logical line; escaped on the
+        /// wire).
+        message: String,
+    },
+}
+
+impl Response {
+    /// Encodes the frame for the wire, including the trailing newline.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        match self {
+            Self::Rows { schema, rows } => {
+                let mut out = format!("ROWS {}\nSCHEMA {}\n", rows.len(), schema);
+                for row in rows {
+                    out.push_str(row);
+                    out.push('\n');
+                }
+                out.push_str("OK\n");
+                out
+            }
+            Self::Text(lines) => {
+                let mut out = format!("TEXT {}\n", lines.len());
+                for line in lines {
+                    out.push_str(&escape_field(line));
+                    out.push('\n');
+                }
+                out.push_str("OK\n");
+                out
+            }
+            Self::Error { code, message } => {
+                format!("ERR {code} {}\n", escape_field(message))
+            }
+        }
+    }
+
+    /// Maps an engine error onto its wire error class.
+    #[must_use]
+    pub fn from_error(err: &TpdbError) -> Self {
+        let code = match err {
+            TpdbError::Parse(_) => ErrorCode::Parse,
+            TpdbError::Storage(_) => ErrorCode::Storage,
+            TpdbError::ParameterCount { .. } => ErrorCode::ParameterCount,
+            TpdbError::UnboundParameter { .. } => ErrorCode::UnboundParameter,
+        };
+        Self::Error {
+            code,
+            message: err.to_string(),
+        }
+    }
+}
+
+/// Escapes a field or text line for the wire: backslash, tab, newline and
+/// carriage return become two-character escapes, so one field can never
+/// split a row and one row can never split a frame.
+#[must_use]
+pub fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_field`]. Unknown escapes keep the escaped character;
+/// a trailing lone backslash is kept verbatim.
+#[must_use]
+pub fn unescape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Renders a schema as the `SCHEMA` line payload: tab-separated
+/// `name:TYPE` pairs.
+#[must_use]
+pub fn render_schema(schema: &Schema) -> String {
+    let cols: Vec<String> = schema
+        .fields()
+        .iter()
+        .map(|f| format!("{}:{}", escape_field(&f.name), f.dtype))
+        .collect();
+    cols.join("\t")
+}
+
+/// Renders one tuple as a wire row: tab-separated escaped fact values,
+/// then the interval, the probability and the lineage.
+#[must_use]
+pub fn render_tuple(tuple: &TpTuple) -> String {
+    let mut fields: Vec<String> = tuple
+        .facts()
+        .iter()
+        .map(|v| escape_field(&v.to_string()))
+        .collect();
+    fields.push(tuple.interval().to_string());
+    fields.push(tuple.probability().to_string());
+    fields.push(escape_field(&tuple.lineage().to_string()));
+    fields.join("\t")
+}
+
+/// Renders a whole relation as wire rows — the canonical rendering both
+/// the server and the byte-identity tests use.
+#[must_use]
+pub fn render_relation_rows(relation: &TpRelation) -> Vec<String> {
+    relation.iter().map(render_tuple).collect()
+}
+
+/// Builds the `ROWS` response for a result relation.
+#[must_use]
+pub fn rows_response(relation: &TpRelation) -> Response {
+    Response::Rows {
+        schema: render_schema(relation.schema()),
+        rows: render_relation_rows(relation),
+    }
+}
+
+/// A malformed request line. Request-line syntax has exactly one failure
+/// class on the wire — `ERR Protocol` — so the type is a message-bearing
+/// newtype rather than an enum: it exists to keep the failure typed on the
+/// Rust side while carrying the human-readable description verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    message: String,
+}
+
+impl RequestError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The description the server sends back in the `ERR Protocol` frame.
+    #[must_use]
+    pub fn into_message(self) -> String {
+        self.message
+    }
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Parses one request line (already stripped of its line terminator).
+/// Command words are matched case-insensitively; anything that is not a
+/// protocol command is passed through as query text.
+pub fn parse_request(line: &str) -> Result<Request, RequestError> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Err(RequestError::new("empty request"));
+    }
+    let mut words = trimmed.split_whitespace();
+    let head = words.next().unwrap_or_default();
+    match head.to_ascii_uppercase().as_str() {
+        "PING" => expect_bare(trimmed, head, Request::Ping),
+        "STATS" => expect_bare(trimmed, head, Request::Stats),
+        "CLOSE" => expect_bare(trimmed, head, Request::Close),
+        "SLEEP" => {
+            let rest = trimmed[head.len()..].trim();
+            let millis: u64 = rest.parse().map_err(|_| {
+                RequestError::new(format!("SLEEP expects milliseconds, got `{rest}`"))
+            })?;
+            Ok(Request::Sleep(millis))
+        }
+        "EXPLAIN" => {
+            let rest = trimmed[head.len()..].trim();
+            if rest.is_empty() {
+                return Err(RequestError::new("EXPLAIN expects a statement"));
+            }
+            Ok(Request::Explain(rest.to_owned()))
+        }
+        "PREPARE" => parse_prepare(trimmed, head),
+        "EXECUTE" => parse_execute(trimmed, head),
+        _ => Ok(Request::Query(trimmed.to_owned())),
+    }
+}
+
+/// Rejects trailing garbage after an argument-less command.
+fn expect_bare(line: &str, head: &str, req: Request) -> Result<Request, RequestError> {
+    if line.len() == head.len() {
+        Ok(req)
+    } else {
+        Err(RequestError::new(format!(
+            "`{}` takes no arguments",
+            head.to_ascii_uppercase()
+        )))
+    }
+}
+
+/// `PREPARE <name> AS <text>`.
+fn parse_prepare(line: &str, head: &str) -> Result<Request, RequestError> {
+    let rest = line[head.len()..].trim_start();
+    let (name, after_name) = rest
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| RequestError::new("PREPARE expects `<name> AS <statement>`"))?;
+    if !is_identifier(name) {
+        return Err(RequestError::new(format!(
+            "invalid statement name `{name}`"
+        )));
+    }
+    let after_name = after_name.trim_start();
+    let (kw, text) = after_name
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| RequestError::new("PREPARE expects `AS <statement>`"))?;
+    if !kw.eq_ignore_ascii_case("AS") {
+        return Err(RequestError::new(format!(
+            "PREPARE expects `AS`, got `{kw}`"
+        )));
+    }
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(RequestError::new("PREPARE expects a statement after AS"));
+    }
+    Ok(Request::Prepare {
+        name: name.to_owned(),
+        text: text.to_owned(),
+    })
+}
+
+/// `EXECUTE <name>` or `EXECUTE <name> (<literal>, ...)`.
+fn parse_execute(line: &str, head: &str) -> Result<Request, RequestError> {
+    let rest = line[head.len()..].trim();
+    if rest.is_empty() {
+        return Err(RequestError::new("EXECUTE expects a statement name"));
+    }
+    let (name, args) = match rest.split_once('(') {
+        None => (rest, None),
+        Some((name, args)) => {
+            let args = args
+                .strip_suffix(')')
+                .ok_or_else(|| RequestError::new("unterminated parameter list"))?;
+            (name.trim(), Some(args))
+        }
+    };
+    if !is_identifier(name) {
+        return Err(RequestError::new(format!(
+            "invalid statement name `{name}`"
+        )));
+    }
+    let params = match args {
+        None => Vec::new(),
+        Some(a) => parse_literals(a)?,
+    };
+    Ok(Request::Execute {
+        name: name.to_owned(),
+        params,
+    })
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    chars
+        .next()
+        .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parses a comma-separated literal list: `NULL`, `TRUE`/`FALSE`,
+/// integers, floats, and `'...'` strings with `''` escaping the quote.
+pub fn parse_literals(s: &str) -> Result<Vec<Value>, RequestError> {
+    let mut out = Vec::new();
+    let mut rest = s.trim();
+    if rest.is_empty() {
+        return Ok(out);
+    }
+    loop {
+        let (value, tail) = parse_literal(rest)?;
+        out.push(value);
+        rest = tail.trim_start();
+        if rest.is_empty() {
+            return Ok(out);
+        }
+        rest = rest
+            .strip_prefix(',')
+            .ok_or_else(|| {
+                RequestError::new(format!("expected `,` between literals, got `{rest}`"))
+            })?
+            .trim_start();
+        if rest.is_empty() {
+            return Err(RequestError::new("trailing `,` in parameter list"));
+        }
+    }
+}
+
+/// Parses one literal off the front of `s`, returning the remainder.
+fn parse_literal(s: &str) -> Result<(Value, &str), RequestError> {
+    if let Some(body) = s.strip_prefix('\'') {
+        // Scan for the closing quote, treating '' as an escaped quote.
+        let mut text = String::new();
+        let mut chars = body.char_indices().peekable();
+        while let Some((i, c)) = chars.next() {
+            if c != '\'' {
+                text.push(c);
+                continue;
+            }
+            if let Some(&(_, '\'')) = chars.peek() {
+                chars.next();
+                text.push('\'');
+                continue;
+            }
+            let rest = &body[i + 1..];
+            return Ok((Value::str(&text), rest));
+        }
+        return Err(RequestError::new(format!(
+            "unterminated string literal: '{body}"
+        )));
+    }
+    let end = s.find([',', ' ', '\t']).unwrap_or(s.len());
+    let (word, rest) = s.split_at(end);
+    if word.eq_ignore_ascii_case("NULL") {
+        return Ok((Value::Null, rest));
+    }
+    if word.eq_ignore_ascii_case("TRUE") {
+        return Ok((Value::Bool(true), rest));
+    }
+    if word.eq_ignore_ascii_case("FALSE") {
+        return Ok((Value::Bool(false), rest));
+    }
+    if let Ok(i) = word.parse::<i64>() {
+        return Ok((Value::Int(i), rest));
+    }
+    if let Ok(f) = word.parse::<f64>() {
+        return Ok((Value::Float(f), rest));
+    }
+    Err(RequestError::new(format!("invalid literal: `{word}`")))
+}
+
+/// Formats a [`Value`] as a literal [`parse_literals`] reads back — used
+/// by [`crate::Client::execute`] to send bound parameters.
+///
+/// `Float` values are rendered via `{}`; a float with an integral value
+/// (e.g. `1.0`) therefore reads back as an `Int`. Statements comparing
+/// floats should send explicitly fractional values or inline the literal
+/// in the statement text.
+#[must_use]
+pub fn format_literal(value: &Value) -> String {
+    match value {
+        Value::Null => "NULL".to_owned(),
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_owned(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => f.to_string(),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_parse_into_typed_requests() {
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("CLOSE").unwrap(), Request::Close);
+        assert_eq!(parse_request("SLEEP 25").unwrap(), Request::Sleep(25));
+        assert_eq!(
+            parse_request("SELECT * FROM a").unwrap(),
+            Request::Query("SELECT * FROM a".to_owned())
+        );
+        assert_eq!(
+            parse_request("EXPLAIN SELECT * FROM a").unwrap(),
+            Request::Explain("SELECT * FROM a".to_owned())
+        );
+        assert_eq!(
+            parse_request("PREPARE q1 AS SELECT * FROM a WHERE Loc = $1").unwrap(),
+            Request::Prepare {
+                name: "q1".to_owned(),
+                text: "SELECT * FROM a WHERE Loc = $1".to_owned(),
+            }
+        );
+        assert_eq!(
+            parse_request("EXECUTE q1 ('ZAK', 3, 1.5, TRUE, NULL)").unwrap(),
+            Request::Execute {
+                name: "q1".to_owned(),
+                params: vec![
+                    Value::str("ZAK"),
+                    Value::Int(3),
+                    Value::Float(1.5),
+                    Value::Bool(true),
+                    Value::Null,
+                ],
+            }
+        );
+        assert_eq!(
+            parse_request("EXECUTE q1").unwrap(),
+            Request::Execute {
+                name: "q1".to_owned(),
+                params: vec![],
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("PING now").is_err());
+        assert!(parse_request("SLEEP soon").is_err());
+        assert!(parse_request("PREPARE q1").is_err());
+        assert!(parse_request("PREPARE q1 SELECT 1").is_err());
+        assert!(parse_request("PREPARE 1q AS SELECT 1").is_err());
+        assert!(parse_request("EXECUTE q1 ('unterminated)").is_err());
+        assert!(parse_request("EXECUTE q1 (1,)").is_err());
+        assert!(parse_request("EXECUTE q1 (1 2)").is_err());
+    }
+
+    #[test]
+    fn string_literals_roundtrip_through_quote_escaping() {
+        let v = Value::str("it''s; a 'test'".replace("''", "'").as_str());
+        let formatted = format_literal(&v);
+        let parsed = parse_literals(&formatted).unwrap();
+        assert_eq!(parsed, vec![v]);
+    }
+
+    #[test]
+    fn field_escaping_roundtrips() {
+        for s in [
+            "plain",
+            "tab\there",
+            "line\nbreak",
+            "back\\slash",
+            "\r\n\t\\",
+        ] {
+            assert_eq!(unescape_field(&escape_field(s)), s);
+            assert!(!escape_field(s).contains('\n'));
+            assert!(!escape_field(s).contains('\t'));
+        }
+    }
+
+    #[test]
+    fn response_frames_encode_with_count_and_terminator() {
+        let rows = Response::Rows {
+            schema: "Name:STR".to_owned(),
+            rows: vec!["Ann\t[2,8)\t0.7\tx1".to_owned()],
+        };
+        assert_eq!(
+            rows.encode(),
+            "ROWS 1\nSCHEMA Name:STR\nAnn\t[2,8)\t0.7\tx1\nOK\n"
+        );
+        let text = Response::Text(vec!["PONG".to_owned()]);
+        assert_eq!(text.encode(), "TEXT 1\nPONG\nOK\n");
+        let err = Response::Error {
+            code: ErrorCode::ServerBusy,
+            message: "queue full\nretry".to_owned(),
+        };
+        assert_eq!(err.encode(), "ERR ServerBusy queue full\\nretry\n");
+    }
+}

@@ -1,0 +1,569 @@
+//! The server: acceptor, per-connection readers, a fixed worker pool with
+//! a bounded admission queue, and graceful shutdown.
+//!
+//! ## Thread and data topology
+//!
+//! ```text
+//! acceptor ──► connection threads (1/conn) ──► bounded queue ──► workers (N)
+//!                   │  parse request,                              │ pin catalog snapshot,
+//!                   │  try_send + wait reply,                      │ plan via sharded cache,
+//!                   │  write response frame                        │ execute, render frame
+//!                   └──────────────◄── reply channel ◄─────────────┘
+//! ```
+//!
+//! Every thread is spawned through [`crate::pool`] and joined at
+//! shutdown. Workers never touch sockets; connection threads never touch
+//! the engine — the admission queue is the only coupling, and it is
+//! *bounded*: when it is full, the connection thread answers
+//! `ERR ServerBusy` itself instead of buffering (explicit backpressure).
+//!
+//! ## Reads, writes and epochs
+//!
+//! A worker pins one [`Catalog`] snapshot per request
+//! ([`SharedCatalog::snapshot`]) and executes entirely against it, so a
+//! query sees one schema epoch — never a torn mix — while `LOAD SNAPSHOT`
+//! or DDL swaps the published catalog atomically underneath. Plans come
+//! from one [`ShardedPlanCache`] shared by all workers, keyed by
+//! normalized text and validated against the pinned snapshot's epoch.
+//!
+//! ## Shutdown sequence
+//!
+//! [`ServerHandle::shutdown`]: set the draining flag → wake and join the
+//! acceptor (the listener closes; new connects are refused) → half-close
+//! (`Shutdown::Read`) every live connection so readers see EOF after
+//! their in-flight reply → join connection threads → drop the master
+//! queue sender → workers drain the queue (answering not-yet-started
+//! requests with `ERR ServerShuttingDown`), see the channel disconnect,
+//! and exit → join workers. In-flight statements complete normally; no
+//! thread outlives the call.
+
+use crate::pool;
+use crate::protocol::{parse_request, rows_response, ErrorCode, Request, Response};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use tpdb_query::{
+    execute_plan_with, explain_with, snapshot_summary, LogicalPlan, QueryOptions, ShardedPlanCache,
+    TpdbError,
+};
+use tpdb_storage::{Catalog, SharedCatalog};
+
+/// Server sizing and execution knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads executing statements. Default: 4.
+    pub workers: usize,
+    /// Admission-queue capacity. A request arriving while `queue_depth`
+    /// requests wait is rejected with `ServerBusy`. Default: 16.
+    pub queue_depth: usize,
+    /// Per-statement degree of parallelism inside a worker. Default: 1 —
+    /// concurrency comes from the pool; per-query fan-out on top of it
+    /// oversubscribes the cores (a query can still pin `PARALLEL n`).
+    pub parallelism: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 16,
+            parallelism: 1,
+        }
+    }
+}
+
+/// A point-in-time copy of the server's counters
+/// ([`ServerHandle::stats`], and the `STATS` wire command).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since start.
+    pub connections: u64,
+    /// Request lines read (parseable or not).
+    pub requests: u64,
+    /// Statements executed to completion (success or engine error).
+    pub executed: u64,
+    /// Requests rejected with `ServerBusy` (queue full).
+    pub busy_rejections: u64,
+    /// Requests rejected with `ServerShuttingDown`.
+    pub shutdown_rejections: u64,
+    /// Requests currently executing on a worker.
+    pub executing: u64,
+    /// Requests admitted and waiting for a worker.
+    pub queued: u64,
+    /// Shared plan-cache hits.
+    pub cache_hits: u64,
+    /// Shared plan-cache misses.
+    pub cache_misses: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    executed: AtomicU64,
+    busy_rejections: AtomicU64,
+    shutdown_rejections: AtomicU64,
+    executing: AtomicU64,
+    queued: AtomicU64,
+}
+
+/// One admitted request: what to run, whose connection state to use, and
+/// where to send the rendered response.
+struct Job {
+    request: Request,
+    conn: Arc<Mutex<ConnState>>,
+    reply: SyncSender<Response>,
+}
+
+/// Per-connection session state: the named prepared statements of this
+/// connection. (Statement *plans* live in the shared cache; the
+/// connection only owns the name → text binding.)
+#[derive(Debug, Default)]
+struct ConnState {
+    prepared: HashMap<String, String>,
+}
+
+/// Everything the threads share.
+struct Inner {
+    shared: SharedCatalog,
+    cache: ShardedPlanCache,
+    options: QueryOptions,
+    /// Master sender; connection threads clone it per request. Dropped at
+    /// shutdown so workers observe the disconnect once the queue drains.
+    queue: Mutex<Option<SyncSender<Job>>>,
+    shutting_down: AtomicBool,
+    counters: Counters,
+    /// Read-half clones of live connections, half-closed at shutdown.
+    conn_streams: Mutex<Vec<TcpStream>>,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Entry point: [`Server::start`] binds a listener and returns the
+/// running server's [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Starts a server over `catalog` on a loopback port chosen by the
+    /// OS. The returned handle owns every thread; dropping it (or calling
+    /// [`ServerHandle::shutdown`]) stops the server and joins them all.
+    pub fn start(catalog: Catalog, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::sync_channel(config.queue_depth.max(1));
+        let inner = Arc::new(Inner {
+            shared: SharedCatalog::new(catalog),
+            cache: ShardedPlanCache::default(),
+            options: QueryOptions {
+                parallelism: config.parallelism.max(1),
+            },
+            queue: Mutex::new(Some(tx)),
+            shutting_down: AtomicBool::new(false),
+            counters: Counters::default(),
+            conn_streams: Mutex::new(Vec::new()),
+            conn_handles: Mutex::new(Vec::new()),
+        });
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            let rx = Arc::clone(&rx);
+            workers.push(pool::spawn(&format!("worker-{i}"), move || {
+                worker_loop(&inner, &rx);
+            })?);
+        }
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            pool::spawn("acceptor", move || acceptor_loop(&inner, &listener))?
+        };
+        Ok(ServerHandle {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+/// The running server: address, live counters, and the shutdown path.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound listener address clients connect to.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time copy of the server counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        stats_snapshot(&self.inner)
+    }
+
+    /// A pinned snapshot of the current catalog (same view a worker would
+    /// pin for a request arriving now).
+    #[must_use]
+    pub fn catalog(&self) -> Arc<Catalog> {
+        self.inner.shared.snapshot()
+    }
+
+    /// Stops the server: drains in-flight statements, answers queued ones
+    /// with `ServerShuttingDown`, closes the listener and joins every
+    /// thread. Returns the final counters. See the module docs for the
+    /// exact sequence.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shutdown_in_place();
+        stats_snapshot(&self.inner)
+    }
+
+    fn shutdown_in_place(&mut self) {
+        if self.inner.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of accept(); it re-checks the flag, breaks,
+        // and drops the listener (new connects are then refused).
+        drop(TcpStream::connect(self.addr));
+        if let Some(acceptor) = self.acceptor.take() {
+            drop(acceptor.join());
+        }
+        // Half-close live connections: readers see EOF after writing the
+        // reply of any in-flight request, then exit. Already-closed
+        // sockets error harmlessly.
+        let streams = std::mem::take(&mut *lock(&self.inner.conn_streams));
+        for stream in streams {
+            drop(stream.shutdown(Shutdown::Read));
+        }
+        let handles = std::mem::take(&mut *lock(&self.inner.conn_handles));
+        for handle in handles {
+            drop(handle.join());
+        }
+        // All per-request sender clones are gone with the connection
+        // threads; dropping the master sender lets workers drain the queue
+        // (rejecting unstarted work) and observe the disconnect.
+        drop(lock(&self.inner.queue).take());
+        for worker in self.workers.drain(..) {
+            drop(worker.join());
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+/// Locks a mutex, recovering from poisoning: all guarded state is either
+/// a plain collection of handles/streams or an `Option`, mutated by
+/// single calls that cannot leave it torn — and shutdown must proceed
+/// even if some thread panicked.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn stats_snapshot(inner: &Inner) -> ServerStats {
+    let cache = inner.cache.stats();
+    let c = &inner.counters;
+    ServerStats {
+        connections: c.connections.load(Ordering::Relaxed),
+        requests: c.requests.load(Ordering::Relaxed),
+        executed: c.executed.load(Ordering::Relaxed),
+        busy_rejections: c.busy_rejections.load(Ordering::Relaxed),
+        shutdown_rejections: c.shutdown_rejections.load(Ordering::Relaxed),
+        executing: c.executing.load(Ordering::Relaxed),
+        queued: c.queued.load(Ordering::Relaxed),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+    }
+}
+
+fn shutting_down_response() -> Response {
+    Response::Error {
+        code: ErrorCode::ServerShuttingDown,
+        message: "server is shutting down".to_owned(),
+    }
+}
+
+/// Accepts connections until the shutdown flag is raised; each connection
+/// gets its own reader thread whose handle is retained for shutdown.
+fn acceptor_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    loop {
+        let Ok((stream, _peer)) = listener.accept() else {
+            // accept() only fails transiently on loopback; re-check the
+            // flag and keep serving.
+            if inner.shutting_down.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            // The wake-up connect (or a client racing shutdown): refuse.
+            return;
+        }
+        inner.counters.connections.fetch_add(1, Ordering::Relaxed);
+        // Responses are written as one frame each; disable Nagle so the
+        // frame leaves immediately instead of waiting on a delayed ACK.
+        stream.set_nodelay(true).ok();
+        if let Ok(read_half) = stream.try_clone() {
+            lock(&inner.conn_streams).push(read_half);
+        }
+        let conn_inner = Arc::clone(inner);
+        if let Ok(handle) = pool::spawn("conn", move || serve_connection(&conn_inner, stream)) {
+            lock(&inner.conn_handles).push(handle);
+        }
+    }
+}
+
+/// Reads request lines off one connection, submits them for execution,
+/// and writes response frames back — strictly one request in flight per
+/// connection.
+fn serve_connection(inner: &Arc<Inner>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let conn = Arc::new(Mutex::new(ConnState::default()));
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // EOF or torn connection
+            Ok(_) => {}
+        }
+        let text = line.trim_end_matches(['\r', '\n']);
+        if text.trim().is_empty() {
+            continue;
+        }
+        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match parse_request(text) {
+            Err(e) => Response::Error {
+                code: ErrorCode::Protocol,
+                message: e.into_message(),
+            },
+            Ok(Request::Close) => {
+                let frame = Response::Text(vec!["BYE".to_owned()]).encode();
+                drop(writer.write_all(frame.as_bytes()));
+                return;
+            }
+            Ok(request) => submit(inner, request, &conn),
+        };
+        if writer.write_all(response.encode().as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Admission control: try to enqueue the request and wait for the reply.
+/// A full queue is answered with `ServerBusy` right here — bounded
+/// buffering, explicit backpressure.
+fn submit(inner: &Inner, request: Request, conn: &Arc<Mutex<ConnState>>) -> Response {
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        inner
+            .counters
+            .shutdown_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        return shutting_down_response();
+    }
+    let Some(tx) = lock(&inner.queue).as_ref().map(SyncSender::clone) else {
+        inner
+            .counters
+            .shutdown_rejections
+            .fetch_add(1, Ordering::Relaxed);
+        return shutting_down_response();
+    };
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = Job {
+        request,
+        conn: Arc::clone(conn),
+        reply: reply_tx,
+    };
+    match tx.try_send(job) {
+        Ok(()) => {
+            inner.counters.queued.fetch_add(1, Ordering::SeqCst);
+            match reply_rx.recv() {
+                Ok(response) => response,
+                Err(_) => shutting_down_response(),
+            }
+        }
+        Err(TrySendError::Full(_)) => {
+            inner
+                .counters
+                .busy_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            Response::Error {
+                code: ErrorCode::ServerBusy,
+                message: format!(
+                    "admission queue full ({} waiting); retry",
+                    inner.counters.queued.load(Ordering::SeqCst)
+                ),
+            }
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            inner
+                .counters
+                .shutdown_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            shutting_down_response()
+        }
+    }
+}
+
+/// Takes jobs off the shared queue until every sender is gone. Jobs
+/// dequeued after the shutdown flag was raised are answered with
+/// `ServerShuttingDown` without executing (the drain half of graceful
+/// shutdown); everything else executes against a pinned snapshot.
+fn worker_loop(inner: &Arc<Inner>, rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Holding the lock across recv() is the standard shared-receiver
+        // pattern: the blocked holder wakes with a job, releases, and the
+        // next worker takes its place at the channel.
+        let job = lock(rx).recv();
+        let Ok(job) = job else {
+            return;
+        };
+        inner.counters.queued.fetch_sub(1, Ordering::SeqCst);
+        let response = if inner.shutting_down.load(Ordering::SeqCst) {
+            inner
+                .counters
+                .shutdown_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            shutting_down_response()
+        } else {
+            inner.counters.executing.fetch_add(1, Ordering::SeqCst);
+            let response = handle_request(inner, &job.conn, job.request);
+            inner.counters.executing.fetch_sub(1, Ordering::SeqCst);
+            response
+        };
+        // The connection may have died while we executed; nothing to do.
+        drop(job.reply.send(response));
+    }
+}
+
+/// Executes one request on a worker thread.
+fn handle_request(inner: &Inner, conn: &Mutex<ConnState>, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Text(vec!["PONG".to_owned()]),
+        Request::Sleep(millis) => {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+            Response::Text(vec![format!("SLEPT {millis}")])
+        }
+        Request::Stats => {
+            let s = stats_snapshot(inner);
+            Response::Text(vec![
+                format!("connections={}", s.connections),
+                format!("requests={}", s.requests),
+                format!("executed={}", s.executed),
+                format!("busy_rejections={}", s.busy_rejections),
+                format!("shutdown_rejections={}", s.shutdown_rejections),
+                format!("executing={}", s.executing),
+                format!("queued={}", s.queued),
+                format!("cache_hits={}", s.cache_hits),
+                format!("cache_misses={}", s.cache_misses),
+                format!("schema_epoch={}", inner.shared.schema_epoch()),
+            ])
+        }
+        Request::Explain(text) => {
+            let snapshot = inner.shared.snapshot();
+            let prepared = match inner.cache.get_or_prepare(&snapshot, &inner.options, &text) {
+                Ok(p) => p,
+                Err(e) => return Response::from_error(&e),
+            };
+            match explain_with(&snapshot, &prepared.plan, &inner.options) {
+                Ok(out) => Response::Text(out.lines().map(str::to_owned).collect()),
+                Err(e) => Response::from_error(&e),
+            }
+        }
+        Request::Query(text) => run_statement(inner, &text, &[]),
+        Request::Prepare { name, text } => {
+            let snapshot = inner.shared.snapshot();
+            match inner.cache.get_or_prepare(&snapshot, &inner.options, &text) {
+                Ok(prepared) => {
+                    let parameters = prepared.parameters;
+                    lock(conn).prepared.insert(name.clone(), text);
+                    Response::Text(vec![format!("PREPARED {name} PARAMS {parameters}")])
+                }
+                Err(e) => Response::from_error(&e),
+            }
+        }
+        Request::Execute { name, params } => {
+            let text = lock(conn).prepared.get(&name).cloned();
+            match text {
+                None => Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: format!("unknown prepared statement `{name}`"),
+                },
+                Some(text) => run_statement(inner, &text, &params),
+            }
+        }
+        // Close never reaches a worker (handled on the connection thread).
+        Request::Close => Response::Text(vec!["BYE".to_owned()]),
+    }
+}
+
+/// Runs one statement: pin a snapshot, plan through the shared cache,
+/// bind, execute, render. `LOAD SNAPSHOT` is the one mutating statement
+/// and goes through the shared catalog's atomic swap instead.
+fn run_statement(inner: &Inner, text: &str, params: &[tpdb_storage::Value]) -> Response {
+    let snapshot = inner.shared.snapshot();
+    let prepared = match inner.cache.get_or_prepare(&snapshot, &inner.options, text) {
+        Ok(p) => p,
+        Err(e) => return Response::from_error(&e),
+    };
+    let result = match &prepared.plan {
+        LogicalPlan::SaveSnapshot { path } => snapshot
+            .save_snapshot(path)
+            .map_err(TpdbError::from)
+            .and_then(|()| snapshot_summary(&snapshot)),
+        LogicalPlan::LoadSnapshot { path } => {
+            match inner.shared.update(|catalog| {
+                catalog.load_snapshot(path)?;
+                // A cheap clone (relations stay shared) pins the freshly
+                // loaded state for the summary even if another update
+                // lands right behind this one.
+                Ok::<Catalog, tpdb_storage::StorageError>(catalog.clone())
+            }) {
+                Ok(Ok(loaded)) => snapshot_summary(&loaded),
+                Ok(Err(e)) => Err(TpdbError::from(e)),
+                Err(e) => Err(TpdbError::from(e)),
+            }
+        }
+        _ => bind(prepared.parameters, &prepared.plan, params)
+            .and_then(|bound| execute_plan_with(&snapshot, &bound, &inner.options)),
+    };
+    match result {
+        Ok(relation) => {
+            inner.counters.executed.fetch_add(1, Ordering::Relaxed);
+            rows_response(&relation)
+        }
+        Err(e) => Response::from_error(&e),
+    }
+}
+
+/// Substitutes `$n` placeholders, checking the value count.
+fn bind(
+    parameters: usize,
+    plan: &LogicalPlan,
+    params: &[tpdb_storage::Value],
+) -> Result<LogicalPlan, TpdbError> {
+    if params.len() != parameters {
+        return Err(TpdbError::ParameterCount {
+            expected: parameters,
+            got: params.len(),
+        });
+    }
+    if parameters == 0 {
+        Ok(plan.clone())
+    } else {
+        plan.bind_parameters(params)
+    }
+}

@@ -1,0 +1,249 @@
+//! Server lifecycle: protocol commands, typed error paths, backpressure
+//! (`ServerBusy`) and graceful shutdown (`ServerShuttingDown`).
+
+use std::time::{Duration, Instant};
+use tpdb_server::{Client, ClientError, ErrorCode, Server, ServerConfig, ServerHandle};
+use tpdb_storage::{Catalog, Value};
+
+fn booking_server(config: ServerConfig) -> ServerHandle {
+    let mut catalog = Catalog::new();
+    let (a, b) = tpdb_datagen::booking_example();
+    catalog.register(a).unwrap();
+    catalog.register(b).unwrap();
+    Server::start(catalog, config).unwrap()
+}
+
+/// Polls `cond` on the server stats until it holds (or panics after 5s).
+fn wait_for(server: &ServerHandle, what: &str, cond: impl Fn(tpdb_server::ServerStats) -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond(server.stats()) {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn server_code(err: &ClientError) -> Option<ErrorCode> {
+    err.server_code()
+}
+
+#[test]
+fn protocol_commands_round_trip() {
+    let server = booking_server(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    client.ping().unwrap();
+
+    // Plain query.
+    let rows = client
+        .query("SELECT * FROM a TP LEFT JOIN b ON a.Loc = b.Loc")
+        .unwrap();
+    assert_eq!(rows.rows.len(), 7);
+    assert!(rows.schema.contains("Name:STR"), "{}", rows.schema);
+
+    // Prepare/execute with a bound string parameter.
+    let slots = client
+        .prepare("by_name", "SELECT Name FROM a WHERE Name = $1")
+        .unwrap();
+    assert_eq!(slots, 1);
+    let ann = client.execute("by_name", &[Value::str("Ann")]).unwrap();
+    assert_eq!(ann.rows.len(), 1);
+    assert!(ann.rows[0].starts_with("Ann\t"), "{:?}", ann.rows);
+
+    // EXPLAIN returns the plan without executing.
+    let plan = client
+        .explain("SELECT * FROM a TP ANTI JOIN b ON a.Loc = b.Loc")
+        .unwrap();
+    assert!(
+        plan.iter().any(|l| l.contains("TpJoin")),
+        "unexpected EXPLAIN output: {plan:?}"
+    );
+
+    // STATS reports counters as key=value lines.
+    let stats = client.stats().unwrap();
+    assert!(stats.iter().any(|l| l.starts_with("connections=")));
+    assert!(stats.iter().any(|l| l.starts_with("schema_epoch=")));
+
+    client.close().unwrap();
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.connections, 1);
+    assert!(final_stats.executed >= 2);
+}
+
+#[test]
+fn snapshot_statements_flow_through_the_server() {
+    let dir = std::env::temp_dir().join(format!("tpdb-server-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("booking.snap");
+
+    let server = booking_server(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let reference = client
+        .query("SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc")
+        .unwrap();
+
+    // SAVE reports one (Relation, Tuples) row per relation.
+    let summary = client
+        .query(&format!("SAVE SNAPSHOT '{}'", path.display()))
+        .unwrap();
+    assert_eq!(summary.rows.len(), 2);
+    assert!(summary.rows[0].starts_with("a\t"), "{:?}", summary.rows);
+
+    // LOAD swaps the catalog atomically; the query answers identically.
+    let loaded = client
+        .query(&format!("LOAD SNAPSHOT '{}'", path.display()))
+        .unwrap();
+    assert_eq!(loaded.rows.len(), 2);
+    let after = client
+        .query("SELECT * FROM a TP FULL OUTER JOIN b ON a.Loc = b.Loc")
+        .unwrap();
+    assert_eq!(after, reference);
+
+    client.close().unwrap();
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn engine_errors_come_back_as_typed_wire_errors() {
+    let server = booking_server(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Parse error.
+    let err = client.query("SELECT FROM WHERE").unwrap_err();
+    assert_eq!(server_code(&err), Some(ErrorCode::Parse), "{err}");
+
+    // Unknown relation → storage error.
+    let err = client.query("SELECT * FROM missing").unwrap_err();
+    assert_eq!(server_code(&err), Some(ErrorCode::Storage), "{err}");
+
+    // Parameterized statement executed bare → parameter-count error.
+    client
+        .prepare("p1", "SELECT * FROM a WHERE Name = $1")
+        .unwrap();
+    let err = client.execute("p1", &[]).unwrap_err();
+    assert_eq!(server_code(&err), Some(ErrorCode::ParameterCount), "{err}");
+
+    // Unknown prepared statement and malformed request → protocol errors.
+    let err = client.execute("nope", &[]).unwrap_err();
+    assert_eq!(server_code(&err), Some(ErrorCode::Protocol), "{err}");
+    let err = client.request("SLEEP never").unwrap_err();
+    assert_eq!(server_code(&err), Some(ErrorCode::Protocol), "{err}");
+
+    // The connection survives every error above.
+    client.ping().unwrap();
+    client.close().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn full_admission_queue_rejects_with_server_busy() {
+    let server = booking_server(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        parallelism: 1,
+    });
+    let addr = server.local_addr();
+
+    std::thread::scope(|scope| {
+        // A occupies the only worker ...
+        let a = scope.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.sleep_ms(400).unwrap();
+            client.close().unwrap();
+        });
+        wait_for(&server, "A to start executing", |s| s.executing == 1);
+
+        // ... B fills the depth-1 queue ...
+        let b = scope.spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.sleep_ms(1).unwrap();
+            client.close().unwrap();
+        });
+        wait_for(&server, "B to be queued", |s| s.queued == 1);
+
+        // ... so C is rejected immediately with the typed backpressure
+        // error instead of waiting.
+        let mut c = Client::connect(addr).unwrap();
+        let before = Instant::now();
+        let err = c.ping().unwrap_err();
+        assert_eq!(server_code(&err), Some(ErrorCode::ServerBusy), "{err}");
+        assert!(
+            before.elapsed() < Duration::from_millis(300),
+            "busy rejection must not wait for the queue"
+        );
+        c.close().unwrap();
+
+        a.join().unwrap();
+        b.join().unwrap();
+    });
+
+    let stats = server.shutdown();
+    assert!(stats.busy_rejections >= 1, "{stats:?}");
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_and_rejects_queued_requests() {
+    let server = booking_server(ServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        parallelism: 1,
+    });
+    let addr = server.local_addr();
+
+    let a = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.request("SLEEP 600")
+    });
+    // Wait for A to hold the worker, then pile two requests into the
+    // queue behind it.
+    wait_for(&server, "A to start executing", |s| s.executing == 1);
+    let queued: Vec<_> = (0..2)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.ping()
+            })
+        })
+        .collect();
+    wait_for(&server, "B and C to be queued", |s| s.queued == 2);
+
+    // Shutdown: A (in flight) drains and succeeds; B and C (queued, never
+    // started) get the typed shutdown error; the call joins every thread.
+    let stats = server.shutdown();
+
+    assert!(a.join().unwrap().is_ok(), "in-flight request must drain");
+    for handle in queued {
+        let err = handle.join().unwrap().unwrap_err();
+        assert_eq!(
+            server_code(&err),
+            Some(ErrorCode::ServerShuttingDown),
+            "{err}"
+        );
+    }
+    assert!(stats.shutdown_rejections >= 2, "{stats:?}");
+    assert_eq!(stats.executing, 0, "{stats:?}");
+
+    // The listener is closed: new connections are refused (or at best
+    // cannot complete a request).
+    match Client::connect(addr) {
+        Err(_) => {}
+        Ok(mut client) => assert!(
+            client.ping().is_err(),
+            "server still answering after shutdown"
+        ),
+    }
+}
+
+#[test]
+fn dropping_the_handle_shuts_down_without_hanging() {
+    let server = booking_server(ServerConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    drop(server); // must join every thread, not hang
+    assert!(
+        client.ping().is_err(),
+        "connection must be closed by shutdown"
+    );
+}

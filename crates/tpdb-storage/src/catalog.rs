@@ -70,6 +70,32 @@ pub struct Catalog {
 /// The relation map guarded by the catalog lock.
 type RelationMap = HashMap<String, Arc<TpRelation>>;
 
+impl Clone for Catalog {
+    /// Deep-clones the catalog metadata while sharing the relation data:
+    /// the clone gets its own relation map, symbol table, marginals and
+    /// epoch counter, but the `Arc<TpRelation>` payloads are shared. This
+    /// is the copy-on-write step of [`crate::SharedCatalog::update`]: a
+    /// mutation clones the current catalog, applies its change and swaps
+    /// the result in, so pinned readers keep an immutable view.
+    fn clone(&self) -> Self {
+        // A poisoned lock is recovered with `into_inner`: the map cannot be
+        // observed torn (its mutations are single `HashMap` calls), and
+        // `Clone` has no error channel. Same justification as
+        // `relation_names`.
+        let relations = self
+            .relations
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        Self {
+            relations: RwLock::new(relations),
+            symbols: self.symbols.clone(),
+            probabilities: self.probabilities.clone(),
+            epoch: self.epoch,
+        }
+    }
+}
+
 impl Catalog {
     /// Creates an empty catalog.
     #[must_use]

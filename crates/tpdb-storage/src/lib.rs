@@ -46,6 +46,7 @@ mod error;
 mod integrity;
 mod relation;
 mod schema;
+mod shared;
 pub mod snapshot;
 mod text;
 mod tuple;
@@ -56,6 +57,7 @@ pub use error::StorageError;
 pub use integrity::{check_duplicate_free, IntegrityViolation};
 pub use relation::TpRelation;
 pub use schema::{DataType, Field, Schema};
+pub use shared::SharedCatalog;
 pub use text::{relation_from_text, relation_to_text};
 pub use tuple::TpTuple;
 pub use value::Value;

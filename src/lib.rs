@@ -13,6 +13,7 @@
 //! * [`core`] — lineage-aware temporal windows, LAWAU/LAWAN and TP joins,
 //! * [`ta`] — the Temporal Alignment baseline,
 //! * [`query`] — the pipelined (Volcano-style) query engine,
+//! * [`server`] — the concurrent multi-session TCP front-end,
 //! * [`datagen`] — synthetic dataset generators for the experiments.
 //!
 //! ## Quickstart
@@ -38,6 +39,7 @@ pub use tpdb_core as core;
 pub use tpdb_datagen as datagen;
 pub use tpdb_lineage as lineage;
 pub use tpdb_query as query;
+pub use tpdb_server as server;
 pub use tpdb_storage as storage;
 pub use tpdb_ta as ta;
 pub use tpdb_temporal as temporal;

@@ -8,8 +8,9 @@
 
 use std::process::Command;
 
-const EXAMPLES: [&str; 5] = [
+const EXAMPLES: [&str; 6] = [
     "booking_website",
+    "concurrent_clients",
     "nj_vs_ta",
     "quickstart",
     "sensor_monitoring",
