@@ -195,9 +195,9 @@ pub fn run_nj_wuo(w: &Workload) -> Measurement {
 
 /// The scaling series: the Fig. 5 NJ measurement (streaming sweep overlap
 /// join → LAWAU, windows consumed as they leave the pipeline) executed with
-/// partitioned parallelism at the given worker count. `threads = 1` is the
-/// serial baseline the speedups of `BENCH_scaling.json` are computed
-/// against. The series label is `NJ-P<threads>`.
+/// morsel work-stealing parallelism at the given worker count. `threads =
+/// 1` is the serial baseline the speedups of `BENCH_scaling.json` are
+/// computed against. The series label is `NJ-P<threads>`.
 #[must_use]
 pub fn run_nj_wuo_parallel(w: &Workload, threads: usize) -> Measurement {
     let (millis, count) =
@@ -338,6 +338,27 @@ pub fn run_union_materialized(w: &Workload) -> Measurement {
         time(|| tpdb_core::tp_union_materialized(&w.r, &w.s).expect("union-compatible"));
     Measurement {
         series: "union-mat".to_owned(),
+        dataset: w.dataset.label().to_owned(),
+        tuples: w.r.len(),
+        millis,
+        output: rel.len(),
+    }
+}
+
+/// The morsel-parallel TP union ([`tpdb_core::tp_set_op_parallel`]): both
+/// union passes cut into work-stealing morsels at the given degree. At
+/// `threads = 1` this takes the serial streamed path, so the
+/// `union-steal-P1` vs `union-steal-P<n>` pair is the stealing overhead /
+/// speedup curve of the setops figure. Output is byte-identical to
+/// [`run_union_streamed`] by construction.
+#[must_use]
+pub fn run_union_parallel(w: &Workload, threads: usize) -> Measurement {
+    let (millis, rel) = time(|| {
+        tpdb_core::tp_set_op_parallel(&w.r, &w.s, tpdb_core::TpSetOpKind::Union, threads)
+            .expect("union-compatible")
+    });
+    Measurement {
+        series: format!("union-steal-P{threads}"),
         dataset: w.dataset.label().to_owned(),
         tuples: w.r.len(),
         millis,
@@ -690,7 +711,12 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 ///
 /// * `serial` — wall-clock of `rounds` session executions (qps baseline),
 /// * `c<n>` — wall-clock of the concurrent run (`output` = total queries,
-///   so `output / millis` is the qps),
+///   so `output / millis` is the qps). Note the *raw wall-clock grows with
+///   `n`* because higher levels execute more statements — reading `c1` vs
+///   `c4` runtimes as a scaling curve inverts the result,
+/// * `c<n>-qps` — the normalized rate: statements per wall-clock *second*,
+///   stored in the `runtime_ms` field (`output` = total statements). This
+///   is the series to compare across concurrency levels,
 /// * `c<n>-p50` / `c<n>-p99` — client-observed latency percentiles in ms,
 /// * `machine-cores` — the host's hardware parallelism (`output`), recorded
 ///   so the scaling expectation of `BENCH_throughput.json` can be judged:
@@ -782,6 +808,15 @@ pub fn run_throughput(w: &Workload, concurrency: &[usize], rounds: usize) -> Vec
 
         latencies.sort_by(f64::total_cmp);
         rows.push(row(format!("c{n}"), wall_ms, n * rounds));
+        // The normalized rate, so levels are comparable without dividing
+        // by hand (the raw c<n> wall-clock covers n·rounds statements and
+        // *grows* with n — it is not a scaling curve).
+        let qps = if wall_ms > 0.0 {
+            (n * rounds) as f64 * 1000.0 / wall_ms
+        } else {
+            0.0
+        };
+        rows.push(row(format!("c{n}-qps"), qps, n * rounds));
         rows.push(row(
             format!("c{n}-p50"),
             percentile(&latencies, 0.50),
@@ -851,6 +886,11 @@ mod tests {
         let streamed = run_union_streamed(&w);
         let materialized = run_union_materialized(&w);
         assert_eq!(streamed.output, materialized.output);
+        for threads in [1, 2, 4] {
+            let stolen = run_union_parallel(&w, threads);
+            assert_eq!(stolen.output, streamed.output, "P={threads}");
+            assert_eq!(stolen.series, format!("union-steal-P{threads}"));
+        }
         let query_rows = run_setops_query_layer(&w);
         assert_eq!(query_rows.len(), 3);
         let union_query = query_rows
@@ -918,9 +958,11 @@ mod tests {
         for expected in [
             "serial",
             "c1",
+            "c1-qps",
             "c1-p50",
             "c1-p99",
             "c2",
+            "c2-qps",
             "c2-p50",
             "c2-p99",
             "machine-cores",
@@ -935,6 +977,10 @@ mod tests {
         // output is the query count the qps is computed from
         assert_eq!(by("serial").output, 2);
         assert_eq!(by("c2").output, 4);
+        // the qps row really is a rate: statements / wall seconds
+        let c2 = by("c2");
+        let expected_qps = c2.output as f64 * 1000.0 / c2.millis;
+        assert!((by("c2-qps").millis - expected_qps).abs() < 1e-6);
         // p50 <= p99 by construction, and the core count is at least 1
         assert!(by("c2-p50").millis <= by("c2-p99").millis);
         assert!(by("machine-cores").output >= 1);

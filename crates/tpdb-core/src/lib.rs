@@ -31,12 +31,14 @@
 //! [`lawan`], [`overlapping_windows`]) remain available for callers that
 //! need whole window sets.
 //!
-//! On multi-core hosts the pipeline also executes as **parallel partitioned
-//! shards**: [`tp_join_parallel`] hash-partitions both inputs by join key,
-//! runs the identical pipeline per shard on scoped worker threads, and
-//! merges the shard outputs back into the serial emission order — the
-//! result is byte-identical to serial execution (see the
-//! [`parallel`](crate::tp_join_parallel) module functions).
+//! On multi-core hosts the pipeline also executes with **morsel-driven
+//! work stealing**: [`tp_join_parallel`] (and [`tp_set_op_parallel`] for
+//! the set operations) builds the probe index once, cuts the probe side
+//! into small key-group-respecting morsels, and lets scoped worker threads
+//! steal morsels from a shared injector until the queue drains; outputs
+//! are tagged with the global probe index and merged back into the serial
+//! emission order, so the result is byte-identical to serial execution
+//! (see the [`parallel`](crate::tp_join_parallel) module functions).
 //!
 //! ## Example — the query of Fig. 1
 //!
@@ -72,6 +74,7 @@
 mod join;
 mod lawan;
 mod lawau;
+mod morsel;
 mod overlap;
 mod parallel;
 mod pipeline;
@@ -96,7 +99,8 @@ pub use overlap::{
 };
 pub use parallel::{
     default_parallelism, parallel_degree, parallel_wuo_count, tp_join_parallel,
-    tp_join_parallel_with_engine_and_plan, tp_join_parallel_with_plan, MAX_PARALLELISM,
+    tp_join_parallel_with_engine_and_plan, tp_join_parallel_with_plan, tp_set_op_parallel,
+    tp_set_op_parallel_with_engine_and_plan, MAX_PARALLELISM,
 };
 pub use pipeline::{LawanStream, LawauStream, WindowStream};
 pub use setops::{

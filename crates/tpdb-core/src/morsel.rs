@@ -1,0 +1,296 @@
+//! The morsel scheduler: work-stealing decomposition of the window
+//! pipeline's probe side (ROADMAP item 4).
+//!
+//! The parallel driver used to split both join inputs into one static
+//! partition per worker (greedy heaviest-first over the key histogram).
+//! That design loses twice on skew: a single hot key caps speedup at the
+//! size of its partition, and every worker rebuilds its own build-side
+//! index. The morsel scheduler replaces it:
+//!
+//! * [`MorselPlan`] splits the **probe** side into small morsels of
+//!   [`MORSEL_MIN`]`..=`[`MORSEL_MAX`] probe indices. Morsels respect
+//!   key-group boundaries where possible (so a sweep partition is scanned
+//!   by as few workers as needed), but a group larger than a morsel is
+//!   simply chopped — correctness never depends on a key staying whole,
+//!   because every probe tuple's window group is computed independently
+//!   against the *shared* build-side index
+//!   ([`ProbeIndex`](crate::overlap::ProbeIndex) behind an `Arc`).
+//! * [`Injector`] is the shared queue the workers steal from: a single
+//!   atomic cursor over the fixed morsel list. `fetch_add` hands each
+//!   morsel to exactly one worker; a worker that finishes early steals the
+//!   next morsel instead of idling, so a 90%-hot-key distribution still
+//!   keeps every core busy.
+//! * [`scope_workers`] runs `P` scoped worker threads to completion and
+//!   collects their results. It is the **only** place in `tpdb-core` that
+//!   creates threads (`tpdb-lint` enforces this), which keeps the worker
+//!   topology auditable: workers are born here, joined here, and cannot
+//!   outlive the relations they borrow.
+//!
+//! Output stays byte-identical to serial execution because workers tag
+//! every output tuple with its global probe index and the driver merges by
+//! that index (see [`crate::parallel`]).
+
+use crate::theta::BoundTheta;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use tpdb_storage::{TpRelation, Value};
+
+/// Morsels smaller than this are packed together (when key groups allow):
+/// below ~256 probes the per-morsel bookkeeping (stream construction, one
+/// atomic increment) stops being negligible against the probe work.
+pub(crate) const MORSEL_MIN: usize = 256;
+
+/// No morsel exceeds this many probes: above ~1024 a single stolen morsel
+/// is big enough to become the tail that the other workers wait on.
+pub(crate) const MORSEL_MAX: usize = 1024;
+
+/// The probe side of one parallel pass, cut into morsels.
+///
+/// `probes` holds the probe (`r`) indices grouped by join key — groups
+/// ordered by their smallest member index, members in ascending index
+/// order — and `morsels` are consecutive ranges of it. The grouping is
+/// deterministic, so two runs (or a run and its byte-identity test) cut
+/// identical morsels.
+pub(crate) struct MorselPlan {
+    probes: Vec<usize>,
+    morsels: Vec<Range<usize>>,
+}
+
+impl MorselPlan {
+    /// Cuts `r`'s probe indices into key-group-respecting morsels of
+    /// [`MORSEL_MIN`]`..=`[`MORSEL_MAX`] entries under `bound`'s left key.
+    /// Small groups sharing a morsel and oversized groups split across
+    /// morsels are both fine: each probe's windows depend only on its own
+    /// key partition of the shared build index.
+    pub(crate) fn build(r: &TpRelation, bound: &BoundTheta) -> Self {
+        let mut groups: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (ri, rt) in r.iter().enumerate() {
+            groups.entry(bound.left_key(rt)).or_default().push(ri);
+        }
+        let mut ordered: Vec<Vec<usize>> = groups.into_values().collect();
+        // Deterministic order: members are pushed in ascending `r` index,
+        // so the first element is the group minimum. Groups are never
+        // empty — an entry exists only after its first push.
+        // tpdb-lint: allow(no-panic-in-lib)
+        ordered.sort_unstable_by_key(|group| group[0]);
+
+        let mut probes = Vec::with_capacity(r.len());
+        let mut morsels = Vec::new();
+        let mut start = 0;
+        let mut cut = |probes: &mut Vec<usize>, start: &mut usize| {
+            if probes.len() > *start {
+                morsels.push(*start..probes.len());
+                *start = probes.len();
+            }
+        };
+        for group in ordered {
+            if group.len() > MORSEL_MAX {
+                // A hot key bigger than one morsel: close the open morsel
+                // and chop the group into MORSEL_MAX-sized morsels, so the
+                // 90%-key case spreads across all workers.
+                cut(&mut probes, &mut start);
+                for chunk in group.chunks(MORSEL_MAX) {
+                    probes.extend_from_slice(chunk);
+                    cut(&mut probes, &mut start);
+                }
+            } else {
+                if probes.len() - start + group.len() > MORSEL_MAX {
+                    cut(&mut probes, &mut start);
+                }
+                probes.extend_from_slice(&group);
+                if probes.len() - start >= MORSEL_MIN {
+                    cut(&mut probes, &mut start);
+                }
+            }
+        }
+        cut(&mut probes, &mut start);
+        MorselPlan { probes, morsels }
+    }
+
+    /// Number of morsels (the [`Injector`]'s range).
+    pub(crate) fn morsel_count(&self) -> usize {
+        self.morsels.len()
+    }
+
+    /// The probe indices of morsel `m`.
+    pub(crate) fn morsel(&self, m: usize) -> &[usize] {
+        &self.probes[self.morsels[m].clone()]
+    }
+}
+
+/// The shared injector the workers steal from: an atomic cursor over
+/// `0..limit`. `fetch_add` gives away each morsel exactly once; there is no
+/// per-worker deque to rebalance because ownership is only ever decided at
+/// steal time.
+pub(crate) struct Injector {
+    cursor: AtomicUsize,
+    limit: usize,
+}
+
+impl Injector {
+    pub(crate) fn new(limit: usize) -> Self {
+        Injector {
+            cursor: AtomicUsize::new(0),
+            limit,
+        }
+    }
+
+    /// Claims the next unclaimed morsel, or `None` when the queue is
+    /// drained. Relaxed ordering suffices: the morsel list is immutable and
+    /// the claim itself is the only synchronization the index needs.
+    pub(crate) fn steal(&self) -> Option<usize> {
+        let m = self.cursor.fetch_add(1, Ordering::Relaxed);
+        (m < self.limit).then_some(m)
+    }
+}
+
+/// Runs `count` scoped workers to completion and returns their results in
+/// worker-id order. The sanctioned thread creation point of `tpdb-core`:
+/// scoped threads cannot outlive the borrowed relations, and every worker
+/// is joined before the call returns. A worker panic is re-raised on the
+/// caller's thread.
+pub(crate) fn scope_workers<T, F>(count: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..count)
+            .map(|wid| scope.spawn(move || work(wid)))
+            .collect();
+        handles
+            .into_iter()
+            // Worker panics are bugs; propagate them instead of returning a
+            // partial result. tpdb-lint: allow(no-panic-in-lib)
+            .map(|h| h.join().expect("morsel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theta::ThetaCondition;
+    use tpdb_lineage::{Lineage, VarId};
+    use tpdb_storage::{DataType, Schema, TpTuple};
+    use tpdb_temporal::Interval;
+
+    /// A single-key relation with `sizes[k]` tuples of key `k`, interleaved
+    /// round-robin so key groups are not contiguous in index order.
+    fn keyed_relation(sizes: &[usize]) -> TpRelation {
+        let mut rel = TpRelation::new("r", Schema::tp(&[("k", DataType::Int)]));
+        let mut remaining: Vec<usize> = sizes.to_vec();
+        let mut t = 0i64;
+        loop {
+            let mut pushed = false;
+            for (k, left) in remaining.iter_mut().enumerate() {
+                if *left > 0 {
+                    *left -= 1;
+                    pushed = true;
+                    rel.push(TpTuple::new(
+                        vec![Value::Int(k as i64)],
+                        Lineage::var(VarId(t as u32)),
+                        Interval::new(t, t + 1),
+                        0.5,
+                    ))
+                    .unwrap();
+                    t += 1;
+                }
+            }
+            if !pushed {
+                return rel;
+            }
+        }
+    }
+
+    fn plan_for(sizes: &[usize]) -> (MorselPlan, usize) {
+        let r = keyed_relation(sizes);
+        let theta = ThetaCondition::column_equals("k", "k");
+        let bound = theta.bind(r.schema(), r.schema()).unwrap();
+        (MorselPlan::build(&r, &bound), r.len())
+    }
+
+    #[test]
+    fn morsels_cover_every_probe_exactly_once() {
+        let (plan, len) = plan_for(&[700, 60, 3000, 1, 0, 129]);
+        let mut seen: Vec<usize> = (0..plan.morsel_count())
+            .flat_map(|m| plan.morsel(m).iter().copied())
+            .collect();
+        assert_eq!(seen.len(), len);
+        seen.sort_unstable();
+        let expected: Vec<usize> = (0..len).collect();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn morsels_respect_the_size_bounds() {
+        let (plan, _) = plan_for(&[700, 60, 3000, 1, 129, 500, 2]);
+        assert!(plan.morsel_count() > 1);
+        for m in 0..plan.morsel_count() {
+            assert!(plan.morsel(m).len() <= MORSEL_MAX, "morsel {m} too large");
+        }
+        // All but the per-group remainders reach MORSEL_MIN; at minimum the
+        // majority must (otherwise packing is broken).
+        let small = (0..plan.morsel_count())
+            .filter(|&m| plan.morsel(m).len() < MORSEL_MIN)
+            .count();
+        assert!(
+            small * 2 <= plan.morsel_count(),
+            "{small} of {} morsels under MORSEL_MIN",
+            plan.morsel_count()
+        );
+    }
+
+    #[test]
+    fn a_hot_key_is_split_across_many_morsels() {
+        // one key holds ~90% of the tuples — the distribution static
+        // partitioning handled worst (its speedup capped at ~1.1x).
+        let (plan, len) = plan_for(&[9_000, 200, 200, 200, 200, 200]);
+        assert!(
+            plan.morsel_count() >= 9_000 / MORSEL_MAX,
+            "hot key must not stay one unit of work"
+        );
+        let total: usize = (0..plan.morsel_count()).map(|m| plan.morsel(m).len()).sum();
+        assert_eq!(total, len);
+    }
+
+    #[test]
+    fn small_groups_are_packed_together() {
+        // 64 keys of 8 tuples each: packing should produce ~2 morsels, not 64.
+        let (plan, _) = plan_for(&[8; 64]);
+        assert!(plan.morsel_count() <= 2, "{} morsels", plan.morsel_count());
+    }
+
+    #[test]
+    fn morselization_is_deterministic() {
+        let sizes = [700usize, 60, 3000, 1, 129];
+        let (a, _) = plan_for(&sizes);
+        let (b, _) = plan_for(&sizes);
+        assert_eq!(a.probes, b.probes);
+        assert_eq!(a.morsels, b.morsels);
+    }
+
+    #[test]
+    fn injector_hands_each_morsel_out_exactly_once() {
+        let injector = Injector::new(97);
+        let stolen = scope_workers(4, |_| {
+            let mut mine = Vec::new();
+            while let Some(m) = injector.steal() {
+                mine.push(m);
+            }
+            mine
+        });
+        let mut all: Vec<usize> = stolen.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expected: Vec<usize> = (0..97).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn empty_relation_produces_no_morsels() {
+        let (plan, _) = plan_for(&[]);
+        assert_eq!(plan.morsel_count(), 0);
+    }
+}

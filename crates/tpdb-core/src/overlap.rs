@@ -49,7 +49,7 @@ use tpdb_temporal::{SortedIntervalIndex, SortedIntervalIndexBuilder};
 /// The lineage column of a relation as one pre-cloned vector (cheap `Arc`
 /// bumps), indexed by tuple position. This is the legacy tree path's single
 /// sanctioned cloning point: every window downstream shares these columns.
-fn lineage_column(rel: &TpRelation) -> Arc<Vec<Lineage>> {
+pub(crate) fn lineage_column(rel: &TpRelation) -> Arc<Vec<Lineage>> {
     // tpdb-lint: allow(no-lineage-clone-in-streams)
     Arc::new(rel.iter().map(|t| t.lineage().clone()).collect())
 }
@@ -67,9 +67,10 @@ pub(crate) fn interned_lineages(
 /// Which physical plan the overlap join uses.
 ///
 /// The keyed plans (sweep, hash) require a pure equi-join θ and are
-/// shardable — they are what the parallel partitioned driver
-/// ([`crate::tp_join_parallel`]) distributes across workers. Forcing a keyed
-/// plan on a non-equi θ is a loud error, never a silent downgrade:
+/// shardable — they are what the morsel-driven parallel driver
+/// ([`crate::tp_join_parallel`]) distributes across stealing workers.
+/// Forcing a keyed plan on a non-equi θ is a loud error, never a silent
+/// downgrade:
 ///
 /// ```
 /// use tpdb_core::{overlapping_windows_with_plan, OverlapJoinPlan, ThetaCondition};
@@ -120,12 +121,13 @@ impl OverlapJoinPlan {
         !matches!(self, OverlapJoinPlan::NestedLoop)
     }
 
-    /// Can the plan execute as partitioned shards? The key-partitioned plans
-    /// (hash, sweep) shard on the equi-join key: every key's build partition
-    /// and all of its probes land in the same shard, so shards are fully
-    /// independent. The nested loop compares every pair and cannot shard —
-    /// the parallel driver falls back to serial execution for it (and
-    /// `EXPLAIN` says so).
+    /// Can the plan execute as independent probe morsels? The
+    /// key-partitioned plans (hash, sweep) can: each probe tuple's window
+    /// group depends only on its own key partition of the shared build
+    /// index, so any chunk of probe indices is a valid unit of parallel
+    /// work. The nested loop compares every pair and cannot shard — the
+    /// parallel driver falls back to serial execution for it (and `EXPLAIN`
+    /// says so).
     #[must_use]
     pub fn is_shardable(&self) -> bool {
         self.requires_equi_join()
@@ -198,24 +200,11 @@ pub fn overlapping_windows_with_plan(
     Ok(out)
 }
 
-/// Visits the build-side tuples of the overlap join: either the subset
-/// named by `members` (in the given order) or all of `s`.
-fn for_each_member<F: FnMut(usize, &TpTuple)>(s: &TpRelation, members: Option<&[usize]>, mut f: F) {
-    match members {
-        Some(list) => {
-            for &si in list {
-                f(si, s.tuple(si));
-            }
-        }
-        None => {
-            for (si, st) in s.iter().enumerate() {
-                f(si, st);
-            }
-        }
-    }
-}
-
 /// The build-side structure of the overlap join, probed once per `r` tuple.
+///
+/// The index is immutable after construction, so the morsel-driven parallel
+/// driver builds it **once** over the full build side and shares it
+/// read-only (`Arc`) across all stealing workers — no per-shard rebuild.
 pub(crate) enum ProbeIndex {
     /// Per-key partitions sorted by interval start.
     Sweep(HashMap<Vec<Value>, SortedIntervalIndex>),
@@ -226,23 +215,10 @@ pub(crate) enum ProbeIndex {
 }
 
 impl ProbeIndex {
-    fn build(
+    pub(crate) fn build(
         s: &TpRelation,
         bound: &BoundTheta,
         plan: OverlapJoinPlan,
-    ) -> Result<Self, StorageError> {
-        Self::build_subset(s, bound, plan, None)
-    }
-
-    /// Builds the index over a subset of `s` (`members`, in ascending `s`
-    /// index order; `None` = all of `s`). The partitioned driver hands each
-    /// shard worker the `s` indices of its join keys, so every worker builds
-    /// — and owns — exactly the key partitions its probes will touch.
-    pub(crate) fn build_subset(
-        s: &TpRelation,
-        bound: &BoundTheta,
-        plan: OverlapJoinPlan,
-        members: Option<&[usize]>,
     ) -> Result<Self, StorageError> {
         if plan.requires_equi_join() && !bound.is_equi_join() {
             return Err(plan.not_applicable());
@@ -250,19 +226,19 @@ impl ProbeIndex {
         Ok(match plan {
             OverlapJoinPlan::Sweep => {
                 let mut builders: HashMap<Vec<Value>, SortedIntervalIndexBuilder> = HashMap::new();
-                for_each_member(s, members, |si, st| {
+                for (si, st) in s.iter().enumerate() {
                     builders
                         .entry(bound.right_key(st))
                         .or_default()
                         .push(st.interval(), si);
-                });
+                }
                 ProbeIndex::Sweep(builders.into_iter().map(|(k, b)| (k, b.finish())).collect())
             }
             OverlapJoinPlan::Hash => {
                 let mut partitions: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-                for_each_member(s, members, |si, st| {
+                for (si, st) in s.iter().enumerate() {
                     partitions.entry(bound.right_key(st)).or_default().push(si);
-                });
+                }
                 ProbeIndex::Hash(partitions)
             }
             OverlapJoinPlan::NestedLoop => ProbeIndex::NestedLoop,
@@ -383,10 +359,10 @@ impl ProbeIndex {
 ///
 /// The two relations are held through any [`Borrow`]`<TpRelation>`: plain
 /// references inside a join operator, `Arc<TpRelation>` in long-lived
-/// cursors ([`crate::TpJoinStream`]) that must own their inputs. The
-/// shard-probe list `P` is likewise generic (`AsRef<[usize]>`), so the
-/// parallel driver lends each worker its shard's member indices without
-/// copying them.
+/// cursors ([`crate::TpJoinStream`]) that must own their inputs. The probe
+/// list `P` is likewise generic (`AsRef<[usize]>`), so the morsel-driven
+/// parallel driver hands each stolen morsel's probe indices to a short-lived
+/// stream without copying the whole probe order.
 ///
 /// Like [`Window`], the stream is generic over the lineage representation
 /// `L`: the default emits [`Lineage`] trees, while the executing join and
@@ -407,19 +383,21 @@ pub struct OverlapWindowStream<
     r: R,
     s: S,
     bound: BoundTheta,
-    index: ProbeIndex,
+    /// The build-side index, `Arc`-shared so the morsel workers of the
+    /// parallel driver probe one index instead of rebuilding it per shard.
+    index: Arc<ProbeIndex>,
     /// The positive side's lineage column, indexed by global `r` position.
     r_lins: Arc<Vec<L>>,
     /// The build side's lineage column, indexed by global `s` position.
     s_lins: Arc<Vec<L>>,
-    /// Probe cursor: the next position in `probes` (shard execution) or the
-    /// next `r` index (whole-relation execution).
+    /// Probe cursor: the next position in `probes` (morsel execution) or
+    /// the next `r` index (whole-relation execution).
     pos: usize,
-    /// The `r` indices this stream probes, in ascending order (`None` = all
-    /// of `r`). Shard workers of the partitioned driver receive the probe
-    /// indices of their join keys here; emitted windows carry the *global*
-    /// `r_idx`, so the downstream adaptors and the merge step never need to
-    /// translate indices.
+    /// The `r` indices this stream probes (`None` = all of `r`). Morsel
+    /// workers of the parallel driver receive one stolen morsel's probe
+    /// indices here; emitted windows carry the *global* `r_idx`, so the
+    /// downstream adaptors and the merge step never need to translate
+    /// indices.
     probes: Option<P>,
     ready: VecDeque<Window<L>>,
     scratch: Vec<Window<L>>,
@@ -446,7 +424,7 @@ impl<R: Borrow<TpRelation>, S: Borrow<TpRelation>> OverlapWindowStream<R, S> {
         bound: BoundTheta,
         plan: OverlapJoinPlan,
     ) -> Result<Self, StorageError> {
-        let index = ProbeIndex::build(s.borrow(), &bound, plan)?;
+        let index = Arc::new(ProbeIndex::build(s.borrow(), &bound, plan)?);
         let r_lins = lineage_column(r.borrow());
         let s_lins = lineage_column(s.borrow());
         Ok(Self {
@@ -478,7 +456,7 @@ impl<R: Borrow<TpRelation>, S: Borrow<TpRelation>>
         plan: OverlapJoinPlan,
         interner: &mut LineageInterner,
     ) -> Result<Self, StorageError> {
-        let index = ProbeIndex::build(s.borrow(), &bound, plan)?;
+        let index = Arc::new(ProbeIndex::build(s.borrow(), &bound, plan)?);
         let r_lins = interned_lineages(r.borrow(), interner);
         let s_lins = interned_lineages(s.borrow(), interner);
         Ok(Self {
@@ -496,82 +474,6 @@ impl<R: Borrow<TpRelation>, S: Borrow<TpRelation>>
     }
 }
 
-impl<R, S, P> OverlapWindowStream<R, S, P, LineageRef>
-where
-    R: Borrow<TpRelation>,
-    S: Borrow<TpRelation>,
-    P: AsRef<[usize]>,
-{
-    /// Shard-local interned stream ([`with_subset`] semantics with
-    /// [`LineageRef`] emission); used by the partitioned parallel driver's
-    /// workers, each over its own engine's interner.
-    ///
-    /// [`with_subset`]: OverlapWindowStream::with_subset
-    pub(crate) fn interned_subset(
-        r: R,
-        s: S,
-        bound: BoundTheta,
-        plan: OverlapJoinPlan,
-        probes: P,
-        s_members: &[usize],
-        interner: &mut LineageInterner,
-    ) -> Result<Self, StorageError> {
-        debug_assert!(plan.is_shardable(), "subset streams require a keyed plan");
-        let index = ProbeIndex::build_subset(s.borrow(), &bound, plan, Some(s_members))?;
-        let r_lins = interned_lineages(r.borrow(), interner);
-        let s_lins = interned_lineages(s.borrow(), interner);
-        Ok(Self {
-            r,
-            s,
-            bound,
-            index,
-            r_lins,
-            s_lins,
-            pos: 0,
-            probes: Some(probes),
-            ready: VecDeque::new(),
-            scratch: Vec::new(),
-        })
-    }
-}
-
-impl<R, S, P> OverlapWindowStream<R, S, P>
-where
-    R: Borrow<TpRelation>,
-    S: Borrow<TpRelation>,
-    P: AsRef<[usize]>,
-{
-    /// Creates a shard-local stream: the index is built over the `s` subset
-    /// `s_members` and only the `r` indices in `probes` are probed (both in
-    /// ascending index order). Used by the partitioned parallel driver; the
-    /// plan must be shardable ([`OverlapJoinPlan::is_shardable`]).
-    pub(crate) fn with_subset(
-        r: R,
-        s: S,
-        bound: BoundTheta,
-        plan: OverlapJoinPlan,
-        probes: P,
-        s_members: &[usize],
-    ) -> Result<Self, StorageError> {
-        debug_assert!(plan.is_shardable(), "subset streams require a keyed plan");
-        let index = ProbeIndex::build_subset(s.borrow(), &bound, plan, Some(s_members))?;
-        let r_lins = lineage_column(r.borrow());
-        let s_lins = lineage_column(s.borrow());
-        Ok(Self {
-            r,
-            s,
-            bound,
-            index,
-            r_lins,
-            s_lins,
-            pos: 0,
-            probes: Some(probes),
-            ready: VecDeque::new(),
-            scratch: Vec::new(),
-        })
-    }
-}
-
 impl<R, S, P, L> OverlapWindowStream<R, S, P, L>
 where
     R: Borrow<TpRelation>,
@@ -579,6 +481,35 @@ where
     P: AsRef<[usize]>,
     L: Clone,
 {
+    /// Creates a morsel-local stream over a **prebuilt shared** build-side
+    /// index and pre-materialized lineage columns: only the `r` indices in
+    /// `probes` are probed. This is the morsel workers' constructor — the
+    /// expensive parts (index build, column materialization/interning) are
+    /// paid once per pass or per worker and `Arc`-shared, so creating a
+    /// stream per stolen morsel costs a few pointer bumps.
+    pub(crate) fn over_index(
+        r: R,
+        s: S,
+        bound: BoundTheta,
+        index: Arc<ProbeIndex>,
+        probes: P,
+        r_lins: Arc<Vec<L>>,
+        s_lins: Arc<Vec<L>>,
+    ) -> Self {
+        Self {
+            r,
+            s,
+            bound,
+            index,
+            r_lins,
+            s_lins,
+            pos: 0,
+            probes: Some(probes),
+            ready: VecDeque::new(),
+            scratch: Vec::new(),
+        }
+    }
+
     /// The positive side's lineage column (`Arc`-shared with the LAWAU
     /// adaptor so the sweep reuses the exact values this stream emits).
     pub(crate) fn positive_lineages(&self) -> Arc<Vec<L>> {

@@ -1,20 +1,27 @@
-//! Parallel partitioned execution of the TP join pipeline.
+//! Morsel-driven work-stealing execution of the TP join and set-operation
+//! pipelines.
 //!
 //! The streaming NJ pipeline (overlap join → LAWAU → LAWAN → output
 //! formation) treats every `r` tuple's window group independently, and the
 //! keyed overlap-join plans (sweep, hash) confine each probe to the build
-//! partition of its equi-join key. Together these make the whole pipeline
-//! *partitionable*: hash-partition both inputs by join key into `P` shards,
-//! run the full pipeline per shard on scoped worker threads, and merge the
-//! shard outputs back into the serial emission order.
+//! partition of its equi-join key. Together these make the pipeline
+//! *morselizable*: build the probe index over the full build side **once**,
+//! share it read-only across workers, cut the probe side into small
+//! key-group-respecting morsels ([`crate::morsel::MorselPlan`]), and let
+//! `P` scoped workers steal morsels from a shared injector until the queue
+//! is drained. A worker that draws a cheap morsel immediately steals the
+//! next one, so skewed key distributions (meteo's 40 keys, or one key
+//! holding 90% of the tuples) no longer cap the speedup the way static
+//! partition-per-worker execution did.
 //!
 //! ## Determinism
 //!
 //! Parallel execution is **byte-identical** to serial execution:
 //!
-//! * Every join key is assigned to exactly one shard, so each `r` tuple's
+//! * Every morsel is claimed by exactly one worker, so each `r` tuple's
 //!   complete window group — and therefore each output tuple — is produced
-//!   by exactly one worker, by the same code the serial pipeline runs.
+//!   by exactly one worker, by the same code the serial pipeline runs
+//!   against the same shared index.
 //! * Workers tag output tuples with the global index of the originating
 //!   positive tuple. The serial pipeline emits output grouped by that index
 //!   in ascending order, so a stable merge on it reconstructs the serial
@@ -23,6 +30,12 @@
 //!   [`ProbabilityEngine`]; the engine is a pure, deterministic function of
 //!   the registered marginals, so the floating-point results are identical
 //!   bit-for-bit regardless of which thread computes them.
+//!
+//! The set operations ride the same machinery ([`tp_set_op_parallel`]):
+//! difference and intersection are the anti/inner join in disguise, and the
+//! union's two window passes (r-vs-s and s-vs-r) each become one
+//! work-stealing pass whose outputs merge by probe index — the streaming
+//! union is no longer a serial fallback.
 //!
 //! ## Fallback
 //!
@@ -33,13 +46,19 @@
 //! reports degree 1.
 
 use crate::join::{form_output_tuple_interned, output_schema, Side};
-use crate::overlap::{auto_plan, OverlapJoinPlan, OverlapWindowStream};
+use crate::morsel::{scope_workers, Injector, MorselPlan};
+use crate::overlap::{
+    auto_plan, interned_lineages, lineage_column, OverlapJoinPlan, OverlapWindowStream, ProbeIndex,
+};
 use crate::pipeline::{LawanStream, LawauStream};
+use crate::setops::{all_columns_equal, TpSetOpKind, TpSetOpStream};
 use crate::theta::{BoundTheta, ThetaCondition};
+use crate::window::{Window, WindowKind};
 use crate::TpJoinKind;
-use std::collections::HashMap;
-use tpdb_lineage::ProbabilityEngine;
-use tpdb_storage::{StorageError, TpRelation, TpTuple, Value};
+use std::sync::Arc;
+use tpdb_lineage::{LineageRef, ProbabilityEngine};
+use tpdb_storage::{StorageError, TpRelation, TpTuple};
+use tpdb_temporal::Interval;
 
 /// The default degree of parallelism: the number of hardware threads the
 /// host exposes (1 when it cannot be determined).
@@ -60,8 +79,8 @@ pub const MAX_PARALLELISM: usize = 256;
 /// requested degree (clamped to `1..=`[`MAX_PARALLELISM`]) for shardable
 /// (keyed) plans, 1 for the nested loop. `EXPLAIN` reports this value, so
 /// what the plan output claims is what the executor does. The driver may
-/// still run *fewer* workers when the data has fewer distinct join keys
-/// than the degree — the surplus shards would be empty.
+/// still run *fewer* workers when the data produces fewer morsels than the
+/// degree — the surplus workers would find the injector already drained.
 #[must_use]
 pub fn parallel_degree(plan: OverlapJoinPlan, requested: usize) -> usize {
     if plan.is_shardable() {
@@ -71,116 +90,15 @@ pub fn parallel_degree(plan: OverlapJoinPlan, requested: usize) -> usize {
     }
 }
 
-/// One shard of the partitioned join: the member indices of both inputs, in
-/// ascending index order.
-#[derive(Debug, Default)]
-struct Shard {
-    /// Indices into the positive relation `r` (the probe side).
-    r_members: Vec<usize>,
-    /// Indices into the negative relation `s` (the build side).
-    s_members: Vec<usize>,
-}
-
-impl Shard {
-    /// The load-balancing weight: tuples routed here from both sides.
-    fn load(&self) -> usize {
-        self.r_members.len() + self.s_members.len()
-    }
-}
-
-/// Assigns every distinct join key to a shard and routes both inputs.
-///
-/// Keys are assigned greedily, heaviest first (load = number of `r` plus `s`
-/// tuples of the key), to the least-loaded shard — plain hashing would be
-/// hostage to key skew: the meteo workload has only 40 distinct keys, and an
-/// unlucky `hash(key) % P` can leave a shard nearly empty. The assignment is
-/// deterministic (ties broken by key value and shard id), though determinism
-/// of the *output* never depends on it: the merge is ordered by tuple index.
-///
-/// Returns at most `min(degree, distinct keys)` shards — surplus shards
-/// would be empty, and every shard costs a worker thread.
-fn partition(r: &TpRelation, s: &TpRelation, bound: &BoundTheta, degree: usize) -> Vec<Shard> {
-    debug_assert!(degree >= 1);
-    // One pass per input: group member indices by join key (each key is
-    // materialized once).
-    let mut by_key: HashMap<Vec<Value>, Shard> = HashMap::new();
-    for (ri, rt) in r.iter().enumerate() {
-        by_key
-            .entry(bound.left_key(rt))
-            .or_default()
-            .r_members
-            .push(ri);
-    }
-    for (si, st) in s.iter().enumerate() {
-        by_key
-            .entry(bound.right_key(st))
-            .or_default()
-            .s_members
-            .push(si);
-    }
-
-    // Heaviest key first; ties broken by the key value for determinism.
-    let mut keyed: Vec<(Vec<Value>, Shard)> = by_key.into_iter().collect();
-    keyed.sort_unstable_by(|a, b| {
-        a.1.load()
-            .cmp(&b.1.load())
-            .reverse()
-            .then_with(|| a.0.cmp(&b.0))
-    });
-
-    let shard_count = degree.min(keyed.len()).max(1);
-    let mut shards: Vec<Shard> = (0..shard_count).map(|_| Shard::default()).collect();
-    let mut loads = vec![0usize; shard_count];
-    for (_, members) in keyed {
-        let lightest = (0..shard_count)
-            .min_by_key(|&w| loads[w])
-            // The range is non-empty by construction (`.max(1)` above).
-            // tpdb-lint: allow(no-panic-in-lib)
-            .expect("shard_count >= 1");
-        loads[lightest] += members.load();
-        shards[lightest].r_members.extend(members.r_members);
-        shards[lightest].s_members.extend(members.s_members);
-    }
-    // Keys arrived heaviest-first: restore ascending index order per shard
-    // (cheap usize sorts), so each worker probes — and therefore emits — in
-    // global index order.
-    for shard in &mut shards {
-        shard.r_members.sort_unstable();
-        shard.s_members.sort_unstable();
-    }
-    shards
-}
-
-/// Runs `work` once per shard on `std::thread::scope` workers and returns
-/// the results in shard order. A worker panic propagates to the caller.
-fn run_shards<T, F>(shards: &[Shard], work: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(&Shard) -> T + Sync,
-{
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
-            .map(|shard| scope.spawn(|| work(shard)))
-            .collect();
-        handles
-            .into_iter()
-            // Re-raising a worker panic on the caller is the documented
-            // contract. tpdb-lint: allow(no-panic-in-lib)
-            .map(|h| h.join().expect("shard worker panicked"))
-            .collect()
-    })
-}
-
 /// Output tuples tagged with the global index of the positive tuple that
 /// produced them (the merge key).
 type TaggedTuples = Vec<(usize, TpTuple)>;
 
-/// Merges per-shard `(positive index, tuple)` streams back into the serial
-/// emission order. Each shard's vector is already ascending in the index and
-/// the index sets are disjoint across shards, so a stable sort on the index
-/// reproduces the serial order exactly (within one index, all tuples come
-/// from a single shard in their emission order).
+/// Merges per-worker `(positive index, tuple)` streams back into the serial
+/// emission order. Morsel index sets are disjoint and each morsel is
+/// processed by exactly one worker, so within one probe index all tuples
+/// sit in a single vector in their emission order — a stable sort on the
+/// index reproduces the serial order exactly.
 fn merge_in_index_order(parts: Vec<TaggedTuples>, out: &mut TpRelation) {
     let mut all: Vec<(usize, TpTuple)> = parts.into_iter().flatten().collect();
     all.sort_by_key(|(idx, _)| *idx);
@@ -189,9 +107,105 @@ fn merge_in_index_order(parts: Vec<TaggedTuples>, out: &mut TpRelation) {
     }
 }
 
-/// [`crate::tp_join`] executed with partitioned parallelism. Base-tuple
-/// probabilities are derived from the two inputs; see
-/// [`tp_join_parallel_with_engine_and_plan`] for the full-control variant.
+/// How deep into the window pipeline one parallel pass runs before output
+/// formation — mirrors the serial pipeline composition per operator.
+#[derive(Clone, Copy)]
+enum PassDepth {
+    /// Raw overlap-join windows (inner/right-outer left pass).
+    Overlap,
+    /// Overlap join → LAWAU (the union's second pass).
+    Unmatched,
+    /// Overlap join → LAWAU → LAWAN (everything else).
+    Full,
+}
+
+/// One work-stealing pass of the window pipeline: `r`'s probe indices are
+/// cut into morsels, up to `degree` scoped workers steal them, and each
+/// stolen morsel runs the serial pipeline (to `depth`) against the shared
+/// build-side index over `s`. `form` turns each window leaving the
+/// pipeline into at most one output tuple; results are returned per worker,
+/// tagged with the global probe index for [`merge_in_index_order`].
+// The pass is fully parameterized (inputs, bound θ, plan, depth, degree,
+// engine, formation) — bundling arguments into a struct would only rename
+// the two call sites.
+#[allow(clippy::too_many_arguments)]
+fn run_pass<F>(
+    r: &TpRelation,
+    s: &TpRelation,
+    bound: &BoundTheta,
+    plan: OverlapJoinPlan,
+    depth: PassDepth,
+    degree: usize,
+    engine: &ProbabilityEngine,
+    form: F,
+) -> Result<Vec<TaggedTuples>, StorageError>
+where
+    F: Fn(&Window<LineageRef>, &mut ProbabilityEngine) -> Option<TpTuple> + Sync,
+{
+    // Built once over the full build side and shared read-only — no
+    // per-shard index rebuild.
+    let index = Arc::new(ProbeIndex::build(s, bound, plan)?);
+    let morsels = MorselPlan::build(r, bound);
+    if morsels.morsel_count() == 0 {
+        return Ok(Vec::new());
+    }
+    let injector = Injector::new(morsels.morsel_count());
+    let workers = degree.min(morsels.morsel_count());
+    Ok(scope_workers(workers, |_| {
+        // Per-worker state, paid once per worker (not per morsel): a cloned
+        // engine and both lineage columns interned into it.
+        let mut engine = engine.clone();
+        let r_lins = interned_lineages(r, engine.interner_mut());
+        let s_lins = interned_lineages(s, engine.interner_mut());
+        let mut out: TaggedTuples = Vec::new();
+        while let Some(m) = injector.steal() {
+            let wo = OverlapWindowStream::over_index(
+                r,
+                s,
+                bound.clone(),
+                Arc::clone(&index),
+                morsels.morsel(m),
+                Arc::clone(&r_lins),
+                Arc::clone(&s_lins),
+            );
+            match depth {
+                PassDepth::Overlap => {
+                    for w in wo {
+                        let idx = w.r_idx;
+                        if let Some(t) = form(&w, &mut engine) {
+                            out.push((idx, t));
+                        }
+                    }
+                }
+                PassDepth::Unmatched => {
+                    let lins = wo.positive_lineages();
+                    for w in LawauStream::with_lineages(wo, r, lins) {
+                        let idx = w.r_idx;
+                        if let Some(t) = form(&w, &mut engine) {
+                            out.push((idx, t));
+                        }
+                    }
+                }
+                PassDepth::Full => {
+                    let lins = wo.positive_lineages();
+                    let mut stream = LawanStream::new(LawauStream::with_lineages(wo, r, lins));
+                    while let Some(w) = stream.next_with(engine.interner_mut()) {
+                        let idx = w.r_idx;
+                        if let Some(t) = form(&w, &mut engine) {
+                            out.push((idx, t));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }))
+}
+
+/// [`crate::tp_join`] executed with morsel-driven work-stealing
+/// parallelism. Base-tuple probabilities are derived from the two inputs;
+/// see [`tp_join_parallel_with_engine_and_plan`] for the full-control
+/// variant.
 ///
 /// `parallelism` is the requested worker count; `1` (or a nested-loop plan)
 /// means serial execution. The result is byte-identical to the serial join.
@@ -237,7 +251,7 @@ pub fn tp_join_parallel_with_plan(
     tp_join_parallel_with_engine_and_plan(r, s, theta, kind, plan, parallelism, &engine)
 }
 
-/// The partitioned parallel TP join with an explicit probability engine
+/// The morsel-driven parallel TP join with an explicit probability engine
 /// (cloned into every worker) and an optional forced overlap-join plan.
 ///
 /// Falls back to the serial pipeline when the effective degree is 1: the
@@ -275,101 +289,225 @@ pub fn tp_join_parallel_with_engine_and_plan(
     let name = format!("{}{}{}", r.name(), kind.symbol(), s.name());
     let mut out = TpRelation::new(&name, schema);
 
-    let needs_right_side = matches!(kind, TpJoinKind::RightOuter | TpJoinKind::FullOuter);
-    let flipped = theta.flipped();
-    let flipped_bound = if needs_right_side {
-        Some(flipped.bind(s.schema(), r.schema())?)
-    } else {
-        None
+    // Windows of r with respect to s (all operators), at the depth the
+    // serial pipeline uses for this operator.
+    let left_depth = match kind {
+        TpJoinKind::Inner | TpJoinKind::RightOuter => PassDepth::Overlap,
+        TpJoinKind::Anti | TpJoinKind::LeftOuter | TpJoinKind::FullOuter => PassDepth::Full,
     };
+    let lefts = run_pass(r, s, &bound, plan, left_depth, degree, engine, |w, eng| {
+        form_output_tuple_interned(w, r, s, kind, Side::Left, eng)
+    })?;
+    merge_in_index_order(lefts, &mut out);
 
-    let shards = partition(r, s, &bound, degree);
-    // Each worker runs the identical streaming pipeline the serial join
-    // runs, restricted to its shard's key partitions, and tags every output
-    // tuple with the global index of its positive tuple for the merge.
-    let results: Vec<(TaggedTuples, TaggedTuples)> = run_shards(&shards, |shard| {
-        let mut engine = engine.clone();
-
-        // Windows of r with respect to s (all operators).
-        let mut left = Vec::new();
-        let wo = OverlapWindowStream::interned_subset(
-            r,
+    // Windows of s with respect to r (right-hand null-extension);
+    // overlapping windows are skipped as duplicates of side one.
+    if matches!(kind, TpJoinKind::RightOuter | TpJoinKind::FullOuter) {
+        let flipped_bound = theta.flipped().bind(s.schema(), r.schema())?;
+        let rights = run_pass(
             s,
-            bound.clone(),
+            r,
+            &flipped_bound,
             plan,
-            &shard.r_members,
-            &shard.s_members,
-            engine.interner_mut(),
-        )
-        // Plan applicability was validated before sharding.
-        // tpdb-lint: allow(no-panic-in-lib)
-        .expect("plan validated before sharding");
-        match kind {
-            TpJoinKind::Inner | TpJoinKind::RightOuter => {
-                for w in wo {
-                    let r_idx = w.r_idx;
-                    if let Some(t) =
-                        form_output_tuple_interned(&w, r, s, kind, Side::Left, &mut engine)
-                    {
-                        left.push((r_idx, t));
-                    }
+            PassDepth::Full,
+            degree,
+            engine,
+            |w, eng| {
+                if w.is_overlapping() {
+                    return None;
                 }
-            }
-            TpJoinKind::Anti | TpJoinKind::LeftOuter | TpJoinKind::FullOuter => {
-                let lins = wo.positive_lineages();
-                let mut stream = LawanStream::new(LawauStream::with_lineages(wo, r, lins));
-                while let Some(w) = stream.next_with(engine.interner_mut()) {
-                    let r_idx = w.r_idx;
-                    if let Some(t) =
-                        form_output_tuple_interned(&w, r, s, kind, Side::Left, &mut engine)
-                    {
-                        left.push((r_idx, t));
-                    }
-                }
-            }
-        }
+                form_output_tuple_interned(w, s, r, kind, Side::Right, eng)
+            },
+        )?;
+        merge_in_index_order(rights, &mut out);
+    }
+    Ok(out)
+}
 
-        // Windows of s with respect to r (right-hand null-extension);
-        // overlapping windows are skipped as duplicates of side one.
-        let mut right = Vec::new();
-        if let Some(fb) = &flipped_bound {
-            let wo = OverlapWindowStream::interned_subset(
+/// Forms one union output tuple: prices `lambda`, re-wraps it as a tree and
+/// copies the source tuple's facts — exactly the serial
+/// [`TpSetOpStream`] union formation.
+fn form_union_tuple(
+    rel: &TpRelation,
+    idx: usize,
+    lambda: LineageRef,
+    interval: Interval,
+    engine: &mut ProbabilityEngine,
+) -> TpTuple {
+    let probability = engine.probability_ref(lambda);
+    // Output-formation boundary: ids become trees exactly once, on the
+    // emitted tuple. tpdb-lint: allow(no-lineage-clone-in-streams)
+    let lineage = engine.to_lineage(lambda);
+    TpTuple::new(
+        rel.tuple(idx).facts().to_vec(),
+        lineage,
+        interval,
+        probability,
+    )
+}
+
+/// A TP set operation executed with morsel-driven work-stealing
+/// parallelism. Base-tuple probabilities are derived from the two inputs;
+/// see [`tp_set_op_parallel_with_engine_and_plan`] for the full-control
+/// variant.
+///
+/// The result is byte-identical to the streaming [`TpSetOpStream`] (and
+/// therefore to the one-shot [`crate::tp_union`] /
+/// [`crate::tp_intersection`] / [`crate::tp_difference`]):
+///
+/// ```
+/// use tpdb_core::{tp_set_op_parallel, tp_union, TpSetOpKind};
+///
+/// let (a, b) = tpdb_datagen::booking_example();
+/// let serial = tp_union(&a, &b).unwrap();
+/// let parallel = tp_set_op_parallel(&a, &b, TpSetOpKind::Union, 4).unwrap();
+/// assert_eq!(parallel, serial);
+/// ```
+pub fn tp_set_op_parallel(
+    r: &TpRelation,
+    s: &TpRelation,
+    kind: TpSetOpKind,
+    parallelism: usize,
+) -> Result<TpRelation, StorageError> {
+    let mut engine = ProbabilityEngine::new();
+    r.register_probabilities(&mut engine);
+    s.register_probabilities(&mut engine);
+    tp_set_op_parallel_with_engine_and_plan(r, s, kind, None, parallelism, &engine)
+}
+
+/// The morsel-driven parallel TP set operation with an explicit probability
+/// engine (cloned into every worker) and an optional forced overlap-join
+/// plan.
+///
+/// Difference and intersection reuse the anti/inner join passes;
+/// the union runs its two window passes (r-vs-s at full pipeline depth,
+/// s-vs-r to LAWAU) as work-stealing morsel jobs, replicating the serial
+/// [`TpSetOpStream`] window-by-window formation. Falls back to the
+/// streaming set operation when the effective degree is 1 (requested
+/// `parallelism` of 1, or a forced nested-loop plan).
+///
+/// # Errors
+///
+/// [`StorageError::ArityMismatch`] / [`StorageError::UnionIncompatible`]
+/// when the inputs are not union-compatible.
+pub fn tp_set_op_parallel_with_engine_and_plan(
+    r: &TpRelation,
+    s: &TpRelation,
+    kind: TpSetOpKind,
+    plan: Option<OverlapJoinPlan>,
+    parallelism: usize,
+    engine: &ProbabilityEngine,
+) -> Result<TpRelation, StorageError> {
+    let theta = all_columns_equal(r, s)?;
+    let bound = theta.bind(r.schema(), s.schema())?;
+    let plan = plan.unwrap_or_else(|| auto_plan(&bound));
+    let degree = parallel_degree(plan, parallelism);
+    // The all-attribute equality θ is always an equi-join; only a degree of
+    // 1 or a forced nested-loop plan lands here.
+    if degree <= 1 || !bound.is_equi_join() {
+        return Ok(
+            TpSetOpStream::with_engine_and_plan(r, s, kind, Some(plan), engine.clone())?
+                .collect_relation(),
+        );
+    }
+
+    let name = format!("{}{}{}", r.name(), kind.symbol(), s.name());
+    let mut out = TpRelation::new(&name, r.schema().clone());
+    match kind {
+        TpSetOpKind::Difference => {
+            let parts = run_pass(
+                r,
+                s,
+                &bound,
+                plan,
+                PassDepth::Full,
+                degree,
+                engine,
+                |w, eng| form_output_tuple_interned(w, r, s, TpJoinKind::Anti, Side::Left, eng),
+            )?;
+            merge_in_index_order(parts, &mut out);
+        }
+        TpSetOpKind::Intersection => {
+            let arity = r.schema().arity();
+            let parts = run_pass(
+                r,
+                s,
+                &bound,
+                plan,
+                PassDepth::Overlap,
+                degree,
+                engine,
+                |w, eng| {
+                    form_output_tuple_interned(w, r, s, TpJoinKind::Inner, Side::Left, eng).map(
+                        |t| {
+                            TpTuple::new(
+                                t.facts()[..arity].to_vec(),
+                                // Projection back to r's schema re-wraps the
+                                // finished tuple's tree.
+                                // tpdb-lint: allow(no-lineage-clone-in-streams)
+                                t.lineage().clone(),
+                                t.interval(),
+                                t.probability(),
+                            )
+                        },
+                    )
+                },
+            )?;
+            merge_in_index_order(parts, &mut out);
+        }
+        TpSetOpKind::Union => {
+            // First pass: windows of r with respect to s. Overlapping
+            // windows are skipped — the negating windows of the same group
+            // cover the identical sub-intervals and already carry the full
+            // disjunction λs of the matching s tuples.
+            let lefts = run_pass(
+                r,
+                s,
+                &bound,
+                plan,
+                PassDepth::Full,
+                degree,
+                engine,
+                |w, eng| {
+                    let lambda = match w.kind {
+                        WindowKind::Unmatched => w.lambda_r,
+                        WindowKind::Negating => eng.interner_mut().or2(
+                            w.lambda_r,
+                            // Window-kind invariant.
+                            // tpdb-lint: allow(no-panic-in-lib)
+                            w.lambda_s.expect("negating windows carry λs"),
+                        ),
+                        WindowKind::Overlapping => return None,
+                    };
+                    Some(form_union_tuple(r, w.r_idx, lambda, w.interval, eng))
+                },
+            )?;
+            merge_in_index_order(lefts, &mut out);
+
+            // Second pass: only the unmatched sub-intervals of s are new;
+            // everything else was covered from r's perspective.
+            let flipped_bound = theta.flipped().bind(s.schema(), r.schema())?;
+            let rights = run_pass(
                 s,
                 r,
-                fb.clone(),
+                &flipped_bound,
                 plan,
-                &shard.s_members,
-                &shard.r_members,
-                engine.interner_mut(),
-            )
-            // Plan applicability was validated before sharding.
-            // tpdb-lint: allow(no-panic-in-lib)
-            .expect("plan validated before sharding");
-            let lins = wo.positive_lineages();
-            let mut stream = LawanStream::new(LawauStream::with_lineages(wo, s, lins));
-            while let Some(w) = stream.next_with(engine.interner_mut()) {
-                if w.is_overlapping() {
-                    continue;
-                }
-                let s_idx = w.r_idx;
-                if let Some(t) =
-                    form_output_tuple_interned(&w, s, r, kind, Side::Right, &mut engine)
-                {
-                    right.push((s_idx, t));
-                }
-            }
+                PassDepth::Unmatched,
+                degree,
+                engine,
+                |w, eng| {
+                    (w.kind == WindowKind::Unmatched)
+                        .then(|| form_union_tuple(s, w.r_idx, w.lambda_r, w.interval, eng))
+                },
+            )?;
+            merge_in_index_order(rights, &mut out);
         }
-        (left, right)
-    });
-
-    let (lefts, rights): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-    merge_in_index_order(lefts, &mut out);
-    merge_in_index_order(rights, &mut out);
+    }
     Ok(out)
 }
 
 /// Counts the `WUO` windows (overlap join → LAWAU) of an equi-join with
-/// partitioned parallelism — the parallel counterpart of the Fig. 5
+/// morsel-driven parallelism — the parallel counterpart of the Fig. 5
 /// measurement kernel, consuming windows exactly as the join operator does.
 /// Falls back to the serial stream when the resolved plan cannot shard or
 /// `parallelism` is 1.
@@ -386,20 +524,32 @@ pub fn parallel_wuo_count(
         let wo = OverlapWindowStream::with_plan(r, s, bound, plan)?;
         return Ok(LawauStream::new(wo, r).count());
     }
-    let shards = partition(r, s, &bound, degree);
-    let counts = run_shards(&shards, |shard| {
-        let wo = OverlapWindowStream::with_subset(
-            r,
-            s,
-            bound.clone(),
-            plan,
-            &shard.r_members,
-            &shard.s_members,
-        )
-        // Plan applicability was validated before sharding.
-        // tpdb-lint: allow(no-panic-in-lib)
-        .expect("auto plan is applicable");
-        LawauStream::new(wo, r).count()
+    let index = Arc::new(ProbeIndex::build(s, &bound, plan)?);
+    let morsels = MorselPlan::build(r, &bound);
+    if morsels.morsel_count() == 0 {
+        return Ok(0);
+    }
+    // The count consumes Lineage windows like the legacy stream; both
+    // columns are materialized once and shared by every worker.
+    let r_lins = lineage_column(r);
+    let s_lins = lineage_column(s);
+    let injector = Injector::new(morsels.morsel_count());
+    let workers = degree.min(morsels.morsel_count());
+    let counts = scope_workers(workers, |_| {
+        let mut total = 0usize;
+        while let Some(m) = injector.steal() {
+            let wo = OverlapWindowStream::over_index(
+                r,
+                s,
+                bound.clone(),
+                Arc::clone(&index),
+                morsels.morsel(m),
+                Arc::clone(&r_lins),
+                Arc::clone(&s_lins),
+            );
+            total += LawauStream::new(wo, r).count();
+        }
+        total
     });
     Ok(counts.into_iter().sum())
 }
@@ -410,6 +560,7 @@ mod tests {
     use crate::testutil::booking_relations;
     use crate::theta::CompareOp;
     use crate::tp_join_with_plan;
+    use crate::{tp_difference, tp_intersection, tp_union};
 
     const KINDS: [TpJoinKind; 5] = [
         TpJoinKind::Inner,
@@ -417,6 +568,12 @@ mod tests {
         TpJoinKind::LeftOuter,
         TpJoinKind::RightOuter,
         TpJoinKind::FullOuter,
+    ];
+
+    const SET_OPS: [TpSetOpKind; 3] = [
+        TpSetOpKind::Union,
+        TpSetOpKind::Intersection,
+        TpSetOpKind::Difference,
     ];
 
     fn theta() -> ThetaCondition {
@@ -477,12 +634,12 @@ mod tests {
     }
 
     #[test]
-    fn degree_exceeding_key_count_trims_to_the_keys() {
+    fn degree_exceeding_morsel_count_trims_the_workers() {
         let (a, b, _) = booking_relations();
-        // Only three distinct Loc values exist; the driver runs (at most)
-        // three workers instead of spawning 13 idle ones.
+        // The tiny booking input fits one morsel; the driver runs one
+        // worker instead of spawning 15 idle ones — and stays correct.
         let bound = theta().bind(a.schema(), b.schema()).unwrap();
-        assert_eq!(partition(&a, &b, &bound, 16).len(), 3);
+        assert_eq!(MorselPlan::build(&a, &bound).morsel_count(), 1);
         let serial = crate::tp_join(&a, &b, &theta(), TpJoinKind::FullOuter).unwrap();
         let parallel = tp_join_parallel(&a, &b, &theta(), TpJoinKind::FullOuter, 16).unwrap();
         assert_eq!(parallel, serial);
@@ -527,6 +684,58 @@ mod tests {
     }
 
     #[test]
+    fn set_op_parallel_equals_serial_for_every_kind_and_degree() {
+        // booking a (Name, Loc) and b (Hotel, Loc) are union-compatible
+        // positionally: both are (Str, Str).
+        let (a, b, _) = booking_relations();
+        for kind in SET_OPS {
+            let serial = match kind {
+                TpSetOpKind::Union => tp_union(&a, &b).unwrap(),
+                TpSetOpKind::Intersection => tp_intersection(&a, &b).unwrap(),
+                TpSetOpKind::Difference => tp_difference(&a, &b).unwrap(),
+            };
+            for degree in [1, 2, 4, 7] {
+                let parallel = tp_set_op_parallel(&a, &b, kind, degree).unwrap();
+                assert_eq!(parallel, serial, "kind = {kind:?}, degree = {degree}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_op_parallel_with_forced_nested_loop_falls_back_to_serial() {
+        let (a, b, _) = booking_relations();
+        for kind in SET_OPS {
+            let serial = TpSetOpStream::with_plan(&a, &b, kind, Some(OverlapJoinPlan::NestedLoop))
+                .unwrap()
+                .collect_relation();
+            let mut engine = ProbabilityEngine::new();
+            a.register_probabilities(&mut engine);
+            b.register_probabilities(&mut engine);
+            let parallel = tp_set_op_parallel_with_engine_and_plan(
+                &a,
+                &b,
+                kind,
+                Some(OverlapJoinPlan::NestedLoop),
+                4,
+                &engine,
+            )
+            .unwrap();
+            assert_eq!(parallel, serial, "kind = {kind:?}");
+        }
+    }
+
+    #[test]
+    fn set_op_parallel_rejects_union_incompatible_inputs() {
+        let (a, _, _) = booking_relations();
+        let skinny = TpRelation::new(
+            "s",
+            tpdb_storage::Schema::tp(&[("x", tpdb_storage::DataType::Str)]),
+        );
+        let err = tp_set_op_parallel(&a, &skinny, TpSetOpKind::Union, 4).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
     fn parallel_wuo_count_matches_serial_stream() {
         let (a, b, _) = booking_relations();
         let serial = {
@@ -547,22 +756,6 @@ mod tests {
             LawauStream::new(wo, &a).count()
         };
         assert_eq!(parallel_wuo_count(&a, &b, &always, 4).unwrap(), serial_nl);
-    }
-
-    #[test]
-    fn partitioning_is_balanced_and_complete() {
-        let (a, b, _) = booking_relations();
-        let bound = theta().bind(a.schema(), b.schema()).unwrap();
-        let shards = partition(&a, &b, &bound, 2);
-        let r_total: usize = shards.iter().map(|p| p.r_members.len()).sum();
-        let s_total: usize = shards.iter().map(|p| p.s_members.len()).sum();
-        assert_eq!(r_total, a.len());
-        assert_eq!(s_total, b.len());
-        // members are ascending within each shard
-        for shard in &shards {
-            assert!(shard.r_members.windows(2).all(|w| w[0] < w[1]));
-            assert!(shard.s_members.windows(2).all(|w| w[0] < w[1]));
-        }
     }
 
     #[test]

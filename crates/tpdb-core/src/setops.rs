@@ -22,6 +22,11 @@
 //! query layer's set-operation result cursors. The one-shot functions
 //! ([`tp_union`], [`tp_intersection`], [`tp_difference`]) simply drain the
 //! stream; nothing is materialized besides the output itself.
+//!
+//! All three are also *shardable*: [`crate::tp_set_op_parallel`] runs the
+//! identical window-by-window formation as work-stealing morsel passes
+//! (difference and intersection through the anti/inner join machinery, the
+//! union as its two tagged window passes) with byte-identical output.
 
 use crate::join::TpJoinKind;
 use crate::overlap::OverlapJoinPlan;

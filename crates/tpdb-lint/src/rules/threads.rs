@@ -13,6 +13,15 @@
 //! only closes over `Arc`'d state (no borrows to outlive). Spawning
 //! anywhere else in the server crate is still flagged, which keeps the
 //! exemption auditable: one file to review, one place threads are born.
+//!
+//! Inside `tpdb-core` the rule is one notch stricter: even `thread::scope`
+//! is confined to `crates/tpdb-core/src/morsel.rs`, the morsel scheduler's
+//! `scope_workers` helper. The engine's parallelism is morsel-driven work
+//! stealing; an operator that scoped its own threads would bypass the
+//! shared injector (re-introducing static-partition skew) and scatter the
+//! crate's thread topology across modules. Keeping one creation point
+//! keeps it auditable — exactly the argument for the pool exemption, moved
+//! with the code it protects.
 
 use crate::{pattern, Diagnostic, Rule, SourceFile};
 
@@ -20,6 +29,15 @@ use crate::{pattern, Diagnostic, Rule, SourceFile};
 /// pool, whose contract is that every returned handle is joined at
 /// shutdown (see module docs).
 const SANCTIONED_POOL_MODULE: &str = "crates/tpdb-server/src/pool.rs";
+
+/// The one `tpdb-core` module sanctioned to call `thread::scope`: the
+/// morsel scheduler, whose `scope_workers` is the crate's single thread
+/// creation point (see module docs).
+const SANCTIONED_SCHEDULER_MODULE: &str = "crates/tpdb-core/src/morsel.rs";
+
+/// The source tree where `thread::scope` is restricted to
+/// [`SANCTIONED_SCHEDULER_MODULE`].
+const CORE_SRC_TREE: &str = "crates/tpdb-core/src/";
 
 /// See module docs.
 pub struct NoUnscopedThreads;
@@ -31,7 +49,8 @@ impl Rule for NoUnscopedThreads {
 
     fn description(&self) -> &'static str {
         "std::thread::spawn is forbidden — use thread::scope so workers are joined and \
-         borrows are bounded"
+         borrows are bounded; inside tpdb-core even thread::scope belongs to the morsel \
+         scheduler only"
     }
 
     fn applies(&self, file: &SourceFile) -> bool {
@@ -53,6 +72,22 @@ impl Rule for NoUnscopedThreads {
                     col: t.col,
                     message: "unscoped `thread::spawn` — use `thread::scope` so every worker \
                               is joined and borrowed data cannot be outlived"
+                        .to_owned(),
+                });
+            }
+            if file.rel_path.starts_with(CORE_SRC_TREE)
+                && file.rel_path != SANCTIONED_SCHEDULER_MODULE
+                && pattern::path_pair(tokens, i, "thread", "scope")
+            {
+                let t = &tokens[i];
+                out.push(Diagnostic {
+                    rule: self.id(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: "`thread::scope` outside the morsel scheduler — tpdb-core \
+                              workers are born in `morsel::scope_workers` only; route \
+                              parallel work through the shared injector"
                         .to_owned(),
                 });
             }

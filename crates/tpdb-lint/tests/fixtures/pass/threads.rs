@@ -1,4 +1,4 @@
-// tpdb-lint-fixture: path=crates/tpdb-core/src/workers.rs
+// tpdb-lint-fixture: path=crates/tpdb-storage/src/shared.rs
 
 fn launch(xs: &mut [u64]) {
     std::thread::scope(|scope| {

@@ -1,0 +1,11 @@
+// tpdb-lint-fixture: path=crates/tpdb-core/src/morsel.rs
+
+// The sanctioned scheduler module: tpdb-core's single thread creation
+// point. Scoped workers are born and joined here, nowhere else.
+fn scope_workers(count: usize) {
+    std::thread::scope(|scope| {
+        for _ in 0..count {
+            scope.spawn(|| {});
+        }
+    });
+}

@@ -443,9 +443,9 @@ enum SetOpState {
 /// inputs are materialized when the first output tuple is requested — the
 /// set operations, like the joins they are built on, need the complete
 /// negative side to build windows. Output tuples are then produced lazily
-/// through [`TpSetOpStream`] (serial), or streamed from the partitioned
-/// parallel join result (`INTERSECT`/`EXCEPT` with an effective degree
-/// above 1; the streaming `UNION` always runs serially).
+/// through [`TpSetOpStream`] (serial), or streamed from the materialized
+/// morsel-parallel result (any kind with an effective degree above 1 —
+/// including `UNION`, whose two window passes shard like the joins).
 pub struct SetOpExec {
     left: Box<dyn PhysicalOperator>,
     right: Box<dyn PhysicalOperator>,
@@ -465,10 +465,9 @@ pub struct SetOpExec {
 impl SetOpExec {
     /// Creates a set-operation operator. `overlap_plan` forces the plan of
     /// the internal all-attribute-equality overlap join (`None` =
-    /// automatic: sweep); `parallelism` is the requested worker count for
-    /// `INTERSECT`/`EXCEPT` (`1` = serial; `UNION` always streams
-    /// serially). `base_engine` carries the base-tuple probabilities known
-    /// to the catalog (usually
+    /// automatic: sweep); `parallelism` is the requested worker count
+    /// (`1` = serial). `base_engine` carries the base-tuple probabilities
+    /// known to the catalog (usually
     /// [`tpdb_storage::Catalog::probability_engine`]).
     #[must_use]
     pub fn new(
@@ -499,15 +498,12 @@ impl SetOpExec {
         self.overlap_plan.unwrap_or(OverlapJoinPlan::Sweep)
     }
 
-    /// The degree of parallelism that will actually be used.
+    /// The degree of parallelism that will actually be used. All three set
+    /// operations shard like the keyed TP joins they are built on (the
+    /// all-attribute equality θ is always an equi-join), so only a forced
+    /// nested-loop plan pins this to 1.
     fn effective_parallelism(&self) -> usize {
-        match self.kind {
-            // The two-pass streaming union cannot shard.
-            TpSetOpKind::Union => 1,
-            TpSetOpKind::Intersection | TpSetOpKind::Difference => {
-                tpdb_core::parallel_degree(self.resolved_plan(), self.parallelism)
-            }
-        }
+        tpdb_core::parallel_degree(self.resolved_plan(), self.parallelism)
     }
 
     /// Materializes the inputs and starts the set operation. Scan children
@@ -518,42 +514,18 @@ impl SetOpExec {
         let mut engine = self.base_engine.clone();
         left.register_probabilities(&mut engine);
         right.register_probabilities(&mut engine);
-        // INTERSECT/EXCEPT shard exactly like the keyed TP joins they are
-        // built on; the two-pass streaming union has no parallel form (its
-        // `effective_parallelism` is pinned to 1).
-        let parallel_join = match self.kind {
-            TpSetOpKind::Difference => Some(TpJoinKind::Anti),
-            TpSetOpKind::Intersection => Some(TpJoinKind::Inner),
-            TpSetOpKind::Union => None,
-        };
-        if let Some(join_kind) = parallel_join.filter(|_| self.effective_parallelism() > 1) {
-            let theta = tpdb_core::all_columns_equal(&left, &right)?;
-            let joined = tpdb_core::tp_join_parallel_with_engine_and_plan(
+        if self.effective_parallelism() > 1 {
+            let computed = tpdb_core::tp_set_op_parallel_with_engine_and_plan(
                 &left,
                 &right,
-                &theta,
-                join_kind,
+                self.kind,
                 self.overlap_plan,
                 self.parallelism,
                 &engine,
             )?;
-            let arity = self.schema.arity();
-            let tuples: Vec<TpTuple> = match self.kind {
-                // Project the inner join back to the left schema.
-                TpSetOpKind::Intersection => joined
-                    .iter()
-                    .map(|t| {
-                        TpTuple::new(
-                            t.facts()[..arity].to_vec(),
-                            t.lineage().clone(),
-                            t.interval(),
-                            t.probability(),
-                        )
-                    })
-                    .collect(),
-                _ => joined.tuples().to_vec(),
-            };
-            Ok(SetOpState::Materialized(tuples.into_iter()))
+            Ok(SetOpState::Materialized(
+                computed.tuples().to_vec().into_iter(),
+            ))
         } else {
             Ok(SetOpState::Streaming(TpSetOpStream::with_engine_and_plan(
                 left,
@@ -594,11 +566,16 @@ impl PhysicalOperator for SetOpExec {
             None => format!(" plan=auto({})", self.resolved_plan()),
         };
         // Like the join operator, report the degree that will actually run:
-        // a parallel request on the streaming union must not misreport.
-        let par_note = if self.kind == TpSetOpKind::Union && self.parallelism > 1 {
-            " parallel=1 (serial fallback: the streaming union cannot shard)".to_owned()
+        // a parallel request on a forced nested-loop plan must not
+        // misreport.
+        let effective = self.effective_parallelism();
+        let par_note = if effective == 1 && self.parallelism > 1 {
+            format!(
+                " parallel=1 (serial fallback: the {} plan cannot shard)",
+                self.resolved_plan()
+            )
         } else {
-            format!(" parallel={}", self.effective_parallelism())
+            format!(" parallel={effective}")
         };
         format!(
             "SetOp {} [{}{}{}] over [{}; {}]",
@@ -818,23 +795,34 @@ mod tests {
         c.register(r).unwrap();
         c.register(s).unwrap();
         let base = LogicalPlan::scan("meteo_r");
-        // INTERSECT/EXCEPT shard; the streaming union reports the fallback.
-        let except = base
-            .clone()
-            .set_op(TpSetOpKind::Difference, LogicalPlan::scan("meteo_s"))
-            .with_parallelism(4);
-        let op = plan_query(&c, &except).unwrap();
-        let d = op.describe();
-        assert!(d.contains("SetOp EXCEPT"), "{d}");
-        assert!(d.contains("plan=auto(sweep)"), "{d}");
-        assert!(d.contains("parallel=4"), "{d}");
-        let union = base
+        // All three set operations shard through the morsel driver —
+        // including the union, which used to report a serial fallback.
+        for kind in [
+            TpSetOpKind::Difference,
+            TpSetOpKind::Intersection,
+            TpSetOpKind::Union,
+        ] {
+            let plan = base
+                .clone()
+                .set_op(kind, LogicalPlan::scan("meteo_s"))
+                .with_parallelism(4);
+            let op = plan_query(&c, &plan).unwrap();
+            let d = op.describe();
+            assert!(d.contains(&format!("SetOp {kind}")), "{d}");
+            assert!(d.contains("plan=auto(sweep)"), "{d}");
+            assert!(d.contains("parallel=4"), "{d}");
+            assert!(!d.contains("serial fallback"), "{d}");
+        }
+        // A forced nested-loop plan is the one remaining serial fallback,
+        // and EXPLAIN says so instead of misreporting the degree.
+        let forced = base
             .set_op(TpSetOpKind::Union, LogicalPlan::scan("meteo_s"))
+            .with_overlap_plan(OverlapJoinPlan::NestedLoop)
             .with_parallelism(4);
-        let op = plan_query(&c, &union).unwrap();
+        let op = plan_query(&c, &forced).unwrap();
         let d = op.describe();
         assert!(
-            d.contains("parallel=1 (serial fallback: the streaming union cannot shard)"),
+            d.contains("parallel=1 (serial fallback: the nested-loop plan cannot shard)"),
             "{d}"
         );
     }

@@ -60,9 +60,15 @@ pub struct ServerConfig {
     /// Admission-queue capacity. A request arriving while `queue_depth`
     /// requests wait is rejected with `ServerBusy`. Default: 16.
     pub queue_depth: usize,
-    /// Per-statement degree of parallelism inside a worker. Default: 1 —
-    /// concurrency comes from the pool; per-query fan-out on top of it
-    /// oversubscribes the cores (a query can still pin `PARALLEL n`).
+    /// Per-statement degree of parallelism inside a worker. Default: 1.
+    ///
+    /// This is a *floor*, not a fixed degree: when the pool is busy,
+    /// concurrency comes from the workers and per-query fan-out on top of
+    /// it would oversubscribe the cores — but when a statement finds the
+    /// pool otherwise idle (nothing queued, no other statement executing),
+    /// the worker widens its morsel degree to cover the idle workers, so a
+    /// lone expensive query still uses the whole machine. See
+    /// `dynamic_parallelism` in this module for the exact rule.
     pub parallelism: usize,
 }
 
@@ -132,6 +138,9 @@ struct Inner {
     shared: SharedCatalog,
     cache: ShardedPlanCache,
     options: QueryOptions,
+    /// Pool size, used to widen a statement's parallelism when the rest
+    /// of the pool is idle ([`dynamic_parallelism`]).
+    workers: usize,
     /// Master sender; connection threads clone it per request. Dropped at
     /// shutdown so workers observe the disconnect once the queue drains.
     queue: Mutex<Option<SyncSender<Job>>>,
@@ -160,6 +169,7 @@ impl Server {
             options: QueryOptions {
                 parallelism: config.parallelism.max(1),
             },
+            workers: config.workers.max(1),
             queue: Mutex::new(Some(tx)),
             shutting_down: AtomicBool::new(false),
             counters: Counters::default(),
@@ -510,14 +520,50 @@ fn handle_request(inner: &Inner, conn: &Mutex<ConnState>, request: Request) -> R
     }
 }
 
+/// The effective morsel degree for a statement about to execute, given
+/// the pool state at admission time.
+///
+/// * Statements are waiting in the queue → stick to the configured
+///   `floor`: the queued work will occupy the other workers, and fanning
+///   out on top of them oversubscribes the cores.
+/// * The queue is empty → widen to cover the idle workers. `executing`
+///   includes the calling statement itself (the worker increments the
+///   counter before executing), so `workers - executing + 1` is "me plus
+///   every worker with nothing to do". A lone expensive query on an
+///   otherwise idle 4-worker pool gets degree 4.
+///
+/// The decision is a point-in-time heuristic, not a reservation: a
+/// statement admitted a microsecond later may briefly share the cores.
+/// That trade (bounded oversubscription vs. idle cores) is deliberate.
+fn dynamic_parallelism(floor: usize, workers: usize, executing: u64, queued: u64) -> usize {
+    if queued > 0 {
+        return floor;
+    }
+    let executing = usize::try_from(executing.max(1)).unwrap_or(usize::MAX);
+    floor.max(workers.saturating_sub(executing) + 1)
+}
+
 /// Runs one statement: pin a snapshot, plan through the shared cache,
 /// bind, execute, render. `LOAD SNAPSHOT` is the one mutating statement
 /// and goes through the shared catalog's atomic swap instead.
+///
+/// Planning and the cache key use the configured options (so cached plans
+/// are shared regardless of pool load), but execution runs at
+/// [`dynamic_parallelism`] — the configured floor, widened over idle
+/// workers.
 fn run_statement(inner: &Inner, text: &str, params: &[tpdb_storage::Value]) -> Response {
     let snapshot = inner.shared.snapshot();
     let prepared = match inner.cache.get_or_prepare(&snapshot, &inner.options, text) {
         Ok(p) => p,
         Err(e) => return Response::from_error(&e),
+    };
+    let exec_options = QueryOptions {
+        parallelism: dynamic_parallelism(
+            inner.options.parallelism,
+            inner.workers,
+            inner.counters.executing.load(Ordering::SeqCst),
+            inner.counters.queued.load(Ordering::SeqCst),
+        ),
     };
     let result = match &prepared.plan {
         LogicalPlan::SaveSnapshot { path } => snapshot
@@ -538,7 +584,7 @@ fn run_statement(inner: &Inner, text: &str, params: &[tpdb_storage::Value]) -> R
             }
         }
         _ => bind(prepared.parameters, &prepared.plan, params)
-            .and_then(|bound| execute_plan_with(&snapshot, &bound, &inner.options)),
+            .and_then(|bound| execute_plan_with(&snapshot, &bound, &exec_options)),
     };
     match result {
         Ok(relation) => {
@@ -565,5 +611,44 @@ fn bind(
         Ok(plan.clone())
     } else {
         plan.bind_parameters(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dynamic_parallelism;
+
+    #[test]
+    fn a_lone_statement_on_an_idle_pool_gets_every_worker() {
+        // executing == 1 is the calling statement itself.
+        assert_eq!(dynamic_parallelism(1, 4, 1, 0), 4);
+        assert_eq!(dynamic_parallelism(1, 8, 1, 0), 8);
+    }
+
+    #[test]
+    fn busy_peers_shrink_the_widening_down_to_the_floor() {
+        assert_eq!(dynamic_parallelism(1, 4, 2, 0), 3);
+        assert_eq!(dynamic_parallelism(1, 4, 4, 0), 1);
+        // More executing than workers (racing counters): saturates, floor.
+        assert_eq!(dynamic_parallelism(1, 4, 9, 0), 1);
+    }
+
+    #[test]
+    fn queued_work_pins_the_degree_to_the_configured_floor() {
+        assert_eq!(dynamic_parallelism(1, 8, 1, 1), 1);
+        assert_eq!(dynamic_parallelism(2, 8, 1, 5), 2);
+    }
+
+    #[test]
+    fn the_configured_floor_is_never_lowered() {
+        assert_eq!(dynamic_parallelism(6, 4, 4, 0), 6);
+        assert_eq!(dynamic_parallelism(6, 4, 1, 3), 6);
+    }
+
+    #[test]
+    fn a_zero_executing_count_is_treated_as_self() {
+        // run_statement always increments `executing` first, but the pure
+        // rule must not widen past the pool if handed a stale zero.
+        assert_eq!(dynamic_parallelism(1, 4, 0, 0), 4);
     }
 }
